@@ -1,0 +1,109 @@
+// Appendix A.4 — sanity check that MEmCom produces unique embeddings.
+//
+// Paper setup: one Arcade model trained with MEmCom at 40x input-embedding
+// compression; examine pairs of categories sharing an x_rem row.
+//
+// Paper result: "a pair of multipliers sharing a common x_rem embedding
+// differed by greater than 0.00001 in more than 99.98% of cases".
+#include <map>
+
+#include "bench_common.h"
+#include "embedding/memcom.h"
+
+using namespace memcom;
+using namespace memcom::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchScale scale = scale_from_flags(flags);
+  TrainConfig train = train_config_from(scale, flags);
+  const double threshold = flags.get_double("threshold", 1e-5);
+
+  print_header(
+      "A.4: uniqueness of MEmCom embeddings (Arcade, 40x input embedding)",
+      "paper: multiplier pairs sharing an x_rem row differ by >1e-5 in\n"
+      "       more than 99.98% of cases (appendix A.4)");
+
+  const SyntheticDataset data(arcade_spec(), /*seed=*/7000 + train.seed);
+  const Index vocab = data.input_vocab();
+  const Index embed_dim = flags.get_int("embed-dim", 64);
+  // 40x compression of the input embedding: m*e + v ~= (v*e)/40.
+  const Index m = std::max<Index>(
+      8, (vocab * embed_dim / 40 - vocab) / embed_dim);
+
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, vocab, embed_dim, m};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = data.output_vocab();
+  config.seed = train.seed;
+  RecModel model(config);
+  const double embedding_ratio =
+      static_cast<double>(vocab * embed_dim) /
+      static_cast<double>(embedding_param_formula(config.embedding));
+  std::cout << "hash size m=" << m << " -> input embedding compression "
+            << format_ratio(embedding_ratio) << "\n";
+  std::cout << "training...\n";
+  const EvalResult eval = train_and_evaluate(model, data, train);
+  std::cout << "trained accuracy=" << format_float(eval.accuracy, 4) << "\n";
+
+  auto& memcom =
+      dynamic_cast<MemcomEmbedding&>(model.embedding());
+
+  // Group ids by bucket and count multiplier pairs differing > threshold.
+  std::map<Index, std::vector<float>> buckets;
+  for (std::int32_t id = 1; id < vocab; ++id) {
+    buckets[id % m].push_back(memcom.multiplier_of(id));
+  }
+  long long pairs = 0;
+  long long distinct_pairs = 0;
+  for (const auto& [bucket, multipliers] : buckets) {
+    for (std::size_t i = 0; i < multipliers.size(); ++i) {
+      for (std::size_t j = i + 1; j < multipliers.size(); ++j) {
+        ++pairs;
+        if (std::fabs(multipliers[i] - multipliers[j]) > threshold) {
+          ++distinct_pairs;
+        }
+      }
+    }
+  }
+  const double fraction =
+      pairs > 0 ? 100.0 * static_cast<double>(distinct_pairs) /
+                      static_cast<double>(pairs)
+                : 0.0;
+
+  // The comparable number: the paper's 7.5M-sample Arcade run touches every
+  // app id, so its multipliers all train; at repro scale many tail ids are
+  // never seen and keep the init value 1.0. Restrict to ids with at least
+  // one training occurrence (what "trained multipliers" means here).
+  std::map<Index, std::vector<float>> trained_buckets;
+  const std::vector<Index> histogram = data.train_id_histogram();
+  for (std::int32_t id = 1; id < vocab; ++id) {
+    if (histogram[static_cast<std::size_t>(id)] > 0) {
+      trained_buckets[id % m].push_back(memcom.multiplier_of(id));
+    }
+  }
+  long long trained_pairs = 0;
+  long long trained_distinct = 0;
+  for (const auto& [bucket, multipliers] : trained_buckets) {
+    for (std::size_t i = 0; i < multipliers.size(); ++i) {
+      for (std::size_t j = i + 1; j < multipliers.size(); ++j) {
+        ++trained_pairs;
+        if (std::fabs(multipliers[i] - multipliers[j]) > threshold) {
+          ++trained_distinct;
+        }
+      }
+    }
+  }
+  std::cout << "\nids seen in training, sharing a bucket: "
+            << format_float(trained_pairs > 0
+                                ? 100.0 * trained_distinct / trained_pairs
+                                : 0.0,
+                            3)
+            << "% of " << trained_pairs << " multiplier pairs differ by > "
+            << threshold << "\npaper reference: > 99.98% (trained on 7.5M "
+            << "samples, every id seen)\n";
+  std::cout << "including never-seen tail ids (init value 1.0 kept): "
+            << format_float(fraction, 3) << "% of " << pairs << " pairs\n";
+  (void)scale;
+  return 0;
+}

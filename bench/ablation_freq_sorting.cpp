@@ -1,0 +1,142 @@
+// Ablation — frequency-sorted vocabulary ids (§5.1 design choice).
+//
+// The paper assigns ids by frequency ("the most downloaded app is assigned
+// the id n+1") and MEmCom's Algorithm 2 notes "sorted by frequency". With
+// `i mod m` hashing, frequency sorting guarantees the m most popular
+// entities occupy m distinct buckets. This ablation retrains MEmCom and
+// naive hashing with ids randomly permuted to measure how much of the
+// technique's quality depends on that choice.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "nn/loss.h"
+
+using namespace memcom;
+using namespace memcom::bench;
+
+namespace {
+
+// Applies a fixed random permutation to all non-pad ids of a dataset copy.
+SyntheticDataset* g_unused = nullptr;  // (no dataset mutation API needed)
+
+std::vector<Sample> permute_ids(const std::vector<Sample>& samples,
+                                const std::vector<std::int32_t>& mapping) {
+  std::vector<Sample> out = samples;
+  for (Sample& s : out) {
+    for (std::int32_t& id : s.history) {
+      if (id != kPadId) {
+        id = mapping[static_cast<std::size_t>(id)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchScale scale = scale_from_flags(flags);
+  TrainConfig train = train_config_from(scale, flags);
+  const Index embed_dim = flags.get_int("embed-dim", 64);
+
+  print_header(
+      "Ablation: frequency-sorted ids vs randomly permuted ids",
+      "design choice from sec 5.1 / Algorithm 2: with i mod m hashing,\n"
+      "frequency sorting keeps the popular head in distinct buckets");
+
+  const DatasetSpec spec = spec_by_name(
+      flags.get_string("dataset", "millionsongs"));
+  const SyntheticDataset data(spec, /*seed=*/8000 + train.seed);
+  const Index vocab = data.input_vocab();
+
+  // Random permutation of non-pad ids.
+  std::vector<std::int32_t> mapping(static_cast<std::size_t>(vocab));
+  for (Index i = 0; i < vocab; ++i) {
+    mapping[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+  }
+  Rng perm_rng(777);
+  for (Index i = vocab - 1; i > 1; --i) {
+    const Index j = 1 + perm_rng.uniform_index(i);  // keep pad id 0 fixed
+    std::swap(mapping[static_cast<std::size_t>(i)],
+              mapping[static_cast<std::size_t>(j)]);
+  }
+
+  TextTable table({"technique", "ids", "hash size", "metric"});
+  for (const TechniqueKind kind :
+       {TechniqueKind::kMemcom, TechniqueKind::kNaiveHash}) {
+    const Index m = std::max<Index>(8, vocab / 16);
+    for (const bool permuted : {false, true}) {
+      ModelConfig config;
+      config.embedding = {kind, vocab, embed_dim, m};
+      config.arch = ModelArch::kRanking;
+      config.output_vocab = data.output_vocab();
+      config.seed = train.seed;
+      RecModel model(config);
+
+      EvalResult eval;
+      if (!permuted) {
+        eval = train_and_evaluate(model, data, train);
+      } else {
+        // Train/evaluate on the permuted view via a thin manual loop that
+        // reuses the trainer on remapped copies.
+        // (The generator is deterministic; remapping histories is
+        // equivalent to scrambling the id->frequency relationship.)
+        struct Remapped {
+          std::vector<Sample> train_split;
+          std::vector<Sample> eval_split;
+        };
+        Remapped remapped{permute_ids(data.train(), mapping),
+                          permute_ids(data.eval(), mapping)};
+        // Build a dataset-like wrapper by training manually.
+        Rng rng(train.seed);
+        Batcher batcher(remapped.train_split, train.batch_size, rng);
+        auto optimizer =
+            make_optimizer(train.optimizer, train.learning_rate);
+        const ParamRefs params = model.params();
+        SoftmaxCrossEntropy loss;
+        for (Index epoch = 0; epoch < train.epochs; ++epoch) {
+          Batch batch;
+          while (batcher.next(batch)) {
+            const Tensor logits = model.forward(batch.inputs, true);
+            loss.forward(logits, batch.labels);
+            model.backward(loss.backward());
+            optimizer->step(params);
+            Optimizer::zero_grad(params);
+          }
+          batcher.reshuffle();
+        }
+        const Index n = static_cast<Index>(remapped.eval_split.size());
+        Tensor scores({n, data.output_vocab()});
+        std::vector<Index> labels(static_cast<std::size_t>(n));
+        for (Index first = 0; first < n; first += 256) {
+          const Index count = std::min<Index>(256, n - first);
+          const Batch batch = make_batch(remapped.eval_split, first, count);
+          const Tensor logits = model.forward(batch.inputs, false);
+          for (Index r = 0; r < count; ++r) {
+            labels[static_cast<std::size_t>(first + r)] =
+                batch.labels[static_cast<std::size_t>(r)];
+            for (Index c = 0; c < data.output_vocab(); ++c) {
+              scores.at2(first + r, c) = logits.at2(r, c);
+            }
+          }
+        }
+        eval.ndcg = ndcg_at_k(scores, labels,
+                              std::min<Index>(32, data.output_vocab()));
+      }
+      table.add_row({technique_name(kind),
+                     permuted ? "random permutation" : "frequency sorted",
+                     std::to_string(m), format_float(eval.ndcg, 4)});
+      std::cout << "  " << technique_name(kind) << " / "
+                << (permuted ? "permuted" : "freq-sorted") << ": nDCG@32 = "
+                << format_float(eval.ndcg, 4) << "\n";
+    }
+  }
+  std::cout << "\n" << table.to_string();
+  std::cout << "\nexpected: frequency-sorted >= permuted for both (the mod\n"
+               "hash stops protecting the popular head once ids are\n"
+               "scrambled); MEmCom degrades less because multipliers still\n"
+               "separate colliding ids.\n";
+  (void)g_unused;
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared helpers for the figure/table bench binaries.
+//
+// Every bench accepts:
+//   --full           paper-ladder scale (6 knob levels, more epochs, full
+//                    training splits) instead of the quick default
+//   --datasets a,b   restrict to a comma-separated subset
+//   --epochs N, --levels N, --seed N   individual overrides
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flags.h"
+#include "core/table.h"
+#include "data/synthetic.h"
+#include "repro/sweep.h"
+
+namespace memcom::bench {
+
+struct BenchScale {
+  Index epochs;
+  Index ladder_levels;
+  double train_fraction;
+  Index runs;  // on-device latency repetitions
+};
+
+inline BenchScale scale_from_flags(const Flags& flags) {
+  BenchScale s;
+  const bool full = flags.get_bool("full", false);
+  s.epochs = flags.get_int("epochs", full ? 10 : 6);
+  s.ladder_levels = flags.get_int("levels", full ? 6 : 3);
+  s.train_fraction = flags.get_double("train-fraction", full ? 1.0 : 0.7);
+  s.runs = flags.get_int("runs", full ? 1000 : 100);
+  return s;
+}
+
+inline TrainConfig train_config_from(const BenchScale& scale,
+                                     const Flags& flags) {
+  TrainConfig train;
+  train.epochs = scale.epochs;
+  train.train_fraction = scale.train_fraction;
+  train.batch_size = flags.get_int("batch", 64);
+  train.learning_rate = flags.get_double("lr", 2e-3);
+  train.seed = flags.get_int("seed", 99);
+  return train;
+}
+
+inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+inline std::vector<DatasetSpec> datasets_from_flags(
+    const Flags& flags, const std::vector<std::string>& defaults) {
+  const std::string csv =
+      flags.get_string("datasets", "");
+  std::vector<DatasetSpec> specs;
+  const std::vector<std::string> names =
+      csv.empty() ? defaults : split_csv(csv);
+  for (const std::string& name : names) {
+    specs.push_back(spec_by_name(name));
+  }
+  return specs;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_reference) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << paper_reference << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace memcom::bench

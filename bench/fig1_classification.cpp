@@ -1,0 +1,65 @@
+// Figure 1 — compression vs. accuracy tradeoff (classification).
+//
+// Paper setup (§5.1): Newsgroup, Games, Arcade; the classification network
+// of Code 1; x-axis = whole-model compression ratio, y-axis = % accuracy
+// loss vs the uncompressed baseline; techniques = MEmCom (±bias),
+// quotient-remainder (mult/concat), naive & double hashing, factorized
+// embedding, reduce-dim, truncate-rare; hash ladder 100K..1K.
+//
+// Expected shape (paper): MEmCom has the lowest accuracy loss at every
+// compression ratio; only factorized embedding is competitive on
+// Newsgroup; truncate_rare is strong on Arcade but MEmCom beats it ~2x.
+#include "bench_common.h"
+
+using namespace memcom;
+using namespace memcom::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchScale scale = scale_from_flags(flags);
+  const TrainConfig train = train_config_from(scale, flags);
+  const Index embed_dim = flags.get_int("embed-dim", 64);
+
+  print_header(
+      "Figure 1: compression vs accuracy (classification)",
+      "paper: MEmCom dominates all techniques on Newsgroup/Games/Arcade;\n"
+      "       truncate_rare strong on Arcade but MEmCom ~2x better (sec 5.1)");
+
+  for (const DatasetSpec& spec :
+       datasets_from_flags(flags, {"newsgroup", "games", "arcade"})) {
+    const SyntheticDataset data(spec, /*seed=*/1000 + train.seed);
+    const SweepResult result = run_compression_sweep(
+        data, ModelArch::kClassification, figure_techniques(), train,
+        embed_dim, scale.ladder_levels, &std::cout);
+    std::cout << "\n";
+    print_sweep(result, "accuracy", std::cout);
+
+    // Per-compression-bucket winner, the quantity the figure communicates.
+    std::cout << "best technique per point (lowest accuracy loss):\n";
+    for (std::size_t level = 0;
+         level < static_cast<std::size_t>(scale.ladder_levels); ++level) {
+      const TechniqueSeries* best_series = nullptr;
+      const SweepPoint* best_point = nullptr;
+      for (const TechniqueSeries& series : result.series) {
+        if (level >= series.points.size()) {
+          continue;
+        }
+        const SweepPoint& point = series.points[level];
+        if (best_point == nullptr ||
+            point.relative_loss_pct < best_point->relative_loss_pct) {
+          best_point = &point;
+          best_series = &series;
+        }
+      }
+      if (best_point != nullptr) {
+        std::cout << "  level " << level << " (ratio ~"
+                  << format_ratio(best_point->compression_ratio)
+                  << "): " << technique_name(best_series->kind) << " at "
+                  << format_percent(best_point->relative_loss_pct)
+                  << " loss\n";
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// google-benchmark microbenchmarks: embedding forward/backward throughput
+// per compression technique, and the lookup vs one-hot compute paths that
+// drive Table 3.
+#include <benchmark/benchmark.h>
+
+#include "embedding/factory.h"
+#include "embedding/hashing.h"
+
+namespace memcom {
+namespace {
+
+constexpr Index kVocab = 50000;
+constexpr Index kEmbedDim = 64;
+constexpr Index kBatch = 32;
+constexpr Index kSeqLen = 32;
+
+EmbeddingConfig config_for(TechniqueKind kind) {
+  EmbeddingConfig config;
+  config.kind = kind;
+  config.vocab = kVocab;
+  config.embed_dim = kEmbedDim;
+  switch (kind) {
+    case TechniqueKind::kFactorized:
+      config.knob = kEmbedDim / 4;
+      break;
+    case TechniqueKind::kReduceDim:
+      config.knob = kEmbedDim / 4;
+      break;
+    case TechniqueKind::kTruncateRare:
+      config.knob = kVocab / 16;
+      break;
+    case TechniqueKind::kHashedNets:
+      config.knob = kVocab;
+      break;
+    case TechniqueKind::kFull:
+      config.knob = 0;
+      break;
+    default:
+      config.knob = kVocab / 16;
+  }
+  return config;
+}
+
+IdBatch make_input(Rng& rng) {
+  IdBatch input(kBatch, kSeqLen);
+  for (Index i = 0; i < input.size(); ++i) {
+    input.ids[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(1 + rng.uniform_index(kVocab - 1));
+  }
+  return input;
+}
+
+void BM_EmbeddingForward(benchmark::State& state) {
+  const auto kind = static_cast<TechniqueKind>(state.range(0));
+  Rng rng(1);
+  const EmbeddingPtr emb = make_embedding(config_for(kind), rng);
+  const IdBatch input = make_input(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emb->forward(input, false));
+  }
+  state.SetItemsProcessed(state.iterations() * input.size());
+  state.SetLabel(technique_name(kind));
+}
+
+void BM_EmbeddingForwardBackward(benchmark::State& state) {
+  const auto kind = static_cast<TechniqueKind>(state.range(0));
+  Rng rng(2);
+  const EmbeddingPtr emb = make_embedding(config_for(kind), rng);
+  const IdBatch input = make_input(rng);
+  for (auto _ : state) {
+    const Tensor out = emb->forward(input, true);
+    emb->backward(out);
+    for (Param* p : emb->params()) {
+      p->zero_grad();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * input.size());
+  state.SetLabel(technique_name(kind));
+}
+
+void RegisterTechniqueArgs(benchmark::internal::Benchmark* bench) {
+  for (const TechniqueKind kind :
+       {TechniqueKind::kFull, TechniqueKind::kMemcom,
+        TechniqueKind::kMemcomBias, TechniqueKind::kQrMult,
+        TechniqueKind::kQrConcat, TechniqueKind::kNaiveHash,
+        TechniqueKind::kDoubleHash, TechniqueKind::kFactorized,
+        TechniqueKind::kTruncateRare, TechniqueKind::kWeinberger}) {
+    bench->Arg(static_cast<long long>(kind));
+  }
+}
+
+BENCHMARK(BM_EmbeddingForward)->Apply(RegisterTechniqueArgs);
+BENCHMARK(BM_EmbeddingForwardBackward)->Apply(RegisterTechniqueArgs);
+
+// The Table 3 compute contrast in isolation: per-token row gather vs the
+// full m x e one-hot matvec.
+void BM_LookupPath(benchmark::State& state) {
+  const Index m = state.range(0);
+  Rng rng(3);
+  const Tensor table = Tensor::randn({m, kEmbedDim}, rng);
+  std::vector<std::int32_t> history(kSeqLen);
+  for (auto& id : history) {
+    id = static_cast<std::int32_t>(rng.uniform_index(kVocab));
+  }
+  std::vector<float> pooled(kEmbedDim);
+  for (auto _ : state) {
+    std::fill(pooled.begin(), pooled.end(), 0.0f);
+    for (const std::int32_t id : history) {
+      const float* row = table.data() + mod_hash(id, m) * kEmbedDim;
+      for (Index c = 0; c < kEmbedDim; ++c) {
+        pooled[static_cast<std::size_t>(c)] += row[c];
+      }
+    }
+    benchmark::DoNotOptimize(pooled);
+  }
+  state.SetLabel("lookup m=" + std::to_string(m));
+}
+
+void BM_OneHotPath(benchmark::State& state) {
+  const Index m = state.range(0);
+  Rng rng(4);
+  const Tensor table = Tensor::randn({m, kEmbedDim}, rng);
+  std::vector<std::int32_t> history(kSeqLen);
+  for (auto& id : history) {
+    id = static_cast<std::int32_t>(rng.uniform_index(kVocab));
+  }
+  std::vector<float> onehot(static_cast<std::size_t>(m));
+  std::vector<float> pooled(kEmbedDim);
+  for (auto _ : state) {
+    std::fill(onehot.begin(), onehot.end(), 0.0f);
+    for (const std::int32_t id : history) {
+      onehot[static_cast<std::size_t>(mod_hash(id, m))] += sign_hash(id);
+    }
+    std::fill(pooled.begin(), pooled.end(), 0.0f);
+    for (Index j = 0; j < m; ++j) {
+      const float z = onehot[static_cast<std::size_t>(j)];
+      const float* row = table.data() + j * kEmbedDim;
+      for (Index c = 0; c < kEmbedDim; ++c) {
+        pooled[static_cast<std::size_t>(c)] += z * row[c];
+      }
+    }
+    benchmark::DoNotOptimize(pooled);
+  }
+  state.SetLabel("one-hot m=" + std::to_string(m));
+}
+
+BENCHMARK(BM_LookupPath)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_OneHotPath)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace memcom
+
+BENCHMARK_MAIN();

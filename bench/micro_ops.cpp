@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks for the substrate: matmul, softmax,
+// alias sampling, quantization round trips, serialization.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/ops.h"
+#include "core/sampling.h"
+#include "core/serialize.h"
+#include "ondevice/quantize.h"
+
+namespace memcom {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTn(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_tn(a, b));
+  }
+}
+BENCHMARK(BM_MatmulTn)->Arg(64)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const Index cols = state.range(0);
+  Rng rng(3);
+  const Tensor logits = Tensor::randn({64, cols}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax_rows(logits));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * cols);
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_AliasSamplerBuild(benchmark::State& state) {
+  const Index n = state.range(0);
+  const std::vector<double> weights = zipf_weights(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AliasSampler(weights));
+  }
+}
+BENCHMARK(BM_AliasSamplerBuild)->Arg(1000)->Arg(100000);
+
+void BM_AliasSamplerSample(benchmark::State& state) {
+  const AliasSampler sampler(zipf_weights(100000, 1.0));
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSamplerSample);
+
+void BM_Quantize(benchmark::State& state) {
+  const auto dtype = static_cast<DType>(state.range(0));
+  Rng rng(5);
+  const Tensor t = Tensor::randn({1000, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantize(t, dtype));
+  }
+  state.SetBytesProcessed(state.iterations() * t.numel() * 4);
+  state.SetLabel(dtype_name(dtype));
+}
+BENCHMARK(BM_Quantize)
+    ->Arg(static_cast<long long>(DType::kF16))
+    ->Arg(static_cast<long long>(DType::kI8))
+    ->Arg(static_cast<long long>(DType::kI4));
+
+void BM_DequantizeSpan(benchmark::State& state) {
+  const auto dtype = static_cast<DType>(state.range(0));
+  Rng rng(6);
+  const Tensor t = Tensor::randn({1000, 64}, rng);
+  const QuantizedTensor q = quantize(t, dtype);
+  std::vector<float> row(64);
+  Index cursor = 0;
+  for (auto _ : state) {
+    dequantize_span(q.dtype, q.scale, q.payload.data(), (cursor % 1000) * 64,
+                    64, row.data());
+    benchmark::DoNotOptimize(row);
+    ++cursor;
+  }
+  state.SetLabel(dtype_name(dtype));
+}
+BENCHMARK(BM_DequantizeSpan)
+    ->Arg(static_cast<long long>(DType::kF32))
+    ->Arg(static_cast<long long>(DType::kF16))
+    ->Arg(static_cast<long long>(DType::kI8))
+    ->Arg(static_cast<long long>(DType::kI4));
+
+void BM_TensorSerializeRoundTrip(benchmark::State& state) {
+  Rng rng(7);
+  const Tensor t = Tensor::randn({256, 64}, rng);
+  for (auto _ : state) {
+    std::stringstream ss;
+    write_tensor(ss, t);
+    benchmark::DoNotOptimize(read_tensor(ss));
+  }
+  state.SetBytesProcessed(state.iterations() * t.numel() * 4);
+}
+BENCHMARK(BM_TensorSerializeRoundTrip);
+
+}  // namespace
+}  // namespace memcom
+
+BENCHMARK_MAIN();

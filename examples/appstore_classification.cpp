@@ -1,0 +1,66 @@
+// App-store next-purchase classification (the paper's Games/Arcade
+// motivation, §5.1): a user's purchase history — previous apps plus their
+// country, in one shared frequency-sorted vocabulary — predicts the next
+// app they purchase. Demonstrates the classification architecture and the
+// "truncate rare" baseline the paper found surprisingly strong on Arcade.
+//
+//   ./appstore_classification [--epochs 3]
+#include <iostream>
+
+#include "core/flags.h"
+#include "core/table.h"
+#include "data/synthetic.h"
+#include "repro/sweep.h"
+
+using namespace memcom;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  TrainConfig train;
+  train.epochs = flags.get_int("epochs", 3);
+
+  const SyntheticDataset data(arcade_spec(), /*seed=*/11);
+  const Index embed_dim = 64;
+  std::cout << "== Arcade app-store classification ==\n"
+            << "shared vocabulary: 1 pad + " << arcade_spec().countries
+            << " countries + " << arcade_spec().items << " apps = "
+            << data.input_vocab() << " ids; " << data.output_vocab()
+            << " output labels\n\n";
+
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kFull, data.input_vocab(), embed_dim, 0};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = data.output_vocab();
+  RecModel baseline(config);
+  const EvalResult base_eval = train_and_evaluate(baseline, data, train);
+  std::cout << "baseline accuracy = " << format_float(base_eval.accuracy, 4)
+            << " top5 = " << format_float(base_eval.top5_accuracy, 4) << "\n\n";
+
+  TextTable table({"technique", "compression", "accuracy", "loss"});
+  struct Entry {
+    TechniqueKind kind;
+    Index knob;
+  };
+  const Index v = data.input_vocab();
+  for (const Entry entry :
+       {Entry{TechniqueKind::kMemcom, v / 16},
+        Entry{TechniqueKind::kTruncateRare, v / 16},
+        Entry{TechniqueKind::kNaiveHash, v / 16},
+        Entry{TechniqueKind::kFactorized, embed_dim / 8}}) {
+    ModelConfig c = config;
+    c.embedding.kind = entry.kind;
+    c.embedding.knob = std::max<Index>(8, entry.knob);
+    RecModel model(c);
+    const EvalResult eval = train_and_evaluate(model, data, train);
+    const double ratio = static_cast<double>(baseline.param_count()) /
+                         static_cast<double>(model.param_count());
+    table.add_row({technique_name(entry.kind), format_ratio(ratio),
+                   format_float(eval.accuracy, 4),
+                   format_percent(relative_loss_percent(base_eval.accuracy,
+                                                        eval.accuracy))});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nPaper's observation: truncate_rare is a strong baseline on "
+               "Arcade, but MEmCom beats it ~2x (§5.1).\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Bringing your own data: build a frequency-sorted vocabulary from raw
+// token streams (the convention MEmCom's `i mod m` hashing relies on),
+// encode fixed-length histories, and train a compressed model on them.
+//
+// The "dataset" here is procedurally generated app-install logs with
+// human-readable names, standing in for whatever strings a real product
+// would log.
+//
+//   ./custom_tokens [--epochs 3]
+#include <iostream>
+
+#include "core/flags.h"
+#include "core/sampling.h"
+#include "core/table.h"
+#include "data/vocab.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "repro/model.h"
+
+using namespace memcom;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const Index epochs = flags.get_int("epochs", 3);
+  constexpr Index kApps = 400;
+  constexpr Index kUsers = 1500;
+  constexpr Index kHistory = 12;
+  constexpr Index kLabels = 24;
+
+  // 1. Simulated raw logs: each user installed a Zipf-popular set of apps.
+  Rng rng(2024);
+  const AliasSampler popularity(zipf_weights(kApps, 1.0));
+  auto app_name = [](Index i) { return "app_" + std::to_string(i); };
+
+  std::vector<std::vector<std::string>> histories(kUsers);
+  std::vector<Index> labels(kUsers);
+  VocabBuilder builder;
+  for (Index u = 0; u < kUsers; ++u) {
+    std::uint64_t label_hash = 0;
+    for (Index t = 0; t < kHistory; ++t) {
+      const Index app = popularity.sample(rng);
+      histories[static_cast<std::size_t>(u)].push_back(app_name(app));
+      builder.add(app_name(app));
+      label_hash = label_hash * 31 + static_cast<std::uint64_t>(app);
+    }
+    // A deterministic label derived from the installed set (stand-in for
+    // "next app installed").
+    labels[static_cast<std::size_t>(u)] =
+        static_cast<Index>(label_hash % kLabels);
+  }
+
+  // 2. Freeze the frequency-sorted vocabulary and encode everything.
+  const Vocab vocab = builder.freeze();
+  std::cout << "== custom tokens ==\n"
+            << "raw logs: " << kUsers << " users x " << kHistory
+            << " installs; distinct apps seen: " << vocab.token_count()
+            << "\n";
+  std::cout << "most frequent app: '" << vocab.token_of(1) << "' ("
+            << vocab.count_of(vocab.token_of(1)) << " installs)\n\n";
+
+  IdBatch inputs(kUsers, kHistory);
+  for (Index u = 0; u < kUsers; ++u) {
+    const auto ids =
+        vocab.encode(histories[static_cast<std::size_t>(u)], kHistory);
+    for (Index t = 0; t < kHistory; ++t) {
+      inputs.id(u, t) = ids[static_cast<std::size_t>(t)];
+    }
+  }
+
+  // 3. Train a MEmCom-compressed classifier on the encoded histories.
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, vocab.size(), 32,
+                      std::max<Index>(8, vocab.size() / 8)};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = kLabels;
+  RecModel model(config);
+  auto optimizer = make_optimizer("adam", 3e-3);
+  const ParamRefs params = model.params();
+  SoftmaxCrossEntropy loss;
+
+  const Index batch_size = 64;
+  for (Index epoch = 0; epoch < epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    Index batches = 0;
+    for (Index first = 0; first + batch_size <= kUsers;
+         first += batch_size) {
+      IdBatch batch(batch_size, kHistory);
+      std::vector<Index> batch_labels(static_cast<std::size_t>(batch_size));
+      for (Index b = 0; b < batch_size; ++b) {
+        for (Index t = 0; t < kHistory; ++t) {
+          batch.id(b, t) = inputs.id(first + b, t);
+        }
+        batch_labels[static_cast<std::size_t>(b)] =
+            labels[static_cast<std::size_t>(first + b)];
+      }
+      const Tensor logits = model.forward(batch, true);
+      epoch_loss += loss.forward(logits, batch_labels);
+      ++batches;
+      model.backward(loss.backward());
+      optimizer->step(params);
+      Optimizer::zero_grad(params);
+    }
+    std::cout << "epoch " << (epoch + 1) << ": mean loss "
+              << format_float(epoch_loss / batches, 4) << "\n";
+  }
+  std::cout << "\nmodel: " << model.param_count() << " params vs "
+            << vocab.size() * 32 + 32 * 16 + 16 * kLabels
+            << "-ish uncompressed — same pipeline, your own tokens.\n";
+  return 0;
+}

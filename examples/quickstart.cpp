@@ -1,0 +1,70 @@
+// Quickstart: compress a recommendation model's embedding with MEmCom.
+//
+// Trains the paper's pointwise ranking network twice on a MovieLens-like
+// synthetic dataset — once with a full embedding table and once with
+// MEmCom at 16x embedding compression — and compares parameter counts and
+// ranking quality.
+//
+//   ./quickstart [--epochs N] [--embed-dim E]
+#include <iostream>
+
+#include "core/flags.h"
+#include "core/table.h"
+#include "data/synthetic.h"
+#include "repro/sweep.h"
+#include "repro/trainer.h"
+
+using namespace memcom;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const Index embed_dim = flags.get_int("embed-dim", 64);
+
+  TrainConfig train;
+  train.epochs = flags.get_int("epochs", 3);
+  train.batch_size = 64;
+  train.learning_rate = 2e-3;
+
+  std::cout << "== MEmCom quickstart ==\n";
+  std::cout << "dataset: synthetic MovieLens stand-in (Table 2 geometry)\n";
+  const SyntheticDataset data(movielens_spec(), /*seed=*/42);
+  std::cout << "  input vocab=" << data.input_vocab()
+            << " output vocab=" << data.output_vocab()
+            << " train=" << data.train().size()
+            << " eval=" << data.eval().size() << "\n\n";
+
+  // 1. Uncompressed baseline.
+  ModelConfig base_config;
+  base_config.embedding = {TechniqueKind::kFull, data.input_vocab(), embed_dim,
+                           0};
+  base_config.arch = ModelArch::kRanking;
+  base_config.output_vocab = data.output_vocab();
+  RecModel baseline(base_config);
+  std::cout << "training uncompressed baseline ("
+            << baseline.param_count() << " params)...\n";
+  const EvalResult base_eval = train_and_evaluate(baseline, data, train);
+
+  // 2. MEmCom at ~16x embedding compression (hash size = vocab / 16).
+  ModelConfig memcom_config = base_config;
+  memcom_config.embedding.kind = TechniqueKind::kMemcom;
+  memcom_config.embedding.knob = data.input_vocab() / 16;
+  RecModel compressed(memcom_config);
+  std::cout << "training MEmCom model (" << compressed.param_count()
+            << " params, hash size=" << memcom_config.embedding.knob
+            << ")...\n\n";
+  const EvalResult memcom_eval = train_and_evaluate(compressed, data, train);
+
+  TextTable table({"model", "params", "compression", "nDCG@32", "nDCG loss"});
+  table.add_row({"uncompressed", std::to_string(baseline.param_count()),
+                 "1.0x", format_float(base_eval.ndcg, 4), "--"});
+  const double ratio = static_cast<double>(baseline.param_count()) /
+                       static_cast<double>(compressed.param_count());
+  table.add_row({"memcom", std::to_string(compressed.param_count()),
+                 format_ratio(ratio), format_float(memcom_eval.ndcg, 4),
+                 format_percent(relative_loss_percent(base_eval.ndcg,
+                                                      memcom_eval.ndcg))});
+  std::cout << table.to_string();
+  std::cout << "\nMEmCom keeps a unique embedding per movie: emb(i) = "
+               "U[i mod m] * V[i].\n";
+  return 0;
+}

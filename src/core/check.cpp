@@ -1,0 +1,29 @@
+#include "core/check.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace memcom {
+
+namespace {
+std::string location_prefix(const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << " (" << loc.function_name()
+     << "): ";
+  return os.str();
+}
+}  // namespace
+
+void check_failed(std::string_view message, const std::source_location& loc) {
+  throw std::runtime_error(location_prefix(loc) + std::string(message));
+}
+
+void check_failed_eq(std::string_view what, long long expected, long long got,
+                     const std::source_location& loc) {
+  std::ostringstream os;
+  os << location_prefix(loc) << what << ": expected " << expected << ", got "
+     << got;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace memcom

@@ -1,0 +1,38 @@
+// Runtime invariant checking.
+//
+// `check(cond, msg)` throws std::runtime_error with source location on
+// failure. It is always on (not compiled out in release builds): this library
+// favors loud failure over silent corruption, and none of the checks sit on
+// hot inner loops (per-element loops use unchecked accessors).
+#pragma once
+
+#include <source_location>
+#include <string>
+#include <string_view>
+
+namespace memcom {
+
+[[noreturn]] void check_failed(std::string_view message,
+                               const std::source_location& loc);
+
+inline void check(bool ok, std::string_view message = "check failed",
+                  std::source_location loc = std::source_location::current()) {
+  if (!ok) {
+    check_failed(message, loc);
+  }
+}
+
+// Formats "<what>: expected <expected>, got <got>" and throws.
+[[noreturn]] void check_failed_eq(std::string_view what, long long expected,
+                                  long long got,
+                                  const std::source_location& loc);
+
+inline void check_eq(long long expected, long long got,
+                     std::string_view what = "value",
+                     std::source_location loc = std::source_location::current()) {
+  if (expected != got) {
+    check_failed_eq(what, expected, got, loc);
+  }
+}
+
+}  // namespace memcom

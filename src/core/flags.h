@@ -1,0 +1,31 @@
+// Minimal command-line flag parsing for the bench/example binaries.
+// Accepts `--name=value`, `--name value`, and bare `--switch` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace memcom {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  // Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace memcom

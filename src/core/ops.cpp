@@ -1,0 +1,262 @@
+#include "core/ops.h"
+
+#include <cmath>
+
+namespace memcom {
+
+namespace {
+void check_2d(const Tensor& t, const char* name) {
+  check(t.ndim() == 2, std::string(name) + " must be 2-D, got " +
+                           t.shape_string());
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul a");
+  check_2d(b, "matmul b");
+  check_eq(a.dim(1), b.dim(0), "matmul inner dimension");
+  Tensor out({a.dim(0), b.dim(1)});
+  matmul_accumulate(a, b, out);
+  return out;
+}
+
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  const Index m = a.dim(0);
+  const Index k = a.dim(1);
+  const Index n = b.dim(1);
+  check(out.ndim() == 2 && out.dim(0) == m && out.dim(1) == n,
+        "matmul_accumulate: bad output shape");
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  // ikj order: streams through b and out rows; good cache behaviour for the
+  // small row-major matrices used here.
+  for (Index i = 0; i < m; ++i) {
+    for (Index kk = 0; kk < k; ++kk) {
+      const float aik = ap[i * k + kk];
+      if (aik == 0.0f) {
+        continue;  // one-hot / sparse rows are common in this codebase
+      }
+      const float* brow = bp + kk * n;
+      float* orow = op + i * n;
+      for (Index j = 0; j < n; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul_tn a");
+  check_2d(b, "matmul_tn b");
+  check_eq(a.dim(0), b.dim(0), "matmul_tn shared dimension");
+  const Index k = a.dim(0);
+  const Index m = a.dim(1);
+  const Index n = b.dim(1);
+  Tensor out({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  for (Index kk = 0; kk < k; ++kk) {
+    const float* arow = ap + kk * m;
+    const float* brow = bp + kk * n;
+    for (Index i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) {
+        continue;
+      }
+      float* orow = op + i * n;
+      for (Index j = 0; j < n; ++j) {
+        orow[j] += aki * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul_nt a");
+  check_2d(b, "matmul_nt b");
+  check_eq(a.dim(1), b.dim(1), "matmul_nt shared dimension");
+  const Index m = a.dim(0);
+  const Index n = a.dim(1);
+  const Index k = b.dim(0);
+  Tensor out({m, k});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = ap + i * n;
+    for (Index j = 0; j < k; ++j) {
+      const float* brow = bp + j * n;
+      double acc = 0.0;
+      for (Index t = 0; t < n; ++t) {
+        acc += static_cast<double>(arow[t]) * static_cast<double>(brow[t]);
+      }
+      op[i * k + j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_2d(a, "transpose");
+  const Index m = a.dim(0);
+  const Index n = a.dim(1);
+  Tensor out({n, m});
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      out.at2(j, i) = a.at2(i, j);
+    }
+  }
+  return out;
+}
+
+void add_row_bias(Tensor& x, const Tensor& bias) {
+  check_2d(x, "add_row_bias x");
+  check(bias.ndim() == 1, "bias must be 1-D");
+  check_eq(x.dim(1), bias.dim(0), "bias length");
+  const Index rows = x.dim(0);
+  const Index cols = x.dim(1);
+  const float* bp = bias.data();
+  float* xp = x.data();
+  for (Index r = 0; r < rows; ++r) {
+    float* row = xp + r * cols;
+    for (Index c = 0; c < cols; ++c) {
+      row[c] += bp[c];
+    }
+  }
+}
+
+Tensor column_sums(const Tensor& grad) {
+  check_2d(grad, "column_sums");
+  const Index rows = grad.dim(0);
+  const Index cols = grad.dim(1);
+  Tensor out({cols});
+  const float* gp = grad.data();
+  float* op = out.data();
+  for (Index r = 0; r < rows; ++r) {
+    const float* row = gp + r * cols;
+    for (Index c = 0; c < cols; ++c) {
+      op[c] += row[c];
+    }
+  }
+  return out;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.add_(b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.axpy_(-1.0f, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.mul_(b);
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  check_2d(logits, "softmax_rows");
+  const Index rows = logits.dim(0);
+  const Index cols = logits.dim(1);
+  Tensor out({rows, cols});
+  for (Index r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = in[0];
+    for (Index c = 1; c < cols; ++c) {
+      mx = std::max(mx, in[c]);
+    }
+    double denom = 0.0;
+    for (Index c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (Index c = 0; c < cols; ++c) {
+      o[c] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  check_2d(logits, "log_softmax_rows");
+  const Index rows = logits.dim(0);
+  const Index cols = logits.dim(1);
+  Tensor out({rows, cols});
+  const Tensor lse = logsumexp_rows(logits);
+  for (Index r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    const float z = lse[r];
+    for (Index c = 0; c < cols; ++c) {
+      o[c] = in[c] - z;
+    }
+  }
+  return out;
+}
+
+Tensor logsumexp_rows(const Tensor& logits) {
+  check_2d(logits, "logsumexp_rows");
+  const Index rows = logits.dim(0);
+  const Index cols = logits.dim(1);
+  check(cols > 0, "logsumexp of empty rows");
+  Tensor out({rows});
+  for (Index r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float mx = in[0];
+    for (Index c = 1; c < cols; ++c) {
+      mx = std::max(mx, in[c]);
+    }
+    double acc = 0.0;
+    for (Index c = 0; c < cols; ++c) {
+      acc += std::exp(static_cast<double>(in[c]) - mx);
+    }
+    out[r] = mx + static_cast<float>(std::log(acc));
+  }
+  return out;
+}
+
+float sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+Tensor weighted_sum_middle(const Tensor& x, const Tensor& weights) {
+  check(x.ndim() == 3, "weighted_sum_middle expects [B,L,E]");
+  check(weights.ndim() == 2, "weights must be [B,L]");
+  const Index b = x.dim(0);
+  const Index l = x.dim(1);
+  const Index e = x.dim(2);
+  check_eq(b, weights.dim(0), "batch");
+  check_eq(l, weights.dim(1), "length");
+  Tensor out({b, e});
+  for (Index bi = 0; bi < b; ++bi) {
+    float* orow = out.data() + bi * e;
+    for (Index li = 0; li < l; ++li) {
+      const float w = weights.at2(bi, li);
+      if (w == 0.0f) {
+        continue;
+      }
+      const float* xrow = x.data() + (bi * l + li) * e;
+      for (Index ei = 0; ei < e; ++ei) {
+        orow[ei] += w * xrow[ei];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace memcom

@@ -1,0 +1,47 @@
+// Tensor operations used by the NN layers and inference engine.
+//
+// All matmuls are plain blocked loops; the models in this reproduction are
+// small MLPs so these are never the bottleneck relative to data generation
+// and the experiment sweeps.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace memcom {
+
+// out = a([m,k]) * b([k,n]). Allocates the result.
+Tensor matmul(const Tensor& a, const Tensor& b);
+// out += a * b. `out` must already be [m,n].
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out);
+// out = a^T([k,m]^T -> [m,k]) * b([k? ...]). Specifically:
+//   matmul_tn: out[m,n] = a[k,m]^T * b[k,n]   (used for weight gradients)
+//   matmul_nt: out[m,k] = a[m,n] * b[k,n]^T   (used for input gradients)
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+Tensor transpose(const Tensor& a);  // 2-D only.
+
+// Row-wise: x[r, :] += bias[:]. x is [rows, cols], bias is [cols].
+void add_row_bias(Tensor& x, const Tensor& bias);
+// bias_grad[c] = sum_r grad[r, c].
+Tensor column_sums(const Tensor& grad);
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+// Numerically stable row-wise softmax of a [rows, cols] tensor.
+Tensor softmax_rows(const Tensor& logits);
+// Row-wise log-softmax.
+Tensor log_softmax_rows(const Tensor& logits);
+
+// Stable log(sum(exp(row))) per row; returns a [rows] tensor.
+Tensor logsumexp_rows(const Tensor& logits);
+
+float sigmoid(float x);
+
+// Sum over the middle axis of a [B, L, E] tensor with a per-(b,l) weight
+// (used by mask-aware average pooling): out[b,e] = sum_l w[b,l] * x[b,l,e].
+Tensor weighted_sum_middle(const Tensor& x, const Tensor& weights);
+
+}  // namespace memcom

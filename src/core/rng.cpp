@@ -1,0 +1,57 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+namespace memcom {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+float Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller. Guard u1 away from 0 so log() is finite.
+  double u1 = next_double();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = static_cast<float>(radius * std::sin(theta));
+  have_cached_normal_ = true;
+  return static_cast<float>(radius * std::cos(theta));
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  // Lemire's nearly-divisionless method, 64x64->128 bit.
+  while (true) {
+    const std::uint64_t x = next_u64();
+    const __uint128_t m = static_cast<__uint128_t>(x) * n;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= n) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+    // Rare slow path: reject to remove bias.
+    const std::uint64_t threshold = (0ULL - n) % n;
+    if (low >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+Rng Rng::split(std::uint64_t stream) {
+  const std::uint64_t base = engine_();
+  return Rng(splitmix64(base ^ splitmix64(stream)));
+}
+
+}  // namespace memcom

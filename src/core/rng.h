@@ -1,0 +1,60 @@
+// Seeded, deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through `Rng` so that every experiment,
+// dataset, and initializer is reproducible from a single seed. Distribution
+// sampling (uniform, normal) is implemented by hand rather than with
+// <random> distribution objects, whose output is not specified by the
+// standard and differs across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace memcom {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  // Uniform in [0, 1). 53-bit resolution.
+  double next_double() {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  float next_float() { return static_cast<float>(next_double()); }
+
+  // Uniform in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  // Standard normal via Box-Muller (one value per call; the pair's second
+  // half is cached).
+  float normal();
+
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  // Uniform integer in [0, n). Rejection-free modulo bias is negligible for
+  // the n (< 2^32) used here, but we use Lemire's method anyway.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  std::int64_t uniform_index(std::int64_t n) {
+    return static_cast<std::int64_t>(uniform_u64(static_cast<std::uint64_t>(n)));
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Derives an independent generator for a named sub-stream. Mixing is via
+  // splitmix64 of (state sample, stream id), giving decorrelated children.
+  Rng split(std::uint64_t stream);
+
+ private:
+  std::mt19937_64 engine_;
+  bool have_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+// splitmix64 finalizer; exposed for hashing use elsewhere.
+std::uint64_t splitmix64(std::uint64_t x);
+
+}  // namespace memcom

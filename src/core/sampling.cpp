@@ -1,0 +1,116 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace memcom {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const Index n = static_cast<Index>(weights.size());
+  check(n > 0, "AliasSampler: empty weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    check(w >= 0.0, "AliasSampler: negative weight");
+    total += w;
+  }
+  check(total > 0.0, "AliasSampler: zero total weight");
+
+  norm_.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    norm_[i] = weights[i] / total;
+  }
+
+  prob_.assign(weights.size(), 0.0);
+  alias_.assign(weights.size(), 0);
+
+  // Scaled probabilities; buckets with p*n < 1 are "small".
+  std::vector<double> scaled(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    scaled[i] = norm_[i] * static_cast<double>(n);
+  }
+  std::vector<Index> small;
+  std::vector<Index> large;
+  for (Index i = 0; i < n; ++i) {
+    if (scaled[static_cast<std::size_t>(i)] < 1.0) {
+      small.push_back(i);
+    } else {
+      large.push_back(i);
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const Index s = small.back();
+    small.pop_back();
+    const Index g = large.back();
+    large.pop_back();
+    prob_[static_cast<std::size_t>(s)] = scaled[static_cast<std::size_t>(s)];
+    alias_[static_cast<std::size_t>(s)] = g;
+    scaled[static_cast<std::size_t>(g)] =
+        scaled[static_cast<std::size_t>(g)] +
+        scaled[static_cast<std::size_t>(s)] - 1.0;
+    if (scaled[static_cast<std::size_t>(g)] < 1.0) {
+      small.push_back(g);
+    } else {
+      large.push_back(g);
+    }
+  }
+  for (const Index g : large) {
+    prob_[static_cast<std::size_t>(g)] = 1.0;
+    alias_[static_cast<std::size_t>(g)] = g;
+  }
+  for (const Index s : small) {
+    prob_[static_cast<std::size_t>(s)] = 1.0;  // numerical leftovers
+    alias_[static_cast<std::size_t>(s)] = s;
+  }
+}
+
+Index AliasSampler::sample(Rng& rng) const {
+  const Index bucket = rng.uniform_index(size());
+  const double u = rng.next_double();
+  if (u < prob_[static_cast<std::size_t>(bucket)]) {
+    return bucket;
+  }
+  return alias_[static_cast<std::size_t>(bucket)];
+}
+
+double AliasSampler::probability(Index i) const {
+  check(i >= 0 && i < size(), "AliasSampler::probability: out of range");
+  return norm_[static_cast<std::size_t>(i)];
+}
+
+std::vector<double> zipf_weights(Index n, double alpha) {
+  check(n > 0, "zipf_weights: n must be positive");
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i)] =
+        1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+  return w;
+}
+
+std::vector<Index> gumbel_top_k(const std::vector<float>& scores, Index k,
+                                Rng& rng) {
+  const Index n = static_cast<Index>(scores.size());
+  check(k >= 0 && k <= n, "gumbel_top_k: k out of range");
+  std::vector<std::pair<float, Index>> keyed(scores.size());
+  for (Index i = 0; i < n; ++i) {
+    double u = rng.next_double();
+    if (u < 1e-300) {
+      u = 1e-300;
+    }
+    const float gumbel = static_cast<float>(-std::log(-std::log(u)));
+    keyed[static_cast<std::size_t>(i)] = {
+        scores[static_cast<std::size_t>(i)] + gumbel, i};
+  }
+  std::partial_sort(keyed.begin(), keyed.begin() + k, keyed.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<Index> out(static_cast<std::size_t>(k));
+  for (Index i = 0; i < k; ++i) {
+    out[static_cast<std::size_t>(i)] = keyed[static_cast<std::size_t>(i)].second;
+  }
+  return out;
+}
+
+}  // namespace memcom

@@ -1,0 +1,48 @@
+// Discrete sampling utilities: alias-method sampler and Zipf (power-law)
+// weights. The synthetic dataset generator uses these to reproduce the
+// skewed category popularity the paper calls out as central to embedding
+// compression ("commonly used categories ... are typically power law
+// distributed", §4 property 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace memcom {
+
+// Walker's alias method: O(n) build, O(1) sample from a fixed discrete
+// distribution.
+class AliasSampler {
+ public:
+  // Weights must be non-negative with a positive sum; they are normalized
+  // internally.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  Index sample(Rng& rng) const;
+
+  Index size() const { return static_cast<Index>(prob_.size()); }
+
+  // Probability of outcome i (reconstructed from the alias table; used in
+  // tests to verify the table encodes the input distribution exactly).
+  double probability(Index i) const;
+
+ private:
+  std::vector<double> prob_;   // acceptance probability per bucket
+  std::vector<Index> alias_;   // alternative outcome per bucket
+  std::vector<double> norm_;   // normalized input weights (for probability())
+};
+
+// weights[i] ∝ 1 / (i+1)^alpha for i in [0, n). alpha=0 is uniform; typical
+// recommendation catalogs are alpha ≈ 0.8–1.2.
+std::vector<double> zipf_weights(Index n, double alpha);
+
+// Samples k distinct indices from `scores` via Gumbel-top-k, i.e. a weighted
+// sample without replacement proportional to exp(scores). Returns indices in
+// sampled order.
+std::vector<Index> gumbel_top_k(const std::vector<float>& scores, Index k,
+                                Rng& rng);
+
+}  // namespace memcom

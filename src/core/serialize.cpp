@@ -1,0 +1,87 @@
+#include "core/serialize.h"
+
+#include <bit>
+#include <cstring>
+
+#include "core/check.h"
+
+namespace memcom {
+
+namespace {
+template <typename T>
+void write_raw(std::ostream& os, T v) {
+  // This codebase targets little-endian hosts (x86-64 / arm64); a static
+  // assert would need std::endian, which we check once here.
+  static_assert(std::endian::native == std::endian::little,
+                "serialization assumes a little-endian host");
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  check(os.good(), "serialize: write failed");
+}
+
+template <typename T>
+T read_raw(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  check(is.good(), "serialize: read failed (truncated stream?)");
+  return v;
+}
+}  // namespace
+
+void write_u32(std::ostream& os, std::uint32_t v) { write_raw(os, v); }
+void write_u64(std::ostream& os, std::uint64_t v) { write_raw(os, v); }
+void write_i64(std::ostream& os, std::int64_t v) { write_raw(os, v); }
+void write_f32(std::ostream& os, float v) { write_raw(os, v); }
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+  check(os.good(), "serialize: string write failed");
+}
+
+void write_f32_array(std::ostream& os, const float* data, std::size_t count) {
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(count * sizeof(float)));
+  check(os.good(), "serialize: array write failed");
+}
+
+std::uint32_t read_u32(std::istream& is) { return read_raw<std::uint32_t>(is); }
+std::uint64_t read_u64(std::istream& is) { return read_raw<std::uint64_t>(is); }
+std::int64_t read_i64(std::istream& is) { return read_raw<std::int64_t>(is); }
+float read_f32(std::istream& is) { return read_raw<float>(is); }
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  check(n < (1ULL << 32), "serialize: implausible string length");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  check(is.good(), "serialize: string read failed");
+  return s;
+}
+
+void read_f32_array(std::istream& is, float* data, std::size_t count) {
+  is.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  check(is.good(), "serialize: array read failed");
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_u64(os, static_cast<std::uint64_t>(t.ndim()));
+  for (Index i = 0; i < t.ndim(); ++i) {
+    write_i64(os, t.dim(i));
+  }
+  write_f32_array(os, t.data(), static_cast<std::size_t>(t.numel()));
+}
+
+Tensor read_tensor(std::istream& is) {
+  const std::uint64_t ndim = read_u64(is);
+  check(ndim <= 8, "serialize: implausible tensor rank");
+  Shape shape(ndim);
+  for (std::uint64_t i = 0; i < ndim; ++i) {
+    shape[i] = read_i64(is);
+  }
+  Tensor t(shape);
+  read_f32_array(is, t.data(), static_cast<std::size_t>(t.numel()));
+  return t;
+}
+
+}  // namespace memcom

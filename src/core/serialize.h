@@ -1,0 +1,33 @@
+// Little-endian binary (de)serialization primitives used by model
+// checkpointing and the on-device .mcm format.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace memcom {
+
+void write_u32(std::ostream& os, std::uint32_t v);
+void write_u64(std::ostream& os, std::uint64_t v);
+void write_i64(std::ostream& os, std::int64_t v);
+void write_f32(std::ostream& os, float v);
+void write_string(std::ostream& os, const std::string& s);
+void write_f32_array(std::ostream& os, const float* data, std::size_t count);
+
+std::uint32_t read_u32(std::istream& is);
+std::uint64_t read_u64(std::istream& is);
+std::int64_t read_i64(std::istream& is);
+float read_f32(std::istream& is);
+std::string read_string(std::istream& is);
+void read_f32_array(std::istream& is, float* data, std::size_t count);
+
+// Tensor = shape + raw data.
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+}  // namespace memcom

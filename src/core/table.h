@@ -1,0 +1,37 @@
+// Aligned text tables and CSV output for the experiment harness. Every bench
+// binary prints the paper's table/figure series through one of these so the
+// output format is uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memcom {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Renders with column alignment and a header separator line.
+  std::string to_string() const;
+  // Renders as CSV (no escaping beyond quoting commas; values here are
+  // numbers and identifiers).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision float formatting ("%.3f"-style, but locale-independent).
+std::string format_float(double value, int precision = 3);
+// "12.5x"-style compression ratios.
+std::string format_ratio(double value);
+// "+4.2%" / "-1.3%" style percentage deltas.
+std::string format_percent(double value, int precision = 2);
+
+}  // namespace memcom

@@ -1,0 +1,200 @@
+#include "core/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace memcom {
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Index shape_numel(const Shape& shape) {
+  Index n = 1;
+  for (const Index d : shape) {
+    check(d >= 0, "negative dimension in shape " + shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
+  check_eq(shape_numel(shape), static_cast<long long>(values.size()),
+           "from_vector element count");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = rng.normal(0.0f, stddev);
+  }
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = rng.uniform(lo, hi);
+  }
+  return t;
+}
+
+Tensor Tensor::glorot(Index fan_in, Index fan_out, Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return uniform({fan_in, fan_out}, rng, -limit, limit);
+}
+
+Index Tensor::dim(Index axis) const {
+  const Index n = ndim();
+  if (axis < 0) {
+    axis += n;
+  }
+  check(axis >= 0 && axis < n,
+        "axis out of range for shape " + shape_string());
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+float& Tensor::at(Index i) {
+  check(i >= 0 && i < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::at(Index i) const {
+  check(i >= 0 && i < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+void Tensor::reshape(Shape new_shape) {
+  check_eq(numel(), shape_numel(new_shape), "reshape element count");
+  shape_ = std::move(new_shape);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_(const Tensor& other) {
+  check(same_shape(other), "add_: shape mismatch " + shape_string() + " vs " +
+                               other.shape_string());
+  const float* src = other.data();
+  float* dst = data();
+  const Index n = numel();
+  for (Index i = 0; i < n; ++i) {
+    dst[i] += src[i];
+  }
+}
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  check(same_shape(other), "axpy_: shape mismatch");
+  const float* src = other.data();
+  float* dst = data();
+  const Index n = numel();
+  for (Index i = 0; i < n; ++i) {
+    dst[i] += alpha * src[i];
+  }
+}
+
+void Tensor::scale_(float alpha) {
+  for (float& v : data_) {
+    v *= alpha;
+  }
+}
+
+void Tensor::mul_(const Tensor& other) {
+  check(same_shape(other), "mul_: shape mismatch");
+  const float* src = other.data();
+  float* dst = data();
+  const Index n = numel();
+  for (Index i = 0; i < n; ++i) {
+    dst[i] *= src[i];
+  }
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (const float v : data_) {
+    acc += v;
+  }
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  check(!empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(numel());
+}
+
+float Tensor::min() const {
+  check(!empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  check(!empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (const float v : data_) {
+    acc += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (const float v : data_) {
+    m = std::max(m, std::fabs(v));
+  }
+  return m;
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace memcom

@@ -1,0 +1,107 @@
+// Dense float32 tensor with value semantics.
+//
+// Row-major contiguous storage, up to 4 dimensions (the networks in this
+// library never need more). Ops live in core/ops.h; Tensor itself only owns
+// storage, shape bookkeeping, initializers, and in-place arithmetic that the
+// optimizers need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace memcom {
+
+using Index = std::int64_t;
+using Shape = std::vector<Index>;
+
+std::string shape_to_string(const Shape& shape);
+Index shape_numel(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  static Tensor from_vector(Shape shape, std::vector<float> values);
+  // i.i.d. N(0, stddev^2).
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  // i.i.d. U[lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
+  // Glorot/Xavier uniform for a [fan_in, fan_out] weight matrix.
+  static Tensor glorot(Index fan_in, Index fan_out, Rng& rng);
+
+  const Shape& shape() const { return shape_; }
+  Index ndim() const { return static_cast<Index>(shape_.size()); }
+  // Negative axes count from the end, as in NumPy.
+  Index dim(Index axis) const;
+  Index numel() const { return static_cast<Index>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  // Flat element access (unchecked in release-hot paths; operator[] checks
+  // nothing, at() checks bounds).
+  float& operator[](Index i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](Index i) const { return data_[static_cast<std::size_t>(i)]; }
+  float& at(Index i);
+  float at(Index i) const;
+
+  // 2-D / 3-D accessors (row-major). Caller is responsible for ndim.
+  float& at2(Index r, Index c) { return data_[static_cast<std::size_t>(r * shape_[1] + c)]; }
+  float at2(Index r, Index c) const { return data_[static_cast<std::size_t>(r * shape_[1] + c)]; }
+  float& at3(Index a, Index b, Index c) {
+    return data_[static_cast<std::size_t>((a * shape_[1] + b) * shape_[2] + c)];
+  }
+  float at3(Index a, Index b, Index c) const {
+    return data_[static_cast<std::size_t>((a * shape_[1] + b) * shape_[2] + c)];
+  }
+
+  // Reinterprets the same data under a new shape (numel must match).
+  void reshape(Shape new_shape);
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  // this += other (same shape).
+  void add_(const Tensor& other);
+  // this += alpha * other (same shape).
+  void axpy_(float alpha, const Tensor& other);
+  // this *= alpha.
+  void scale_(float alpha);
+  // Elementwise this *= other (same shape).
+  void mul_(const Tensor& other);
+
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  float l2_norm() const;
+  float abs_max() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // Exact elementwise equality (for serialization round-trip tests).
+  bool equals(const Tensor& other) const;
+  // max_i |a_i - b_i| <= tol, shapes equal.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+  std::string shape_string() const { return shape_to_string(shape_); }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace memcom

@@ -1,0 +1,251 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace memcom {
+
+namespace {
+
+std::vector<std::vector<float>> make_latents(Index count, Index dim,
+                                             Rng& rng) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
+  std::vector<std::vector<float>> latents(static_cast<std::size_t>(count));
+  for (auto& row : latents) {
+    row.resize(static_cast<std::size_t>(dim));
+    for (float& v : row) {
+      v = rng.normal(0.0f, scale);
+    }
+  }
+  return latents;
+}
+
+float dot(const std::vector<float>& a, const std::vector<float>& b) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+}  // namespace
+
+SyntheticDataset::SyntheticDataset(DatasetSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      item_popularity_(zipf_weights(spec_.items, spec_.zipf_alpha)),
+      output_popularity_(zipf_weights(spec_.output_vocab, spec_.output_alpha)) {
+  check(spec_.items > 1, "dataset: need at least 2 items");
+  check(spec_.output_vocab > 1, "dataset: need at least 2 labels");
+  check(spec_.seq_len > 1, "dataset: need seq_len > 1");
+  Rng rng(seed);
+  Rng latent_rng = rng.split(1);
+  item_latents_ = make_latents(spec_.items, spec_.latent_dim, latent_rng);
+  output_latents_ = make_latents(spec_.output_vocab, spec_.latent_dim,
+                                 latent_rng);
+
+  Rng train_rng = rng.split(2);
+  train_.reserve(static_cast<std::size_t>(spec_.train_samples));
+  for (Index i = 0; i < spec_.train_samples; ++i) {
+    train_.push_back(generate_sample(train_rng));
+  }
+  Rng eval_rng = rng.split(3);
+  eval_.reserve(static_cast<std::size_t>(spec_.eval_samples));
+  for (Index i = 0; i < spec_.eval_samples; ++i) {
+    eval_.push_back(generate_sample(eval_rng));
+  }
+}
+
+Sample SyntheticDataset::generate_sample(Rng& rng) {
+  const Index d = spec_.latent_dim;
+  const float affinity = static_cast<float>(spec_.affinity);
+
+  // User latent and country.
+  std::vector<float> user(static_cast<std::size_t>(d));
+  const float uscale = 1.0f / std::sqrt(static_cast<float>(d));
+  for (float& v : user) {
+    v = rng.normal(0.0f, uscale);
+  }
+
+  // Candidate pool drawn by popularity (deduplicated — a user interacts
+  // with each item at most once, like the paper's purchase histories), then
+  // affinity-reweighted history.
+  const Index pool_target = std::min<Index>(spec_.items, 256);
+  std::vector<Index> pool;
+  pool.reserve(static_cast<std::size_t>(pool_target));
+  {
+    std::vector<bool> seen(static_cast<std::size_t>(spec_.items), false);
+    for (Index draws = 0;
+         draws < 4 * pool_target &&
+         static_cast<Index>(pool.size()) < pool_target;
+         ++draws) {
+      const Index item = item_popularity_.sample(rng);
+      if (!seen[static_cast<std::size_t>(item)]) {
+        seen[static_cast<std::size_t>(item)] = true;
+        pool.push_back(item);
+      }
+    }
+  }
+  // Gumbel-top-k over (affinity·<u,z> + log popularity) == sampling without
+  // replacement from softmax of that score: histories are popularity-biased
+  // AND user-specific, independent of how flat the candidate pool is.
+  const Index pool_size = static_cast<Index>(pool.size());
+  std::vector<float> pool_scores(static_cast<std::size_t>(pool_size));
+  for (Index i = 0; i < pool_size; ++i) {
+    const Index item = pool[static_cast<std::size_t>(i)];
+    pool_scores[static_cast<std::size_t>(i)] =
+        affinity *
+            dot(user, item_latents_[static_cast<std::size_t>(item)]) +
+        static_cast<float>(std::log(item_popularity_.probability(item)));
+  }
+
+  // History length varies so padding is exercised (paper §5.1 pads with 0).
+  const Index max_history =
+      spec_.seq_len - (spec_.countries > 0 ? 1 : 0);
+  const Index history_len =
+      max_history / 2 + rng.uniform_index(max_history / 2 + 1);
+  const std::vector<Index> chosen =
+      gumbel_top_k(pool_scores, std::min(history_len, pool_size), rng);
+
+  Sample sample;
+  sample.history.assign(static_cast<std::size_t>(spec_.seq_len), kPadId);
+  std::size_t pos = 0;
+  if (spec_.countries > 0) {
+    // Country id in [1, countries]; mildly skewed toward low ids.
+    const Index country =
+        1 + std::min(rng.uniform_index(spec_.countries),
+                     rng.uniform_index(spec_.countries));
+    sample.history[pos++] = static_cast<std::int32_t>(country);
+  }
+  const Index item_base = 1 + spec_.countries;
+  // The label conditions on the mean latent of the CHOSEN items (not the
+  // hidden user vector): predicting it requires decoding each history
+  // item's identity, which is precisely the information hash collisions
+  // destroy — the mechanism behind the paper's compression-loss curves.
+  std::vector<float> history_latent(static_cast<std::size_t>(d), 0.0f);
+  for (const Index pick : chosen) {
+    const Index item = pool[static_cast<std::size_t>(pick)];
+    sample.history[pos++] =
+        static_cast<std::int32_t>(item_base + item);
+    const std::vector<float>& z =
+        item_latents_[static_cast<std::size_t>(item)];
+    for (Index j = 0; j < d; ++j) {
+      history_latent[static_cast<std::size_t>(j)] += z[static_cast<std::size_t>(j)];
+    }
+  }
+  if (!chosen.empty()) {
+    // Normalize so affinity acts on a unit-scale signal regardless of
+    // history length.
+    float norm = 0.0f;
+    for (const float v : history_latent) {
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    if (norm > 0.0f) {
+      for (float& v : history_latent) {
+        v *= static_cast<float>(std::sqrt(static_cast<double>(d))) / norm;
+      }
+    }
+  }
+
+  // Label: Gumbel-argmax == one draw from softmax(affinity·<h,y> + log q).
+  float best = -1e30f;
+  Index best_label = 0;
+  for (Index k = 0; k < spec_.output_vocab; ++k) {
+    double u = rng.next_double();
+    if (u < 1e-300) {
+      u = 1e-300;
+    }
+    const float gumbel = static_cast<float>(-std::log(-std::log(u)));
+    const float score =
+        affinity * dot(history_latent,
+                       output_latents_[static_cast<std::size_t>(k)]) +
+        static_cast<float>(std::log(output_popularity_.probability(k))) +
+        gumbel;
+    if (score > best) {
+      best = score;
+      best_label = k;
+    }
+  }
+  sample.label = static_cast<std::int32_t>(best_label);
+  return sample;
+}
+
+std::vector<Index> SyntheticDataset::train_id_histogram() const {
+  std::vector<Index> histogram(static_cast<std::size_t>(input_vocab()), 0);
+  for (const Sample& s : train_) {
+    for (const std::int32_t id : s.history) {
+      ++histogram[static_cast<std::size_t>(id)];
+    }
+  }
+  return histogram;
+}
+
+Batch make_batch(const std::vector<Sample>& samples, Index first, Index count) {
+  check(first >= 0 && count > 0 &&
+            first + count <= static_cast<Index>(samples.size()),
+        "make_batch: range out of bounds");
+  const Index seq_len = static_cast<Index>(samples[0].history.size());
+  Batch batch;
+  batch.inputs = IdBatch(count, seq_len);
+  batch.labels.resize(static_cast<std::size_t>(count));
+  for (Index b = 0; b < count; ++b) {
+    const Sample& s = samples[static_cast<std::size_t>(first + b)];
+    for (Index l = 0; l < seq_len; ++l) {
+      batch.inputs.id(b, l) = s.history[static_cast<std::size_t>(l)];
+    }
+    batch.labels[static_cast<std::size_t>(b)] = s.label;
+  }
+  return batch;
+}
+
+Batcher::Batcher(const std::vector<Sample>& samples, Index batch_size,
+                 Rng& rng)
+    : samples_(samples), batch_size_(batch_size), rng_(rng.split(0xba7c)) {
+  check(batch_size > 0, "batcher: batch size must be positive");
+  check(!samples.empty(), "batcher: no samples");
+  order_.resize(samples.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<Index>(i);
+  }
+  reshuffle();
+}
+
+void Batcher::reshuffle() {
+  // Fisher-Yates with our deterministic Rng.
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng_.uniform_index(static_cast<Index>(i)));
+    std::swap(order_[i - 1], order_[j]);
+  }
+  cursor_ = 0;
+}
+
+bool Batcher::next(Batch& out) {
+  const Index n = static_cast<Index>(samples_.size());
+  if (cursor_ >= n) {
+    return false;
+  }
+  const Index count = std::min(batch_size_, n - cursor_);
+  const Index seq_len = static_cast<Index>(samples_[0].history.size());
+  out.inputs = IdBatch(count, seq_len);
+  out.labels.resize(static_cast<std::size_t>(count));
+  for (Index b = 0; b < count; ++b) {
+    const Sample& s =
+        samples_[static_cast<std::size_t>(order_[static_cast<std::size_t>(cursor_ + b)])];
+    for (Index l = 0; l < seq_len; ++l) {
+      out.inputs.id(b, l) = s.history[static_cast<std::size_t>(l)];
+    }
+    out.labels[static_cast<std::size_t>(b)] = s.label;
+  }
+  cursor_ += count;
+  return true;
+}
+
+Index Batcher::batches_per_epoch() const {
+  const Index n = static_cast<Index>(samples_.size());
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace memcom

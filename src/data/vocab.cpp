@@ -1,0 +1,110 @@
+#include "data/vocab.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/serialize.h"
+
+namespace memcom {
+
+void VocabBuilder::add(const std::string& token, Index count) {
+  check(count > 0, "vocab: count must be positive");
+  check(!token.empty(), "vocab: empty token");
+  counts_[token] += count;
+}
+
+Vocab VocabBuilder::freeze(Index max_tokens, Index reserved) const {
+  check(reserved >= 0, "vocab: negative reserved range");
+  std::vector<std::pair<std::string, Index>> sorted(counts_.begin(),
+                                                    counts_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) {
+                return a.second > b.second;  // most frequent first
+              }
+              return a.first < b.first;  // deterministic tie-break
+            });
+  if (max_tokens > 0 &&
+      static_cast<std::size_t>(max_tokens) < sorted.size()) {
+    sorted.resize(static_cast<std::size_t>(max_tokens));
+  }
+  Vocab vocab;
+  vocab.reserved_ = reserved;
+  vocab.tokens_.reserve(sorted.size());
+  vocab.counts_.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    vocab.tokens_.push_back(sorted[i].first);
+    vocab.counts_.push_back(sorted[i].second);
+    vocab.token_to_id_[sorted[i].first] =
+        vocab.first_token_id() + static_cast<Index>(i);
+  }
+  return vocab;
+}
+
+Index Vocab::id_of(const std::string& token) const {
+  const auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? kUnknownId : it->second;
+}
+
+const std::string& Vocab::token_of(Index id) const {
+  const Index index = id - first_token_id();
+  check(index >= 0 && index < static_cast<Index>(tokens_.size()),
+        "vocab: id out of token range");
+  return tokens_[static_cast<std::size_t>(index)];
+}
+
+Index Vocab::count_of(const std::string& token) const {
+  const Index id = id_of(token);
+  if (id == kUnknownId) {
+    return 0;
+  }
+  return counts_[static_cast<std::size_t>(id - first_token_id())];
+}
+
+std::vector<std::int32_t> Vocab::encode(
+    const std::vector<std::string>& tokens, Index length) const {
+  check(length > 0, "vocab: encode length must be positive");
+  std::vector<std::int32_t> ids;
+  ids.reserve(static_cast<std::size_t>(length));
+  for (const std::string& token : tokens) {
+    if (static_cast<Index>(ids.size()) == length) {
+      break;
+    }
+    const Index id = id_of(token);
+    if (id != kUnknownId) {
+      ids.push_back(static_cast<std::int32_t>(id));
+    }
+  }
+  ids.resize(static_cast<std::size_t>(length), 0);  // pad id 0
+  return ids;
+}
+
+void Vocab::save(std::ostream& os) const {
+  write_u64(os, 0x4D43564FULL);  // "OVCM" tag
+  write_i64(os, reserved_);
+  write_u64(os, tokens_.size());
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    write_string(os, tokens_[i]);
+    write_i64(os, counts_[i]);
+  }
+}
+
+Vocab Vocab::load(std::istream& is) {
+  check(read_u64(is) == 0x4D43564FULL, "vocab: bad file tag");
+  Vocab vocab;
+  vocab.reserved_ = read_i64(is);
+  const std::uint64_t count = read_u64(is);
+  vocab.tokens_.reserve(count);
+  vocab.counts_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string token = read_string(is);
+    const Index occurrences = read_i64(is);
+    vocab.token_to_id_[token] =
+        vocab.first_token_id() + static_cast<Index>(i);
+    vocab.tokens_.push_back(std::move(token));
+    vocab.counts_.push_back(occurrences);
+  }
+  return vocab;
+}
+
+}  // namespace memcom

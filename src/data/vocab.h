@@ -1,0 +1,90 @@
+// Frequency-sorted vocabulary builder.
+//
+// Every hashing technique in this library (and the paper's Algorithm 2)
+// assumes ids are assigned by frequency: id 0 is padding and id 1 is the
+// most frequent entity ("the most downloaded app is assigned the id n+1",
+// §5.1), so that `i mod m` spreads the popular head across distinct
+// buckets. The synthetic generator produces such ids directly; this class
+// is the adapter a user needs to feed *real* token streams in: count
+// occurrences, then freeze a vocabulary whose ids honor the convention,
+// optionally with a reserved leading range (the paper's shared
+// country+app vocabulary).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace memcom {
+
+class VocabBuilder {
+ public:
+  // Accumulates occurrence counts.
+  void add(const std::string& token, Index count = 1);
+
+  Index distinct_tokens() const {
+    return static_cast<Index>(counts_.size());
+  }
+
+  // Freezes into a frequency-sorted vocabulary. `max_tokens` (0 = all)
+  // keeps only the most frequent tokens; ties broken lexicographically for
+  // determinism. `reserved` ids [1, reserved] are left unassigned for a
+  // separate id range (countries in the Games/Arcade setup).
+  class Vocab freeze(Index max_tokens = 0, Index reserved = 0) const;
+
+ private:
+  std::unordered_map<std::string, Index> counts_;
+};
+
+class Vocab {
+ public:
+  Vocab() = default;
+
+  // Total id space: 1 (pad) + reserved + tokens.
+  Index size() const {
+    return 1 + reserved_ + static_cast<Index>(tokens_.size());
+  }
+  Index reserved() const { return reserved_; }
+  Index token_count() const { return static_cast<Index>(tokens_.size()); }
+
+  // Id for a token; returns kUnknownId (-1) if not in the vocabulary (the
+  // caller decides whether to drop or map to an OOV id).
+  static constexpr Index kUnknownId = -1;
+  Index id_of(const std::string& token) const;
+  bool contains(const std::string& token) const {
+    return id_of(token) != kUnknownId;
+  }
+
+  // Token for an id in [first_token_id(), size()).
+  const std::string& token_of(Index id) const;
+  Index first_token_id() const { return 1 + reserved_; }
+
+  // Occurrence count recorded when the vocabulary was frozen.
+  Index count_of(const std::string& token) const;
+
+  // Encodes a token sequence to ids, dropping unknown tokens, truncating /
+  // zero-padding to `length` (the paper's fixed-length featurizer).
+  std::vector<std::int32_t> encode(const std::vector<std::string>& tokens,
+                                   Index length) const;
+
+  void save(std::ostream& os) const;
+  static Vocab load(std::istream& is);
+
+  bool operator==(const Vocab& other) const {
+    return reserved_ == other.reserved_ && tokens_ == other.tokens_ &&
+           counts_ == other.counts_;
+  }
+
+ private:
+  friend class VocabBuilder;
+  Index reserved_ = 0;
+  std::vector<std::string> tokens_;  // index 0 -> id first_token_id()
+  std::vector<Index> counts_;        // parallel to tokens_
+  std::unordered_map<std::string, Index> token_to_id_;
+};
+
+}  // namespace memcom

@@ -1,0 +1,68 @@
+#include "embedding/embedding.h"
+
+namespace memcom {
+
+Index EmbeddingLayer::param_count() {
+  Index n = 0;
+  for (Param* p : params()) {
+    n += p->numel();
+  }
+  return n;
+}
+
+Tensor EmbeddingLayer::lookup_single(std::int32_t id) {
+  IdBatch single(1, 1);
+  single.id(0, 0) = id;
+  const Tensor out = forward(single, /*training=*/false);
+  return out.reshaped({out.dim(2)});
+}
+
+Tensor embedding_init(Index rows, Index cols, Rng& rng) {
+  return Tensor::uniform({rows, cols}, rng, -0.05f, 0.05f);
+}
+
+FullEmbedding::FullEmbedding(Index vocab, Index embed_dim, Rng& rng,
+                             std::string layer_name)
+    : name_(std::move(layer_name)),
+      table_(name_ + ".table", embedding_init(vocab, embed_dim, rng)) {
+  table_.sparse = true;
+}
+
+Tensor FullEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_size());
+  cached_input_ = input;
+  const Index e = output_dim();
+  Tensor out({input.batch, input.length, e});
+  const float* table = table_.value.data();
+  float* o = out.data();
+  for (Index i = 0; i < input.size(); ++i) {
+    const std::int32_t id = input.ids[static_cast<std::size_t>(i)];
+    const float* row = table + static_cast<Index>(id) * e;
+    float* dst = o + i * e;
+    for (Index c = 0; c < e; ++c) {
+      dst[c] = row[c];
+    }
+  }
+  return out;
+}
+
+void FullEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(0) == cached_input_.batch &&
+            grad_out.dim(1) == cached_input_.length &&
+            grad_out.dim(2) == output_dim(),
+        name_ + ": bad grad shape " + grad_out.shape_string());
+  const Index e = output_dim();
+  const float* g = grad_out.data();
+  float* grad_table = table_.grad.data();
+  for (Index i = 0; i < cached_input_.size(); ++i) {
+    const Index row = static_cast<Index>(cached_input_.ids[static_cast<std::size_t>(i)]);
+    table_.mark_touched(row);
+    float* dst = grad_table + row * e;
+    const float* src = g + i * e;
+    for (Index c = 0; c < e; ++c) {
+      dst[c] += src[c];
+    }
+  }
+}
+
+}  // namespace memcom

@@ -1,0 +1,67 @@
+// EmbeddingLayer: the common interface for all compression techniques the
+// paper evaluates, plus the uncompressed baseline (FullEmbedding).
+//
+// forward() maps a [B, L] id batch to [B, L, output_dim] float activations;
+// backward() scatters the incoming gradient into the technique's tables
+// (marking touched rows so the optimizers' sparse path applies).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/tensor.h"
+#include "embedding/id_batch.h"
+#include "nn/param.h"
+
+namespace memcom {
+
+class EmbeddingLayer {
+ public:
+  virtual ~EmbeddingLayer() = default;
+
+  virtual Tensor forward(const IdBatch& input, bool training) = 0;
+  // Uses the IdBatch cached by the preceding forward().
+  virtual void backward(const Tensor& grad_out) = 0;
+
+  virtual ParamRefs params() = 0;
+  virtual std::string name() const = 0;
+  virtual Index vocab_size() const = 0;
+  // Width of the produced embedding vectors.
+  virtual Index output_dim() const = 0;
+
+  // Total trainable parameters (== sum of params() numel; overridable only
+  // for techniques with virtual/shared weights like HashedNets).
+  virtual Index param_count();
+
+  // Embedding vector for a single id (inference path; used by the A.4
+  // uniqueness check and by model export verification).
+  Tensor lookup_single(std::int32_t id);
+};
+
+using EmbeddingPtr = std::unique_ptr<EmbeddingLayer>;
+
+// The uncompressed baseline: one row per vocabulary entry.
+class FullEmbedding : public EmbeddingLayer {
+ public:
+  FullEmbedding(Index vocab, Index embed_dim, Rng& rng,
+                std::string layer_name = "full_embedding");
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&table_}; }
+  std::string name() const override { return name_; }
+  Index vocab_size() const override { return table_.value.dim(0); }
+  Index output_dim() const override { return table_.value.dim(1); }
+
+  Param& table() { return table_; }
+
+ private:
+  std::string name_;
+  Param table_;  // [v, e]
+  IdBatch cached_input_;
+};
+
+// Keras-style default embedding initializer: U[-0.05, 0.05).
+Tensor embedding_init(Index rows, Index cols, Rng& rng);
+
+}  // namespace memcom

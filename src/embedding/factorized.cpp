@@ -1,0 +1,64 @@
+#include "embedding/factorized.h"
+
+#include "core/ops.h"
+
+namespace memcom {
+
+FactorizedEmbedding::FactorizedEmbedding(Index vocab, Index hidden_dim,
+                                         Index embed_dim, Rng& rng)
+    : factors_("factorized.factors", embedding_init(vocab, hidden_dim, rng)),
+      projection_("factorized.projection",
+                  Tensor::glorot(hidden_dim, embed_dim, rng)) {
+  check(hidden_dim > 0 && hidden_dim <= embed_dim,
+        "factorized: hidden dim must be in (0, embed_dim]");
+  factors_.sparse = true;
+}
+
+Tensor FactorizedEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_size());
+  cached_input_ = input;
+  const Index h = hidden_dim();
+  const Index e = output_dim();
+  const Index n = input.size();
+
+  // Gather factor rows into [n, h], then one dense projection matmul.
+  cached_hidden_ = Tensor({n, h});
+  const float* factors = factors_.value.data();
+  for (Index i = 0; i < n; ++i) {
+    const Index row = static_cast<Index>(input.ids[static_cast<std::size_t>(i)]);
+    const float* src = factors + row * h;
+    float* dst = cached_hidden_.data() + i * h;
+    for (Index c = 0; c < h; ++c) {
+      dst[c] = src[c];
+    }
+  }
+  Tensor out = matmul(cached_hidden_, projection_.value);
+  out.reshape({input.batch, input.length, e});
+  return out;
+}
+
+void FactorizedEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(2) == output_dim(),
+        "factorized: bad grad shape");
+  const Index h = hidden_dim();
+  const Index n = cached_input_.size();
+  const Tensor grad_flat =
+      grad_out.reshaped({n, output_dim()});
+
+  // dP = hidden^T g (dense); dHidden = g P^T, scattered into factor rows.
+  projection_.grad.add_(matmul_tn(cached_hidden_, grad_flat));
+  const Tensor grad_hidden = matmul_nt(grad_flat, projection_.value);
+  float* g_factors = factors_.grad.data();
+  for (Index i = 0; i < n; ++i) {
+    const Index row =
+        static_cast<Index>(cached_input_.ids[static_cast<std::size_t>(i)]);
+    factors_.mark_touched(row);
+    const float* src = grad_hidden.data() + i * h;
+    float* dst = g_factors + row * h;
+    for (Index c = 0; c < h; ++c) {
+      dst[c] += src[c];
+    }
+  }
+}
+
+}  // namespace memcom

@@ -1,0 +1,41 @@
+// Low-rank techniques:
+//
+//  * FactorizedEmbedding — factorized embedding parameterization (Lan et
+//    al., ALBERT): E ≈ A[v,h] · P[h,e] with h ≪ e. Unique vector per
+//    entity, but ignores the category popularity distribution (the paper's
+//    property 3).
+//  * ReducedDimEmbedding — simply a narrower full table ("reduce embedding
+//    dim" baseline); the downstream network adapts to output_dim().
+#pragma once
+
+#include "embedding/embedding.h"
+
+namespace memcom {
+
+class FactorizedEmbedding : public EmbeddingLayer {
+ public:
+  FactorizedEmbedding(Index vocab, Index hidden_dim, Index embed_dim,
+                      Rng& rng);
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&factors_, &projection_}; }
+  std::string name() const override { return "factorized"; }
+  Index vocab_size() const override { return factors_.value.dim(0); }
+  Index output_dim() const override { return projection_.value.dim(1); }
+  Index hidden_dim() const { return factors_.value.dim(1); }
+
+ private:
+  Param factors_;     // A: [v, h] (sparse rows)
+  Param projection_;  // P: [h, e] (dense)
+  IdBatch cached_input_;
+  Tensor cached_hidden_;  // [B*L, h] activations from the last forward
+};
+
+class ReducedDimEmbedding : public FullEmbedding {
+ public:
+  ReducedDimEmbedding(Index vocab, Index reduced_dim, Rng& rng)
+      : FullEmbedding(vocab, reduced_dim, rng, "reduce_dim") {}
+};
+
+}  // namespace memcom

@@ -1,0 +1,158 @@
+#include "embedding/factory.h"
+
+#include "embedding/factorized.h"
+#include "embedding/hash_embeddings.h"
+#include "embedding/hashed_nets.h"
+#include "embedding/memcom.h"
+#include "embedding/mixed_dim.h"
+#include "embedding/qr.h"
+#include "embedding/truncate_rare.h"
+#include "embedding/tt_rec.h"
+
+namespace memcom {
+
+EmbeddingPtr make_embedding(const EmbeddingConfig& config, Rng& rng) {
+  const Index v = config.vocab;
+  const Index e = config.embed_dim;
+  const Index knob = config.knob;
+  check(v > 1, "embedding config: vocab must exceed 1");
+  check(e > 0, "embedding config: embed_dim must be positive");
+  switch (config.kind) {
+    case TechniqueKind::kFull:
+      return std::make_unique<FullEmbedding>(v, e, rng);
+    case TechniqueKind::kMemcom:
+      return std::make_unique<MemcomEmbedding>(v, knob, e, rng,
+                                               /*with_bias=*/false);
+    case TechniqueKind::kMemcomBias:
+      return std::make_unique<MemcomEmbedding>(v, knob, e, rng,
+                                               /*with_bias=*/true);
+    case TechniqueKind::kQrMult:
+      return std::make_unique<QrEmbedding>(v, knob, e, rng,
+                                           QrComposition::kMultiply);
+    case TechniqueKind::kQrConcat:
+      return std::make_unique<QrEmbedding>(v, knob, e, rng,
+                                           QrComposition::kConcat);
+    case TechniqueKind::kNaiveHash:
+      return std::make_unique<NaiveHashEmbedding>(v, knob, e, rng);
+    case TechniqueKind::kDoubleHash:
+      return std::make_unique<DoubleHashEmbedding>(v, knob, e, rng);
+    case TechniqueKind::kFactorized:
+      return std::make_unique<FactorizedEmbedding>(v, knob, e, rng);
+    case TechniqueKind::kReduceDim:
+      return std::make_unique<ReducedDimEmbedding>(v, knob, rng);
+    case TechniqueKind::kTruncateRare:
+      return std::make_unique<TruncateRareEmbedding>(v, knob, e, rng);
+    case TechniqueKind::kHashedNets:
+      return std::make_unique<HashedNetsEmbedding>(v, knob, e, rng);
+    case TechniqueKind::kWeinberger:
+      return std::make_unique<WeinbergerEmbedding>(v, knob, e, rng);
+    case TechniqueKind::kMixedDim:
+      return std::make_unique<MixedDimEmbedding>(v, knob, e, rng);
+    case TechniqueKind::kTtRec:
+      return std::make_unique<TtRecEmbedding>(v, knob, e, rng);
+  }
+  check(false, "unknown technique kind");
+  return nullptr;  // unreachable
+}
+
+std::string technique_name(TechniqueKind kind) {
+  switch (kind) {
+    case TechniqueKind::kFull:
+      return "uncompressed";
+    case TechniqueKind::kMemcom:
+      return "memcom";
+    case TechniqueKind::kMemcomBias:
+      return "memcom_bias";
+    case TechniqueKind::kQrMult:
+      return "qr_mult";
+    case TechniqueKind::kQrConcat:
+      return "qr_concat";
+    case TechniqueKind::kNaiveHash:
+      return "naive_hash";
+    case TechniqueKind::kDoubleHash:
+      return "double_hash";
+    case TechniqueKind::kFactorized:
+      return "factorized";
+    case TechniqueKind::kReduceDim:
+      return "reduce_dim";
+    case TechniqueKind::kTruncateRare:
+      return "truncate_rare";
+    case TechniqueKind::kHashedNets:
+      return "hashed_nets";
+    case TechniqueKind::kWeinberger:
+      return "weinberger";
+    case TechniqueKind::kMixedDim:
+      return "mixed_dim";
+    case TechniqueKind::kTtRec:
+      return "tt_rec";
+  }
+  return "unknown";
+}
+
+TechniqueKind technique_from_string(const std::string& name) {
+  for (const TechniqueKind kind : all_techniques()) {
+    if (technique_name(kind) == name) {
+      return kind;
+    }
+  }
+  check(false, "unknown technique name: " + name);
+  return TechniqueKind::kFull;  // unreachable
+}
+
+std::vector<TechniqueKind> figure_techniques() {
+  return {
+      TechniqueKind::kMemcom,       TechniqueKind::kMemcomBias,
+      TechniqueKind::kQrMult,       TechniqueKind::kQrConcat,
+      TechniqueKind::kNaiveHash,    TechniqueKind::kDoubleHash,
+      TechniqueKind::kFactorized,   TechniqueKind::kReduceDim,
+      TechniqueKind::kTruncateRare,
+  };
+}
+
+std::vector<TechniqueKind> all_techniques() {
+  std::vector<TechniqueKind> kinds = figure_techniques();
+  kinds.push_back(TechniqueKind::kFull);
+  kinds.push_back(TechniqueKind::kHashedNets);
+  kinds.push_back(TechniqueKind::kWeinberger);
+  kinds.push_back(TechniqueKind::kMixedDim);
+  kinds.push_back(TechniqueKind::kTtRec);
+  return kinds;
+}
+
+Index embedding_param_formula(const EmbeddingConfig& config) {
+  const Index v = config.vocab;
+  const Index e = config.embed_dim;
+  const Index knob = config.knob;
+  switch (config.kind) {
+    case TechniqueKind::kFull:
+      return v * e;
+    case TechniqueKind::kMemcom:
+      return knob * e + v;
+    case TechniqueKind::kMemcomBias:
+      return knob * e + 2 * v;
+    case TechniqueKind::kQrMult:
+      return knob * e + ((v + knob - 1) / knob) * e;
+    case TechniqueKind::kQrConcat:
+      return knob * (e / 2) + ((v + knob - 1) / knob) * (e / 2);
+    case TechniqueKind::kNaiveHash:
+    case TechniqueKind::kWeinberger:
+      return knob * e;
+    case TechniqueKind::kDoubleHash:
+      return 2 * knob * (e / 2);
+    case TechniqueKind::kFactorized:
+      return v * knob + knob * e;
+    case TechniqueKind::kReduceDim:
+      return v * knob;
+    case TechniqueKind::kTruncateRare:
+      return (knob + 2) * e;
+    case TechniqueKind::kHashedNets:
+      return knob;
+    case TechniqueKind::kMixedDim:
+      return MixedDimEmbedding::param_formula(v, knob, e);
+    case TechniqueKind::kTtRec:
+      return TtRecEmbedding::param_formula(v, knob, e);
+  }
+  return 0;
+}
+
+}  // namespace memcom

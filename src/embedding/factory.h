@@ -1,0 +1,56 @@
+// Technique registry and factory. Benches and examples construct every
+// compression technique through this one entry point, so sweeps can iterate
+// `all_techniques()` exactly like the paper's figure legends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "embedding/embedding.h"
+
+namespace memcom {
+
+enum class TechniqueKind {
+  kFull,          // uncompressed baseline
+  kMemcom,        // Algorithm 2 (no bias)   — our approach
+  kMemcomBias,    // Algorithm 3 (with bias) — our approach
+  kQrMult,        // quotient-remainder, elementwise-multiply composition
+  kQrConcat,      // quotient-remainder, concatenation composition
+  kNaiveHash,
+  kDoubleHash,
+  kFactorized,    // factorized embedding parameterization (low rank)
+  kReduceDim,     // plain narrower embedding
+  kTruncateRare,  // drop unpopular entities
+  kHashedNets,    // Chen et al. weight-bucket hashing (extension)
+  kWeinberger,    // feature hashing with sign (Table 3 comparator)
+  kMixedDim,      // mixed-dimension embeddings (Ginart et al., see sec 5)
+  kTtRec,         // TT-Rec tensor-train embedding (Yin et al., see sec 5)
+};
+
+struct EmbeddingConfig {
+  TechniqueKind kind = TechniqueKind::kFull;
+  Index vocab = 0;
+  Index embed_dim = 64;
+  // Per-technique compression knob:
+  //   hashed techniques (memcom/qr/naive/double/weinberger): hash size m
+  //   factorized: hidden dim h | reduce_dim: reduced width
+  //   truncate_rare: number of kept entities | hashed_nets: bucket count
+  //   mixed_dim: head-block size | tt_rec: tensor-train rank
+  Index knob = 0;
+};
+
+EmbeddingPtr make_embedding(const EmbeddingConfig& config, Rng& rng);
+
+std::string technique_name(TechniqueKind kind);
+TechniqueKind technique_from_string(const std::string& name);
+
+// The techniques swept in Figures 1-3 (paper legend order).
+std::vector<TechniqueKind> figure_techniques();
+// Every implemented technique.
+std::vector<TechniqueKind> all_techniques();
+
+// Analytic parameter count of just the embedding stage (validated against
+// allocated storage in the tests).
+Index embedding_param_formula(const EmbeddingConfig& config);
+
+}  // namespace memcom

@@ -1,0 +1,160 @@
+#include "embedding/hash_embeddings.h"
+
+#include "embedding/hashing.h"
+
+namespace memcom {
+
+NaiveHashEmbedding::NaiveHashEmbedding(Index vocab, Index hash_size,
+                                       Index embed_dim, Rng& rng)
+    : vocab_(vocab),
+      table_("naive_hash.table", embedding_init(hash_size, embed_dim, rng)) {
+  check(hash_size > 0, "naive_hash: hash size must be positive");
+  table_.sparse = true;
+}
+
+Tensor NaiveHashEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_);
+  cached_input_ = input;
+  const Index e = output_dim();
+  const Index m = hash_size();
+  Tensor out({input.batch, input.length, e});
+  const float* table = table_.value.data();
+  float* o = out.data();
+  for (Index i = 0; i < input.size(); ++i) {
+    const Index j = mod_hash(input.ids[static_cast<std::size_t>(i)], m);
+    const float* row = table + j * e;
+    float* dst = o + i * e;
+    for (Index c = 0; c < e; ++c) {
+      dst[c] = row[c];
+    }
+  }
+  return out;
+}
+
+void NaiveHashEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(2) == output_dim(),
+        "naive_hash: bad grad shape");
+  const Index e = output_dim();
+  const Index m = hash_size();
+  const float* g = grad_out.data();
+  float* grad_table = table_.grad.data();
+  for (Index i = 0; i < cached_input_.size(); ++i) {
+    const Index j = mod_hash(cached_input_.ids[static_cast<std::size_t>(i)], m);
+    table_.mark_touched(j);
+    float* dst = grad_table + j * e;
+    const float* src = g + i * e;
+    for (Index c = 0; c < e; ++c) {
+      dst[c] += src[c];
+    }
+  }
+}
+
+DoubleHashEmbedding::DoubleHashEmbedding(Index vocab, Index hash_size,
+                                         Index embed_dim, Rng& rng)
+    : vocab_(vocab),
+      table_a_("double_hash.table_a",
+               embedding_init(hash_size, embed_dim / 2, rng)),
+      table_b_("double_hash.table_b",
+               embedding_init(hash_size, embed_dim / 2, rng)) {
+  check(embed_dim % 2 == 0, "double_hash: embed_dim must be even");
+  check(hash_size > 0, "double_hash: hash size must be positive");
+  table_a_.sparse = true;
+  table_b_.sparse = true;
+}
+
+Tensor DoubleHashEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_);
+  cached_input_ = input;
+  const Index half = table_a_.value.dim(1);
+  const Index m = hash_size();
+  Tensor out({input.batch, input.length, 2 * half});
+  const float* ta = table_a_.value.data();
+  const float* tb = table_b_.value.data();
+  float* o = out.data();
+  for (Index i = 0; i < input.size(); ++i) {
+    const std::int32_t id = input.ids[static_cast<std::size_t>(i)];
+    const float* row_a = ta + mod_hash(id, m) * half;
+    const float* row_b = tb + mixed_hash(id, m) * half;
+    float* dst = o + i * 2 * half;
+    for (Index c = 0; c < half; ++c) {
+      dst[c] = row_a[c];
+      dst[half + c] = row_b[c];
+    }
+  }
+  return out;
+}
+
+void DoubleHashEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(2) == output_dim(),
+        "double_hash: bad grad shape");
+  const Index half = table_a_.value.dim(1);
+  const Index m = hash_size();
+  const float* g = grad_out.data();
+  float* ga = table_a_.grad.data();
+  float* gb = table_b_.grad.data();
+  for (Index i = 0; i < cached_input_.size(); ++i) {
+    const std::int32_t id = cached_input_.ids[static_cast<std::size_t>(i)];
+    const Index ja = mod_hash(id, m);
+    const Index jb = mixed_hash(id, m);
+    table_a_.mark_touched(ja);
+    table_b_.mark_touched(jb);
+    const float* src = g + i * 2 * half;
+    float* dst_a = ga + ja * half;
+    float* dst_b = gb + jb * half;
+    for (Index c = 0; c < half; ++c) {
+      dst_a[c] += src[c];
+      dst_b[c] += src[half + c];
+    }
+  }
+}
+
+WeinbergerEmbedding::WeinbergerEmbedding(Index vocab, Index hash_size,
+                                         Index embed_dim, Rng& rng)
+    : vocab_(vocab),
+      table_("weinberger.table", embedding_init(hash_size, embed_dim, rng)) {
+  check(hash_size > 0, "weinberger: hash size must be positive");
+  table_.sparse = true;
+}
+
+Tensor WeinbergerEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_);
+  cached_input_ = input;
+  const Index e = output_dim();
+  const Index m = hash_size();
+  Tensor out({input.batch, input.length, e});
+  const float* table = table_.value.data();
+  float* o = out.data();
+  for (Index i = 0; i < input.size(); ++i) {
+    const std::int32_t id = input.ids[static_cast<std::size_t>(i)];
+    const Index j = mod_hash(id, m);
+    const float sign = sign_hash(id);
+    const float* row = table + j * e;
+    float* dst = o + i * e;
+    for (Index c = 0; c < e; ++c) {
+      dst[c] = sign * row[c];
+    }
+  }
+  return out;
+}
+
+void WeinbergerEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(2) == output_dim(),
+        "weinberger: bad grad shape");
+  const Index e = output_dim();
+  const Index m = hash_size();
+  const float* g = grad_out.data();
+  float* grad_table = table_.grad.data();
+  for (Index i = 0; i < cached_input_.size(); ++i) {
+    const std::int32_t id = cached_input_.ids[static_cast<std::size_t>(i)];
+    const Index j = mod_hash(id, m);
+    const float sign = sign_hash(id);
+    table_.mark_touched(j);
+    float* dst = grad_table + j * e;
+    const float* src = g + i * e;
+    for (Index c = 0; c < e; ++c) {
+      dst[c] += sign * src[c];
+    }
+  }
+}
+
+}  // namespace memcom

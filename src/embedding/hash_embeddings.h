@@ -1,0 +1,79 @@
+// Hashing baselines from the paper's evaluation:
+//
+//  * NaiveHashEmbedding  — one shared table indexed by i mod m. Entities in
+//    the same bucket are indistinguishable (no unique-vector property).
+//  * DoubleHashEmbedding — Zhang et al. (RecSys 2020): two independent
+//    hashes into two e/2-wide tables, concatenated. Collision probability
+//    drops from ~v/m to ~v/m^2 but uniqueness is still not guaranteed.
+//  * WeinbergerEmbedding — Weinberger et al. (ICML 2009) feature hashing
+//    with a sign hash. Mathematically a lookup of ±row(i mod m); the
+//    on-device engine also implements its original one-hot compute path,
+//    which is what Table 3 benchmarks against MEmCom.
+#pragma once
+
+#include "embedding/embedding.h"
+
+namespace memcom {
+
+class NaiveHashEmbedding : public EmbeddingLayer {
+ public:
+  NaiveHashEmbedding(Index vocab, Index hash_size, Index embed_dim, Rng& rng);
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&table_}; }
+  std::string name() const override { return "naive_hash"; }
+  Index vocab_size() const override { return vocab_; }
+  Index output_dim() const override { return table_.value.dim(1); }
+  Index hash_size() const { return table_.value.dim(0); }
+
+  Param& table() { return table_; }
+
+ private:
+  Index vocab_;
+  Param table_;  // [m, e]
+  IdBatch cached_input_;
+};
+
+class DoubleHashEmbedding : public EmbeddingLayer {
+ public:
+  // Each of the two tables is [m, e/2]; outputs are concatenated to width e
+  // (e must be even).
+  DoubleHashEmbedding(Index vocab, Index hash_size, Index embed_dim, Rng& rng);
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&table_a_, &table_b_}; }
+  std::string name() const override { return "double_hash"; }
+  Index vocab_size() const override { return vocab_; }
+  Index output_dim() const override { return 2 * table_a_.value.dim(1); }
+  Index hash_size() const { return table_a_.value.dim(0); }
+
+ private:
+  Index vocab_;
+  Param table_a_;  // [m, e/2], indexed by i mod m
+  Param table_b_;  // [m, e/2], indexed by mixed_hash(i, m)
+  IdBatch cached_input_;
+};
+
+class WeinbergerEmbedding : public EmbeddingLayer {
+ public:
+  WeinbergerEmbedding(Index vocab, Index hash_size, Index embed_dim, Rng& rng);
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&table_}; }
+  std::string name() const override { return "weinberger"; }
+  Index vocab_size() const override { return vocab_; }
+  Index output_dim() const override { return table_.value.dim(1); }
+  Index hash_size() const { return table_.value.dim(0); }
+
+  Param& table() { return table_; }
+
+ private:
+  Index vocab_;
+  Param table_;  // [m, e]
+  IdBatch cached_input_;
+};
+
+}  // namespace memcom

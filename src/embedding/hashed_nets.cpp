@@ -1,0 +1,55 @@
+#include "embedding/hashed_nets.h"
+
+namespace memcom {
+
+HashedNetsEmbedding::HashedNetsEmbedding(Index vocab, Index bucket_count,
+                                         Index embed_dim, Rng& rng)
+    : vocab_(vocab),
+      embed_dim_(embed_dim),
+      buckets_("hashed_nets.buckets",
+               Tensor::uniform({bucket_count, 1}, rng, -0.05f, 0.05f)) {
+  check(bucket_count > 0, "hashed_nets: bucket count must be positive");
+  // Bucket grads are effectively dense (every token touches embed_dim
+  // buckets), so use the dense optimizer path.
+  buckets_.sparse = false;
+}
+
+Index HashedNetsEmbedding::bucket_of(std::int32_t id, Index column) const {
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(id) * 0x100000001B3ULL +
+      static_cast<std::uint64_t>(column);
+  return static_cast<Index>(splitmix64(key) %
+                            static_cast<std::uint64_t>(bucket_count()));
+}
+
+Tensor HashedNetsEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_);
+  cached_input_ = input;
+  Tensor out({input.batch, input.length, embed_dim_});
+  const float* w = buckets_.value.data();
+  float* o = out.data();
+  for (Index i = 0; i < input.size(); ++i) {
+    const std::int32_t id = input.ids[static_cast<std::size_t>(i)];
+    float* dst = o + i * embed_dim_;
+    for (Index c = 0; c < embed_dim_; ++c) {
+      dst[c] = w[bucket_of(id, c)];
+    }
+  }
+  return out;
+}
+
+void HashedNetsEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(2) == embed_dim_,
+        "hashed_nets: bad grad shape");
+  const float* g = grad_out.data();
+  float* gw = buckets_.grad.data();
+  for (Index i = 0; i < cached_input_.size(); ++i) {
+    const std::int32_t id = cached_input_.ids[static_cast<std::size_t>(i)];
+    const float* src = g + i * embed_dim_;
+    for (Index c = 0; c < embed_dim_; ++c) {
+      gw[bucket_of(id, c)] += src[c];
+    }
+  }
+}
+
+}  // namespace memcom

@@ -1,0 +1,36 @@
+// HashedNets (Chen et al., ICML 2015) applied to an embedding table: the
+// virtual weight E[i][j] aliases a bucket w[h(i,j)] of a much smaller flat
+// weight vector. Gradients accumulate into buckets through all aliased
+// positions. Included as the weight-bucket-sharing point of comparison the
+// paper discusses in §2.3.
+#pragma once
+
+#include "embedding/embedding.h"
+
+namespace memcom {
+
+class HashedNetsEmbedding : public EmbeddingLayer {
+ public:
+  HashedNetsEmbedding(Index vocab, Index bucket_count, Index embed_dim,
+                      Rng& rng);
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&buckets_}; }
+  std::string name() const override { return "hashed_nets"; }
+  Index vocab_size() const override { return vocab_; }
+  Index output_dim() const override { return embed_dim_; }
+
+  Index bucket_count() const { return buckets_.value.dim(0); }
+
+  // Bucket index backing virtual weight (id, column).
+  Index bucket_of(std::int32_t id, Index column) const;
+
+ private:
+  Index vocab_;
+  Index embed_dim_;
+  Param buckets_;  // flat [buckets, 1]
+  IdBatch cached_input_;
+};
+
+}  // namespace memcom

@@ -1,0 +1,64 @@
+#include "embedding/hashing.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace memcom {
+
+Index mixed_hash(std::int64_t id, Index m, std::uint64_t salt) {
+  const std::uint64_t mixed =
+      splitmix64(static_cast<std::uint64_t>(id) ^ salt);
+  return static_cast<Index>(mixed % static_cast<std::uint64_t>(m));
+}
+
+float sign_hash(std::int64_t id, std::uint64_t salt) {
+  const std::uint64_t mixed =
+      splitmix64(static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ULL ^ salt);
+  return (mixed & 1ULL) != 0 ? 1.0f : -1.0f;
+}
+
+double expected_collision_rate(Index vocab_size, Index buckets) {
+  check(vocab_size > 0 && buckets > 0, "collision rate: bad arguments");
+  const double v = static_cast<double>(vocab_size);
+  const double m = static_cast<double>(buckets);
+  return v / m - 1.0 + std::pow(1.0 - 1.0 / m, v);
+}
+
+double expected_double_hash_collision_rate(Index vocab_size, Index buckets) {
+  check(vocab_size > 0 && buckets > 0, "collision rate: bad arguments");
+  const double v = static_cast<double>(vocab_size);
+  const double m2 = static_cast<double>(buckets) * static_cast<double>(buckets);
+  return v / m2 - 1.0 + std::pow(1.0 - 1.0 / m2, v);
+}
+
+double empirical_collision_fraction(Index vocab_size, Index buckets,
+                                    bool pair_hash) {
+  check(vocab_size > 1, "empirical collision: vocab too small");
+  std::unordered_map<std::uint64_t, Index> bucket_count;
+  bucket_count.reserve(static_cast<std::size_t>(vocab_size));
+  for (Index i = 1; i < vocab_size; ++i) {
+    std::uint64_t key = static_cast<std::uint64_t>(mod_hash(i, buckets));
+    if (pair_hash) {
+      key = key * static_cast<std::uint64_t>(buckets) +
+            static_cast<std::uint64_t>(mixed_hash(i, buckets));
+    }
+    ++bucket_count[key];
+  }
+  Index colliding = 0;
+  for (Index i = 1; i < vocab_size; ++i) {
+    std::uint64_t key = static_cast<std::uint64_t>(mod_hash(i, buckets));
+    if (pair_hash) {
+      key = key * static_cast<std::uint64_t>(buckets) +
+            static_cast<std::uint64_t>(mixed_hash(i, buckets));
+    }
+    if (bucket_count[key] > 1) {
+      ++colliding;
+    }
+  }
+  return static_cast<double>(colliding) / static_cast<double>(vocab_size - 1);
+}
+
+}  // namespace memcom

@@ -1,0 +1,44 @@
+// Hash functions and collision analytics for hashed embedding tables.
+//
+// The paper indexes hashed tables with `i mod m` over frequency-sorted ids
+// (Algorithm 2); double hashing adds a second, independent hash (Zhang et
+// al. 2020). §4 quotes the expected collision rates reproduced by
+// `expected_collision_rate` below.
+#pragma once
+
+#include <cstdint>
+
+#include "core/tensor.h"
+
+namespace memcom {
+
+// The paper's primary hash: i mod m over frequency-sorted ids. With ids
+// sorted by popularity this spreads the head of the distribution across
+// distinct buckets, which is why MEmCom pairs it with frequency-sorted
+// vocabularies.
+inline Index mod_hash(std::int64_t id, Index m) {
+  return static_cast<Index>(id % m);
+}
+
+// Second, independent hash for double hashing (splitmix64 mix then mod).
+Index mixed_hash(std::int64_t id, Index m, std::uint64_t salt = 0x9E3779B9);
+
+// Sign hash in {-1, +1} for Weinberger feature hashing.
+float sign_hash(std::int64_t id, std::uint64_t salt = 0x5bd1e995);
+
+// Expected collisions-per-bucket when v uniformly hashed keys land in m
+// buckets, as quoted in §4 of the paper: v/m - 1 + (1 - 1/m)^v. This equals
+// (v - E[occupied buckets]) / m.
+double expected_collision_rate(Index vocab_size, Index buckets);
+
+// Same quantity for double hashing, which behaves like m^2 effective
+// buckets: v/m^2 - 1 + (1 - 1/m^2)^v.
+double expected_double_hash_collision_rate(Index vocab_size, Index buckets);
+
+// Fraction of ids in [1, v) that share their bucket (pair of hash buckets
+// for pair_hash=true) with at least one other id — the empirical quantity
+// the analytic formulas approximate.
+double empirical_collision_fraction(Index vocab_size, Index buckets,
+                                    bool pair_hash = false);
+
+}  // namespace memcom

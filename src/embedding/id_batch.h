@@ -1,0 +1,46 @@
+// A [batch, length] matrix of integer category ids — the input to every
+// embedding layer. Ids follow the paper's convention (§5.1): 0 is padding
+// and real entities are numbered 1..v-1 sorted by descending frequency
+// ("the most downloaded app is assigned the id n+1").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+#include "core/tensor.h"
+
+namespace memcom {
+
+inline constexpr std::int32_t kPadId = 0;
+
+struct IdBatch {
+  std::vector<std::int32_t> ids;  // row-major [batch, length]
+  Index batch = 0;
+  Index length = 0;
+
+  IdBatch() = default;
+  IdBatch(Index batch_size, Index seq_length)
+      : ids(static_cast<std::size_t>(batch_size * seq_length), kPadId),
+        batch(batch_size),
+        length(seq_length) {}
+
+  std::int32_t id(Index b, Index l) const {
+    return ids[static_cast<std::size_t>(b * length + l)];
+  }
+  std::int32_t& id(Index b, Index l) {
+    return ids[static_cast<std::size_t>(b * length + l)];
+  }
+
+  Index size() const { return batch * length; }
+
+  void validate(Index vocab_size) const {
+    check_eq(batch * length, static_cast<long long>(ids.size()),
+             "IdBatch element count");
+    for (const std::int32_t v : ids) {
+      check(v >= 0 && v < vocab_size, "IdBatch: id out of vocabulary range");
+    }
+  }
+};
+
+}  // namespace memcom

@@ -1,0 +1,92 @@
+#include "embedding/memcom.h"
+
+#include "embedding/hashing.h"
+
+namespace memcom {
+
+MemcomEmbedding::MemcomEmbedding(Index vocab, Index hash_size, Index embed_dim,
+                                 Rng& rng, bool with_bias)
+    : vocab_(vocab),
+      with_bias_(with_bias),
+      shared_("memcom.shared", embedding_init(hash_size, embed_dim, rng)),
+      multiplier_("memcom.multiplier", Tensor::full({vocab, 1}, 1.0f)),
+      bias_("memcom.bias",
+            with_bias ? Tensor({vocab, 1}) : Tensor({0, 1})) {
+  check(hash_size > 0 && hash_size <= vocab,
+        "memcom: hash size must be in (0, vocab]");
+  shared_.sparse = true;
+  multiplier_.sparse = true;
+  bias_.sparse = true;
+}
+
+ParamRefs MemcomEmbedding::params() {
+  if (with_bias_) {
+    return {&shared_, &multiplier_, &bias_};
+  }
+  return {&shared_, &multiplier_};
+}
+
+Tensor MemcomEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_);
+  cached_input_ = input;
+  const Index e = output_dim();
+  const Index m = hash_size();
+  Tensor out({input.batch, input.length, e});
+  const float* shared = shared_.value.data();
+  const float* mult = multiplier_.value.data();
+  const float* bias = with_bias_ ? bias_.value.data() : nullptr;
+  float* o = out.data();
+  for (Index i = 0; i < input.size(); ++i) {
+    const std::int32_t id = input.ids[static_cast<std::size_t>(i)];
+    const Index j = mod_hash(id, m);
+    const float* row = shared + j * e;
+    const float x_mult = mult[id];
+    const float x_bias = bias != nullptr ? bias[id] : 0.0f;
+    float* dst = o + i * e;
+    for (Index c = 0; c < e; ++c) {
+      dst[c] = row[c] * x_mult + x_bias;  // broadcast multiply (+ bias)
+    }
+  }
+  return out;
+}
+
+void MemcomEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(0) == cached_input_.batch &&
+            grad_out.dim(1) == cached_input_.length &&
+            grad_out.dim(2) == output_dim(),
+        "memcom: bad grad shape " + grad_out.shape_string());
+  const Index e = output_dim();
+  const Index m = hash_size();
+  const float* g = grad_out.data();
+  const float* shared = shared_.value.data();
+  const float* mult = multiplier_.value.data();
+  float* g_shared = shared_.grad.data();
+  float* g_mult = multiplier_.grad.data();
+  float* g_bias = with_bias_ ? bias_.grad.data() : nullptr;
+  for (Index i = 0; i < cached_input_.size(); ++i) {
+    const std::int32_t id = cached_input_.ids[static_cast<std::size_t>(i)];
+    const Index j = mod_hash(id, m);
+    const float* src = g + i * e;
+    const float* urow = shared + j * e;
+    const float x_mult = mult[id];
+    float* udst = g_shared + j * e;
+    double dot = 0.0;
+    double total = 0.0;
+    for (Index c = 0; c < e; ++c) {
+      udst[c] += src[c] * x_mult;          // dL/dU[j] = g ⊙ V[i]
+      dot += static_cast<double>(src[c]) * urow[c];  // dL/dV[i] = <g, U[j]>
+      total += src[c];                      // dL/dW[i] = sum(g)
+    }
+    g_mult[id] += static_cast<float>(dot);
+    if (g_bias != nullptr) {
+      g_bias[id] += static_cast<float>(total);
+    }
+    shared_.mark_touched(j);
+    multiplier_.mark_touched(static_cast<Index>(id));
+    if (with_bias_) {
+      bias_.mark_touched(static_cast<Index>(id));
+    }
+  }
+}
+
+}  // namespace memcom

@@ -1,0 +1,54 @@
+// MEmCom — the paper's contribution (Algorithms 2 and 3).
+//
+//   emb(i) = U[i mod m] ⊙ V[i]          (no bias,  Algorithm 2)
+//   emb(i) = U[i mod m] ⊙ V[i] + W[i]   (with bias, Algorithm 3)
+//
+// U ∈ R^{m×e} is a hashed (shared) table; V, W ∈ R^{v×1} hold one scalar
+// per vocabulary entry and are broadcast across the e-dimensional row.
+// Because U and V are trained jointly, every entity retains a unique
+// embedding while parameter count drops from v·e to m·e + v (+v).
+#pragma once
+
+#include "embedding/embedding.h"
+
+namespace memcom {
+
+class MemcomEmbedding : public EmbeddingLayer {
+ public:
+  // `hash_size` is m. V is initialized to 1 and W to 0, so an untrained
+  // MEmCom layer behaves exactly like naive hashing; training then
+  // separates entities that share a bucket.
+  MemcomEmbedding(Index vocab, Index hash_size, Index embed_dim, Rng& rng,
+                  bool with_bias);
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override;
+  std::string name() const override {
+    return with_bias_ ? "memcom_bias" : "memcom";
+  }
+  Index vocab_size() const override { return vocab_; }
+  Index output_dim() const override { return shared_.value.dim(1); }
+
+  Index hash_size() const { return shared_.value.dim(0); }
+  bool with_bias() const { return with_bias_; }
+
+  Param& shared_table() { return shared_; }
+  Param& multiplier() { return multiplier_; }
+  Param& bias() { return bias_; }
+
+  // Scalar multiplier for entity i (A.4 uniqueness analysis reads these).
+  float multiplier_of(std::int32_t id) const {
+    return multiplier_.value[static_cast<Index>(id)];
+  }
+
+ private:
+  Index vocab_;
+  bool with_bias_;
+  Param shared_;      // U: [m, e]
+  Param multiplier_;  // V: [v, 1]
+  Param bias_;        // W: [v, 1] (allocated only when with_bias_)
+  IdBatch cached_input_;
+};
+
+}  // namespace memcom

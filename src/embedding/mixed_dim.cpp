@@ -1,0 +1,153 @@
+#include "embedding/mixed_dim.h"
+
+namespace memcom {
+
+std::vector<std::pair<Index, Index>> MixedDimEmbedding::block_layout(
+    Index vocab, Index head_block, Index embed_dim) {
+  check(head_block > 0 && head_block <= vocab,
+        "mixed_dim: head block must be in (0, vocab]");
+  std::vector<std::pair<Index, Index>> layout;  // (rows, width)
+  Index covered = 0;
+  Index rows = head_block;
+  Index width = embed_dim;
+  while (covered < vocab) {
+    rows = std::min(rows, vocab - covered);
+    layout.emplace_back(rows, width);
+    covered += rows;
+    rows *= 4;
+    width = std::max<Index>(2, width / 2);
+  }
+  return layout;
+}
+
+MixedDimEmbedding::MixedDimEmbedding(Index vocab, Index head_block,
+                                     Index embed_dim, Rng& rng)
+    : vocab_(vocab), embed_dim_(embed_dim) {
+  Index first = 0;
+  Index index = 0;
+  for (const auto& [rows, width] : block_layout(vocab, head_block, embed_dim)) {
+    Block block;
+    block.first_id = first;
+    block.table = Param("mixed_dim.block" + std::to_string(index) + ".table",
+                        embedding_init(rows, width, rng));
+    block.table.sparse = true;
+    if (width < embed_dim) {
+      block.projection =
+          Param("mixed_dim.block" + std::to_string(index) + ".projection",
+                Tensor::glorot(width, embed_dim, rng));
+    } else {
+      block.projection = Param(
+          "mixed_dim.block" + std::to_string(index) + ".projection",
+          Tensor({0, 0}));
+    }
+    first += rows;
+    ++index;
+    blocks_.push_back(std::move(block));
+  }
+}
+
+Index MixedDimEmbedding::param_formula(Index vocab, Index head_block,
+                                       Index embed_dim) {
+  Index total = 0;
+  for (const auto& [rows, width] : block_layout(vocab, head_block, embed_dim)) {
+    total += rows * width;
+    if (width < embed_dim) {
+      total += width * embed_dim;
+    }
+  }
+  return total;
+}
+
+Index MixedDimEmbedding::block_of(std::int32_t id) const {
+  for (std::size_t b = blocks_.size(); b-- > 0;) {
+    if (static_cast<Index>(id) >= blocks_[b].first_id) {
+      return static_cast<Index>(b);
+    }
+  }
+  return 0;
+}
+
+ParamRefs MixedDimEmbedding::params() {
+  ParamRefs refs;
+  for (Block& block : blocks_) {
+    refs.push_back(&block.table);
+    if (block.projection.numel() > 0) {
+      refs.push_back(&block.projection);
+    }
+  }
+  return refs;
+}
+
+Tensor MixedDimEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_);
+  cached_input_ = input;
+  cached_narrow_.assign(static_cast<std::size_t>(input.size()), {});
+  Tensor out({input.batch, input.length, embed_dim_});
+  float* o = out.data();
+  for (Index i = 0; i < input.size(); ++i) {
+    const std::int32_t id = input.ids[static_cast<std::size_t>(i)];
+    const Block& block = blocks_[static_cast<std::size_t>(block_of(id))];
+    const Index width = block.table.value.dim(1);
+    const Index row = static_cast<Index>(id) - block.first_id;
+    const float* src = block.table.value.data() + row * width;
+    float* dst = o + i * embed_dim_;
+    if (block.projection.numel() == 0) {
+      for (Index c = 0; c < embed_dim_; ++c) {
+        dst[c] = src[c];
+      }
+    } else {
+      cached_narrow_[static_cast<std::size_t>(i)].assign(src, src + width);
+      const float* proj = block.projection.value.data();
+      for (Index c = 0; c < embed_dim_; ++c) {
+        dst[c] = 0.0f;
+      }
+      for (Index k = 0; k < width; ++k) {
+        const float f = src[k];
+        const float* prow = proj + k * embed_dim_;
+        for (Index c = 0; c < embed_dim_; ++c) {
+          dst[c] += f * prow[c];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void MixedDimEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(2) == embed_dim_,
+        "mixed_dim: bad grad shape");
+  const float* g = grad_out.data();
+  for (Index i = 0; i < cached_input_.size(); ++i) {
+    const std::int32_t id = cached_input_.ids[static_cast<std::size_t>(i)];
+    Block& block = blocks_[static_cast<std::size_t>(block_of(id))];
+    const Index width = block.table.value.dim(1);
+    const Index row = static_cast<Index>(id) - block.first_id;
+    const float* src = g + i * embed_dim_;
+    float* table_grad = block.table.grad.data() + row * width;
+    block.table.mark_touched(row);
+    if (block.projection.numel() == 0) {
+      for (Index c = 0; c < embed_dim_; ++c) {
+        table_grad[c] += src[c];
+      }
+    } else {
+      // dTable = g P^T ; dP = narrow^T g
+      const float* proj = block.projection.value.data();
+      float* proj_grad = block.projection.grad.data();
+      const std::vector<float>& narrow =
+          cached_narrow_[static_cast<std::size_t>(i)];
+      for (Index k = 0; k < width; ++k) {
+        const float* prow = proj + k * embed_dim_;
+        float* pgrow = proj_grad + k * embed_dim_;
+        double acc = 0.0;
+        const float nk = narrow[static_cast<std::size_t>(k)];
+        for (Index c = 0; c < embed_dim_; ++c) {
+          acc += static_cast<double>(src[c]) * prow[c];
+          pgrow[c] += nk * src[c];
+        }
+        table_grad[k] += static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+}  // namespace memcom

@@ -1,0 +1,61 @@
+// Mixed-dimension embeddings (Ginart et al. 2019), evaluated in §5 of the
+// paper: "Mixed dimension embeddings is a blocked extension of 'factorized
+// embedding' with two additional hyperparameters ... the results were
+// similar to that of the 'factorized embedding' approach."
+//
+// The vocabulary is partitioned by popularity (frequency-sorted ids) into
+// blocks; block b stores a table of width d_b that halves as blocks get
+// less popular, plus a projection back to the common output width. Head
+// entities get full-width embeddings; the long tail shares narrow ones.
+#pragma once
+
+#include "embedding/embedding.h"
+
+namespace memcom {
+
+class MixedDimEmbedding : public EmbeddingLayer {
+ public:
+  // `head_block` ids go in the first (full-width) block; each subsequent
+  // block covers 4x the ids at half the width, until the vocabulary is
+  // exhausted (width floor 2).
+  MixedDimEmbedding(Index vocab, Index head_block, Index embed_dim, Rng& rng);
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override;
+  std::string name() const override { return "mixed_dim"; }
+  Index vocab_size() const override { return vocab_; }
+  Index output_dim() const override { return embed_dim_; }
+
+  Index block_count() const { return static_cast<Index>(blocks_.size()); }
+  // [first_id, width) metadata for tests.
+  Index block_of(std::int32_t id) const;
+  Index block_width(Index block) const {
+    return blocks_[static_cast<std::size_t>(block)].table.value.dim(1);
+  }
+
+  // Analytic parameter count for a configuration (used by the factory
+  // formula and tests).
+  static Index param_formula(Index vocab, Index head_block, Index embed_dim);
+
+ private:
+  struct Block {
+    Index first_id = 0;  // ids [first_id, first_id + rows) live here
+    Param table;         // [rows, width]
+    Param projection;    // [width, e]; empty when width == e (identity)
+  };
+
+  static std::vector<std::pair<Index, Index>> block_layout(Index vocab,
+                                                           Index head_block,
+                                                           Index embed_dim);
+
+  Index vocab_;
+  Index embed_dim_;
+  std::vector<Block> blocks_;
+  IdBatch cached_input_;
+  // Cached per-token narrow rows from the last forward (needed to compute
+  // projection gradients).
+  std::vector<std::vector<float>> cached_narrow_;
+};
+
+}  // namespace memcom

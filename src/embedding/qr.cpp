@@ -1,0 +1,114 @@
+#include "embedding/qr.h"
+
+#include "embedding/hashing.h"
+
+namespace memcom {
+
+namespace {
+Index ceil_div(Index a, Index b) { return (a + b - 1) / b; }
+}  // namespace
+
+QrEmbedding::QrEmbedding(Index vocab, Index hash_size, Index embed_dim,
+                         Rng& rng, QrComposition composition)
+    : vocab_(vocab), composition_(composition) {
+  check(hash_size > 0 && hash_size <= vocab,
+        "qr: hash size must be in (0, vocab]");
+  const Index width =
+      composition == QrComposition::kConcat ? embed_dim / 2 : embed_dim;
+  if (composition == QrComposition::kConcat) {
+    check(embed_dim % 2 == 0, "qr_concat: embed_dim must be even");
+  }
+  const Index q_rows = ceil_div(vocab, hash_size);
+  remainder_ = Param("qr.remainder", embedding_init(hash_size, width, rng));
+  if (composition == QrComposition::kMultiply) {
+    // Multiplicative composition: initialize the quotient table around 1 so
+    // products start at the remainder table's scale (a quotient table drawn
+    // near zero would make all products vanish and stall training).
+    Tensor q = Tensor::randn({q_rows, width}, rng, 0.05f);
+    for (Index i = 0; i < q.numel(); ++i) {
+      q[i] += 1.0f;
+    }
+    quotient_ = Param("qr.quotient", std::move(q));
+  } else {
+    quotient_ = Param("qr.quotient", embedding_init(q_rows, width, rng));
+  }
+  remainder_.sparse = true;
+  quotient_.sparse = true;
+}
+
+Index QrEmbedding::output_dim() const {
+  return composition_ == QrComposition::kConcat
+             ? 2 * remainder_.value.dim(1)
+             : remainder_.value.dim(1);
+}
+
+Tensor QrEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_);
+  cached_input_ = input;
+  const Index width = remainder_.value.dim(1);
+  const Index m = hash_size();
+  Tensor out({input.batch, input.length, output_dim()});
+  const float* rem = remainder_.value.data();
+  const float* quo = quotient_.value.data();
+  float* o = out.data();
+  for (Index i = 0; i < input.size(); ++i) {
+    const std::int32_t id = input.ids[static_cast<std::size_t>(i)];
+    const Index j = mod_hash(id, m);
+    const Index k = static_cast<Index>(id) / m;
+    const float* row_r = rem + j * width;
+    const float* row_q = quo + k * width;
+    if (composition_ == QrComposition::kMultiply) {
+      float* dst = o + i * width;
+      for (Index c = 0; c < width; ++c) {
+        dst[c] = row_r[c] * row_q[c];
+      }
+    } else {
+      float* dst = o + i * 2 * width;
+      for (Index c = 0; c < width; ++c) {
+        dst[c] = row_r[c];
+        dst[width + c] = row_q[c];
+      }
+    }
+  }
+  return out;
+}
+
+void QrEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(2) == output_dim(),
+        "qr: bad grad shape");
+  const Index width = remainder_.value.dim(1);
+  const Index m = hash_size();
+  const float* g = grad_out.data();
+  const float* rem = remainder_.value.data();
+  const float* quo = quotient_.value.data();
+  float* g_rem = remainder_.grad.data();
+  float* g_quo = quotient_.grad.data();
+  for (Index i = 0; i < cached_input_.size(); ++i) {
+    const std::int32_t id = cached_input_.ids[static_cast<std::size_t>(i)];
+    const Index j = mod_hash(id, m);
+    const Index k = static_cast<Index>(id) / m;
+    remainder_.mark_touched(j);
+    quotient_.mark_touched(k);
+    if (composition_ == QrComposition::kMultiply) {
+      const float* src = g + i * width;
+      const float* row_r = rem + j * width;
+      const float* row_q = quo + k * width;
+      float* dst_r = g_rem + j * width;
+      float* dst_q = g_quo + k * width;
+      for (Index c = 0; c < width; ++c) {
+        dst_r[c] += src[c] * row_q[c];
+        dst_q[c] += src[c] * row_r[c];
+      }
+    } else {
+      const float* src = g + i * 2 * width;
+      float* dst_r = g_rem + j * width;
+      float* dst_q = g_quo + k * width;
+      for (Index c = 0; c < width; ++c) {
+        dst_r[c] += src[c];
+        dst_q[c] += src[width + c];
+      }
+    }
+  }
+}
+
+}  // namespace memcom

@@ -1,0 +1,44 @@
+// Quotient-remainder trick (Shi et al. 2019, Algorithm 1 in the paper):
+//
+//   emb(i) = U[i mod m] ∘ V[i div m]
+//
+// where ∘ is elementwise multiplication (both tables e-wide) or
+// concatenation (both tables e/2-wide, matching the paper's two evaluated
+// variants). Guarantees a unique (constrained) embedding per entity; the
+// paper argues its compositional operator is harder to optimize than
+// MEmCom's scalar broadcast.
+#pragma once
+
+#include "embedding/embedding.h"
+
+namespace memcom {
+
+enum class QrComposition { kMultiply, kConcat };
+
+class QrEmbedding : public EmbeddingLayer {
+ public:
+  QrEmbedding(Index vocab, Index hash_size, Index embed_dim, Rng& rng,
+              QrComposition composition);
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&remainder_, &quotient_}; }
+  std::string name() const override {
+    return composition_ == QrComposition::kMultiply ? "qr_mult" : "qr_concat";
+  }
+  Index vocab_size() const override { return vocab_; }
+  Index output_dim() const override;
+
+  Index hash_size() const { return remainder_.value.dim(0); }
+  Index quotient_rows() const { return quotient_.value.dim(0); }
+  QrComposition composition() const { return composition_; }
+
+ private:
+  Index vocab_;
+  QrComposition composition_;
+  Param remainder_;  // U: [m, e or e/2], indexed by i mod m
+  Param quotient_;   // V: [ceil(v/m), e or e/2], indexed by i div m
+  IdBatch cached_input_;
+};
+
+}  // namespace memcom

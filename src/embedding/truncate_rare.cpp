@@ -1,0 +1,49 @@
+#include "embedding/truncate_rare.h"
+
+namespace memcom {
+
+TruncateRareEmbedding::TruncateRareEmbedding(Index vocab, Index keep,
+                                             Index embed_dim, Rng& rng)
+    : vocab_(vocab),
+      keep_(keep),
+      table_("truncate_rare.table", embedding_init(keep + 2, embed_dim, rng)) {
+  check(keep > 0 && keep < vocab, "truncate_rare: keep must be in (0, vocab)");
+  table_.sparse = true;
+}
+
+Tensor TruncateRareEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_);
+  cached_input_ = input;
+  const Index e = output_dim();
+  Tensor out({input.batch, input.length, e});
+  const float* table = table_.value.data();
+  float* o = out.data();
+  for (Index i = 0; i < input.size(); ++i) {
+    const float* row =
+        table + row_of(input.ids[static_cast<std::size_t>(i)]) * e;
+    float* dst = o + i * e;
+    for (Index c = 0; c < e; ++c) {
+      dst[c] = row[c];
+    }
+  }
+  return out;
+}
+
+void TruncateRareEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(2) == output_dim(),
+        "truncate_rare: bad grad shape");
+  const Index e = output_dim();
+  const float* g = grad_out.data();
+  float* grad_table = table_.grad.data();
+  for (Index i = 0; i < cached_input_.size(); ++i) {
+    const Index row = row_of(cached_input_.ids[static_cast<std::size_t>(i)]);
+    table_.mark_touched(row);
+    float* dst = grad_table + row * e;
+    const float* src = g + i * e;
+    for (Index c = 0; c < e; ++c) {
+      dst[c] += src[c];
+    }
+  }
+}
+
+}  // namespace memcom

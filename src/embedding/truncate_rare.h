@@ -1,0 +1,39 @@
+// "Truncate rare" baseline (§5.1): keep embeddings only for the `keep`
+// most frequent entities; everything rarer shares a single OOV row. Relies
+// on ids being frequency-sorted (id 1 = most frequent), which our Vocab
+// guarantees.
+#pragma once
+
+#include "embedding/embedding.h"
+
+namespace memcom {
+
+class TruncateRareEmbedding : public EmbeddingLayer {
+ public:
+  TruncateRareEmbedding(Index vocab, Index keep, Index embed_dim, Rng& rng);
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&table_}; }
+  std::string name() const override { return "truncate_rare"; }
+  Index vocab_size() const override { return vocab_; }
+  Index output_dim() const override { return table_.value.dim(1); }
+
+  Index keep() const { return keep_; }
+  // Row used for ids > keep (the last table row).
+  Index oov_row() const { return keep_ + 1; }
+
+ private:
+  Index vocab_;
+  Index keep_;
+  // Rows: [0]=pad, [1..keep]=kept ids, [keep+1]=shared OOV.
+  Param table_;
+  IdBatch cached_input_;
+
+  Index row_of(std::int32_t id) const {
+    return static_cast<Index>(id) <= keep_ ? static_cast<Index>(id)
+                                           : oov_row();
+  }
+};
+
+}  // namespace memcom

@@ -1,0 +1,113 @@
+#include "embedding/tt_rec.h"
+
+#include <cmath>
+
+namespace memcom {
+
+std::pair<Index, Index> TtRecEmbedding::balanced_factors(Index n) {
+  check(n > 0, "tt_rec: non-positive factor target");
+  const Index root = static_cast<Index>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  return {root, (n + root - 1) / root};
+}
+
+TtRecEmbedding::TtRecEmbedding(Index vocab, Index rank, Index embed_dim,
+                               Rng& rng)
+    : vocab_(vocab), rank_(rank) {
+  check(rank > 0, "tt_rec: rank must be positive");
+  const auto [v1, v2] = balanced_factors(vocab);
+  v1_ = v1;
+  v2_ = v2;
+  const auto [e1, e2] = balanced_factors(embed_dim);
+  e1_ = e1;
+  e2_ = e2;
+  // Initialize so products land at embedding_init's scale: each factor at
+  // sqrt(0.05 / r) keeps sum_r products ~ U(-0.05, 0.05) magnitude.
+  const float scale =
+      std::sqrt(0.05f / static_cast<float>(rank));
+  core1_ = Param("tt_rec.core1",
+                 Tensor::uniform({v1_, e1_ * rank_}, rng, -scale, scale));
+  core2_ = Param("tt_rec.core2",
+                 Tensor::uniform({v2_, rank_ * e2_}, rng, -scale, scale));
+  core1_.sparse = true;
+  core2_.sparse = true;
+}
+
+Index TtRecEmbedding::param_formula(Index vocab, Index rank, Index embed_dim) {
+  const Index root_v = static_cast<Index>(
+      std::ceil(std::sqrt(static_cast<double>(vocab))));
+  const Index v1 = root_v;
+  const Index v2 = (vocab + root_v - 1) / root_v;
+  const Index root_e = static_cast<Index>(
+      std::ceil(std::sqrt(static_cast<double>(embed_dim))));
+  const Index e1 = root_e;
+  const Index e2 = (embed_dim + root_e - 1) / root_e;
+  return v1 * e1 * rank + v2 * rank * e2;
+}
+
+Tensor TtRecEmbedding::forward(const IdBatch& input, bool /*training*/) {
+  input.validate(vocab_);
+  cached_input_ = input;
+  const Index e = output_dim();
+  Tensor out({input.batch, input.length, e});
+  const float* c1 = core1_.value.data();
+  const float* c2 = core2_.value.data();
+  float* o = out.data();
+  for (Index i = 0; i < input.size(); ++i) {
+    const std::int32_t id = input.ids[static_cast<std::size_t>(i)];
+    const Index i1 = static_cast<Index>(id) / v2_;
+    const Index i2 = static_cast<Index>(id) % v2_;
+    const float* g1 = c1 + i1 * e1_ * rank_;  // [e1, r]
+    const float* g2 = c2 + i2 * rank_ * e2_;  // [r, e2]
+    float* dst = o + i * e;
+    for (Index a = 0; a < e1_; ++a) {
+      for (Index b = 0; b < e2_; ++b) {
+        double acc = 0.0;
+        for (Index r = 0; r < rank_; ++r) {
+          acc += static_cast<double>(g1[a * rank_ + r]) * g2[r * e2_ + b];
+        }
+        dst[a * e2_ + b] = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+void TtRecEmbedding::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 3 && grad_out.dim(2) == output_dim(),
+        "tt_rec: bad grad shape");
+  const Index e = output_dim();
+  const float* g = grad_out.data();
+  const float* c1 = core1_.value.data();
+  const float* c2 = core2_.value.data();
+  float* gc1 = core1_.grad.data();
+  float* gc2 = core2_.grad.data();
+  for (Index i = 0; i < cached_input_.size(); ++i) {
+    const std::int32_t id = cached_input_.ids[static_cast<std::size_t>(i)];
+    const Index i1 = static_cast<Index>(id) / v2_;
+    const Index i2 = static_cast<Index>(id) % v2_;
+    core1_.mark_touched(i1);
+    core2_.mark_touched(i2);
+    const float* g1 = c1 + i1 * e1_ * rank_;
+    const float* g2 = c2 + i2 * rank_ * e2_;
+    float* dst1 = gc1 + i1 * e1_ * rank_;
+    float* dst2 = gc2 + i2 * rank_ * e2_;
+    const float* src = g + i * e;
+    // dG1[a, r] += sum_b src[a*e2+b] * G2[r, b]
+    // dG2[r, b] += sum_a src[a*e2+b] * G1[a, r]
+    for (Index a = 0; a < e1_; ++a) {
+      for (Index r = 0; r < rank_; ++r) {
+        double acc = 0.0;
+        const float g1ar = g1[a * rank_ + r];
+        for (Index b = 0; b < e2_; ++b) {
+          const float s = src[a * e2_ + b];
+          acc += static_cast<double>(s) * g2[r * e2_ + b];
+          dst2[r * e2_ + b] += s * g1ar;
+        }
+        dst1[a * rank_ + r] += static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+}  // namespace memcom

@@ -1,0 +1,51 @@
+// TT-Rec (Yin et al. 2021): tensor-train factorization of the embedding
+// table, referenced by the paper's §5: "The results for TT-Rec were similar
+// to 'factorized embedding' for all datasets; likely because both these
+// approaches have large number of shared parameters."
+//
+// Two-core tensor train: factor the vocabulary as v <= v1 * v2 and the
+// embedding width as e = e1 * e2. Cores:
+//   G1 in R^{v1 x e1 x r}     (indexed by i1 = i / v2)
+//   G2 in R^{v2 x r x e2}     (indexed by i2 = i % v2)
+// and  emb(i)[a * e2 + b] = sum_r G1[i1, a, r] * G2[i2, r, b].
+//
+// Parameter count v1*e1*r + v2*r*e2 vs v*e; the rank r is the compression
+// knob.
+#pragma once
+
+#include "embedding/embedding.h"
+
+namespace memcom {
+
+class TtRecEmbedding : public EmbeddingLayer {
+ public:
+  TtRecEmbedding(Index vocab, Index rank, Index embed_dim, Rng& rng);
+
+  Tensor forward(const IdBatch& input, bool training) override;
+  void backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&core1_, &core2_}; }
+  std::string name() const override { return "tt_rec"; }
+  Index vocab_size() const override { return vocab_; }
+  Index output_dim() const override { return e1_ * e2_; }
+
+  Index rank() const { return rank_; }
+  Index v1() const { return v1_; }
+  Index v2() const { return v2_; }
+  Index e1() const { return e1_; }
+  Index e2() const { return e2_; }
+
+  static Index param_formula(Index vocab, Index rank, Index embed_dim);
+
+ private:
+  // Factors n into (a, b) with a*b >= n and a, b as balanced as possible.
+  static std::pair<Index, Index> balanced_factors(Index n);
+
+  Index vocab_;
+  Index rank_;
+  Index v1_, v2_, e1_, e2_;
+  Param core1_;  // [v1, e1 * r] rows flattened
+  Param core2_;  // [v2, r * e2] rows flattened
+  IdBatch cached_input_;
+};
+
+}  // namespace memcom

@@ -1,0 +1,143 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace memcom {
+
+namespace {
+void check_scores(const Tensor& scores, const std::vector<Index>& labels) {
+  check(scores.ndim() == 2, "metrics: scores must be [rows, classes]");
+  check_eq(scores.dim(0), static_cast<long long>(labels.size()),
+           "metrics: rows vs labels");
+  check(scores.dim(0) > 0, "metrics: empty scores");
+}
+}  // namespace
+
+Index rank_of_label(const Tensor& scores, Index row, Index label) {
+  const Index cols = scores.dim(1);
+  check(label >= 0 && label < cols, "metrics: label out of range");
+  const float* s = scores.data() + row * cols;
+  const float target = s[static_cast<std::size_t>(label)];
+  Index rank = 0;
+  for (Index c = 0; c < cols; ++c) {
+    if (c == label) {
+      continue;
+    }
+    if (s[c] > target || (s[c] == target && c < label)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+double accuracy(const Tensor& scores, const std::vector<Index>& labels) {
+  check_scores(scores, labels);
+  const Index rows = scores.dim(0);
+  Index correct = 0;
+  for (Index r = 0; r < rows; ++r) {
+    if (rank_of_label(scores, r, labels[static_cast<std::size_t>(r)]) == 0) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows);
+}
+
+double topk_accuracy(const Tensor& scores, const std::vector<Index>& labels,
+                     Index k) {
+  check_scores(scores, labels);
+  check(k > 0, "topk: k must be positive");
+  const Index rows = scores.dim(0);
+  Index hits = 0;
+  for (Index r = 0; r < rows; ++r) {
+    if (rank_of_label(scores, r, labels[static_cast<std::size_t>(r)]) < k) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(rows);
+}
+
+double ndcg_at_k(const Tensor& scores, const std::vector<Index>& labels,
+                 Index k) {
+  check_scores(scores, labels);
+  check(k > 0, "ndcg: k must be positive");
+  const Index rows = scores.dim(0);
+  double acc = 0.0;
+  for (Index r = 0; r < rows; ++r) {
+    const Index rank =
+        rank_of_label(scores, r, labels[static_cast<std::size_t>(r)]);
+    if (rank < k) {
+      acc += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+    }
+  }
+  return acc / static_cast<double>(rows);
+}
+
+double ndcg_at_k_graded(
+    const Tensor& scores,
+    const std::vector<std::vector<std::pair<Index, double>>>& relevance,
+    Index k) {
+  check(scores.ndim() == 2, "ndcg: scores must be 2-D");
+  check_eq(scores.dim(0), static_cast<long long>(relevance.size()),
+           "ndcg: rows vs relevance");
+  const Index rows = scores.dim(0);
+  const Index cols = scores.dim(1);
+  double total = 0.0;
+  for (Index r = 0; r < rows; ++r) {
+    const auto& rel = relevance[static_cast<std::size_t>(r)];
+    if (rel.empty()) {
+      continue;
+    }
+    // Rank all columns by score (descending, stable by column id).
+    std::vector<Index> order(static_cast<std::size_t>(cols));
+    for (Index c = 0; c < cols; ++c) {
+      order[static_cast<std::size_t>(c)] = c;
+    }
+    const float* s = scores.data() + r * cols;
+    std::stable_sort(order.begin(), order.end(), [s](Index a, Index b) {
+      return s[a] > s[b];
+    });
+    std::vector<double> gains(static_cast<std::size_t>(cols), 0.0);
+    for (const auto& [col, gain] : rel) {
+      check(col >= 0 && col < cols, "ndcg: relevance column out of range");
+      gains[static_cast<std::size_t>(col)] = gain;
+    }
+    double dcg = 0.0;
+    for (Index pos = 0; pos < std::min(k, cols); ++pos) {
+      dcg += gains[static_cast<std::size_t>(order[static_cast<std::size_t>(pos)])] /
+             std::log2(static_cast<double>(pos) + 2.0);
+    }
+    std::vector<double> ideal = gains;
+    std::sort(ideal.begin(), ideal.end(), std::greater<>());
+    double idcg = 0.0;
+    for (Index pos = 0; pos < std::min(k, cols); ++pos) {
+      idcg += ideal[static_cast<std::size_t>(pos)] /
+              std::log2(static_cast<double>(pos) + 2.0);
+    }
+    if (idcg > 0.0) {
+      total += dcg / idcg;
+    }
+  }
+  return total / static_cast<double>(rows);
+}
+
+double mrr(const Tensor& scores, const std::vector<Index>& labels) {
+  check_scores(scores, labels);
+  const Index rows = scores.dim(0);
+  double acc = 0.0;
+  for (Index r = 0; r < rows; ++r) {
+    const Index rank =
+        rank_of_label(scores, r, labels[static_cast<std::size_t>(r)]);
+    acc += 1.0 / static_cast<double>(rank + 1);
+  }
+  return acc / static_cast<double>(rows);
+}
+
+double relative_loss_percent(double baseline, double value) {
+  check(baseline != 0.0, "relative loss: zero baseline");
+  return 100.0 * (baseline - value) / baseline;
+}
+
+}  // namespace memcom

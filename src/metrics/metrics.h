@@ -1,0 +1,43 @@
+// Evaluation metrics: accuracy / top-k accuracy for the classification
+// experiments (Figure 1) and nDCG for the ranking experiments (Figures 2,
+// 3, 5), plus the relative-loss transform the paper plots on its y-axes.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace memcom {
+
+// Fraction of rows where argmax(scores[r,:]) == labels[r].
+double accuracy(const Tensor& scores, const std::vector<Index>& labels);
+
+// Fraction of rows where labels[r] is among the k highest-scoring columns.
+double topk_accuracy(const Tensor& scores, const std::vector<Index>& labels,
+                     Index k);
+
+// nDCG@k with a single relevant item per row (the paper's ranking setup:
+// the held-out next interaction is the one relevant item). With one
+// relevant item, DCG = 1/log2(rank+1) if rank < k else 0, and IDCG = 1, so
+// nDCG@k = mean_r 1/log2(rank_r + 2).
+double ndcg_at_k(const Tensor& scores, const std::vector<Index>& labels,
+                 Index k);
+
+// nDCG@k for graded relevance: per row, `relevance` lists (column, gain).
+double ndcg_at_k_graded(
+    const Tensor& scores,
+    const std::vector<std::vector<std::pair<Index, double>>>& relevance,
+    Index k);
+
+// Mean reciprocal rank of the relevant column.
+double mrr(const Tensor& scores, const std::vector<Index>& labels);
+
+// The paper's y-axis: percentage loss relative to a baseline metric value
+// (positive = worse than baseline).
+double relative_loss_percent(double baseline, double value);
+
+// Rank of `label` within scores[row,:] (0 = highest score). Ties broken by
+// column order.
+Index rank_of_label(const Tensor& scores, Index row, Index label);
+
+}  // namespace memcom

@@ -1,0 +1,57 @@
+#include "nn/activations.h"
+
+#include "core/ops.h"
+
+namespace memcom {
+
+Tensor Relu::forward(const Tensor& x, bool /*training*/) {
+  cached_input_ = x;
+  Tensor y = x;
+  float* p = y.data();
+  const Index n = y.numel();
+  for (Index i = 0; i < n; ++i) {
+    if (p[i] < 0.0f) {
+      p[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor Relu::backward(const Tensor& grad_out) {
+  check(grad_out.same_shape(cached_input_), "relu: grad shape mismatch");
+  Tensor gx = grad_out;
+  const float* x = cached_input_.data();
+  float* g = gx.data();
+  const Index n = gx.numel();
+  for (Index i = 0; i < n; ++i) {
+    if (x[i] <= 0.0f) {
+      g[i] = 0.0f;
+    }
+  }
+  return gx;
+}
+
+Tensor Sigmoid::forward(const Tensor& x, bool /*training*/) {
+  Tensor y = x;
+  float* p = y.data();
+  const Index n = y.numel();
+  for (Index i = 0; i < n; ++i) {
+    p[i] = sigmoid(p[i]);
+  }
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  check(grad_out.same_shape(cached_output_), "sigmoid: grad shape mismatch");
+  Tensor gx = grad_out;
+  const float* y = cached_output_.data();
+  float* g = gx.data();
+  const Index n = gx.numel();
+  for (Index i = 0; i < n; ++i) {
+    g[i] *= y[i] * (1.0f - y[i]);
+  }
+  return gx;
+}
+
+}  // namespace memcom

@@ -1,0 +1,124 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace memcom {
+
+BatchNorm1d::BatchNorm1d(Index features, double momentum, double epsilon)
+    : momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_("batchnorm.gamma", Tensor::full({features}, 1.0f)),
+      beta_("batchnorm.beta", Tensor({features})),
+      running_mean_({features}),
+      running_var_(Tensor::full({features}, 1.0f)) {
+  check(momentum >= 0.0 && momentum < 1.0, "batchnorm momentum out of range");
+}
+
+Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
+  check(x.ndim() == 2, "batchnorm: input must be 2-D");
+  check_eq(features(), x.dim(1), "batchnorm features");
+  const Index rows = x.dim(0);
+  const Index cols = x.dim(1);
+  last_training_ = training;
+
+  Tensor mean({cols});
+  Tensor var({cols});
+  if (training) {
+    check(rows > 0, "batchnorm: empty batch in training mode");
+    for (Index c = 0; c < cols; ++c) {
+      double acc = 0.0;
+      for (Index r = 0; r < rows; ++r) {
+        acc += x.at2(r, c);
+      }
+      mean[c] = static_cast<float>(acc / static_cast<double>(rows));
+    }
+    for (Index c = 0; c < cols; ++c) {
+      double acc = 0.0;
+      for (Index r = 0; r < rows; ++r) {
+        const double d = x.at2(r, c) - mean[c];
+        acc += d * d;
+      }
+      var[c] = static_cast<float>(acc / static_cast<double>(rows));
+    }
+    // Exponential moving average of statistics for inference.
+    for (Index c = 0; c < cols; ++c) {
+      running_mean_[c] = static_cast<float>(momentum_ * running_mean_[c] +
+                                            (1.0 - momentum_) * mean[c]);
+      running_var_[c] = static_cast<float>(momentum_ * running_var_[c] +
+                                           (1.0 - momentum_) * var[c]);
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  cached_inv_std_ = Tensor({cols});
+  for (Index c = 0; c < cols; ++c) {
+    cached_inv_std_[c] =
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(var[c]) + epsilon_));
+  }
+
+  Tensor y({rows, cols});
+  cached_xhat_ = Tensor({rows, cols});
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      const float xhat = (x.at2(r, c) - mean[c]) * cached_inv_std_[c];
+      cached_xhat_.at2(r, c) = xhat;
+      y.at2(r, c) = gamma_.value[c] * xhat + beta_.value[c];
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm1d::backward(const Tensor& grad_out) {
+  check(grad_out.same_shape(cached_xhat_), "batchnorm: grad shape mismatch");
+  const Index rows = grad_out.dim(0);
+  const Index cols = grad_out.dim(1);
+
+  // Parameter grads.
+  for (Index c = 0; c < cols; ++c) {
+    double dg = 0.0;
+    double db = 0.0;
+    for (Index r = 0; r < rows; ++r) {
+      dg += static_cast<double>(grad_out.at2(r, c)) * cached_xhat_.at2(r, c);
+      db += grad_out.at2(r, c);
+    }
+    gamma_.grad[c] += static_cast<float>(dg);
+    beta_.grad[c] += static_cast<float>(db);
+  }
+
+  if (!last_training_) {
+    // Inference-mode backward (used by the gradient checker): statistics are
+    // constants, so dx = g * gamma * inv_std.
+    Tensor gx({rows, cols});
+    for (Index r = 0; r < rows; ++r) {
+      for (Index c = 0; c < cols; ++c) {
+        gx.at2(r, c) =
+            grad_out.at2(r, c) * gamma_.value[c] * cached_inv_std_[c];
+      }
+    }
+    return gx;
+  }
+
+  // Training-mode backward through the batch statistics:
+  // dx = (gamma * inv_std / N) * (N*g - sum(g) - xhat * sum(g*xhat))
+  Tensor gx({rows, cols});
+  const double n = static_cast<double>(rows);
+  for (Index c = 0; c < cols; ++c) {
+    double sum_g = 0.0;
+    double sum_gx = 0.0;
+    for (Index r = 0; r < rows; ++r) {
+      sum_g += grad_out.at2(r, c);
+      sum_gx += static_cast<double>(grad_out.at2(r, c)) * cached_xhat_.at2(r, c);
+    }
+    const double scale = gamma_.value[c] * cached_inv_std_[c] / n;
+    for (Index r = 0; r < rows; ++r) {
+      gx.at2(r, c) = static_cast<float>(
+          scale * (n * grad_out.at2(r, c) - sum_g -
+                   cached_xhat_.at2(r, c) * sum_gx));
+    }
+  }
+  return gx;
+}
+
+}  // namespace memcom

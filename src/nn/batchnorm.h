@@ -1,0 +1,40 @@
+// 1-D batch normalization over the feature axis of a [batch, features]
+// activation, with learned scale/shift and running statistics for inference.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace memcom {
+
+class BatchNorm1d : public Layer {
+ public:
+  explicit BatchNorm1d(Index features, double momentum = 0.9,
+                       double epsilon = 1e-5);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "batchnorm1d"; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+  Index features() const { return gamma_.value.dim(0); }
+
+ private:
+  double momentum_;
+  double epsilon_;
+  Param gamma_;  // scale, initialized to 1
+  Param beta_;   // shift, initialized to 0
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Caches from the last training forward, used by backward.
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // [features]
+  bool last_training_ = false;
+};
+
+}  // namespace memcom

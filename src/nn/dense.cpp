@@ -1,0 +1,32 @@
+#include "nn/dense.h"
+
+#include "core/ops.h"
+
+namespace memcom {
+
+Dense::Dense(Index in_features, Index out_features, Rng& rng,
+             std::string layer_name)
+    : name_(std::move(layer_name)),
+      weight_(name_ + ".weight", Tensor::glorot(in_features, out_features, rng)),
+      bias_(name_ + ".bias", Tensor({out_features})) {}
+
+Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  check(x.ndim() == 2, name_ + ": input must be 2-D, got " + x.shape_string());
+  check_eq(in_features(), x.dim(1), name_ + " input features");
+  cached_input_ = x;
+  Tensor y = matmul(x, weight_.value);
+  add_row_bias(y, bias_.value);
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  check(grad_out.ndim() == 2 && grad_out.dim(1) == out_features(),
+        name_ + ": bad grad shape " + grad_out.shape_string());
+  check(!cached_input_.empty(), name_ + ": backward before forward");
+  // dW = x^T g, db = sum_rows g, dx = g W^T
+  weight_.grad.add_(matmul_tn(cached_input_, grad_out));
+  bias_.grad.add_(column_sums(grad_out));
+  return matmul_nt(grad_out, weight_.value);
+}
+
+}  // namespace memcom

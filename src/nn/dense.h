@@ -1,0 +1,32 @@
+// Fully connected layer: y = x W + b.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace memcom {
+
+class Dense : public Layer {
+ public:
+  // Glorot-uniform weights, zero bias.
+  Dense(Index in_features, Index out_features, Rng& rng,
+        std::string layer_name = "dense");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  ParamRefs params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return name_; }
+
+  Index in_features() const { return weight_.value.dim(0); }
+  Index out_features() const { return weight_.value.dim(1); }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::string name_;
+  Param weight_;  // [in, out]
+  Param bias_;    // [out]
+  Tensor cached_input_;
+};
+
+}  // namespace memcom

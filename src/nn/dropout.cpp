@@ -1,0 +1,39 @@
+#include "nn/dropout.h"
+
+namespace memcom {
+
+Dropout::Dropout(double rate, Rng& rng)
+    : rate_(rate), rng_(rng.split(0x1d7)) {
+  check(rate >= 0.0 && rate < 1.0, "dropout rate must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  last_training_ = training;
+  if (!training || rate_ == 0.0) {
+    return x;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  mask_ = Tensor(x.shape());
+  Tensor y = x;
+  float* m = mask_.data();
+  float* p = y.data();
+  const Index n = y.numel();
+  for (Index i = 0; i < n; ++i) {
+    const float keep = rng_.bernoulli(rate_) ? 0.0f : keep_scale;
+    m[i] = keep;
+    p[i] *= keep;
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!last_training_ || rate_ == 0.0) {
+    return grad_out;
+  }
+  check(grad_out.same_shape(mask_), "dropout: grad shape mismatch");
+  Tensor gx = grad_out;
+  gx.mul_(mask_);
+  return gx;
+}
+
+}  // namespace memcom

@@ -1,0 +1,26 @@
+// Inverted dropout: activations are scaled by 1/(1-p) at training time so
+// inference is a no-op (as in the paper's Keras model).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace memcom {
+
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "dropout"; }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Tensor mask_;         // scaled keep-mask from the last training forward
+  bool last_training_ = false;
+};
+
+}  // namespace memcom

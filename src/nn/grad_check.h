@@ -1,0 +1,44 @@
+// Finite-difference gradient checking, used throughout the test suite to
+// validate every layer's and every embedding technique's backward pass.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/param.h"
+
+namespace memcom {
+
+struct GradCheckResult {
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  Index checked_elements = 0;
+  std::vector<float> rel_errors;  // per checked element
+
+  bool ok(float tol = 2e-2f) const { return max_rel_error <= tol; }
+
+  // Fraction of checked elements within `tol` relative error. Chained
+  // networks with ReLU kinks can have a few elements where central
+  // differences cross a kink and disagree with the (correct) analytic
+  // subgradient; those tests assert on this fraction instead of the max.
+  float fraction_within(float tol) const;
+};
+
+// Compares the analytic gradient stored in `param.grad` (which the caller
+// must have already populated via a backward pass) against central finite
+// differences of `loss_fn`, which must recompute the loss from the current
+// parameter values. Checks up to `max_elements` elements, evenly strided.
+GradCheckResult check_param_gradient(Param& param,
+                                     const std::function<float()>& loss_fn,
+                                     float epsilon = 1e-3f,
+                                     Index max_elements = 64);
+
+// Same, but for an arbitrary tensor (e.g. layer inputs) with the analytic
+// gradient supplied explicitly.
+GradCheckResult check_tensor_gradient(Tensor& tensor,
+                                      const Tensor& analytic_grad,
+                                      const std::function<float()>& loss_fn,
+                                      float epsilon = 1e-3f,
+                                      Index max_elements = 64);
+
+}  // namespace memcom

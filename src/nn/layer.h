@@ -1,0 +1,35 @@
+// Layer abstraction: explicit forward/backward (Caffe-style), no autograd
+// tape. Each layer caches what it needs from forward to compute backward;
+// backward must be called after the matching forward.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/tensor.h"
+#include "nn/param.h"
+
+namespace memcom {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // x is [batch, features] (the trunk layers all operate on 2-D activations;
+  // embedding lookup and pooling happen before the trunk, see
+  // repro/model.h). `training` toggles dropout masks and batch-norm batch
+  // statistics.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  // grad_out is dLoss/dOutput; returns dLoss/dInput and accumulates
+  // parameter gradients.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual ParamRefs params() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace memcom

@@ -1,0 +1,93 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/ops.h"
+
+namespace memcom {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<Index>& labels) {
+  check(logits.ndim() == 2, "xent: logits must be [B, C]");
+  const Index b = logits.dim(0);
+  const Index c = logits.dim(1);
+  check_eq(b, static_cast<long long>(labels.size()), "xent batch");
+  labels_ = labels;
+
+  const Tensor log_probs = log_softmax_rows(logits);
+  double loss = 0.0;
+  for (Index r = 0; r < b; ++r) {
+    const Index y = labels[static_cast<std::size_t>(r)];
+    check(y >= 0 && y < c, "xent: label out of range");
+    loss -= log_probs.at2(r, y);
+  }
+  // Cache probabilities for backward and for ranking-score extraction.
+  probs_ = Tensor({b, c});
+  for (Index i = 0; i < b * c; ++i) {
+    probs_[i] = std::exp(log_probs[i]);
+  }
+  return static_cast<float>(loss / static_cast<double>(b));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  check(!probs_.empty(), "xent: backward before forward");
+  const Index b = probs_.dim(0);
+  Tensor grad = probs_;
+  const float inv_b = 1.0f / static_cast<float>(b);
+  for (Index r = 0; r < b; ++r) {
+    grad.at2(r, labels_[static_cast<std::size_t>(r)]) -= 1.0f;
+  }
+  grad.scale_(inv_b);
+  return grad;
+}
+
+float RankNetLoss::forward(const Tensor& scores_preferred,
+                           const Tensor& scores_other) {
+  check(scores_preferred.ndim() == 1 && scores_other.ndim() == 1,
+        "ranknet: scores must be 1-D");
+  check(scores_preferred.same_shape(scores_other), "ranknet: shape mismatch");
+  const Index b = scores_preferred.dim(0);
+  check(b > 0, "ranknet: empty batch");
+  diffs_ = sub(scores_preferred, scores_other);
+  sigmoids_ = Tensor({b});
+  double loss = 0.0;
+  for (Index i = 0; i < b; ++i) {
+    const float d = diffs_[i];
+    // log(1 + exp(-d)) computed stably.
+    const double l =
+        d > 0.0f ? std::log1p(std::exp(-static_cast<double>(d)))
+                 : -static_cast<double>(d) +
+                       std::log1p(std::exp(static_cast<double>(d)));
+    loss += l;
+    sigmoids_[i] = sigmoid(-d);  // dL/d(d) = -sigmoid(-d)
+  }
+  return static_cast<float>(loss / static_cast<double>(b));
+}
+
+Tensor RankNetLoss::backward_preferred() const {
+  check(!sigmoids_.empty(), "ranknet: backward before forward");
+  Tensor grad = sigmoids_;
+  grad.scale_(-1.0f / static_cast<float>(grad.dim(0)));
+  return grad;
+}
+
+Tensor RankNetLoss::backward_other() const {
+  check(!sigmoids_.empty(), "ranknet: backward before forward");
+  Tensor grad = sigmoids_;
+  grad.scale_(1.0f / static_cast<float>(grad.dim(0)));
+  return grad;
+}
+
+float RankNetLoss::pairwise_accuracy() const {
+  check(!diffs_.empty(), "ranknet: accuracy before forward");
+  Index correct = 0;
+  for (Index i = 0; i < diffs_.dim(0); ++i) {
+    if (diffs_[i] > 0.0f) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(diffs_.dim(0));
+}
+
+}  // namespace memcom

@@ -1,0 +1,52 @@
+// Loss functions.
+//
+// SoftmaxCrossEntropy fuses softmax with the negative log-likelihood so both
+// the loss value and the gradient are numerically stable. RankNetLoss is the
+// pairwise logistic loss of Burges et al. (2005), used by the paper's
+// pairwise Arcade ranking experiment (Figure 3).
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace memcom {
+
+class SoftmaxCrossEntropy {
+ public:
+  // logits: [B, C]; labels: B class indices. Returns mean NLL over the
+  // batch.
+  float forward(const Tensor& logits, const std::vector<Index>& labels);
+
+  // d(meanNLL)/dlogits, shape [B, C] (already includes the 1/B factor).
+  Tensor backward() const;
+
+  // Softmax probabilities from the last forward (used for ranking scores).
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<Index> labels_;
+};
+
+class RankNetLoss {
+ public:
+  // scores_preferred / scores_other: [B] scores where element i of
+  // `scores_preferred` should outrank element i of `scores_other`.
+  // Loss = mean_i log(1 + exp(-(s_p - s_o))).
+  float forward(const Tensor& scores_preferred, const Tensor& scores_other);
+
+  // Gradients w.r.t. both score vectors (each [B], includes the 1/B factor).
+  // grad_other == -grad_preferred.
+  Tensor backward_preferred() const;
+  Tensor backward_other() const;
+
+  // Fraction of pairs currently ordered correctly (s_p > s_o).
+  float pairwise_accuracy() const;
+
+ private:
+  Tensor sigmoids_;  // sigmoid(-(s_p - s_o)) per pair
+  Tensor diffs_;
+};
+
+}  // namespace memcom

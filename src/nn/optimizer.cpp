@@ -1,0 +1,116 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace memcom {
+
+void Optimizer::step(const ParamRefs& params) {
+  begin_step();
+  for (Param* p : params) {
+    if (p->sparse && !p->touched_rows.empty() && p->value.ndim() == 2) {
+      p->finalize_touched();
+      const Index cols = p->value.dim(1);
+      for (const Index row : p->touched_rows) {
+        update_span(*p, row * cols, cols);
+      }
+    } else {
+      update_span(*p, 0, p->numel());
+    }
+  }
+}
+
+void Optimizer::zero_grad(const ParamRefs& params) {
+  for (Param* p : params) {
+    p->zero_grad();
+  }
+}
+
+Sgd::Sgd(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {
+  check(momentum >= 0.0 && momentum < 1.0, "sgd momentum out of range");
+}
+
+void Sgd::update_span(Param& p, Index offset, Index count) {
+  float* value = p.value.data() + offset;
+  const float* grad = p.grad.data() + offset;
+  const float lr = static_cast<float>(lr_);
+  if (momentum_ == 0.0) {
+    for (Index i = 0; i < count; ++i) {
+      value[i] -= lr * grad[i];
+    }
+    return;
+  }
+  auto [it, inserted] = velocity_.try_emplace(&p);
+  if (inserted) {
+    it->second = Tensor(p.value.shape());
+  }
+  float* vel = it->second.data() + offset;
+  const float mom = static_cast<float>(momentum_);
+  for (Index i = 0; i < count; ++i) {
+    vel[i] = mom * vel[i] + grad[i];
+    value[i] -= lr * vel[i];
+  }
+}
+
+Adagrad::Adagrad(double lr, double epsilon)
+    : Optimizer(lr), epsilon_(epsilon) {}
+
+void Adagrad::update_span(Param& p, Index offset, Index count) {
+  auto [it, inserted] = accum_.try_emplace(&p);
+  if (inserted) {
+    it->second = Tensor(p.value.shape());
+  }
+  float* value = p.value.data() + offset;
+  const float* grad = p.grad.data() + offset;
+  float* acc = it->second.data() + offset;
+  const float lr = static_cast<float>(lr_);
+  const float eps = static_cast<float>(epsilon_);
+  for (Index i = 0; i < count; ++i) {
+    acc[i] += grad[i] * grad[i];
+    value[i] -= lr * grad[i] / (std::sqrt(acc[i]) + eps);
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double epsilon)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+void Adam::update_span(Param& p, Index offset, Index count) {
+  auto [it, inserted] = state_.try_emplace(&p);
+  if (inserted) {
+    it->second.m = Tensor(p.value.shape());
+    it->second.v = Tensor(p.value.shape());
+  }
+  float* value = p.value.data() + offset;
+  const float* grad = p.grad.data() + offset;
+  float* m = it->second.m.data() + offset;
+  float* v = it->second.v.data() + offset;
+
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  const float lr = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(epsilon_);
+  for (Index i = 0; i < count; ++i) {
+    m[i] = b1 * m[i] + (1.0f - b1) * grad[i];
+    v[i] = b2 * v[i] + (1.0f - b2) * grad[i] * grad[i];
+    value[i] -= lr * m[i] / (std::sqrt(v[i]) + eps);
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& kind, double lr) {
+  if (kind == "sgd") {
+    return std::make_unique<Sgd>(lr);
+  }
+  if (kind == "adam") {
+    return std::make_unique<Adam>(lr);
+  }
+  if (kind == "adagrad") {
+    return std::make_unique<Adagrad>(lr);
+  }
+  check(false, "unknown optimizer kind: " + kind);
+  return nullptr;  // unreachable
+}
+
+}  // namespace memcom

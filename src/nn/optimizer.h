@@ -1,0 +1,96 @@
+// Optimizers: SGD (+momentum), Adagrad, Adam.
+//
+// All three support a sparse-row fast path: a Param flagged `sparse` with a
+// non-empty `touched_rows` list is updated only on those rows (lazy updates,
+// matching TensorFlow's LazyAdam / sparse Adagrad semantics). This is what
+// keeps per-step cost proportional to the batch's embedding lookups rather
+// than the vocabulary size.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "nn/param.h"
+
+namespace memcom {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update from the accumulated gradients.
+  void step(const ParamRefs& params);
+
+  // Clears gradients (sparse params clear only their touched rows).
+  static void zero_grad(const ParamRefs& params);
+
+  virtual std::string name() const = 0;
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+
+  // Updates `count` contiguous elements starting at `offset` within the
+  // param's value/grad/state storage.
+  virtual void update_span(Param& p, Index offset, Index count) = 0;
+  // Called once per step before any update_span (for e.g. Adam's step
+  // counter).
+  virtual void begin_step() {}
+
+  double lr_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+  std::string name() const override { return "sgd"; }
+
+ protected:
+  void update_span(Param& p, Index offset, Index count) override;
+
+ private:
+  double momentum_;
+  std::unordered_map<const Param*, Tensor> velocity_;
+};
+
+class Adagrad : public Optimizer {
+ public:
+  explicit Adagrad(double lr, double epsilon = 1e-8);
+  std::string name() const override { return "adagrad"; }
+
+ protected:
+  void update_span(Param& p, Index offset, Index count) override;
+
+ private:
+  double epsilon_;
+  std::unordered_map<const Param*, Tensor> accum_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+  std::string name() const override { return "adam"; }
+
+ protected:
+  void begin_step() override { ++step_count_; }
+  void update_span(Param& p, Index offset, Index count) override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  long long step_count_ = 0;
+  struct State {
+    Tensor m;
+    Tensor v;
+  };
+  std::unordered_map<const Param*, State> state_;
+};
+
+// Factory: "sgd", "adam", "adagrad".
+std::unique_ptr<Optimizer> make_optimizer(const std::string& kind, double lr);
+
+}  // namespace memcom

@@ -1,0 +1,51 @@
+#include "nn/param.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace memcom {
+
+void Param::zero_grad() {
+  if (sparse && !touched_rows.empty() && value.ndim() == 2) {
+    const Index cols = value.dim(1);
+    for (const Index r : touched_rows) {
+      float* row = grad.data() + r * cols;
+      std::fill(row, row + cols, 0.0f);
+    }
+    touched_rows.clear();
+    return;
+  }
+  grad.zero();
+  touched_rows.clear();
+}
+
+void Param::finalize_touched() {
+  std::sort(touched_rows.begin(), touched_rows.end());
+  touched_rows.erase(std::unique(touched_rows.begin(), touched_rows.end()),
+                     touched_rows.end());
+}
+
+Index total_param_count(const ParamRefs& params) {
+  Index n = 0;
+  for (const Param* p : params) {
+    n += p->numel();
+  }
+  return n;
+}
+
+float global_grad_norm(const ParamRefs& params) {
+  double acc = 0.0;
+  for (const Param* p : params) {
+    const float n = p->grad.l2_norm();
+    acc += static_cast<double>(n) * static_cast<double>(n);
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void scale_all_grads(const ParamRefs& params, float factor) {
+  for (Param* p : params) {
+    p->grad.scale_(factor);
+  }
+}
+
+}  // namespace memcom

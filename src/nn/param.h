@@ -1,0 +1,50 @@
+// Trainable parameter bookkeeping.
+//
+// A Param owns a value tensor and its gradient. Embedding tables are huge
+// and touched sparsely, so a Param can carry a "touched rows" list: the
+// optimizers then update (and zero) only those rows, which is what makes
+// training vocabularies of 10^5 rows practical on one core. Dense params
+// leave the list empty, meaning "all elements".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace memcom {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  // If non-empty, only these rows (of a 2-D value tensor) have non-zero
+  // gradient this step. Sorted, unique. Maintained by the embedding layers.
+  std::vector<Index> touched_rows;
+  bool sparse = false;  // true if touched_rows semantics are in use
+
+  Param() = default;
+  Param(std::string param_name, Tensor initial_value)
+      : name(std::move(param_name)),
+        value(std::move(initial_value)),
+        grad(value.shape()) {}
+
+  Index numel() const { return value.numel(); }
+
+  void zero_grad();
+  // Records `row` as touched (amortized O(1); dedup happens lazily in
+  // finalize_touched()).
+  void mark_touched(Index row) { touched_rows.push_back(row); }
+  void finalize_touched();
+};
+
+// Non-owning view over the params of a model, handed to optimizers.
+using ParamRefs = std::vector<Param*>;
+
+Index total_param_count(const ParamRefs& params);
+
+// Global L2 norm over all gradients (used by DP-SGD and grad-clipping).
+float global_grad_norm(const ParamRefs& params);
+void scale_all_grads(const ParamRefs& params, float factor);
+
+}  // namespace memcom

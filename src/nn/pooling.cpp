@@ -1,0 +1,66 @@
+#include "nn/pooling.h"
+
+#include "core/check.h"
+#include "core/ops.h"
+
+namespace memcom {
+
+Tensor MaskedAveragePool::forward(const Tensor& x, const Tensor& mask) {
+  check(x.ndim() == 3, "pool: x must be [B,L,E]");
+  check(mask.ndim() == 2, "pool: mask must be [B,L]");
+  const Index b = x.dim(0);
+  const Index l = x.dim(1);
+  embed_dim_ = x.dim(2);
+  check_eq(b, mask.dim(0), "pool batch");
+  check_eq(l, mask.dim(1), "pool length");
+
+  weights_ = Tensor({b, l});
+  for (Index bi = 0; bi < b; ++bi) {
+    double count = 0.0;
+    for (Index li = 0; li < l; ++li) {
+      count += mask.at2(bi, li);
+    }
+    const float w = count > 0.0 ? static_cast<float>(1.0 / count) : 0.0f;
+    for (Index li = 0; li < l; ++li) {
+      weights_.at2(bi, li) = mask.at2(bi, li) > 0.0f ? w : 0.0f;
+    }
+  }
+  return weighted_sum_middle(x, weights_);
+}
+
+Tensor MaskedAveragePool::backward(const Tensor& grad_out) const {
+  check(!weights_.empty(), "pool: backward before forward");
+  const Index b = weights_.dim(0);
+  const Index l = weights_.dim(1);
+  check(grad_out.ndim() == 2 && grad_out.dim(0) == b &&
+            grad_out.dim(1) == embed_dim_,
+        "pool: bad grad shape");
+  Tensor gx({b, l, embed_dim_});
+  for (Index bi = 0; bi < b; ++bi) {
+    const float* grow = grad_out.data() + bi * embed_dim_;
+    for (Index li = 0; li < l; ++li) {
+      const float w = weights_.at2(bi, li);
+      if (w == 0.0f) {
+        continue;
+      }
+      float* xrow = gx.data() + (bi * l + li) * embed_dim_;
+      for (Index ei = 0; ei < embed_dim_; ++ei) {
+        xrow[ei] = w * grow[ei];
+      }
+    }
+  }
+  return gx;
+}
+
+Tensor mask_from_ids(const std::vector<std::int32_t>& ids, Index batch,
+                     Index length, std::int32_t pad_id) {
+  check_eq(batch * length, static_cast<long long>(ids.size()),
+           "mask_from_ids element count");
+  Tensor mask({batch, length});
+  for (Index i = 0; i < batch * length; ++i) {
+    mask[i] = ids[static_cast<std::size_t>(i)] == pad_id ? 0.0f : 1.0f;
+  }
+  return mask;
+}
+
+}  // namespace memcom

@@ -1,0 +1,32 @@
+// Mask-aware average pooling over the sequence axis.
+//
+// The paper's Keras model uses AveragePooling1D(pool_size=input_length),
+// i.e. a mean over all positions. Our datasets pad short histories with id 0
+// ("The id 0 is reserved for padding", §5.1), so we pool only over real
+// positions; with no padding this is exactly the paper's layer.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace memcom {
+
+class MaskedAveragePool {
+ public:
+  // x: [B, L, E]; mask: [B, L] with 1 for real tokens, 0 for padding.
+  // Returns [B, E] means over unmasked positions (zero vector if a row is
+  // fully masked).
+  Tensor forward(const Tensor& x, const Tensor& mask);
+
+  // grad_out: [B, E]; returns [B, L, E].
+  Tensor backward(const Tensor& grad_out) const;
+
+ private:
+  Tensor weights_;  // [B, L]: 1/count for kept positions, 0 otherwise
+  Index embed_dim_ = 0;
+};
+
+// Builds the [B, L] mask tensor from integer ids (pad id -> 0, else 1).
+Tensor mask_from_ids(const std::vector<std::int32_t>& ids, Index batch,
+                     Index length, std::int32_t pad_id = 0);
+
+}  // namespace memcom

@@ -1,0 +1,31 @@
+#include "nn/sequential.h"
+
+namespace memcom {
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  Tensor cur = x;
+  for (const LayerPtr& layer : layers_) {
+    cur = layer->forward(cur, training);
+  }
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+ParamRefs Sequential::params() {
+  ParamRefs refs;
+  for (const LayerPtr& layer : layers_) {
+    for (Param* p : layer->params()) {
+      refs.push_back(p);
+    }
+  }
+  return refs;
+}
+
+}  // namespace memcom

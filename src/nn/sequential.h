@@ -1,0 +1,38 @@
+// Ordered container of layers with forward/backward over the whole stack.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace memcom {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  // Adds a layer and returns a reference to it (typed, for configuration).
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void append(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& x, bool training);
+  Tensor backward(const Tensor& grad_out);
+
+  ParamRefs params();
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace memcom

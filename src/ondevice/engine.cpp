@@ -1,0 +1,339 @@
+#include "ondevice/engine.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "core/check.h"
+#include "embedding/hashing.h"
+#include "embedding/id_batch.h"
+
+namespace memcom {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+InferenceEngine::InferenceEngine(const MmapModel& model, DeviceProfile profile)
+    : model_(model),
+      profile_(std::move(profile)),
+      meter_(profile_.page_size, profile_.readahead_pages) {
+  arch_ = model_.metadata_value("arch");
+  technique_ = model_.metadata_value("technique");
+  vocab_ = model_.metadata_int("vocab");
+  embed_dim_ = model_.metadata_int("embed_dim");
+  hash_size_ = model_.metadata_int("knob");
+  output_dim_ = model_.metadata_int("output_dim");
+  hidden_dim_ =
+      model_.has_metadata("hidden_dim") ? model_.metadata_int("hidden_dim") : 0;
+  check(arch_ == "classification" || arch_ == "ranking",
+        "engine: unknown architecture " + arch_);
+}
+
+void InferenceEngine::read_span(const TensorEntry& entry, Index offset,
+                                Index count, float* out) {
+  const std::size_t element_bits =
+      static_cast<std::size_t>(dtype_bits(entry.dtype));
+  const Index byte_offset =
+      static_cast<Index>(static_cast<std::size_t>(offset) * element_bits / 8);
+  const Index byte_len = static_cast<Index>(
+      (static_cast<std::size_t>(count) * element_bits + 7) / 8);
+  meter_.touch(static_cast<Index>(entry.offset) + byte_offset, byte_len);
+  dequantize_span(entry.dtype, entry.scale, model_.payload(entry), offset,
+                  count, out);
+}
+
+void InferenceEngine::embed_id(std::int32_t id, float* out) {
+  const Index e = embed_dim_;
+  if (technique_ == "uncompressed" || technique_ == "reduce_dim") {
+    read_span(model_.entry("emb.table"), static_cast<Index>(id) * e, e, out);
+  } else if (technique_ == "truncate_rare") {
+    const Index keep = hash_size_;
+    const Index row = static_cast<Index>(id) <= keep ? id : keep + 1;
+    read_span(model_.entry("emb.table"), row * e, e, out);
+  } else if (technique_ == "naive_hash") {
+    read_span(model_.entry("emb.table"), mod_hash(id, hash_size_) * e, e, out);
+  } else if (technique_ == "weinberger") {
+    // Lookup formulation of feature hashing (±row); the canonical one-hot
+    // path lives in embed_onehot_pooled.
+    read_span(model_.entry("emb.table"), mod_hash(id, hash_size_) * e, e, out);
+    const float sign = sign_hash(id);
+    for (Index c = 0; c < e; ++c) {
+      out[c] *= sign;
+    }
+  } else if (technique_ == "memcom" || technique_ == "memcom_bias") {
+    read_span(model_.entry("emb.shared"), mod_hash(id, hash_size_) * e, e,
+              out);
+    float mult = 0.0f;
+    read_span(model_.entry("emb.multiplier"), id, 1, &mult);
+    for (Index c = 0; c < e; ++c) {
+      out[c] *= mult;
+    }
+    if (technique_ == "memcom_bias") {
+      float bias = 0.0f;
+      read_span(model_.entry("emb.bias"), id, 1, &bias);
+      for (Index c = 0; c < e; ++c) {
+        out[c] += bias;
+      }
+    }
+  } else if (technique_ == "qr_mult") {
+    std::vector<float> quotient(static_cast<std::size_t>(e));
+    read_span(model_.entry("emb.remainder"), mod_hash(id, hash_size_) * e, e,
+              out);
+    read_span(model_.entry("emb.quotient"),
+              (static_cast<Index>(id) / hash_size_) * e, e, quotient.data());
+    for (Index c = 0; c < e; ++c) {
+      out[c] *= quotient[static_cast<std::size_t>(c)];
+    }
+  } else if (technique_ == "qr_concat") {
+    const Index half = e / 2;
+    read_span(model_.entry("emb.remainder"), mod_hash(id, hash_size_) * half,
+              half, out);
+    read_span(model_.entry("emb.quotient"),
+              (static_cast<Index>(id) / hash_size_) * half, half, out + half);
+  } else if (technique_ == "double_hash") {
+    const Index half = e / 2;
+    read_span(model_.entry("emb.table_a"), mod_hash(id, hash_size_) * half,
+              half, out);
+    read_span(model_.entry("emb.table_b"), mixed_hash(id, hash_size_) * half,
+              half, out + half);
+  } else if (technique_ == "factorized") {
+    const Index h = model_.entry("emb.factors").shape[1];
+    std::vector<float> factors(static_cast<std::size_t>(h));
+    read_span(model_.entry("emb.factors"), static_cast<Index>(id) * h, h,
+              factors.data());
+    // Project: out = factors · P. Streams the whole projection (h x e, tiny).
+    const TensorEntry& proj = model_.entry("emb.projection");
+    std::vector<float> prow(static_cast<std::size_t>(e));
+    for (Index c = 0; c < e; ++c) {
+      out[c] = 0.0f;
+    }
+    for (Index k = 0; k < h; ++k) {
+      read_span(proj, k * e, e, prow.data());
+      const float f = factors[static_cast<std::size_t>(k)];
+      for (Index c = 0; c < e; ++c) {
+        out[c] += f * prow[static_cast<std::size_t>(c)];
+      }
+    }
+  } else {
+    check(false, "engine: unsupported technique " + technique_);
+  }
+}
+
+Index InferenceEngine::embedding_stage_ops() const {
+  // The frameworks execute the WHOLE batch-1 embedding stage as a handful
+  // of fused graph ops (gather per table + the composition op), not one op
+  // per token — dispatch overhead must be charged accordingly.
+  if (technique_ == "uncompressed" || technique_ == "reduce_dim" ||
+      technique_ == "naive_hash" || technique_ == "truncate_rare") {
+    return 1;  // gather
+  }
+  if (technique_ == "memcom") {
+    return 3;  // gather U, gather V, broadcast multiply
+  }
+  if (technique_ == "memcom_bias") {
+    return 5;  // + gather W, broadcast add
+  }
+  if (technique_ == "qr_mult" || technique_ == "qr_concat" ||
+      technique_ == "double_hash") {
+    return 3;  // two gathers + compose
+  }
+  if (technique_ == "factorized") {
+    return 2;  // gather + projection matmul
+  }
+  if (technique_ == "weinberger") {
+    return 3;  // one_hot + matmul + reduce_sum (the un-fused §5.3 path)
+  }
+  return 1;
+}
+
+void InferenceEngine::embed_onehot_pooled(
+    const std::vector<std::int32_t>& history, std::vector<float>& pooled) {
+  const Index e = embed_dim_;
+  const Index m = hash_size_;
+  // Stage 1: hashed one-hot bag z in R^m (normalized so the result matches
+  // the lookup path's masked average exactly).
+  Index real = 0;
+  for (const std::int32_t id : history) {
+    if (id != kPadId) {
+      ++real;
+    }
+  }
+  std::vector<float> onehot(static_cast<std::size_t>(m), 0.0f);
+  const float inv = real > 0 ? 1.0f / static_cast<float>(real) : 0.0f;
+  for (const std::int32_t id : history) {
+    if (id == kPadId) {
+      continue;
+    }
+    onehot[static_cast<std::size_t>(mod_hash(id, m))] += sign_hash(id) * inv;
+  }
+  // Stage 2: z^T W — streams the ENTIRE table (this is the point of §5.3).
+  const TensorEntry& table = model_.entry("emb.table");
+  pooled.assign(static_cast<std::size_t>(e), 0.0f);
+  std::vector<float> row(static_cast<std::size_t>(e));
+  for (Index j = 0; j < m; ++j) {
+    read_span(table, j * e, e, row.data());
+    const float z = onehot[static_cast<std::size_t>(j)];
+    if (z != 0.0f) {
+      for (Index c = 0; c < e; ++c) {
+        pooled[static_cast<std::size_t>(c)] +=
+            z * row[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+}
+
+void InferenceEngine::apply_batchnorm(const std::string& prefix,
+                                      std::vector<float>& x) {
+  const Index n = static_cast<Index>(x.size());
+  std::vector<float> gamma(x.size());
+  std::vector<float> beta(x.size());
+  std::vector<float> mean(x.size());
+  std::vector<float> var(x.size());
+  read_span(model_.entry(prefix + ".gamma"), 0, n, gamma.data());
+  read_span(model_.entry(prefix + ".beta"), 0, n, beta.data());
+  read_span(model_.entry(prefix + ".mean"), 0, n, mean.data());
+  read_span(model_.entry(prefix + ".var"), 0, n, var.data());
+  for (Index i = 0; i < n; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    x[s] = gamma[s] * (x[s] - mean[s]) /
+               std::sqrt(var[s] + 1e-5f) +
+           beta[s];
+  }
+  ++op_count_;
+}
+
+void InferenceEngine::apply_dense(const std::string& prefix,
+                                  const std::vector<float>& x,
+                                  std::vector<float>& y) {
+  const TensorEntry& weight = model_.entry(prefix + ".weight");
+  const Index in = weight.shape[0];
+  const Index out = weight.shape[1];
+  check_eq(in, static_cast<long long>(x.size()), prefix + " input width");
+  y.assign(static_cast<std::size_t>(out), 0.0f);
+  std::vector<float> row(static_cast<std::size_t>(out));
+  for (Index k = 0; k < in; ++k) {
+    const float xv = x[static_cast<std::size_t>(k)];
+    read_span(weight, k * out, out, row.data());
+    if (xv != 0.0f) {
+      for (Index c = 0; c < out; ++c) {
+        y[static_cast<std::size_t>(c)] += xv * row[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  std::vector<float> bias(static_cast<std::size_t>(out));
+  read_span(model_.entry(prefix + ".bias"), 0, out, bias.data());
+  for (Index c = 0; c < out; ++c) {
+    y[static_cast<std::size_t>(c)] += bias[static_cast<std::size_t>(c)];
+  }
+  ++op_count_;
+}
+
+InferenceResult InferenceEngine::run(const std::vector<std::int32_t>& history) {
+  op_count_ = 0;
+  activation_bytes_ = 0;
+  const Index e = embed_dim_;
+  const Index l = static_cast<Index>(history.size());
+
+  InferenceResult result;
+  const auto start = Clock::now();
+
+  // --- Embedding stage + masked average pooling ---
+  std::vector<float> pooled(static_cast<std::size_t>(e), 0.0f);
+  double onehot_extra_ms = 0.0;
+  if (uses_onehot_path()) {
+    const auto onehot_start = Clock::now();
+    embed_onehot_pooled(history, pooled);
+    // The profile's slowdown models the un-fused interpreter path.
+    onehot_extra_ms =
+        elapsed_ms(onehot_start) * (profile_.onehot_slowdown - 1.0);
+    activation_bytes_ += hash_size_ * 4;  // the dense one-hot vector
+  } else {
+    std::vector<float> row(static_cast<std::size_t>(e));
+    Index real = 0;
+    for (const std::int32_t id : history) {
+      if (id == kPadId) {
+        continue;
+      }
+      ++real;
+      embed_id(id, row.data());
+      for (Index c = 0; c < e; ++c) {
+        pooled[static_cast<std::size_t>(c)] += row[static_cast<std::size_t>(c)];
+      }
+    }
+    if (real > 0) {
+      const float inv = 1.0f / static_cast<float>(real);
+      for (float& v : pooled) {
+        v *= inv;
+      }
+    }
+    activation_bytes_ += l * e * 4;  // the [L, E] lookup output
+  }
+  op_count_ += embedding_stage_ops();
+  ++op_count_;  // pooling op
+  const Index embed_ops = op_count_;
+  result.embedding_ms = elapsed_ms(start) + onehot_extra_ms +
+                        static_cast<double>(embed_ops) *
+                            profile_.per_op_dispatch_us / 1000.0;
+
+  // --- Trunk: ReLU -> BN [-> Dense(e/2)+ReLU -> BN] -> Dense(out) ---
+  for (float& v : pooled) {
+    v = std::max(v, 0.0f);
+  }
+  ++op_count_;
+  apply_batchnorm("bn1", pooled);
+  std::vector<float> trunk = std::move(pooled);
+  if (arch_ == "classification") {
+    std::vector<float> hidden;
+    apply_dense("dense1", trunk, hidden);
+    for (float& v : hidden) {
+      v = std::max(v, 0.0f);
+    }
+    ++op_count_;
+    apply_batchnorm("bn2", hidden);
+    trunk = std::move(hidden);
+    activation_bytes_ += hidden_dim_ * 4;
+  }
+  std::vector<float> logits;
+  apply_dense("out", trunk, logits);
+  activation_bytes_ += output_dim_ * 4 + e * 4;
+  meter_.note_activation_bytes(activation_bytes_);
+
+  result.total_ms = elapsed_ms(start) + onehot_extra_ms +
+                    static_cast<double>(op_count_) *
+                        profile_.per_op_dispatch_us / 1000.0;
+  result.op_count = op_count_;
+  result.logits = Tensor::from_vector(
+      {static_cast<Index>(logits.size())},
+      std::vector<float>(logits.begin(), logits.end()));
+  return result;
+}
+
+LatencyStats InferenceEngine::benchmark(
+    const std::vector<std::int32_t>& history, int runs) {
+  check(runs > 0, "engine: runs must be positive");
+  LatencyStats stats;
+  stats.runs = runs;
+  stats.min_ms = 1e30;
+  double total = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    const InferenceResult r = run(history);
+    total += r.total_ms;
+    stats.min_ms = std::min(stats.min_ms, r.total_ms);
+    stats.max_ms = std::max(stats.max_ms, r.total_ms);
+  }
+  stats.mean_ms = total / runs;
+  return stats;
+}
+
+double InferenceEngine::resident_megabytes() const {
+  return static_cast<double>(meter_.total_resident_bytes() +
+                             profile_.runtime_overhead_bytes) /
+         (1024.0 * 1024.0);
+}
+
+}  // namespace memcom

@@ -1,0 +1,100 @@
+// Forward-only inference engine over an mmap'd .mcm model.
+//
+// Re-implements the paper's network (embedding -> masked average pool ->
+// ReLU -> BatchNorm [-> Dense+ReLU -> BatchNorm] -> Dense) directly against
+// the memory-mapped weight blobs, independent of the training stack — the
+// tests verify the two produce identical logits. Two embedding compute
+// paths exist, matching §5.3's comparison:
+//
+//   * lookup path  — per-token row gather (MEmCom, QR, hashing, ...);
+//     touches O(history length) table rows.
+//   * one-hot path — Weinberger feature hashing as originally formulated: a
+//     hashed bag-of-words vector times the full table; touches every table
+//     page and costs O(m·e) regardless of history length.
+//
+// Latency is wall time of the real computation plus the device profile's
+// per-op dispatch overhead (and the profile's one-hot slowdown for the
+// un-fused TF-Lite path). Memory is metered page-granularly, see
+// memory_meter.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "ondevice/device_profile.h"
+#include "ondevice/format.h"
+#include "ondevice/memory_meter.h"
+
+namespace memcom {
+
+struct InferenceResult {
+  Tensor logits;            // [output_dim]
+  double embedding_ms = 0;  // embedding stage latency (incl. overheads)
+  double total_ms = 0;      // end-to-end latency (incl. overheads)
+  Index op_count = 0;
+};
+
+struct LatencyStats {
+  double mean_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  int runs = 0;
+};
+
+class InferenceEngine {
+ public:
+  // The engine keeps a reference to `model`; it must outlive the engine.
+  InferenceEngine(const MmapModel& model, DeviceProfile profile);
+
+  // Runs a single batch-1 forward (Table 3's setting).
+  InferenceResult run(const std::vector<std::int32_t>& history);
+
+  // Mean latency over `runs` forwards of the same input (the paper reports
+  // the average of 1000 runs).
+  LatencyStats benchmark(const std::vector<std::int32_t>& history, int runs);
+
+  // Resident memory accounting from all runs since the last reset.
+  const MemoryMeter& meter() const { return meter_; }
+  void reset_meter() { meter_.reset(); }
+  double resident_megabytes() const;
+
+  const std::string& technique() const { return technique_; }
+  const std::string& architecture() const { return arch_; }
+  Index output_dim() const { return output_dim_; }
+  bool uses_onehot_path() const { return technique_ == "weinberger"; }
+
+ private:
+  // Dequantizes `count` elements starting at element `offset` of `entry`,
+  // metering the touched byte range.
+  void read_span(const TensorEntry& entry, Index offset, Index count,
+                 float* out);
+  // Number of fused graph ops the framework dispatches for the embedding
+  // stage of this technique (gathers + composition).
+  Index embedding_stage_ops() const;
+  // Gathers one embedding row for id into `out` (lookup path).
+  void embed_id(std::int32_t id, float* out);
+  // Pooled embedding via the one-hot path (whole-table stream).
+  void embed_onehot_pooled(const std::vector<std::int32_t>& history,
+                           std::vector<float>& pooled);
+
+  void apply_batchnorm(const std::string& prefix, std::vector<float>& x);
+  // y[out] = x[in] * W[in,out] + b[out]
+  void apply_dense(const std::string& prefix, const std::vector<float>& x,
+                   std::vector<float>& y);
+
+  const MmapModel& model_;
+  DeviceProfile profile_;
+  MemoryMeter meter_;
+  std::string arch_;       // "classification" | "ranking"
+  std::string technique_;
+  Index vocab_ = 0;
+  Index embed_dim_ = 0;    // output width of the embedding stage
+  Index hash_size_ = 0;    // technique knob (m / h / keep / buckets)
+  Index hidden_dim_ = 0;   // classification trunk width (e/2)
+  Index output_dim_ = 0;
+  Index op_count_ = 0;
+  Index activation_bytes_ = 0;
+};
+
+}  // namespace memcom

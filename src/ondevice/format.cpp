@@ -1,0 +1,203 @@
+#include "ondevice/format.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/check.h"
+#include "core/serialize.h"
+
+namespace memcom {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x314D434DU;  // "MCM1" little-endian
+constexpr std::uint64_t kBlobAlignment = 64;
+
+std::uint64_t align_up(std::uint64_t offset, std::uint64_t alignment) {
+  return (offset + alignment - 1) / alignment * alignment;
+}
+}  // namespace
+
+ModelWriter::ModelWriter(std::string path) : path_(std::move(path)) {}
+
+void ModelWriter::set_metadata(const std::string& key,
+                               const std::string& value) {
+  metadata_[key] = value;
+}
+
+void ModelWriter::set_metadata_int(const std::string& key,
+                                   std::int64_t value) {
+  metadata_[key] = std::to_string(value);
+}
+
+void ModelWriter::add_tensor(const std::string& name, const Tensor& tensor,
+                             DType dtype) {
+  check(!finished_, "ModelWriter: add_tensor after finish");
+  for (const auto& [existing, unused] : tensors_) {
+    check(existing != name, "ModelWriter: duplicate tensor name " + name);
+  }
+  tensors_.emplace_back(name, quantize(tensor, dtype));
+}
+
+std::uint64_t ModelWriter::finish() {
+  check(!finished_, "ModelWriter: finish called twice");
+  finished_ = true;
+
+  // First pass: serialize header + directory to a buffer to learn its size,
+  // with blob offsets filled in afterwards. We do this by computing the
+  // directory size analytically: serialize once with zero offsets, then
+  // rewrite with real offsets (the directory size does not depend on offset
+  // values because they are fixed-width u64).
+  auto serialize_front = [&](const std::vector<std::uint64_t>& offsets,
+                             std::ostream& os) {
+    write_u32(os, kMagic);
+    write_u32(os, 1);  // version
+    write_u64(os, metadata_.size());
+    for (const auto& [key, value] : metadata_) {
+      write_string(os, key);
+      write_string(os, value);
+    }
+    write_u64(os, tensors_.size());
+    for (std::size_t i = 0; i < tensors_.size(); ++i) {
+      const auto& [name, qt] = tensors_[i];
+      write_string(os, name);
+      write_u32(os, static_cast<std::uint32_t>(qt.dtype));
+      write_u64(os, qt.shape.size());
+      for (const Index d : qt.shape) {
+        write_i64(os, d);
+      }
+      write_f32(os, qt.scale);
+      write_u64(os, offsets[i]);
+      write_u64(os, qt.payload.size());
+    }
+  };
+
+  std::ostringstream probe;
+  serialize_front(std::vector<std::uint64_t>(tensors_.size(), 0), probe);
+  const std::uint64_t front_size = static_cast<std::uint64_t>(probe.str().size());
+
+  std::vector<std::uint64_t> offsets(tensors_.size());
+  std::uint64_t cursor = align_up(front_size, kBlobAlignment);
+  for (std::size_t i = 0; i < tensors_.size(); ++i) {
+    offsets[i] = cursor;
+    cursor = align_up(cursor + tensors_[i].second.payload.size(),
+                      kBlobAlignment);
+  }
+
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  check(out.good(), "ModelWriter: cannot open " + path_);
+  serialize_front(offsets, out);
+  for (std::size_t i = 0; i < tensors_.size(); ++i) {
+    const std::uint64_t pos = static_cast<std::uint64_t>(out.tellp());
+    check(pos <= offsets[i], "ModelWriter: offset bookkeeping error");
+    for (std::uint64_t p = pos; p < offsets[i]; ++p) {
+      out.put('\0');
+    }
+    const auto& payload = tensors_[i].second.payload;
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(out.tellp());
+  out.close();
+  check(out.good(), "ModelWriter: write failed for " + path_);
+  return total;
+}
+
+MmapModel::MmapModel(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  check(fd >= 0, "MmapModel: cannot open " + path);
+  struct stat st = {};
+  check(::fstat(fd, &st) == 0, "MmapModel: fstat failed for " + path);
+  file_size_ = static_cast<std::uint64_t>(st.st_size);
+  check(file_size_ > 0, "MmapModel: empty file " + path);
+  void* map = ::mmap(nullptr, file_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  check(map != MAP_FAILED, "MmapModel: mmap failed for " + path);
+  mapping_ = static_cast<const std::uint8_t*>(map);
+
+  // Parse the front matter through an istream view of the mapping.
+  std::istringstream is(std::string(
+      reinterpret_cast<const char*>(mapping_),
+      static_cast<std::size_t>(std::min<std::uint64_t>(file_size_, 1 << 20))));
+  check_eq(static_cast<long long>(kMagic),
+           static_cast<long long>(read_u32(is)), "MmapModel magic");
+  const std::uint32_t version = read_u32(is);
+  check_eq(1, static_cast<long long>(version), "MmapModel version");
+  const std::uint64_t metadata_count = read_u64(is);
+  for (std::uint64_t i = 0; i < metadata_count; ++i) {
+    std::string key = read_string(is);
+    std::string value = read_string(is);
+    metadata_.emplace(std::move(key), std::move(value));
+  }
+  const std::uint64_t tensor_count = read_u64(is);
+  for (std::uint64_t i = 0; i < tensor_count; ++i) {
+    TensorEntry entry;
+    entry.name = read_string(is);
+    entry.dtype = static_cast<DType>(read_u32(is));
+    const std::uint64_t ndim = read_u64(is);
+    check(ndim <= 8, "MmapModel: implausible tensor rank");
+    entry.shape.resize(ndim);
+    for (std::uint64_t d = 0; d < ndim; ++d) {
+      entry.shape[d] = read_i64(is);
+    }
+    entry.scale = read_f32(is);
+    entry.offset = read_u64(is);
+    entry.byte_size = read_u64(is);
+    check(entry.offset + entry.byte_size <= file_size_,
+          "MmapModel: blob out of bounds for " + entry.name);
+    entries_.emplace(entry.name, std::move(entry));
+  }
+}
+
+MmapModel::~MmapModel() {
+  if (mapping_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(mapping_), file_size_);
+  }
+}
+
+std::string MmapModel::metadata_value(const std::string& key) const {
+  const auto it = metadata_.find(key);
+  check(it != metadata_.end(), "MmapModel: missing metadata key " + key);
+  return it->second;
+}
+
+std::int64_t MmapModel::metadata_int(const std::string& key) const {
+  return std::stoll(metadata_value(key));
+}
+
+bool MmapModel::has_tensor(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+const TensorEntry& MmapModel::entry(const std::string& name) const {
+  const auto it = entries_.find(name);
+  check(it != entries_.end(), "MmapModel: missing tensor " + name);
+  return it->second;
+}
+
+std::vector<std::string> MmapModel::tensor_names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, unused] : entries_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+const std::uint8_t* MmapModel::payload(const TensorEntry& e) const {
+  return mapping_ + e.offset;
+}
+
+Tensor MmapModel::load_tensor(const std::string& name) const {
+  const TensorEntry& e = entry(name);
+  Tensor out(e.shape);
+  dequantize_span(e.dtype, e.scale, payload(e), 0, out.numel(), out.data());
+  return out;
+}
+
+}  // namespace memcom

@@ -1,0 +1,94 @@
+// The .mcm on-device model format: a flat, mmap-friendly container.
+//
+// Layout:
+//   [header]   magic "MCM1", tensor count, metadata count
+//   [metadata] key/value string pairs (architecture, technique, dims, ...)
+//   [directory] per tensor: name, dtype, shape, scale, blob offset+size
+//   [blobs]    raw tensor payloads, each aligned to 64 bytes
+//
+// The reader maps the file with mmap(2) (read-only, MAP_PRIVATE) and hands
+// out zero-copy views, exactly like CoreML / TF-Lite weight files (§3 of
+// the paper). Blob offsets are relative to the file start so the memory
+// meter can attribute page touches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "ondevice/quantize.h"
+
+namespace memcom {
+
+struct TensorEntry {
+  std::string name;
+  DType dtype = DType::kF32;
+  Shape shape;
+  float scale = 1.0f;
+  std::uint64_t offset = 0;  // byte offset of the blob within the file
+  std::uint64_t byte_size = 0;
+
+  Index numel() const { return shape_numel(shape); }
+};
+
+class ModelWriter {
+ public:
+  explicit ModelWriter(std::string path);
+
+  void set_metadata(const std::string& key, const std::string& value);
+  void set_metadata_int(const std::string& key, std::int64_t value);
+
+  // Quantizes `tensor` to `dtype` and schedules it for writing.
+  void add_tensor(const std::string& name, const Tensor& tensor,
+                  DType dtype = DType::kF32);
+
+  // Writes the file; returns total bytes written. The writer is single-use.
+  std::uint64_t finish();
+
+ private:
+  std::string path_;
+  std::map<std::string, std::string> metadata_;
+  std::vector<std::pair<std::string, QuantizedTensor>> tensors_;
+  bool finished_ = false;
+};
+
+class MmapModel {
+ public:
+  explicit MmapModel(const std::string& path);
+  ~MmapModel();
+
+  MmapModel(const MmapModel&) = delete;
+  MmapModel& operator=(const MmapModel&) = delete;
+
+  const std::map<std::string, std::string>& metadata() const {
+    return metadata_;
+  }
+  std::string metadata_value(const std::string& key) const;
+  std::int64_t metadata_int(const std::string& key) const;
+  bool has_metadata(const std::string& key) const {
+    return metadata_.count(key) > 0;
+  }
+
+  bool has_tensor(const std::string& name) const;
+  const TensorEntry& entry(const std::string& name) const;
+  std::vector<std::string> tensor_names() const;
+
+  // Zero-copy pointer to the blob payload inside the mapping.
+  const std::uint8_t* payload(const TensorEntry& entry) const;
+
+  // Dequantizing full-tensor load (copies).
+  Tensor load_tensor(const std::string& name) const;
+
+  std::uint64_t file_size() const { return file_size_; }
+
+ private:
+  std::map<std::string, std::string> metadata_;
+  std::map<std::string, TensorEntry> entries_;
+  const std::uint8_t* mapping_ = nullptr;
+  std::uint64_t file_size_ = 0;
+};
+
+}  // namespace memcom

@@ -1,0 +1,41 @@
+#include "ondevice/memory_meter.h"
+
+#include "core/check.h"
+
+namespace memcom {
+
+MemoryMeter::MemoryMeter(Index page_size_bytes, Index readahead_pages)
+    : page_size_(page_size_bytes), readahead_pages_(readahead_pages) {
+  check(page_size_bytes > 0, "memory meter: page size must be positive");
+  check(readahead_pages >= 0, "memory meter: negative readahead");
+}
+
+void MemoryMeter::touch(Index offset_bytes, Index length_bytes) {
+  if (length_bytes <= 0) {
+    return;
+  }
+  const Index first = offset_bytes / page_size_;
+  const Index last = (offset_bytes + length_bytes - 1) / page_size_;
+  for (Index p = first; p <= last; ++p) {
+    pages_.insert(p);
+    // Model OS readahead: sequential faults pull a few extra pages.
+    for (Index r = 1; r <= readahead_pages_; ++r) {
+      pages_.insert(p + r);
+    }
+  }
+}
+
+void MemoryMeter::note_activation_bytes(Index bytes) {
+  activation_peak_ = std::max(activation_peak_, bytes);
+}
+
+Index MemoryMeter::weight_resident_bytes() const {
+  return static_cast<Index>(pages_.size()) * page_size_;
+}
+
+void MemoryMeter::reset() {
+  pages_.clear();
+  activation_peak_ = 0;
+}
+
+}  // namespace memcom

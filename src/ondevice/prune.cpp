@@ -1,0 +1,94 @@
+#include "ondevice/prune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/check.h"
+
+namespace memcom {
+
+namespace {
+float threshold_for(const std::vector<float>& magnitudes, double sparsity) {
+  if (magnitudes.empty() || sparsity <= 0.0) {
+    return 0.0f;
+  }
+  std::vector<float> sorted = magnitudes;
+  const std::size_t cut = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(sparsity * static_cast<double>(sorted.size())));
+  std::nth_element(sorted.begin(), sorted.begin() + cut, sorted.end());
+  return sorted[cut];
+}
+
+Index zero_below(Tensor& tensor, float threshold) {
+  Index zeroed = 0;
+  float* data = tensor.data();
+  for (Index i = 0; i < tensor.numel(); ++i) {
+    if (std::fabs(data[i]) < threshold && data[i] != 0.0f) {
+      data[i] = 0.0f;
+    }
+    if (data[i] == 0.0f) {
+      ++zeroed;
+    }
+  }
+  return zeroed;
+}
+}  // namespace
+
+PruneResult magnitude_prune(Tensor& tensor, double sparsity) {
+  check(sparsity >= 0.0 && sparsity < 1.0, "prune: sparsity must be in [0,1)");
+  PruneResult result;
+  result.total = tensor.numel();
+  std::vector<float> magnitudes(static_cast<std::size_t>(tensor.numel()));
+  for (Index i = 0; i < tensor.numel(); ++i) {
+    magnitudes[static_cast<std::size_t>(i)] = std::fabs(tensor[i]);
+  }
+  result.threshold = threshold_for(magnitudes, sparsity);
+  result.zeroed = zero_below(tensor, result.threshold);
+  return result;
+}
+
+PruneResult magnitude_prune_global(const ParamRefs& params, double sparsity) {
+  check(sparsity >= 0.0 && sparsity < 1.0, "prune: sparsity must be in [0,1)");
+  PruneResult result;
+  std::vector<float> magnitudes;
+  for (const Param* p : params) {
+    result.total += p->numel();
+    for (Index i = 0; i < p->numel(); ++i) {
+      magnitudes.push_back(std::fabs(p->value[i]));
+    }
+  }
+  result.threshold = threshold_for(magnitudes, sparsity);
+  for (Param* p : params) {
+    result.zeroed += zero_below(p->value, result.threshold);
+  }
+  return result;
+}
+
+Index nonzero_count(const Tensor& tensor) {
+  Index count = 0;
+  for (Index i = 0; i < tensor.numel(); ++i) {
+    if (tensor[i] != 0.0f) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double measured_sparsity(const Tensor& tensor) {
+  if (tensor.numel() == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(nonzero_count(tensor)) /
+                   static_cast<double>(tensor.numel());
+}
+
+Index csr_storage_bytes(const Tensor& tensor, int value_bits) {
+  const Index nnz = nonzero_count(tensor);
+  const Index rows = tensor.ndim() >= 2 ? tensor.dim(0) : 1;
+  const Index value_bytes = (nnz * value_bits + 7) / 8;
+  return value_bytes + nnz * 4 + (rows + 1) * 4;
+}
+
+}  // namespace memcom

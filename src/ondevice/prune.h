@@ -1,0 +1,42 @@
+// Magnitude pruning (sparsification), the compression axis the paper
+// explicitly defers: "we can reduce the size of a model compressed via
+// MEmCom by ... sparsifying the weights ... We leave the latter as a future
+// work" (Appendix A.2). Implemented here so the ablation bench can measure
+// how much sparsity MEmCom models tolerate on top of the hashing
+// compression.
+#pragma once
+
+#include "core/tensor.h"
+#include "nn/param.h"
+
+namespace memcom {
+
+struct PruneResult {
+  Index zeroed = 0;
+  Index total = 0;
+  float threshold = 0.0f;  // |w| below this was zeroed
+
+  double sparsity() const {
+    return total > 0 ? static_cast<double>(zeroed) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+// Zeroes the `sparsity` fraction of smallest-magnitude elements (global
+// threshold within the tensor). sparsity in [0, 1).
+PruneResult magnitude_prune(Tensor& tensor, double sparsity);
+
+// Prunes every listed parameter with a single global magnitude threshold
+// across all of them (Han et al.-style whole-model pruning).
+PruneResult magnitude_prune_global(const ParamRefs& params, double sparsity);
+
+Index nonzero_count(const Tensor& tensor);
+double measured_sparsity(const Tensor& tensor);
+
+// Storage estimate for compressed sparse row encoding: nnz values at
+// `value_bits` plus one 32-bit column index each, plus a 32-bit row pointer
+// per row (2-D tensors; 1-D treated as a single row).
+Index csr_storage_bytes(const Tensor& tensor, int value_bits = 32);
+
+}  // namespace memcom

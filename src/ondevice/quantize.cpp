@@ -1,0 +1,252 @@
+#include "ondevice/quantize.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "core/check.h"
+
+namespace memcom {
+
+const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kF16:
+      return "f16";
+    case DType::kI8:
+      return "i8";
+    case DType::kI4:
+      return "i4";
+  }
+  return "?";
+}
+
+DType dtype_from_bits(int bits) {
+  switch (bits) {
+    case 32:
+      return DType::kF32;
+    case 16:
+      return DType::kF16;
+    case 8:
+      return DType::kI8;
+    case 4:
+      return DType::kI4;
+    default:
+      check(false, "unsupported quantization bit width");
+      return DType::kF32;  // unreachable
+  }
+}
+
+int dtype_bits(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return 32;
+    case DType::kF16:
+      return 16;
+    case DType::kI8:
+      return 8;
+    case DType::kI4:
+      return 4;
+  }
+  return 0;
+}
+
+std::size_t packed_byte_size(DType dtype, std::size_t count) {
+  switch (dtype) {
+    case DType::kF32:
+      return count * 4;
+    case DType::kF16:
+      return count * 2;
+    case DType::kI8:
+      return count;
+    case DType::kI4:
+      return (count + 1) / 2;
+  }
+  return 0;
+}
+
+std::uint16_t f32_to_f16(float value) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  std::int32_t exponent =
+      static_cast<std::int32_t>((bits >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mantissa = bits & 0x7FFFFFu;
+
+  if (exponent >= 31) {  // overflow -> inf (or NaN passthrough)
+    const bool is_nan = ((bits >> 23) & 0xFF) == 0xFF && mantissa != 0;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (is_nan ? 0x200u : 0));
+  }
+  if (exponent <= 0) {  // subnormal or zero
+    if (exponent < -10) {
+      return static_cast<std::uint16_t>(sign);
+    }
+    mantissa |= 0x800000u;
+    const int shift = 14 - exponent;
+    std::uint32_t sub = mantissa >> shift;
+    // round to nearest even
+    const std::uint32_t rem = mantissa & ((1u << shift) - 1);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (sub & 1u) != 0)) {
+      ++sub;
+    }
+    return static_cast<std::uint16_t>(sign | sub);
+  }
+  std::uint16_t half = static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13));
+  // round to nearest even on the 13 dropped bits
+  const std::uint32_t rem = mantissa & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u) != 0)) {
+    ++half;  // may carry into the exponent, which is correct behaviour
+  }
+  return half;
+}
+
+float f16_to_f32(std::uint16_t half) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(half) & 0x8000u) << 16;
+  const std::uint32_t exponent = (half >> 10) & 0x1F;
+  const std::uint32_t mantissa = half & 0x3FFu;
+  std::uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // zero
+    } else {
+      // subnormal: normalize
+      int e = -1;
+      std::uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+             ((m & 0x3FFu) << 13);
+    }
+  } else if (exponent == 31) {
+    bits = sign | 0x7F800000u | (mantissa << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+namespace {
+// Symmetric signed range per integer dtype.
+int qmax_for(DType dtype) { return dtype == DType::kI8 ? 127 : 7; }
+
+std::int8_t quantize_value(float x, float inv_scale, int qmax) {
+  const float scaled = x * inv_scale;
+  const int q = static_cast<int>(std::lround(scaled));
+  return static_cast<std::int8_t>(std::clamp(q, -qmax, qmax));
+}
+}  // namespace
+
+QuantizedTensor quantize(const Tensor& tensor, DType dtype) {
+  QuantizedTensor out;
+  out.dtype = dtype;
+  out.shape = tensor.shape();
+  const std::size_t n = static_cast<std::size_t>(tensor.numel());
+  out.payload.resize(packed_byte_size(dtype, n));
+  switch (dtype) {
+    case DType::kF32: {
+      std::memcpy(out.payload.data(), tensor.data(), n * 4);
+      break;
+    }
+    case DType::kF16: {
+      auto* dst = reinterpret_cast<std::uint16_t*>(out.payload.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = f32_to_f16(tensor.data()[i]);
+      }
+      break;
+    }
+    case DType::kI8:
+    case DType::kI4: {
+      const int qmax = qmax_for(dtype);
+      const float abs_max = tensor.abs_max();
+      out.scale = abs_max > 0.0f ? abs_max / static_cast<float>(qmax) : 1.0f;
+      const float inv_scale = 1.0f / out.scale;
+      if (dtype == DType::kI8) {
+        auto* dst = reinterpret_cast<std::int8_t*>(out.payload.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          dst[i] = quantize_value(tensor.data()[i], inv_scale, qmax);
+        }
+      } else {
+        // Two 4-bit two's-complement nibbles per byte, low nibble first.
+        for (std::size_t i = 0; i < n; i += 2) {
+          const std::uint8_t lo = static_cast<std::uint8_t>(
+              quantize_value(tensor.data()[i], inv_scale, qmax) & 0x0F);
+          std::uint8_t hi = 0;
+          if (i + 1 < n) {
+            hi = static_cast<std::uint8_t>(
+                quantize_value(tensor.data()[i + 1], inv_scale, qmax) & 0x0F);
+          }
+          out.payload[i / 2] = static_cast<std::uint8_t>(lo | (hi << 4));
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void dequantize_span(DType dtype, float scale, const std::uint8_t* payload,
+                     Index offset, Index count, float* out) {
+  switch (dtype) {
+    case DType::kF32: {
+      std::memcpy(out, reinterpret_cast<const float*>(payload) + offset,
+                  static_cast<std::size_t>(count) * 4);
+      break;
+    }
+    case DType::kF16: {
+      const auto* src = reinterpret_cast<const std::uint16_t*>(payload);
+      for (Index i = 0; i < count; ++i) {
+        out[i] = f16_to_f32(src[offset + i]);
+      }
+      break;
+    }
+    case DType::kI8: {
+      const auto* src = reinterpret_cast<const std::int8_t*>(payload);
+      for (Index i = 0; i < count; ++i) {
+        out[i] = static_cast<float>(src[offset + i]) * scale;
+      }
+      break;
+    }
+    case DType::kI4: {
+      for (Index i = 0; i < count; ++i) {
+        const Index j = offset + i;
+        const std::uint8_t byte = payload[j / 2];
+        std::uint8_t nibble =
+            (j % 2 == 0) ? (byte & 0x0F) : (byte >> 4);
+        // sign-extend 4-bit two's complement
+        const int value =
+            (nibble & 0x8) != 0 ? static_cast<int>(nibble) - 16
+                                : static_cast<int>(nibble);
+        out[i] = static_cast<float>(value) * scale;
+      }
+      break;
+    }
+  }
+}
+
+Tensor dequantize(const QuantizedTensor& quantized) {
+  Tensor out(quantized.shape);
+  dequantize_span(quantized.dtype, quantized.scale, quantized.payload.data(),
+                  0, out.numel(), out.data());
+  return out;
+}
+
+float quantization_error_bound(DType dtype, float scale, float abs_max) {
+  switch (dtype) {
+    case DType::kF32:
+      return 0.0f;
+    case DType::kF16:
+      // Relative error of 2^-11 on the magnitude.
+      return abs_max * 0x1.0p-11f + 1e-8f;
+    case DType::kI8:
+    case DType::kI4:
+      return scale * 0.5f + 1e-8f;
+  }
+  return 0.0f;
+}
+
+}  // namespace memcom

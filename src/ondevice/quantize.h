@@ -1,0 +1,55 @@
+// Weight quantization for the exported on-device model (.mcm).
+//
+// Reproduces the paper's A.2 study: linear (CoreML-style) quantization of
+// trained weights to fp16 / int8 / int4. Quantization is per-tensor
+// symmetric: q = round(x / scale), scale = max|x| / qmax.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace memcom {
+
+enum class DType : std::uint8_t {
+  kF32 = 0,
+  kF16 = 1,
+  kI8 = 2,
+  kI4 = 3,
+};
+
+const char* dtype_name(DType dtype);
+DType dtype_from_bits(int bits);  // 32/16/8/4
+int dtype_bits(DType dtype);
+
+// Bytes needed to store `count` elements of `dtype` (int4 packs two
+// elements per byte, rounded up).
+std::size_t packed_byte_size(DType dtype, std::size_t count);
+
+struct QuantizedTensor {
+  DType dtype = DType::kF32;
+  Shape shape;
+  float scale = 1.0f;  // 1.0 for f32/f16
+  std::vector<std::uint8_t> payload;
+
+  Index numel() const { return shape_numel(shape); }
+};
+
+QuantizedTensor quantize(const Tensor& tensor, DType dtype);
+Tensor dequantize(const QuantizedTensor& quantized);
+
+// Dequantizes `count` elements starting at `offset` straight from a raw
+// payload pointer (the zero-copy path the mmap engine uses for row lookups).
+void dequantize_span(DType dtype, float scale, const std::uint8_t* payload,
+                     Index offset, Index count, float* out);
+
+// IEEE 754 half-precision conversions (round-to-nearest-even).
+std::uint16_t f32_to_f16(float value);
+float f16_to_f32(std::uint16_t half);
+
+// Worst-case absolute rounding error for a tensor quantized at `scale`
+// (scale/2 for i8/i4); used by tests.
+float quantization_error_bound(DType dtype, float scale, float abs_max);
+
+}  // namespace memcom

@@ -1,0 +1,67 @@
+#include "privacy/dp_sgd.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace memcom {
+
+DpSgdAggregator::DpSgdAggregator(double clip_norm, double noise_multiplier,
+                                 Rng rng)
+    : clip_norm_(clip_norm), noise_multiplier_(noise_multiplier), rng_(rng) {
+  check(clip_norm > 0.0, "dp-sgd: clip norm must be positive");
+  check(noise_multiplier >= 0.0, "dp-sgd: negative noise multiplier");
+}
+
+void DpSgdAggregator::begin_batch(const ParamRefs& params) {
+  for (Param* p : params) {
+    auto [it, inserted] = accum_.try_emplace(p);
+    if (inserted || !it->second.same_shape(p->value)) {
+      it->second = Tensor(p->value.shape());
+    } else {
+      it->second.zero();
+    }
+  }
+  example_count_ = 0;
+}
+
+void DpSgdAggregator::accumulate_example(const ParamRefs& params) {
+  const float norm = global_grad_norm(params);
+  last_example_norm_ = norm;
+  const float factor =
+      norm > clip_norm_ ? static_cast<float>(clip_norm_) / norm : 1.0f;
+  for (Param* p : params) {
+    auto it = accum_.find(p);
+    check(it != accum_.end(), "dp-sgd: accumulate before begin_batch");
+    it->second.axpy_(factor, p->grad);
+  }
+  ++example_count_;
+}
+
+void DpSgdAggregator::finalize_into_grads(const ParamRefs& params) {
+  check(example_count_ > 0, "dp-sgd: no examples accumulated");
+  const float stddev =
+      static_cast<float>(noise_multiplier_ * clip_norm_);
+  const float inv_count = 1.0f / static_cast<float>(example_count_);
+  for (Param* p : params) {
+    auto it = accum_.find(p);
+    check(it != accum_.end(), "dp-sgd: finalize before begin_batch");
+    Tensor& acc = it->second;
+    float* g = p->grad.data();
+    const float* a = acc.data();
+    const Index n = p->numel();
+    for (Index i = 0; i < n; ++i) {
+      const float noise =
+          stddev > 0.0f ? rng_.normal(0.0f, stddev) : 0.0f;
+      g[i] = (a[i] + noise) * inv_count;
+    }
+    // The noisy gradient is dense in every coordinate, so the sparse-row
+    // optimizer fast path no longer applies this step.
+    p->touched_rows.clear();
+    if (stddev > 0.0f) {
+      p->sparse = false;
+    }
+  }
+}
+
+}  // namespace memcom

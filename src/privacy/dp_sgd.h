@@ -1,0 +1,53 @@
+// DP-SGD gradient aggregation (Abadi et al. 2016), the mechanism behind the
+// paper's private-federated-learning study (Appendix A.3, trained there
+// with TensorFlow Privacy's RDP framework).
+//
+// Per example: clip the example's gradient to global L2 norm <= clip_norm.
+// Per batch: sum clipped gradients, add N(0, (noise_multiplier*clip_norm)^2)
+// per coordinate, divide by batch size, and hand the result to a normal
+// optimizer.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/rng.h"
+#include "nn/param.h"
+
+namespace memcom {
+
+class DpSgdAggregator {
+ public:
+  // noise_multiplier == 0 reduces to plain (clipped) minibatch SGD; the
+  // paper's Figure 5 sweeps this knob.
+  DpSgdAggregator(double clip_norm, double noise_multiplier, Rng rng);
+
+  // Clears the accumulators (call at the start of every batch).
+  void begin_batch(const ParamRefs& params);
+
+  // Takes the single-example gradient currently stored in `params[*]->grad`,
+  // clips it to `clip_norm` (global L2 across all params), and adds it to
+  // the accumulator. The caller zeroes the grads before the next example.
+  void accumulate_example(const ParamRefs& params);
+
+  // Writes (sum of clipped grads + Gaussian noise) / example_count back
+  // into `params[*]->grad`, ready for an Optimizer::step.
+  void finalize_into_grads(const ParamRefs& params);
+
+  Index example_count() const { return example_count_; }
+  double clip_norm() const { return clip_norm_; }
+  double noise_multiplier() const { return noise_multiplier_; }
+
+  // L2 norm of the last example's gradient before clipping (observability /
+  // tests).
+  double last_example_norm() const { return last_example_norm_; }
+
+ private:
+  double clip_norm_;
+  double noise_multiplier_;
+  Rng rng_;
+  std::unordered_map<const Param*, Tensor> accum_;
+  Index example_count_ = 0;
+  double last_example_norm_ = 0.0;
+};
+
+}  // namespace memcom

@@ -1,0 +1,74 @@
+#include "privacy/rdp_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace memcom {
+
+namespace {
+// log(a + b) given log(a), log(b).
+double log_add(double log_a, double log_b) {
+  if (log_a == -std::numeric_limits<double>::infinity()) {
+    return log_b;
+  }
+  if (log_b == -std::numeric_limits<double>::infinity()) {
+    return log_a;
+  }
+  const double mx = std::max(log_a, log_b);
+  return mx + std::log1p(std::exp(std::min(log_a, log_b) - mx));
+}
+
+double log_binomial(long long n, long long k) {
+  return std::lgamma(static_cast<double>(n + 1)) -
+         std::lgamma(static_cast<double>(k + 1)) -
+         std::lgamma(static_cast<double>(n - k + 1));
+}
+}  // namespace
+
+RdpAccountant::RdpAccountant(double sampling_rate, double noise_multiplier)
+    : sampling_rate_(sampling_rate), noise_multiplier_(noise_multiplier) {
+  check(sampling_rate > 0.0 && sampling_rate <= 1.0,
+        "rdp: sampling rate must be in (0, 1]");
+  check(noise_multiplier > 0.0, "rdp: noise multiplier must be positive");
+}
+
+double RdpAccountant::rdp_at_order(long long alpha) const {
+  check(alpha >= 2, "rdp: order must be >= 2");
+  const double q = sampling_rate_;
+  const double sigma2 = noise_multiplier_ * noise_multiplier_;
+  if (q == 1.0) {
+    // Plain Gaussian mechanism: eps_RDP(alpha) = alpha / (2 sigma^2).
+    return static_cast<double>(alpha) / (2.0 * sigma2);
+  }
+  // log sum_{k=0}^{alpha} C(alpha,k) (1-q)^{alpha-k} q^k exp(k(k-1)/2sigma^2)
+  double log_sum = -std::numeric_limits<double>::infinity();
+  for (long long k = 0; k <= alpha; ++k) {
+    const double term =
+        log_binomial(alpha, k) +
+        static_cast<double>(alpha - k) * std::log1p(-q) +
+        static_cast<double>(k) * std::log(q) +
+        static_cast<double>(k * (k - 1)) / (2.0 * sigma2);
+    log_sum = log_add(log_sum, term);
+  }
+  return std::max(0.0, log_sum / static_cast<double>(alpha - 1));
+}
+
+double RdpAccountant::epsilon(long long steps, double delta) const {
+  check(steps >= 0, "rdp: negative steps");
+  check(delta > 0.0 && delta < 1.0, "rdp: delta must be in (0, 1)");
+  if (steps == 0) {
+    return 0.0;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (long long alpha = 2; alpha <= 256; ++alpha) {
+    const double eps = static_cast<double>(steps) * rdp_at_order(alpha) +
+                       std::log(1.0 / delta) / static_cast<double>(alpha - 1);
+    best = std::min(best, eps);
+  }
+  return best;
+}
+
+}  // namespace memcom

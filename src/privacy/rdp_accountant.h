@@ -1,0 +1,34 @@
+// Rényi differential privacy accountant for the subsampled Gaussian
+// mechanism (Mironov 2017; Mironov, Talwar & Zhang 2019) — the same
+// accounting TensorFlow Privacy performs for the paper's Appendix A.3
+// setup ("RDP's delta parameter set to 1/number_of_training_points").
+#pragma once
+
+#include <vector>
+
+namespace memcom {
+
+class RdpAccountant {
+ public:
+  // sampling_rate q = batch_size / dataset_size (Poisson subsampling),
+  // noise_multiplier sigma = noise stddev / clip norm.
+  RdpAccountant(double sampling_rate, double noise_multiplier);
+
+  // RDP epsilon of ONE mechanism invocation at integer order alpha >= 2
+  // (Mironov et al. 2019, Theorem 9 upper bound via the binomial
+  // expansion).
+  double rdp_at_order(long long alpha) const;
+
+  // (epsilon, delta)-DP after `steps` compositions: minimizes over orders
+  // alpha in [2, 256] of steps*rdp(alpha) + log(1/delta)/(alpha-1).
+  double epsilon(long long steps, double delta) const;
+
+  double sampling_rate() const { return sampling_rate_; }
+  double noise_multiplier() const { return noise_multiplier_; }
+
+ private:
+  double sampling_rate_;
+  double noise_multiplier_;
+};
+
+}  // namespace memcom

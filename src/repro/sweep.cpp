@@ -1,0 +1,176 @@
+#include "repro/sweep.h"
+
+#include <algorithm>
+
+#include "core/table.h"
+
+namespace memcom {
+
+std::vector<Index> knob_ladder(TechniqueKind kind, Index vocab,
+                               Index embed_dim, Index levels) {
+  check(levels > 0, "knob ladder: levels must be positive");
+  std::vector<Index> ladder;
+  switch (kind) {
+    case TechniqueKind::kMemcom:
+    case TechniqueKind::kMemcomBias:
+    case TechniqueKind::kQrMult:
+    case TechniqueKind::kQrConcat:
+    case TechniqueKind::kNaiveHash:
+    case TechniqueKind::kDoubleHash:
+    case TechniqueKind::kWeinberger:
+    case TechniqueKind::kTruncateRare: {
+      // Paper ladder: hash sizes 100K, 50K, 25K, 10K, 5K, 1K for a 100K+
+      // vocab, i.e. roughly vocab / {2, 4, 8, 16, 32, 64}.
+      Index divisor = 2;
+      for (Index i = 0; i < levels; ++i) {
+        ladder.push_back(std::max<Index>(8, vocab / divisor));
+        divisor *= 4;
+      }
+      break;
+    }
+    case TechniqueKind::kFactorized: {
+      // Hidden dims e/2, e/4, ... ("vary the dimension of the embedding
+      // layer by a factor of 2 starting from 128", §5).
+      Index h = embed_dim / 2;
+      for (Index i = 0; i < levels && h >= 2; ++i, h /= 2) {
+        ladder.push_back(h);
+      }
+      break;
+    }
+    case TechniqueKind::kReduceDim: {
+      Index d = embed_dim / 2;
+      for (Index i = 0; i < levels && d >= 2; ++i, d /= 2) {
+        ladder.push_back(d);
+      }
+      break;
+    }
+    case TechniqueKind::kHashedNets: {
+      Index buckets = vocab * embed_dim / 4;
+      for (Index i = 0; i < levels && buckets >= 64; ++i, buckets /= 8) {
+        ladder.push_back(buckets);
+      }
+      break;
+    }
+    case TechniqueKind::kMixedDim: {
+      // Head-block sizes vocab/16, vocab/64, ... — smaller head blocks push
+      // more of the vocabulary into narrow tail blocks.
+      Index head = std::max<Index>(8, vocab / 16);
+      for (Index i = 0; i < levels && head >= 8; ++i, head /= 4) {
+        ladder.push_back(head);
+      }
+      break;
+    }
+    case TechniqueKind::kTtRec: {
+      Index rank = embed_dim / 2;
+      for (Index i = 0; i < levels && rank >= 1; ++i, rank /= 4) {
+        ladder.push_back(rank);
+      }
+      break;
+    }
+    case TechniqueKind::kFull: {
+      ladder.push_back(0);
+      break;
+    }
+  }
+  // Deduplicate (small vocabs can collapse adjacent rungs).
+  std::sort(ladder.begin(), ladder.end(), std::greater<>());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  return ladder;
+}
+
+Index model_param_count(const EmbeddingConfig& embedding, ModelArch arch,
+                        Index output_vocab) {
+  ModelConfig config;
+  config.embedding = embedding;
+  config.arch = arch;
+  config.output_vocab = output_vocab;
+  RecModel model(config);
+  return model.param_count();
+}
+
+SweepResult run_compression_sweep(const SyntheticDataset& data, ModelArch arch,
+                                  const std::vector<TechniqueKind>& techniques,
+                                  const TrainConfig& train_config,
+                                  Index embed_dim, Index ladder_levels,
+                                  std::ostream* progress) {
+  SweepResult result;
+  result.dataset = data.spec().name;
+  result.arch = arch;
+
+  // Baseline: the uncompressed model.
+  ModelConfig baseline_config;
+  baseline_config.embedding = {TechniqueKind::kFull, data.input_vocab(),
+                               embed_dim, 0};
+  baseline_config.arch = arch;
+  baseline_config.output_vocab = data.output_vocab();
+  baseline_config.seed = train_config.seed;
+  RecModel baseline(baseline_config);
+  result.baseline_params = baseline.param_count();
+  const EvalResult baseline_eval =
+      train_and_evaluate(baseline, data, train_config);
+  result.baseline_metric = baseline_eval.primary(arch);
+  if (progress != nullptr) {
+    (*progress) << "[" << result.dataset << "] baseline metric="
+                << format_float(result.baseline_metric, 4) << " params="
+                << result.baseline_params << "\n";
+  }
+
+  for (const TechniqueKind kind : techniques) {
+    TechniqueSeries series;
+    series.kind = kind;
+    for (const Index knob :
+         knob_ladder(kind, data.input_vocab(), embed_dim, ladder_levels)) {
+      ModelConfig config;
+      config.embedding = {kind, data.input_vocab(), embed_dim, knob};
+      config.arch = arch;
+      config.output_vocab = data.output_vocab();
+      config.seed = train_config.seed;
+      RecModel model(config);
+
+      SweepPoint point;
+      point.knob = knob;
+      point.model_params = model.param_count();
+      point.compression_ratio = static_cast<double>(result.baseline_params) /
+                                static_cast<double>(point.model_params);
+      const EvalResult eval = train_and_evaluate(model, data, train_config);
+      point.metric = eval.primary(arch);
+      // A degenerate (zero-metric) baseline makes relative loss undefined;
+      // report 0 rather than dividing by zero.
+      point.relative_loss_pct =
+          result.baseline_metric > 0.0
+              ? relative_loss_percent(result.baseline_metric, point.metric)
+              : 0.0;
+      series.points.push_back(point);
+      if (progress != nullptr) {
+        (*progress) << "  " << technique_name(kind) << " knob=" << knob
+                    << " ratio=" << format_ratio(point.compression_ratio)
+                    << " metric=" << format_float(point.metric, 4)
+                    << " loss=" << format_percent(point.relative_loss_pct)
+                    << "\n";
+      }
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+void print_sweep(const SweepResult& result, const std::string& metric_name,
+                 std::ostream& os) {
+  os << "dataset=" << result.dataset << "  baseline " << metric_name << "="
+     << format_float(result.baseline_metric, 4)
+     << "  baseline params=" << result.baseline_params << "\n";
+  TextTable table({"technique", "knob", "params", "compression",
+                   metric_name, "loss_vs_baseline"});
+  for (const TechniqueSeries& series : result.series) {
+    for (const SweepPoint& point : series.points) {
+      table.add_row({technique_name(series.kind), std::to_string(point.knob),
+                     std::to_string(point.model_params),
+                     format_ratio(point.compression_ratio),
+                     format_float(point.metric, 4),
+                     format_percent(point.relative_loss_pct)});
+    }
+  }
+  os << table.to_string();
+}
+
+}  // namespace memcom

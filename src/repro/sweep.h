@@ -1,0 +1,58 @@
+// Compression-vs-accuracy sweep runner — the machinery behind Figures 1-3.
+//
+// For one dataset it trains the uncompressed baseline, then every requested
+// technique at every point of its compression-knob ladder, and reports the
+// paper's coordinates: x = whole-model compression ratio ("we measure the
+// number of parameters of all the layers and not just the embedding
+// layers", §5.1), y = % loss in the primary metric vs the baseline.
+#pragma once
+
+#include <ostream>
+
+#include "repro/trainer.h"
+
+namespace memcom {
+
+struct SweepPoint {
+  Index knob = 0;
+  Index model_params = 0;
+  double compression_ratio = 1.0;
+  double metric = 0.0;
+  double relative_loss_pct = 0.0;
+};
+
+struct TechniqueSeries {
+  TechniqueKind kind = TechniqueKind::kFull;
+  std::vector<SweepPoint> points;
+};
+
+struct SweepResult {
+  std::string dataset;
+  ModelArch arch = ModelArch::kClassification;
+  double baseline_metric = 0.0;
+  Index baseline_params = 0;
+  std::vector<TechniqueSeries> series;
+};
+
+// The per-technique ladder of compression knobs, strongest compression
+// last. `levels` entries mirror the paper's hash-size ladder (100K, 50K,
+// 25K, 10K, 5K, 1K scaled to vocab fractions 1/2 .. 1/64).
+std::vector<Index> knob_ladder(TechniqueKind kind, Index vocab,
+                               Index embed_dim, Index levels);
+
+SweepResult run_compression_sweep(const SyntheticDataset& data, ModelArch arch,
+                                  const std::vector<TechniqueKind>& techniques,
+                                  const TrainConfig& train_config,
+                                  Index embed_dim, Index ladder_levels,
+                                  std::ostream* progress = nullptr);
+
+// Renders the sweep in the paper's figure form (one series per technique).
+void print_sweep(const SweepResult& result, const std::string& metric_name,
+                 std::ostream& os);
+
+// Model parameter count for a given embedding configuration without
+// training (used by Figure 6's size budgeting).
+Index model_param_count(const EmbeddingConfig& embedding, ModelArch arch,
+                        Index output_vocab);
+
+}  // namespace memcom

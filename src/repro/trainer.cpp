@@ -1,0 +1,192 @@
+#include "repro/trainer.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "privacy/dp_sgd.h"
+
+namespace memcom {
+
+namespace {
+
+std::vector<Sample> truncated_train_split(const SyntheticDataset& data,
+                                          double fraction) {
+  const auto& full = data.train();
+  const Index keep = std::max<Index>(
+      1, static_cast<Index>(static_cast<double>(full.size()) * fraction));
+  return {full.begin(), full.begin() + keep};
+}
+
+}  // namespace
+
+EvalResult evaluate_model(RecModel& model, const SyntheticDataset& data,
+                          Index ndcg_k) {
+  const auto& eval = data.eval();
+  check(!eval.empty(), "evaluate: empty eval split");
+  const Index chunk = 256;
+  const Index n = static_cast<Index>(eval.size());
+
+  Tensor all_scores({n, model.output_vocab()});
+  std::vector<Index> all_labels(static_cast<std::size_t>(n));
+  SoftmaxCrossEntropy loss;
+  double loss_total = 0.0;
+  Index loss_batches = 0;
+  for (Index first = 0; first < n; first += chunk) {
+    const Index count = std::min(chunk, n - first);
+    const Batch batch = make_batch(eval, first, count);
+    const Tensor logits = model.forward(batch.inputs, /*training=*/false);
+    loss_total += loss.forward(logits, batch.labels);
+    ++loss_batches;
+    for (Index r = 0; r < count; ++r) {
+      all_labels[static_cast<std::size_t>(first + r)] =
+          batch.labels[static_cast<std::size_t>(r)];
+      for (Index c = 0; c < model.output_vocab(); ++c) {
+        all_scores.at2(first + r, c) = logits.at2(r, c);
+      }
+    }
+  }
+  EvalResult result;
+  result.accuracy = accuracy(all_scores, all_labels);
+  result.top5_accuracy =
+      topk_accuracy(all_scores, all_labels,
+                    std::min<Index>(5, model.output_vocab()));
+  result.ndcg = ndcg_at_k(all_scores, all_labels,
+                          std::min(ndcg_k, model.output_vocab()));
+  result.mrr = mrr(all_scores, all_labels);
+  result.mean_loss = loss_total / static_cast<double>(loss_batches);
+  return result;
+}
+
+EvalResult train_and_evaluate(RecModel& model, const SyntheticDataset& data,
+                              const TrainConfig& config) {
+  const std::vector<Sample> train =
+      truncated_train_split(data, config.train_fraction);
+  Rng rng(config.seed);
+  Batcher batcher(train, config.batch_size, rng);
+  const auto optimizer = make_optimizer(config.optimizer,
+                                        config.learning_rate);
+  const ParamRefs params = model.params();
+  SoftmaxCrossEntropy loss;
+
+  for (Index epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    Index batches = 0;
+    Batch batch;
+    while (batcher.next(batch)) {
+      const Tensor logits = model.forward(batch.inputs, /*training=*/true);
+      epoch_loss += loss.forward(logits, batch.labels);
+      ++batches;
+      model.backward(loss.backward());
+      optimizer->step(params);
+      Optimizer::zero_grad(params);
+    }
+    batcher.reshuffle();
+    if (config.verbose && config.log != nullptr) {
+      (*config.log) << "  epoch " << (epoch + 1) << "/" << config.epochs
+                    << " train_loss=" << epoch_loss / std::max<Index>(1, batches)
+                    << "\n";
+    }
+  }
+  return evaluate_model(model, data, config.ndcg_k);
+}
+
+EvalResult train_dp_and_evaluate(RecModel& model, const SyntheticDataset& data,
+                                 const TrainConfig& config, double clip_norm,
+                                 double noise_multiplier) {
+  const std::vector<Sample> train =
+      truncated_train_split(data, config.train_fraction);
+  Rng rng(config.seed);
+  Batcher batcher(train, config.batch_size, rng);
+  const auto optimizer = make_optimizer(config.optimizer,
+                                        config.learning_rate);
+  const ParamRefs params = model.params();
+  SoftmaxCrossEntropy loss;
+  DpSgdAggregator aggregator(clip_norm, noise_multiplier, rng.split(0xd9));
+
+  for (Index epoch = 0; epoch < config.epochs; ++epoch) {
+    Batch batch;
+    while (batcher.next(batch)) {
+      aggregator.begin_batch(params);
+      // Per-example gradients: microbatches of one.
+      for (Index r = 0; r < batch.inputs.batch; ++r) {
+        IdBatch single(1, batch.inputs.length);
+        for (Index l = 0; l < batch.inputs.length; ++l) {
+          single.id(0, l) = batch.inputs.id(r, l);
+        }
+        const Tensor logits = model.forward(single, /*training=*/true);
+        loss.forward(logits, {batch.labels[static_cast<std::size_t>(r)]});
+        model.backward(loss.backward());
+        aggregator.accumulate_example(params);
+        Optimizer::zero_grad(params);
+      }
+      aggregator.finalize_into_grads(params);
+      optimizer->step(params);
+      Optimizer::zero_grad(params);
+    }
+    batcher.reshuffle();
+  }
+  return evaluate_model(model, data, config.ndcg_k);
+}
+
+PairwiseResult train_pairwise_and_evaluate(PairwiseRankModel& model,
+                                           const SyntheticDataset& data,
+                                           const TrainConfig& config) {
+  const std::vector<Sample> train =
+      truncated_train_split(data, config.train_fraction);
+  Rng rng(config.seed);
+  Batcher batcher(train, config.batch_size, rng);
+  const auto optimizer = make_optimizer(config.optimizer,
+                                        config.learning_rate);
+  const ParamRefs params = model.params();
+  Rng negative_rng = rng.split(0x9e9);
+  const Index item_count = data.output_vocab();
+
+  PairwiseResult result;
+  double loss_total = 0.0;
+  double accuracy_total = 0.0;
+  Index batches = 0;
+  for (Index epoch = 0; epoch < config.epochs; ++epoch) {
+    Batch batch;
+    while (batcher.next(batch)) {
+      std::vector<Index> preferred = batch.labels;
+      std::vector<Index> other(preferred.size());
+      for (std::size_t i = 0; i < other.size(); ++i) {
+        Index negative = negative_rng.uniform_index(item_count);
+        if (negative == preferred[i]) {
+          negative = (negative + 1) % item_count;
+        }
+        other[i] = negative;
+      }
+      float batch_accuracy = 0.0f;
+      loss_total += model.train_pair_batch(batch.inputs, preferred, other,
+                                           &batch_accuracy);
+      accuracy_total += batch_accuracy;
+      ++batches;
+      optimizer->step(params);
+      Optimizer::zero_grad(params);
+    }
+    batcher.reshuffle();
+  }
+  result.mean_loss = loss_total / std::max<Index>(1, batches);
+  result.pairwise_accuracy = accuracy_total / std::max<Index>(1, batches);
+
+  // Evaluation: rank the full item catalog per user, nDCG on the held-out
+  // label.
+  const auto& eval = data.eval();
+  const Index n = static_cast<Index>(eval.size());
+  Tensor scores({n, item_count});
+  std::vector<Index> labels(static_cast<std::size_t>(n));
+  for (Index r = 0; r < n; ++r) {
+    const Batch single = make_batch(eval, r, 1);
+    const Tensor row = model.score_all(single.inputs);
+    for (Index c = 0; c < item_count; ++c) {
+      scores.at2(r, c) = row.at2(0, c);
+    }
+    labels[static_cast<std::size_t>(r)] = single.labels[0];
+  }
+  result.ndcg =
+      ndcg_at_k(scores, labels, std::min(config.ndcg_k, item_count));
+  return result;
+}
+
+}  // namespace memcom

@@ -1,0 +1,68 @@
+// Training / evaluation loops for the experiment harness: softmax training
+// for the classification and pointwise-ranking experiments, RankNet pair
+// training for Figure 3, and a DP-SGD variant for Appendix A.3.
+#pragma once
+
+#include <ostream>
+
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "nn/optimizer.h"
+#include "repro/model.h"
+
+namespace memcom {
+
+struct TrainConfig {
+  Index epochs = 2;
+  Index batch_size = 64;
+  double learning_rate = 2e-3;
+  std::string optimizer = "adam";
+  std::uint64_t seed = 99;
+  Index ndcg_k = 32;
+  // Use only this fraction of the training split (quick-bench knob).
+  double train_fraction = 1.0;
+  bool verbose = false;
+  std::ostream* log = nullptr;
+};
+
+struct EvalResult {
+  double accuracy = 0;
+  double top5_accuracy = 0;
+  double ndcg = 0;
+  double mrr = 0;
+  double mean_loss = 0;
+
+  // The figure's y-metric for the given architecture: accuracy for
+  // classification (Figure 1), nDCG for ranking (Figures 2/3/5).
+  double primary(ModelArch arch) const {
+    return arch == ModelArch::kClassification ? accuracy : ndcg;
+  }
+};
+
+// Softmax training of a RecModel; returns the evaluation-split metrics.
+EvalResult train_and_evaluate(RecModel& model, const SyntheticDataset& data,
+                              const TrainConfig& config);
+
+// Forward-only evaluation on the eval split.
+EvalResult evaluate_model(RecModel& model, const SyntheticDataset& data,
+                          Index ndcg_k);
+
+// DP-SGD training (per-example clipping, Gaussian noise). noise_multiplier
+// == 0 degenerates to clipped SGD, the Figure 5 x-origin.
+EvalResult train_dp_and_evaluate(RecModel& model, const SyntheticDataset& data,
+                                 const TrainConfig& config, double clip_norm,
+                                 double noise_multiplier);
+
+// RankNet pairwise training (Figure 3); returns eval nDCG@k. Negative items
+// are popularity-sampled, matching how the paper ranks "any list of items
+// available in the output vocabulary".
+struct PairwiseResult {
+  double ndcg = 0;
+  double pairwise_accuracy = 0;
+  double mean_loss = 0;
+};
+PairwiseResult train_pairwise_and_evaluate(PairwiseRankModel& model,
+                                           const SyntheticDataset& data,
+                                           const TrainConfig& config);
+
+}  // namespace memcom

@@ -1,0 +1,124 @@
+// Tests for the bench-facing utilities: command-line flag parsing and
+// aligned table / number formatting.
+#include <gtest/gtest.h>
+
+#include "core/flags.h"
+#include "core/table.h"
+
+namespace memcom {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags flags = parse({"--steps=100", "--name=abc"});
+  EXPECT_EQ(flags.get_int("steps", 0), 100);
+  EXPECT_EQ(flags.get_string("name", ""), "abc");
+}
+
+TEST(Flags, SpaceSeparatedForm) {
+  const Flags flags = parse({"--steps", "250", "--rate", "0.5"});
+  EXPECT_EQ(flags.get_int("steps", 0), 250);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 0.5);
+}
+
+TEST(Flags, BareSwitchIsTrue) {
+  const Flags flags = parse({"--full", "--verbose"});
+  EXPECT_TRUE(flags.get_bool("full", false));
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_TRUE(flags.has("full"));
+  EXPECT_FALSE(flags.has("quick"));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const Flags flags = parse({});
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_EQ(flags.get_string("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.get_bool("missing", false));
+  EXPECT_TRUE(flags.get_bool("missing", true));
+}
+
+TEST(Flags, BoolValueForms) {
+  const Flags flags = parse({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_TRUE(flags.get_bool("b", false));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_FALSE(flags.get_bool("d", true));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags flags = parse({"input.mcm", "second", "--stats"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.mcm");
+  EXPECT_EQ(flags.positional()[1], "second");
+  EXPECT_TRUE(flags.get_bool("stats", false));
+}
+
+TEST(Flags, BareFlagGreedilyConsumesNextValue) {
+  // Documented behaviour: `--name value` binds the value; a positional
+  // argument therefore cannot directly follow a bare switch.
+  const Flags flags = parse({"--stats", "second"});
+  EXPECT_EQ(flags.get_string("stats", ""), "second");
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(Flags, SwitchFollowedByFlagDoesNotSwallow) {
+  const Flags flags = parse({"--full", "--steps=3"});
+  EXPECT_TRUE(flags.get_bool("full", false));
+  EXPECT_EQ(flags.get_int("steps", 0), 3);
+}
+
+TEST(TextTableFormat, AlignmentAndSeparator) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer_name", "22"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer_name"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  // Both data lines have equal length (alignment).
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t end = text.find('\n', pos);
+    lines.push_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].size(), lines[3].size());
+}
+
+TEST(TextTableFormat, RowWidthValidated) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only_one"}), std::runtime_error);
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+TEST(TextTableFormat, CsvQuotesCommas) {
+  TextTable table({"k", "v"});
+  table.add_row({"x,y", "3"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_EQ(csv.find("k,v"), 0u);
+}
+
+TEST(NumberFormat, FixedPrecision) {
+  EXPECT_EQ(format_float(3.14159, 2), "3.14");
+  EXPECT_EQ(format_float(-0.5, 3), "-0.500");
+  EXPECT_EQ(format_float(2.0, 0), "2");
+}
+
+TEST(NumberFormat, RatioAndPercent) {
+  EXPECT_EQ(format_ratio(16.04), "16.0x");
+  EXPECT_EQ(format_percent(4.0), "+4.00%");
+  EXPECT_EQ(format_percent(-1.25), "-1.25%");
+  EXPECT_EQ(format_percent(0.0), "0.00%");
+}
+
+}  // namespace
+}  // namespace memcom

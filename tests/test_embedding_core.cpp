@@ -1,0 +1,225 @@
+#include "embedding/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "embedding/factory.h"
+
+namespace memcom {
+namespace {
+
+IdBatch batch_from(std::vector<std::int32_t> ids, Index batch, Index length) {
+  IdBatch b(batch, length);
+  b.ids = std::move(ids);
+  return b;
+}
+
+TEST(IdBatchStruct, LayoutAndValidation) {
+  IdBatch b(2, 3);
+  EXPECT_EQ(b.size(), 6);
+  b.id(1, 2) = 42;
+  EXPECT_EQ(b.ids[5], 42);
+  EXPECT_NO_THROW(b.validate(43));
+  EXPECT_THROW(b.validate(42), std::runtime_error);
+  b.id(0, 0) = -1;
+  EXPECT_THROW(b.validate(43), std::runtime_error);
+}
+
+TEST(FullEmbedding, LookupReturnsTableRows) {
+  Rng rng(71);
+  FullEmbedding emb(10, 4, rng);
+  const IdBatch input = batch_from({3, 7, 0, 3}, 2, 2);
+  const Tensor out = emb.forward(input, false);
+  EXPECT_EQ(out.shape(), (Shape{2, 2, 4}));
+  for (Index c = 0; c < 4; ++c) {
+    EXPECT_EQ(out.at3(0, 0, c), emb.table().value.at2(3, c));
+    EXPECT_EQ(out.at3(0, 1, c), emb.table().value.at2(7, c));
+    EXPECT_EQ(out.at3(1, 0, c), emb.table().value.at2(0, c));
+    EXPECT_EQ(out.at3(1, 1, c), emb.table().value.at2(3, c));
+  }
+}
+
+TEST(FullEmbedding, BackwardScattersAndAccumulates) {
+  Rng rng(72);
+  FullEmbedding emb(6, 2, rng);
+  const IdBatch input = batch_from({2, 2}, 1, 2);  // same id twice
+  emb.forward(input, true);
+  const Tensor grad = Tensor::full({1, 2, 2}, 1.0f);
+  emb.backward(grad);
+  EXPECT_FLOAT_EQ(emb.table().grad.at2(2, 0), 2.0f);  // accumulated twice
+  EXPECT_FLOAT_EQ(emb.table().grad.at2(3, 0), 0.0f);
+  // Touched rows recorded for the sparse optimizer path.
+  EXPECT_FALSE(emb.table().touched_rows.empty());
+}
+
+TEST(FullEmbedding, OutOfVocabIdRejected) {
+  Rng rng(73);
+  FullEmbedding emb(5, 2, rng);
+  const IdBatch input = batch_from({5}, 1, 1);
+  EXPECT_THROW(emb.forward(input, false), std::runtime_error);
+}
+
+TEST(FullEmbedding, ParamCountMatchesFormula) {
+  Rng rng(74);
+  FullEmbedding emb(100, 16, rng);
+  EXPECT_EQ(emb.param_count(), 1600);
+  EXPECT_EQ(emb.vocab_size(), 100);
+  EXPECT_EQ(emb.output_dim(), 16);
+}
+
+TEST(FullEmbedding, LookupSingleMatchesForward) {
+  Rng rng(75);
+  FullEmbedding emb(10, 3, rng);
+  const Tensor row = emb.lookup_single(4);
+  EXPECT_EQ(row.shape(), (Shape{3}));
+  for (Index c = 0; c < 3; ++c) {
+    EXPECT_EQ(row[c], emb.table().value.at2(4, c));
+  }
+}
+
+TEST(EmbeddingInit, KerasStyleRange) {
+  Rng rng(76);
+  const Tensor t = embedding_init(1000, 8, rng);
+  EXPECT_GE(t.min(), -0.05f);
+  EXPECT_LT(t.max(), 0.05f);
+}
+
+TEST(Factory, CreatesEveryTechnique) {
+  for (const TechniqueKind kind : all_techniques()) {
+    Rng rng(77);
+    EmbeddingConfig config;
+    config.kind = kind;
+    config.vocab = 64;
+    config.embed_dim = 8;
+    config.knob = kind == TechniqueKind::kFactorized ||
+                          kind == TechniqueKind::kReduceDim
+                      ? 4
+                      : 16;
+    if (kind == TechniqueKind::kHashedNets) {
+      config.knob = 100;
+    }
+    const EmbeddingPtr emb = make_embedding(config, rng);
+    ASSERT_NE(emb, nullptr) << technique_name(kind);
+    EXPECT_EQ(emb->vocab_size(), 64) << technique_name(kind);
+    EXPECT_GT(emb->output_dim(), 0) << technique_name(kind);
+  }
+}
+
+TEST(Factory, NameRoundTrip) {
+  for (const TechniqueKind kind : all_techniques()) {
+    EXPECT_EQ(technique_from_string(technique_name(kind)), kind);
+  }
+  EXPECT_THROW(technique_from_string("nonsense"), std::runtime_error);
+}
+
+TEST(Factory, ParamFormulaMatchesAllocatedStorage) {
+  for (const TechniqueKind kind : all_techniques()) {
+    Rng rng(78);
+    EmbeddingConfig config;
+    config.kind = kind;
+    config.vocab = 100;
+    config.embed_dim = 16;
+    switch (kind) {
+      case TechniqueKind::kFactorized:
+        config.knob = 8;
+        break;
+      case TechniqueKind::kReduceDim:
+        config.knob = 4;
+        break;
+      case TechniqueKind::kTruncateRare:
+        config.knob = 30;
+        break;
+      case TechniqueKind::kHashedNets:
+        config.knob = 333;
+        break;
+      case TechniqueKind::kFull:
+        config.knob = 0;
+        break;
+      default:
+        config.knob = 17;  // deliberately non-divisor hash size
+    }
+    const EmbeddingPtr emb = make_embedding(config, rng);
+    EXPECT_EQ(emb->param_count(), embedding_param_formula(config))
+        << technique_name(kind);
+  }
+}
+
+TEST(Factory, FigureTechniquesExcludeBaselineAndExtensions) {
+  const auto figure = figure_techniques();
+  for (const TechniqueKind kind : figure) {
+    EXPECT_NE(kind, TechniqueKind::kFull);
+    EXPECT_NE(kind, TechniqueKind::kHashedNets);
+    EXPECT_NE(kind, TechniqueKind::kWeinberger);
+  }
+  EXPECT_EQ(figure.size(), 9u);
+  EXPECT_EQ(all_techniques().size(), 14u);
+}
+
+TEST(Factory, InvalidConfigRejected) {
+  Rng rng(79);
+  EmbeddingConfig config;
+  config.kind = TechniqueKind::kFull;
+  config.vocab = 1;  // too small
+  config.embed_dim = 8;
+  EXPECT_THROW(make_embedding(config, rng), std::runtime_error);
+  config.vocab = 10;
+  config.embed_dim = 0;
+  EXPECT_THROW(make_embedding(config, rng), std::runtime_error);
+}
+
+// Shape property across every technique: [B, L] ids -> [B, L, output_dim].
+class EmbeddingShapes : public ::testing::TestWithParam<TechniqueKind> {};
+
+TEST_P(EmbeddingShapes, ForwardShape) {
+  Rng rng(80);
+  EmbeddingConfig config;
+  config.kind = GetParam();
+  config.vocab = 50;
+  config.embed_dim = 12;
+  config.knob = config.kind == TechniqueKind::kFactorized ||
+                        config.kind == TechniqueKind::kReduceDim
+                    ? 6
+                    : 10;
+  if (config.kind == TechniqueKind::kHashedNets) {
+    config.knob = 64;
+  }
+  const EmbeddingPtr emb = make_embedding(config, rng);
+  IdBatch input(3, 5);
+  for (Index i = 0; i < input.size(); ++i) {
+    input.ids[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(i % 50);
+  }
+  const Tensor out = emb->forward(input, false);
+  EXPECT_EQ(out.dim(0), 3);
+  EXPECT_EQ(out.dim(1), 5);
+  EXPECT_EQ(out.dim(2), emb->output_dim());
+}
+
+TEST_P(EmbeddingShapes, DeterministicUnderSeed) {
+  EmbeddingConfig config;
+  config.kind = GetParam();
+  config.vocab = 50;
+  config.embed_dim = 12;
+  config.knob = config.kind == TechniqueKind::kFactorized ||
+                        config.kind == TechniqueKind::kReduceDim
+                    ? 6
+                    : 10;
+  if (config.kind == TechniqueKind::kHashedNets) {
+    config.knob = 64;
+  }
+  Rng rng_a(81);
+  Rng rng_b(81);
+  const EmbeddingPtr emb_a = make_embedding(config, rng_a);
+  const EmbeddingPtr emb_b = make_embedding(config, rng_b);
+  IdBatch input(2, 4);
+  input.ids = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_TRUE(emb_a->forward(input, false).equals(emb_b->forward(input, false)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniques, EmbeddingShapes, ::testing::ValuesIn(all_techniques()),
+    [](const ::testing::TestParamInfo<TechniqueKind>& info) {
+      return technique_name(info.param);
+    });
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,125 @@
+// Finite-difference gradient verification for EVERY embedding technique:
+// the analytic backward pass of each compression scheme must match central
+// differences on all of its parameter tables.
+#include <gtest/gtest.h>
+
+#include "embedding/factory.h"
+#include "nn/grad_check.h"
+
+namespace memcom {
+namespace {
+
+struct GradCase {
+  TechniqueKind kind;
+  Index knob;
+};
+
+class EmbeddingGradients : public ::testing::TestWithParam<GradCase> {};
+
+// Loss = 1/2 sum of squared outputs over a small batch, so dL/dout = out.
+float embedding_half_sq_loss(EmbeddingLayer& emb, const IdBatch& input) {
+  const Tensor out = emb.forward(input, /*training=*/false);
+  double acc = 0.0;
+  for (Index i = 0; i < out.numel(); ++i) {
+    acc += 0.5 * static_cast<double>(out[i]) * out[i];
+  }
+  return static_cast<float>(acc);
+}
+
+TEST_P(EmbeddingGradients, AnalyticMatchesFiniteDifference) {
+  const GradCase param = GetParam();
+  Rng rng(131);
+  EmbeddingConfig config;
+  config.kind = param.kind;
+  config.vocab = 40;
+  config.embed_dim = 8;
+  config.knob = param.knob;
+  const EmbeddingPtr emb = make_embedding(config, rng);
+
+  // Batch with repeated ids (exercises gradient accumulation) and the pad
+  // id 0.
+  IdBatch input(2, 4);
+  input.ids = {3, 17, 3, 0, 25, 39, 17, 6};
+
+  const Tensor out = emb->forward(input, true);
+  emb->backward(out);  // dL/dout = out for the half-square loss
+
+  for (Param* p : emb->params()) {
+    if (p->numel() == 0) {
+      continue;
+    }
+    const GradCheckResult result = check_param_gradient(
+        *p, [&]() { return embedding_half_sq_loss(*emb, input); }, 1e-3f,
+        96);
+    EXPECT_TRUE(result.ok(3e-2f))
+        << technique_name(param.kind) << " param " << p->name
+        << " max rel err " << result.max_rel_error;
+  }
+}
+
+TEST_P(EmbeddingGradients, UntouchedRowsReceiveNoGradient) {
+  const GradCase param = GetParam();
+  Rng rng(132);
+  EmbeddingConfig config;
+  config.kind = param.kind;
+  config.vocab = 40;
+  config.embed_dim = 8;
+  config.knob = param.knob;
+  const EmbeddingPtr emb = make_embedding(config, rng);
+
+  IdBatch input(1, 2);
+  input.ids = {5, 9};
+  const Tensor out = emb->forward(input, true);
+  emb->backward(out);
+
+  // HashedNets aliases every virtual weight into a tiny bucket vector, so
+  // "untouched rows" is not meaningful there.
+  if (param.kind == TechniqueKind::kHashedNets) {
+    GTEST_SKIP();
+  }
+  for (Param* p : emb->params()) {
+    if (!p->sparse || p->value.ndim() != 2 || p->value.dim(0) < 4) {
+      continue;
+    }
+    // Rows recorded as touched must cover every nonzero gradient row.
+    std::vector<Index> touched = p->touched_rows;
+    std::sort(touched.begin(), touched.end());
+    const Index cols = p->value.dim(1);
+    for (Index r = 0; r < p->value.dim(0); ++r) {
+      float row_abs = 0.0f;
+      for (Index c = 0; c < cols; ++c) {
+        row_abs += std::fabs(p->grad.at2(r, c));
+      }
+      const bool is_touched =
+          std::binary_search(touched.begin(), touched.end(), r);
+      if (!is_touched) {
+        EXPECT_EQ(row_abs, 0.0f)
+            << technique_name(param.kind) << " param " << p->name << " row "
+            << r << " has gradient but was not marked touched";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniques, EmbeddingGradients,
+    ::testing::Values(GradCase{TechniqueKind::kFull, 0},
+                      GradCase{TechniqueKind::kMemcom, 10},
+                      GradCase{TechniqueKind::kMemcomBias, 10},
+                      GradCase{TechniqueKind::kQrMult, 10},
+                      GradCase{TechniqueKind::kQrConcat, 10},
+                      GradCase{TechniqueKind::kNaiveHash, 10},
+                      GradCase{TechniqueKind::kDoubleHash, 10},
+                      GradCase{TechniqueKind::kFactorized, 4},
+                      GradCase{TechniqueKind::kReduceDim, 4},
+                      GradCase{TechniqueKind::kTruncateRare, 12},
+                      GradCase{TechniqueKind::kHashedNets, 32},
+                      GradCase{TechniqueKind::kWeinberger, 10},
+                      GradCase{TechniqueKind::kMixedDim, 8},
+                      GradCase{TechniqueKind::kTtRec, 3}),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return technique_name(info.param.kind);
+    });
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,431 @@
+// Semantics of each compression technique: the exact composition formulas
+// from the paper's Algorithms 1-3, collision structure, and the unique-
+// vector property the paper's Table in §4 claims per technique.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "embedding/factorized.h"
+#include "embedding/hash_embeddings.h"
+#include "embedding/hashed_nets.h"
+#include "embedding/hashing.h"
+#include "embedding/memcom.h"
+#include "embedding/mixed_dim.h"
+#include "embedding/qr.h"
+#include "embedding/truncate_rare.h"
+#include "embedding/tt_rec.h"
+
+namespace memcom {
+namespace {
+
+IdBatch single(std::int32_t id) {
+  IdBatch b(1, 1);
+  b.id(0, 0) = id;
+  return b;
+}
+
+TEST(Memcom, Algorithm2FormulaExact) {
+  Rng rng(91);
+  MemcomEmbedding emb(20, 4, 6, rng, /*with_bias=*/false);
+  // Set recognizable values.
+  emb.shared_table().value = Tensor::from_vector(
+      {4, 6}, std::vector<float>(24, 0.0f));
+  for (Index j = 0; j < 4; ++j) {
+    for (Index c = 0; c < 6; ++c) {
+      emb.shared_table().value.at2(j, c) = static_cast<float>(10 * j + c);
+    }
+  }
+  emb.multiplier().value.at(13) = 2.5f;  // id 13 -> bucket 13 % 4 = 1
+  const Tensor out = emb.forward(single(13), false);
+  for (Index c = 0; c < 6; ++c) {
+    EXPECT_FLOAT_EQ(out.at3(0, 0, c), (10.0f + static_cast<float>(c)) * 2.5f);
+  }
+}
+
+TEST(Memcom, Algorithm3AddsBroadcastBias) {
+  Rng rng(92);
+  MemcomEmbedding emb(20, 4, 6, rng, /*with_bias=*/true);
+  emb.multiplier().value.at(9) = 3.0f;
+  emb.bias().value.at(9) = -1.25f;
+  const Tensor no_bias_part = emb.shared_table().value;
+  const Tensor out = emb.forward(single(9), false);
+  for (Index c = 0; c < 6; ++c) {
+    EXPECT_FLOAT_EQ(out.at3(0, 0, c),
+                    no_bias_part.at2(9 % 4, c) * 3.0f - 1.25f);
+  }
+}
+
+TEST(Memcom, FreshModelBehavesLikeNaiveHashing) {
+  // V initialized to 1 and W to 0 => emb(i) == U[i mod m].
+  Rng rng(93);
+  MemcomEmbedding emb(20, 4, 6, rng, /*with_bias=*/true);
+  for (std::int32_t id = 0; id < 20; ++id) {
+    const Tensor out = emb.forward(single(id), false);
+    for (Index c = 0; c < 6; ++c) {
+      EXPECT_FLOAT_EQ(out.at3(0, 0, c),
+                      emb.shared_table().value.at2(id % 4, c));
+    }
+  }
+}
+
+TEST(Memcom, DistinctMultipliersSeparateBucketCollisions) {
+  Rng rng(94);
+  MemcomEmbedding emb(10, 2, 4, rng, false);
+  // ids 3 and 5 share bucket 1 (3%2 == 5%2 == 1).
+  emb.multiplier().value.at(3) = 1.5f;
+  emb.multiplier().value.at(5) = -0.5f;
+  const Tensor e3 = emb.forward(single(3), false);
+  const Tensor e5 = emb.forward(single(5), false);
+  bool any_difference = false;
+  for (Index c = 0; c < 4; ++c) {
+    if (e3.at3(0, 0, c) != e5.at3(0, 0, c)) {
+      any_difference = true;
+    }
+    EXPECT_FLOAT_EQ(e3.at3(0, 0, c) * (-0.5f / 1.5f), e5.at3(0, 0, c));
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Memcom, ParamCountsForBothAlgorithms) {
+  Rng rng(95);
+  MemcomEmbedding no_bias(100, 10, 8, rng, false);
+  EXPECT_EQ(no_bias.param_count(), 10 * 8 + 100);
+  MemcomEmbedding with_bias(100, 10, 8, rng, true);
+  EXPECT_EQ(with_bias.param_count(), 10 * 8 + 200);
+}
+
+TEST(Memcom, HashSizeBoundsChecked) {
+  Rng rng(96);
+  EXPECT_THROW(MemcomEmbedding(10, 0, 4, rng, false), std::runtime_error);
+  EXPECT_THROW(MemcomEmbedding(10, 11, 4, rng, false), std::runtime_error);
+  EXPECT_NO_THROW(MemcomEmbedding(10, 10, 4, rng, false));
+}
+
+TEST(Memcom, MultiplierGradIsDotProductOfUpstreamAndSharedRow) {
+  Rng rng(97);
+  MemcomEmbedding emb(10, 5, 3, rng, false);
+  const IdBatch input = single(7);
+  emb.forward(input, true);
+  Tensor grad({1, 1, 3});
+  grad[0] = 1.0f;
+  grad[1] = 2.0f;
+  grad[2] = 3.0f;
+  emb.backward(grad);
+  float expected = 0.0f;
+  for (Index c = 0; c < 3; ++c) {
+    expected += grad[c] * emb.shared_table().value.at2(7 % 5, c);
+  }
+  EXPECT_NEAR(emb.multiplier().grad.at2(7, 0), expected, 1e-5f);
+}
+
+TEST(Qr, Algorithm1MultiplyFormulaExact) {
+  Rng rng(98);
+  QrEmbedding emb(20, 4, 6, rng, QrComposition::kMultiply);
+  const std::int32_t id = 14;  // j = 14 % 4 = 2, k = 14 / 4 = 3
+  const Tensor out = emb.forward(single(id), false);
+  ParamRefs params = emb.params();
+  const Tensor& remainder = params[0]->value;
+  const Tensor& quotient = params[1]->value;
+  for (Index c = 0; c < 6; ++c) {
+    EXPECT_FLOAT_EQ(out.at3(0, 0, c),
+                    remainder.at2(2, c) * quotient.at2(3, c));
+  }
+}
+
+TEST(Qr, ConcatVariantLayout) {
+  Rng rng(99);
+  QrEmbedding emb(20, 4, 6, rng, QrComposition::kConcat);
+  EXPECT_EQ(emb.output_dim(), 6);
+  const std::int32_t id = 9;  // j = 1, k = 2
+  const Tensor out = emb.forward(single(id), false);
+  ParamRefs params = emb.params();
+  for (Index c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(out.at3(0, 0, c), params[0]->value.at2(1, c));
+    EXPECT_FLOAT_EQ(out.at3(0, 0, 3 + c), params[1]->value.at2(2, c));
+  }
+}
+
+TEST(Qr, UniqueJKPairPerId) {
+  // The quotient-remainder pair (i mod m, i div m) is unique per id < v.
+  const Index m = 7;
+  const Index v = 50;
+  std::set<std::pair<Index, Index>> seen;
+  for (Index i = 0; i < v; ++i) {
+    seen.emplace(i % m, i / m);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(v));
+}
+
+TEST(Qr, QuotientTableSizedCeilVOverM) {
+  Rng rng(100);
+  QrEmbedding emb(21, 4, 6, rng, QrComposition::kMultiply);
+  EXPECT_EQ(emb.quotient_rows(), 6);  // ceil(21/4)
+  EXPECT_EQ(emb.param_count(), 4 * 6 + 6 * 6);
+}
+
+TEST(Qr, MultiplicativeQuotientInitNearOne) {
+  Rng rng(101);
+  QrEmbedding emb(100, 10, 8, rng, QrComposition::kMultiply);
+  const Tensor& quotient = emb.params()[1]->value;
+  EXPECT_NEAR(quotient.mean(), 1.0f, 0.05f);
+}
+
+TEST(NaiveHash, CollidingIdsShareEmbeddingExactly) {
+  Rng rng(102);
+  NaiveHashEmbedding emb(20, 4, 6, rng);
+  const Tensor a = emb.forward(single(3), false);
+  const Tensor b = emb.forward(single(7), false);   // 7 % 4 == 3 % 4
+  const Tensor c = emb.forward(single(11), false);  // same bucket again
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_TRUE(a.equals(c));
+  const Tensor d = emb.forward(single(4), false);  // different bucket
+  EXPECT_FALSE(a.equals(d));
+}
+
+TEST(DoubleHash, ConcatHalvesFromTwoTables) {
+  Rng rng(103);
+  DoubleHashEmbedding emb(50, 8, 6, rng);
+  EXPECT_EQ(emb.output_dim(), 6);
+  EXPECT_EQ(emb.param_count(), 2 * 8 * 3);
+  const std::int32_t id = 13;
+  const Tensor out = emb.forward(single(id), false);
+  ParamRefs params = emb.params();
+  const Index ja = mod_hash(id, 8);
+  const Index jb = mixed_hash(id, 8);
+  for (Index c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(out.at3(0, 0, c), params[0]->value.at2(ja, c));
+    EXPECT_FLOAT_EQ(out.at3(0, 0, 3 + c), params[1]->value.at2(jb, c));
+  }
+}
+
+TEST(DoubleHash, FewerFullCollisionsThanNaive) {
+  // Count ids that are *fully* indistinguishable under each scheme.
+  const Index v = 2000;
+  const Index m = 40;
+  const double naive = empirical_collision_fraction(v, m, false);
+  const double dbl = empirical_collision_fraction(v, m, true);
+  EXPECT_GT(naive, 0.9);  // nearly everything collides at v/m = 50
+  EXPECT_LT(dbl, naive);
+}
+
+TEST(DoubleHash, OddEmbedDimRejected) {
+  Rng rng(104);
+  EXPECT_THROW(DoubleHashEmbedding(50, 8, 7, rng), std::runtime_error);
+}
+
+TEST(Weinberger, SignHashFlipsRows) {
+  Rng rng(105);
+  WeinbergerEmbedding emb(100, 10, 4, rng);
+  // Find two ids in the same bucket with opposite signs.
+  std::int32_t pos_id = -1;
+  std::int32_t neg_id = -1;
+  for (std::int32_t id = 0; id < 100; ++id) {
+    if (mod_hash(id, 10) != 3) {
+      continue;
+    }
+    if (sign_hash(id) > 0 && pos_id < 0) {
+      pos_id = id;
+    }
+    if (sign_hash(id) < 0 && neg_id < 0) {
+      neg_id = id;
+    }
+  }
+  ASSERT_GE(pos_id, 0);
+  ASSERT_GE(neg_id, 0);
+  const Tensor p = emb.forward(single(pos_id), false);
+  const Tensor n = emb.forward(single(neg_id), false);
+  for (Index c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(p.at3(0, 0, c), -n.at3(0, 0, c));
+  }
+}
+
+TEST(TruncateRare, PopularKeptRareShareOov) {
+  Rng rng(106);
+  TruncateRareEmbedding emb(100, 10, 4, rng);
+  EXPECT_EQ(emb.param_count(), 12 * 4);  // pad + 10 kept + OOV
+  const Tensor kept_a = emb.forward(single(3), false);
+  const Tensor kept_b = emb.forward(single(10), false);
+  EXPECT_FALSE(kept_a.equals(kept_b));
+  const Tensor rare_a = emb.forward(single(55), false);
+  const Tensor rare_b = emb.forward(single(99), false);
+  EXPECT_TRUE(rare_a.equals(rare_b));  // both mapped to the OOV row
+  EXPECT_FALSE(rare_a.equals(kept_a));
+}
+
+TEST(TruncateRare, BoundaryIds) {
+  Rng rng(107);
+  TruncateRareEmbedding emb(100, 10, 4, rng);
+  const Tensor last_kept = emb.forward(single(10), false);
+  const Tensor first_rare = emb.forward(single(11), false);
+  EXPECT_FALSE(last_kept.equals(first_rare));
+}
+
+TEST(Factorized, RankDecompositionExact) {
+  Rng rng(108);
+  FactorizedEmbedding emb(30, 3, 8, rng);
+  EXPECT_EQ(emb.param_count(), 30 * 3 + 3 * 8);
+  const std::int32_t id = 17;
+  const Tensor out = emb.forward(single(id), false);
+  ParamRefs params = emb.params();
+  const Tensor& factors = params[0]->value;
+  const Tensor& projection = params[1]->value;
+  for (Index c = 0; c < 8; ++c) {
+    float expected = 0.0f;
+    for (Index k = 0; k < 3; ++k) {
+      expected += factors.at2(id, k) * projection.at2(k, c);
+    }
+    EXPECT_NEAR(out.at3(0, 0, c), expected, 1e-5f);
+  }
+}
+
+TEST(Factorized, UniqueEmbeddingsAlmostSurely) {
+  Rng rng(109);
+  FactorizedEmbedding emb(40, 4, 8, rng);
+  std::set<std::vector<float>> seen;
+  for (std::int32_t id = 0; id < 40; ++id) {
+    const Tensor e = emb.lookup_single(id);
+    seen.insert(std::vector<float>(e.data(), e.data() + e.numel()));
+  }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(ReducedDim, IsNarrowFullTable) {
+  Rng rng(110);
+  ReducedDimEmbedding emb(50, 4, rng);
+  EXPECT_EQ(emb.output_dim(), 4);
+  EXPECT_EQ(emb.param_count(), 200);
+  EXPECT_EQ(emb.name(), "reduce_dim");
+}
+
+TEST(HashedNets, VirtualWeightsAliasBuckets) {
+  Rng rng(111);
+  HashedNetsEmbedding emb(50, 16, 8, rng);
+  EXPECT_EQ(emb.param_count(), 16);
+  // Forward values must come from the bucket vector.
+  const Tensor out = emb.forward(single(23), false);
+  const Tensor& buckets = emb.params()[0]->value;
+  std::set<float> bucket_values(buckets.data(),
+                                buckets.data() + buckets.numel());
+  for (Index c = 0; c < 8; ++c) {
+    EXPECT_TRUE(bucket_values.count(out.at3(0, 0, c)) > 0);
+    EXPECT_EQ(emb.bucket_of(23, c), emb.bucket_of(23, c));  // stable
+  }
+}
+
+TEST(HashedNets, GradientAccumulatesThroughAliases) {
+  Rng rng(112);
+  HashedNetsEmbedding emb(10, 2, 8, rng);  // 2 buckets: heavy aliasing
+  emb.forward(single(5), true);
+  emb.backward(Tensor::full({1, 1, 8}, 1.0f));
+  // All 8 upstream units map to the 2 buckets: grads must sum to 8.
+  EXPECT_FLOAT_EQ(emb.params()[0]->grad.sum(), 8.0f);
+}
+
+
+TEST(MixedDim, BlockLayoutAndWidths) {
+  Rng rng(113);
+  MixedDimEmbedding emb(100, 8, 16, rng);
+  // Blocks: 8 ids @16, 32 ids @8, 60 ids @4 (capped by vocab).
+  EXPECT_EQ(emb.block_count(), 3);
+  EXPECT_EQ(emb.block_width(0), 16);
+  EXPECT_EQ(emb.block_width(1), 8);
+  EXPECT_EQ(emb.block_width(2), 4);
+  EXPECT_EQ(emb.block_of(0), 0);
+  EXPECT_EQ(emb.block_of(7), 0);
+  EXPECT_EQ(emb.block_of(8), 1);
+  EXPECT_EQ(emb.block_of(39), 1);
+  EXPECT_EQ(emb.block_of(40), 2);
+  EXPECT_EQ(emb.block_of(99), 2);
+  EXPECT_EQ(emb.output_dim(), 16);
+}
+
+TEST(MixedDim, ParamFormulaMatchesStorage) {
+  Rng rng(114);
+  MixedDimEmbedding emb(100, 8, 16, rng);
+  EXPECT_EQ(emb.param_count(),
+            MixedDimEmbedding::param_formula(100, 8, 16));
+  // 8*16 + (32*8 + 8*16) + (60*4 + 4*16)
+  EXPECT_EQ(emb.param_count(), 128 + 256 + 128 + 240 + 64);
+}
+
+TEST(MixedDim, HeadBlockIsIdentityProjection) {
+  Rng rng(115);
+  MixedDimEmbedding emb(100, 8, 16, rng);
+  IdBatch head(1, 1);
+  head.id(0, 0) = 3;
+  const Tensor out = emb.forward(head, false);
+  // Head ids read their full-width row directly.
+  const Tensor& table = emb.params()[0]->value;
+  for (Index c = 0; c < 16; ++c) {
+    EXPECT_FLOAT_EQ(out.at3(0, 0, c), table.at2(3, c));
+  }
+}
+
+TEST(MixedDim, TailBlockProjectsToFullWidth) {
+  Rng rng(116);
+  MixedDimEmbedding emb(100, 8, 16, rng);
+  const Tensor tail = emb.lookup_single(99);
+  EXPECT_EQ(tail.shape(), (Shape{16}));
+  // Tail embeddings live in a rank<=4 subspace, so they are generically
+  // nonzero but constrained; check simple finiteness + nonzero.
+  EXPECT_GT(tail.l2_norm(), 0.0f);
+}
+
+TEST(MixedDim, TailNarrowerThanHeadInParams) {
+  // More vocabulary in narrow blocks => fewer parameters.
+  EXPECT_LT(MixedDimEmbedding::param_formula(1000, 16, 32),
+            MixedDimEmbedding::param_formula(1000, 512, 32));
+}
+
+TEST(TtRec, FactorsCoverVocabAndDims) {
+  Rng rng(117);
+  TtRecEmbedding emb(100, 4, 16, rng);
+  EXPECT_GE(emb.v1() * emb.v2(), 100);
+  EXPECT_GE(emb.e1() * emb.e2(), 16);
+  EXPECT_EQ(emb.output_dim(), emb.e1() * emb.e2());
+  EXPECT_EQ(emb.rank(), 4);
+}
+
+TEST(TtRec, ProductFormulaExact) {
+  Rng rng(118);
+  TtRecEmbedding emb(100, 3, 16, rng);
+  const std::int32_t id = 57;
+  const Index i1 = id / emb.v2();
+  const Index i2 = id % emb.v2();
+  const Tensor out = emb.lookup_single(id);
+  const Tensor& c1 = emb.params()[0]->value;  // [v1, e1*r]
+  const Tensor& c2 = emb.params()[1]->value;  // [v2, r*e2]
+  for (Index a = 0; a < emb.e1(); ++a) {
+    for (Index b = 0; b < emb.e2(); ++b) {
+      float expected = 0.0f;
+      for (Index r = 0; r < emb.rank(); ++r) {
+        expected += c1.at2(i1, a * emb.rank() + r) *
+                    c2.at2(i2, r * emb.e2() + b);
+      }
+      EXPECT_NEAR(out[a * emb.e2() + b], expected, 1e-5f);
+    }
+  }
+}
+
+TEST(TtRec, ParamFormulaMatchesStorage) {
+  Rng rng(119);
+  TtRecEmbedding emb(100, 4, 16, rng);
+  EXPECT_EQ(emb.param_count(), TtRecEmbedding::param_formula(100, 4, 16));
+  // Far smaller than the full 100*16 table at rank 4? v1=v2=10, e1=e2=4:
+  // 10*4*4 * 2 = 320 vs 1600.
+  EXPECT_LT(emb.param_count(), 100 * 16 / 2);
+}
+
+TEST(TtRec, DistinctIdsGetDistinctEmbeddings) {
+  Rng rng(120);
+  TtRecEmbedding emb(50, 4, 16, rng);
+  std::set<std::vector<float>> seen;
+  for (std::int32_t id = 0; id < 50; ++id) {
+    const Tensor e = emb.lookup_single(id);
+    seen.insert(std::vector<float>(e.data(), e.data() + e.numel()));
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,278 @@
+// On-device engine tests: parity with the training stack's inference,
+// lookup vs one-hot memory behaviour, device profiles, quantized execution.
+#include "ondevice/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/synthetic.h"
+#include "repro/model.h"
+
+namespace memcom {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& tag) {
+    auto p = std::filesystem::temp_directory_path() /
+             ("memcom_engine_" + tag + ".mcm");
+    paths_.push_back(p);
+    return p.string();
+  }
+  void TearDown() override {
+    for (const auto& p : paths_) {
+      std::filesystem::remove(p);
+    }
+  }
+  std::vector<std::filesystem::path> paths_;
+};
+
+ModelConfig small_config(TechniqueKind kind, ModelArch arch) {
+  ModelConfig config;
+  config.embedding.kind = kind;
+  config.embedding.vocab = 120;
+  config.embedding.embed_dim = 16;
+  switch (kind) {
+    case TechniqueKind::kFactorized:
+    case TechniqueKind::kReduceDim:
+      config.embedding.knob = 8;
+      break;
+    case TechniqueKind::kFull:
+      config.embedding.knob = 0;
+      break;
+    default:
+      config.embedding.knob = 24;
+  }
+  config.arch = arch;
+  config.output_vocab = 40;
+  config.seed = 1234;
+  return config;
+}
+
+std::vector<std::int32_t> sample_history() {
+  return {5, 17, 42, 100, 7, 0, 0, 0};  // padded tail
+}
+
+// The engine must produce the same logits as the training-stack forward in
+// inference mode, for every lookup technique and both architectures.
+struct ParityCase {
+  TechniqueKind kind;
+  ModelArch arch;
+};
+
+class EngineParity : public EngineTest,
+                     public ::testing::WithParamInterface<ParityCase> {};
+
+TEST_P(EngineParity, LogitsMatchTrainingStack) {
+  const ParityCase param = GetParam();
+  ModelConfig config = small_config(param.kind, param.arch);
+  RecModel model(config);
+
+  // Run one training batch so batchnorm has non-trivial running stats.
+  Rng rng(7);
+  IdBatch warm(8, 8);
+  for (Index i = 0; i < warm.size(); ++i) {
+    warm.ids[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(rng.uniform_index(120));
+  }
+  model.forward(warm, /*training=*/true);
+
+  const std::string path =
+      temp_path(technique_name(param.kind) +
+                (param.arch == ModelArch::kClassification ? "_cls" : "_rank"));
+  model.export_mcm(path);
+
+  const std::vector<std::int32_t> history = sample_history();
+  IdBatch input(1, static_cast<Index>(history.size()));
+  input.ids = history;
+  const Tensor expected = model.forward(input, /*training=*/false);
+
+  const MmapModel mapped(path);
+  InferenceEngine engine(mapped, coreml_profile("cpuOnly"));
+  const InferenceResult result = engine.run(history);
+  ASSERT_EQ(result.logits.numel(), 40);
+  for (Index c = 0; c < 40; ++c) {
+    EXPECT_NEAR(result.logits[c], expected.at2(0, c), 5e-4f)
+        << technique_name(param.kind) << " logit " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TechniquesAndArchs, EngineParity,
+    ::testing::Values(
+        ParityCase{TechniqueKind::kFull, ModelArch::kClassification},
+        ParityCase{TechniqueKind::kFull, ModelArch::kRanking},
+        ParityCase{TechniqueKind::kMemcom, ModelArch::kClassification},
+        ParityCase{TechniqueKind::kMemcom, ModelArch::kRanking},
+        ParityCase{TechniqueKind::kMemcomBias, ModelArch::kRanking},
+        ParityCase{TechniqueKind::kQrMult, ModelArch::kRanking},
+        ParityCase{TechniqueKind::kQrConcat, ModelArch::kRanking},
+        ParityCase{TechniqueKind::kNaiveHash, ModelArch::kClassification},
+        ParityCase{TechniqueKind::kDoubleHash, ModelArch::kRanking},
+        ParityCase{TechniqueKind::kFactorized, ModelArch::kRanking},
+        ParityCase{TechniqueKind::kReduceDim, ModelArch::kClassification},
+        ParityCase{TechniqueKind::kTruncateRare, ModelArch::kRanking}),
+    [](const ::testing::TestParamInfo<ParityCase>& info) {
+      return technique_name(info.param.kind) +
+             std::string(info.param.arch == ModelArch::kClassification
+                             ? "_cls"
+                             : "_rank");
+    });
+
+TEST_F(EngineTest, WeinbergerOneHotMatchesLookupMath) {
+  // The one-hot compute path must produce the same pooled embedding (and
+  // logits) as the sign-lookup formulation.
+  ModelConfig config = small_config(TechniqueKind::kWeinberger,
+                                    ModelArch::kRanking);
+  RecModel model(config);
+  const std::string path = temp_path("weinberger");
+  model.export_mcm(path);
+
+  const std::vector<std::int32_t> history = sample_history();
+  IdBatch input(1, static_cast<Index>(history.size()));
+  input.ids = history;
+  const Tensor expected = model.forward(input, /*training=*/false);
+
+  const MmapModel mapped(path);
+  InferenceEngine engine(mapped, coreml_profile("all"));
+  EXPECT_TRUE(engine.uses_onehot_path());
+  const InferenceResult result = engine.run(history);
+  for (Index c = 0; c < 40; ++c) {
+    EXPECT_NEAR(result.logits[c], expected.at2(0, c), 5e-4f);
+  }
+}
+
+TEST_F(EngineTest, MemcomTouchesFarFewerPagesThanWeinberger) {
+  // The Table 3 memory mechanism, end to end.
+  const auto build = [&](TechniqueKind kind, const std::string& tag) {
+    ModelConfig config = small_config(kind, ModelArch::kRanking);
+    config.embedding.vocab = 4000;
+    config.embedding.embed_dim = 64;
+    config.embedding.knob = 1000;
+    RecModel model(config);
+    const std::string path = temp_path(tag);
+    model.export_mcm(path);
+    return path;
+  };
+  const std::string memcom_path = build(TechniqueKind::kMemcom, "m_pages");
+  const std::string wein_path = build(TechniqueKind::kWeinberger, "w_pages");
+
+  const std::vector<std::int32_t> history = sample_history();
+  const MmapModel memcom_model(memcom_path);
+  InferenceEngine memcom_engine(memcom_model, tflite_profile());
+  memcom_engine.run(history);
+
+  const MmapModel wein_model(wein_path);
+  InferenceEngine wein_engine(wein_model, tflite_profile());
+  wein_engine.run(history);
+
+  // Weinberger streams the whole 1000 x 64 x 4B table; memcom touches only
+  // the history's rows (plus trunk weights, identical for both).
+  EXPECT_LT(memcom_engine.meter().weight_resident_bytes(),
+            wein_engine.meter().weight_resident_bytes());
+  EXPECT_GT(static_cast<double>(wein_engine.meter().weight_resident_bytes()) /
+                memcom_engine.meter().weight_resident_bytes(),
+            1.15);
+}
+
+TEST_F(EngineTest, RepeatRunsDoNotGrowResidency) {
+  ModelConfig config = small_config(TechniqueKind::kMemcom,
+                                    ModelArch::kRanking);
+  RecModel model(config);
+  const std::string path = temp_path("repeat");
+  model.export_mcm(path);
+  const MmapModel mapped(path);
+  InferenceEngine engine(mapped, coreml_profile("all"));
+  const std::vector<std::int32_t> history = sample_history();
+  engine.run(history);
+  const Index after_one = engine.meter().weight_resident_bytes();
+  engine.run(history);
+  engine.run(history);
+  EXPECT_EQ(engine.meter().weight_resident_bytes(), after_one);
+}
+
+TEST_F(EngineTest, QuantizedModelsStayAccurate) {
+  ModelConfig config = small_config(TechniqueKind::kMemcom,
+                                    ModelArch::kRanking);
+  RecModel model(config);
+  const std::vector<std::int32_t> history = sample_history();
+  IdBatch input(1, static_cast<Index>(history.size()));
+  input.ids = history;
+  const Tensor expected = model.forward(input, false);
+
+  const std::string p16 = temp_path("q16");
+  model.export_mcm(p16, DType::kF16);
+  const MmapModel m16(p16);
+  InferenceEngine e16(m16, coreml_profile("all"));
+  const Tensor l16 = e16.run(history).logits;
+  for (Index c = 0; c < 40; ++c) {
+    EXPECT_NEAR(l16[c], expected.at2(0, c), 0.02f);
+  }
+
+  const std::string p8 = temp_path("q8");
+  model.export_mcm(p8, DType::kI8);
+  const MmapModel m8(p8);
+  InferenceEngine e8(m8, coreml_profile("all"));
+  const Tensor l8 = e8.run(history).logits;
+  // int8 logits drift but the argmax ordering of the top item should
+  // usually survive; assert bounded absolute drift.
+  for (Index c = 0; c < 40; ++c) {
+    EXPECT_NEAR(l8[c], expected.at2(0, c), 0.6f);
+  }
+}
+
+TEST_F(EngineTest, QuantizationShrinksFile) {
+  ModelConfig config = small_config(TechniqueKind::kFull, ModelArch::kRanking);
+  RecModel model(config);
+  const std::string p32 = temp_path("s32");
+  const std::string p8 = temp_path("s8");
+  model.export_mcm(p32, DType::kF32);
+  model.export_mcm(p8, DType::kI8);
+  const MmapModel m32(p32);
+  const MmapModel m8(p8);
+  EXPECT_GT(m32.file_size(), 3 * m8.file_size() / 2);
+}
+
+TEST_F(EngineTest, BenchmarkStatsAreConsistent) {
+  ModelConfig config = small_config(TechniqueKind::kMemcom,
+                                    ModelArch::kRanking);
+  RecModel model(config);
+  const std::string path = temp_path("bench");
+  model.export_mcm(path);
+  const MmapModel mapped(path);
+  InferenceEngine engine(mapped, tflite_profile());
+  const LatencyStats stats = engine.benchmark(sample_history(), 10);
+  EXPECT_EQ(stats.runs, 10);
+  EXPECT_GT(stats.mean_ms, 0.0);
+  EXPECT_LE(stats.min_ms, stats.mean_ms);
+  EXPECT_GE(stats.max_ms, stats.mean_ms);
+}
+
+TEST_F(EngineTest, DeviceProfilesExposeTable3Columns) {
+  const auto profiles = table3_profiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].label(), "coreml/all");
+  EXPECT_EQ(profiles[1].label(), "coreml/cpuOnly");
+  EXPECT_EQ(profiles[2].label(), "coreml/cpuAndGPU");
+  EXPECT_EQ(profiles[3].label(), "tflite/CPU");
+  EXPECT_GT(tflite_profile().onehot_slowdown, 1.0);
+  EXPECT_THROW(coreml_profile("gpuOnly"), std::runtime_error);
+}
+
+TEST_F(EngineTest, PaddedHistoryIgnoredInPooling) {
+  ModelConfig config = small_config(TechniqueKind::kMemcom,
+                                    ModelArch::kRanking);
+  RecModel model(config);
+  const std::string path = temp_path("pad");
+  model.export_mcm(path);
+  const MmapModel mapped(path);
+  InferenceEngine engine(mapped, coreml_profile("all"));
+  // Same real ids, different padding amounts -> identical logits.
+  const Tensor a = engine.run({5, 9, 0, 0}).logits;
+  const Tensor b = engine.run({5, 9, 0, 0, 0, 0, 0, 0}).logits;
+  EXPECT_TRUE(a.allclose(b, 1e-5f));
+}
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,187 @@
+#include "ondevice/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ondevice/memory_meter.h"
+
+namespace memcom {
+namespace {
+
+class FormatTest : public ::testing::Test {
+ protected:
+  std::string temp_path() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("memcom_format_test_" + std::to_string(counter_++) + ".mcm");
+    return path_.string();
+  }
+  void TearDown() override {
+    if (!path_.empty()) {
+      std::filesystem::remove(path_);
+    }
+  }
+  std::filesystem::path path_;
+  static int counter_;
+};
+int FormatTest::counter_ = 0;
+
+TEST_F(FormatTest, WriteReadRoundTripF32) {
+  const std::string path = temp_path();
+  Rng rng(161);
+  const Tensor a = Tensor::randn({8, 4}, rng);
+  const Tensor b = Tensor::randn({3}, rng);
+  ModelWriter writer(path);
+  writer.set_metadata("arch", "ranking");
+  writer.set_metadata_int("vocab", 1234);
+  writer.add_tensor("alpha", a);
+  writer.add_tensor("beta", b);
+  const std::uint64_t written = writer.finish();
+  EXPECT_GT(written, a.numel() * 4u);
+
+  const MmapModel model(path);
+  EXPECT_EQ(model.file_size(), written);
+  EXPECT_EQ(model.metadata_value("arch"), "ranking");
+  EXPECT_EQ(model.metadata_int("vocab"), 1234);
+  EXPECT_TRUE(model.has_tensor("alpha"));
+  EXPECT_FALSE(model.has_tensor("gamma"));
+  EXPECT_TRUE(model.load_tensor("alpha").equals(a));
+  EXPECT_TRUE(model.load_tensor("beta").equals(b));
+  EXPECT_EQ(model.tensor_names().size(), 2u);
+}
+
+TEST_F(FormatTest, QuantizedTensorsRoundTripWithinBound) {
+  const std::string path = temp_path();
+  Rng rng(162);
+  const Tensor t = Tensor::randn({32, 8}, rng, 0.2f);
+  ModelWriter writer(path);
+  writer.add_tensor("w32", t, DType::kF32);
+  writer.add_tensor("w16", t, DType::kF16);
+  writer.add_tensor("w8", t, DType::kI8);
+  writer.add_tensor("w4", t, DType::kI4);
+  writer.finish();
+
+  const MmapModel model(path);
+  EXPECT_TRUE(model.load_tensor("w32").equals(t));
+  EXPECT_TRUE(model.load_tensor("w16").allclose(t, 0.001f));
+  const TensorEntry& e8 = model.entry("w8");
+  EXPECT_TRUE(model.load_tensor("w8").allclose(t, e8.scale * 0.5f + 1e-6f));
+  const TensorEntry& e4 = model.entry("w4");
+  EXPECT_TRUE(model.load_tensor("w4").allclose(t, e4.scale * 0.5f + 1e-6f));
+  // Stored sizes shrink with precision.
+  EXPECT_GT(model.entry("w32").byte_size, model.entry("w16").byte_size);
+  EXPECT_GT(model.entry("w16").byte_size, model.entry("w8").byte_size);
+  EXPECT_GT(model.entry("w8").byte_size, model.entry("w4").byte_size);
+}
+
+TEST_F(FormatTest, BlobsAreAligned) {
+  const std::string path = temp_path();
+  Rng rng(163);
+  ModelWriter writer(path);
+  writer.add_tensor("a", Tensor::randn({5}, rng));
+  writer.add_tensor("b", Tensor::randn({7}, rng));
+  writer.add_tensor("c", Tensor::randn({11}, rng));
+  writer.finish();
+  const MmapModel model(path);
+  for (const std::string& name : model.tensor_names()) {
+    EXPECT_EQ(model.entry(name).offset % 64, 0u) << name;
+  }
+}
+
+TEST_F(FormatTest, DuplicateTensorNameRejected) {
+  ModelWriter writer(temp_path());
+  writer.add_tensor("x", Tensor({2}));
+  EXPECT_THROW(writer.add_tensor("x", Tensor({3})), std::runtime_error);
+}
+
+TEST_F(FormatTest, DoubleFinishRejected) {
+  ModelWriter writer(temp_path());
+  writer.add_tensor("x", Tensor({2}));
+  writer.finish();
+  EXPECT_THROW(writer.finish(), std::runtime_error);
+}
+
+TEST_F(FormatTest, MissingTensorAndMetadataThrow) {
+  const std::string path = temp_path();
+  ModelWriter writer(path);
+  writer.add_tensor("x", Tensor({2}));
+  writer.finish();
+  const MmapModel model(path);
+  EXPECT_THROW(model.entry("y"), std::runtime_error);
+  EXPECT_THROW(model.metadata_value("nope"), std::runtime_error);
+  EXPECT_THROW(model.load_tensor("y"), std::runtime_error);
+}
+
+TEST_F(FormatTest, MissingFileThrows) {
+  EXPECT_THROW(MmapModel missing("/nonexistent/path/model.mcm"),
+               std::runtime_error);
+}
+
+TEST_F(FormatTest, CorruptMagicRejected) {
+  const std::string path = temp_path();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTM" << std::string(64, '\0');
+  }
+  EXPECT_THROW(MmapModel bad(path), std::runtime_error);
+}
+
+TEST_F(FormatTest, PayloadPointerIsZeroCopyView) {
+  const std::string path = temp_path();
+  const Tensor t = Tensor::from_vector({2}, {1.5f, -2.5f});
+  ModelWriter writer(path);
+  writer.add_tensor("x", t);
+  writer.finish();
+  const MmapModel model(path);
+  const TensorEntry& entry = model.entry("x");
+  const float* view = reinterpret_cast<const float*>(model.payload(entry));
+  EXPECT_EQ(view[0], 1.5f);
+  EXPECT_EQ(view[1], -2.5f);
+}
+
+TEST(MemoryMeterUnit, PageCountingAndReset) {
+  MemoryMeter meter(4096);
+  meter.touch(0, 1);          // page 0
+  meter.touch(4095, 2);       // pages 0 and 1
+  meter.touch(4096 * 10, 1);  // page 10
+  EXPECT_EQ(meter.touched_pages(), 3);
+  EXPECT_EQ(meter.weight_resident_bytes(), 3 * 4096);
+  meter.note_activation_bytes(1000);
+  meter.note_activation_bytes(500);  // peak keeps the max
+  EXPECT_EQ(meter.activation_peak_bytes(), 1000);
+  EXPECT_EQ(meter.total_resident_bytes(), 3 * 4096 + 1000);
+  meter.reset();
+  EXPECT_EQ(meter.touched_pages(), 0);
+  EXPECT_EQ(meter.activation_peak_bytes(), 0);
+}
+
+TEST(MemoryMeterUnit, ReadaheadAddsTrailingPages) {
+  MemoryMeter meter(4096, /*readahead_pages=*/2);
+  meter.touch(0, 1);
+  EXPECT_EQ(meter.touched_pages(), 3);  // page 0 plus 2 readahead
+}
+
+TEST(MemoryMeterUnit, ZeroLengthTouchIgnored) {
+  MemoryMeter meter(4096);
+  meter.touch(100, 0);
+  EXPECT_EQ(meter.touched_pages(), 0);
+}
+
+TEST(MemoryMeterUnit, DistinctPagesForLookupVsStream) {
+  // The Table 3 mechanism in miniature: a 1000-row x 64-float table.
+  const Index row_bytes = 64 * 4;
+  MemoryMeter lookup(4096);
+  for (const Index row : {3, 700, 999}) {  // three lookups
+    lookup.touch(row * row_bytes, row_bytes);
+  }
+  MemoryMeter stream(4096);
+  stream.touch(0, 1000 * row_bytes);  // one-hot path streams everything
+  EXPECT_LT(lookup.weight_resident_bytes(), stream.weight_resident_bytes());
+  EXPECT_EQ(stream.weight_resident_bytes(),
+            ((1000 * row_bytes + 4095) / 4096) * 4096);
+}
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,104 @@
+#include "embedding/hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace memcom {
+namespace {
+
+TEST(ModHash, BasicProperties) {
+  EXPECT_EQ(mod_hash(0, 10), 0);
+  EXPECT_EQ(mod_hash(7, 10), 7);
+  EXPECT_EQ(mod_hash(17, 10), 7);
+  for (std::int64_t id = 0; id < 100; ++id) {
+    const Index h = mod_hash(id, 13);
+    EXPECT_GE(h, 0);
+    EXPECT_LT(h, 13);
+  }
+}
+
+TEST(MixedHash, InRangeAndDifferentFromMod) {
+  Index differs = 0;
+  for (std::int64_t id = 0; id < 200; ++id) {
+    const Index h = mixed_hash(id, 13);
+    EXPECT_GE(h, 0);
+    EXPECT_LT(h, 13);
+    if (h != mod_hash(id, 13)) {
+      ++differs;
+    }
+  }
+  EXPECT_GT(differs, 150);  // independent-looking second hash
+}
+
+TEST(MixedHash, SaltChangesMapping) {
+  Index differs = 0;
+  for (std::int64_t id = 0; id < 100; ++id) {
+    if (mixed_hash(id, 64, 1) != mixed_hash(id, 64, 2)) {
+      ++differs;
+    }
+  }
+  EXPECT_GT(differs, 80);
+}
+
+TEST(SignHash, BalancedAndDeterministic) {
+  Index positives = 0;
+  for (std::int64_t id = 0; id < 10000; ++id) {
+    const float s = sign_hash(id);
+    EXPECT_TRUE(s == 1.0f || s == -1.0f);
+    EXPECT_EQ(s, sign_hash(id));
+    positives += s > 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(positives) / 10000.0, 0.5, 0.02);
+}
+
+TEST(CollisionRate, PaperFormulaSection4) {
+  // §4: naive hashing collision rate = v/m - 1 + (1 - 1/m)^v.
+  const double rate = expected_collision_rate(100000, 10000);
+  EXPECT_NEAR(rate, 100000.0 / 10000.0 - 1.0 +
+                        std::pow(1.0 - 1.0 / 10000.0, 100000.0),
+              1e-9);
+  EXPECT_GT(rate, 9.0 - 1.0);  // ≈ 9.0000454
+}
+
+TEST(CollisionRate, DoubleHashingQuadraticallyBetter) {
+  const double naive = expected_collision_rate(100000, 1000);
+  const double dbl = expected_double_hash_collision_rate(100000, 1000);
+  EXPECT_GT(naive, 90.0);
+  EXPECT_LT(dbl, 1.0);  // v/m^2 = 0.1 regime
+}
+
+TEST(CollisionRate, VanishesWhenBucketsDominateVocab) {
+  // With m >> v almost nothing collides.
+  EXPECT_LT(expected_collision_rate(100, 100000), 0.001);
+}
+
+TEST(CollisionRate, EmpiricalMatchesAnalyticOccupancy) {
+  // The analytic formula counts expected collisions per bucket; compare the
+  // derived expected-occupied count with the mod-hash empirical count. For
+  // sequential ids mod m fills buckets as evenly as possible, so we check
+  // the analytic value against a uniform random assignment instead via the
+  // empirical fraction bound: with v >> m both approach "everything
+  // collides".
+  const double fraction = empirical_collision_fraction(10000, 100, false);
+  EXPECT_GT(fraction, 0.999);
+  const double roomy = empirical_collision_fraction(50, 4096, false);
+  EXPECT_LT(roomy, 0.05);
+}
+
+TEST(CollisionRate, PairHashReducesEmpiricalCollisions) {
+  const double single = empirical_collision_fraction(3000, 60, false);
+  const double pair = empirical_collision_fraction(3000, 60, true);
+  EXPECT_LT(pair, single);
+  EXPECT_GT(single, 0.95);
+  EXPECT_LT(pair, 0.85);
+}
+
+TEST(CollisionRate, InvalidArgumentsThrow) {
+  EXPECT_THROW(expected_collision_rate(0, 10), std::runtime_error);
+  EXPECT_THROW(expected_collision_rate(10, 0), std::runtime_error);
+  EXPECT_THROW(empirical_collision_fraction(1, 10), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace memcom

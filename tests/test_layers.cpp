@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "core/ops.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/grad_check.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace memcom {
+namespace {
+
+// Scalar "loss" used for gradient checks: sum of elementwise squares / 2,
+// whose gradient w.r.t. the layer output is simply the output itself.
+float half_sq_sum(const Tensor& t) {
+  double acc = 0.0;
+  for (Index i = 0; i < t.numel(); ++i) {
+    acc += 0.5 * static_cast<double>(t[i]) * static_cast<double>(t[i]);
+  }
+  return static_cast<float>(acc);
+}
+
+TEST(Dense, ForwardShapeAndBias) {
+  Rng rng(31);
+  Dense dense(4, 3, rng);
+  dense.bias().value = Tensor::from_vector({3}, {1, 2, 3});
+  const Tensor x({2, 4});  // zeros
+  const Tensor y = dense.forward(x, false);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 3);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at2(1, 2), 3.0f);
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  Rng rng(32);
+  Dense dense(4, 3, rng);
+  const Tensor x({2, 5});
+  EXPECT_THROW(dense.forward(x, false), std::runtime_error);
+}
+
+TEST(Dense, GradientsMatchFiniteDifferences) {
+  Rng rng(33);
+  Dense dense(5, 4, rng);
+  Tensor x = Tensor::randn({3, 5}, rng);
+
+  auto loss_fn = [&]() {
+    Dense& d = dense;  // re-run forward with current params
+    return half_sq_sum(d.forward(x, false));
+  };
+  const Tensor y = dense.forward(x, false);
+  const Tensor gx = dense.backward(y /* dL/dy = y for half_sq_sum */);
+
+  const GradCheckResult weight_check =
+      check_param_gradient(dense.weight(), loss_fn);
+  EXPECT_TRUE(weight_check.ok()) << "weight rel err "
+                                 << weight_check.max_rel_error;
+  const GradCheckResult bias_check =
+      check_param_gradient(dense.bias(), loss_fn);
+  EXPECT_TRUE(bias_check.ok()) << "bias rel err " << bias_check.max_rel_error;
+  const GradCheckResult input_check = check_tensor_gradient(
+      x, gx, [&]() { return half_sq_sum(dense.forward(x, false)); });
+  EXPECT_TRUE(input_check.ok()) << "input rel err "
+                                << input_check.max_rel_error;
+}
+
+TEST(Relu, ForwardClampsAndBackwardMasks) {
+  Relu relu;
+  const Tensor x = Tensor::from_vector({1, 4}, {-1, 0, 2, -3});
+  const Tensor y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  EXPECT_EQ(y[3], 0.0f);
+  const Tensor g = Tensor::from_vector({1, 4}, {5, 5, 5, 5});
+  const Tensor gx = relu.backward(g);
+  EXPECT_EQ(gx[0], 0.0f);
+  EXPECT_EQ(gx[1], 0.0f);  // gradient at exactly 0 defined as 0
+  EXPECT_EQ(gx[2], 5.0f);
+  EXPECT_EQ(gx[3], 0.0f);
+}
+
+TEST(SigmoidLayer, ForwardBackward) {
+  Sigmoid sig;
+  const Tensor x = Tensor::from_vector({1, 2}, {0.0f, 100.0f});
+  const Tensor y = sig.forward(x, true);
+  EXPECT_NEAR(y[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-4f);
+  const Tensor g = Tensor::from_vector({1, 2}, {1.0f, 1.0f});
+  const Tensor gx = sig.backward(g);
+  EXPECT_NEAR(gx[0], 0.25f, 1e-6f);  // sigma'(0) = 1/4
+  EXPECT_NEAR(gx[1], 0.0f, 1e-4f);
+}
+
+TEST(DropoutLayer, InferenceIsIdentity) {
+  Rng rng(34);
+  Dropout dropout(0.5, rng);
+  const Tensor x = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  const Tensor y = dropout.forward(x, /*training=*/false);
+  EXPECT_TRUE(y.equals(x));
+  EXPECT_TRUE(dropout.backward(x).equals(x));
+}
+
+TEST(DropoutLayer, TrainingDropsApproximatelyRateAndRescales) {
+  Rng rng(35);
+  Dropout dropout(0.25, rng);
+  const Tensor x = Tensor::full({100, 100}, 1.0f);
+  const Tensor y = dropout.forward(x, /*training=*/true);
+  Index zeros = 0;
+  for (Index i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y[i], 1.0f / 0.75f, 1e-5f);  // inverted dropout scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.25, 0.02);
+}
+
+TEST(DropoutLayer, BackwardUsesSameMask) {
+  Rng rng(36);
+  Dropout dropout(0.5, rng);
+  const Tensor x = Tensor::full({10, 10}, 1.0f);
+  const Tensor y = dropout.forward(x, true);
+  const Tensor gx = dropout.backward(Tensor::full({10, 10}, 1.0f));
+  for (Index i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(gx[i], y[i]);  // same mask, same scaling
+  }
+}
+
+TEST(DropoutLayer, ZeroRateIsIdentityInTraining) {
+  Rng rng(37);
+  Dropout dropout(0.0, rng);
+  const Tensor x = Tensor::from_vector({1, 3}, {1, 2, 3});
+  EXPECT_TRUE(dropout.forward(x, true).equals(x));
+}
+
+TEST(DropoutLayer, InvalidRateRejected) {
+  Rng rng(38);
+  EXPECT_THROW(Dropout(1.0, rng), std::runtime_error);
+  EXPECT_THROW(Dropout(-0.1, rng), std::runtime_error);
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  BatchNorm1d bn(3);
+  Rng rng(39);
+  const Tensor x = Tensor::randn({64, 3}, rng, 5.0f);
+  const Tensor y = bn.forward(x, /*training=*/true);
+  for (Index c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (Index r = 0; r < 64; ++r) {
+      mean += y.at2(r, c);
+    }
+    mean /= 64.0;
+    for (Index r = 0; r < 64; ++r) {
+      var += (y.at2(r, c) - mean) * (y.at2(r, c) - mean);
+    }
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStatistics) {
+  BatchNorm1d bn(1, /*momentum=*/0.5);
+  Rng rng(40);
+  for (int step = 0; step < 50; ++step) {
+    Tensor x({32, 1});
+    for (Index i = 0; i < 32; ++i) {
+      x[i] = rng.normal(3.0f, 2.0f);
+    }
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0f, 0.5f);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 1.2f);
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  BatchNorm1d bn(2, 0.0);  // momentum 0: running stats = last batch stats
+  const Tensor x = Tensor::from_vector({2, 2}, {0, 10, 2, 30});
+  bn.forward(x, true);
+  // In eval mode a batch equal to the running mean maps to ~beta (0).
+  Tensor probe = Tensor::from_vector({1, 2}, {1.0f, 20.0f});
+  const Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(y[1], 0.0f, 1e-3f);
+}
+
+TEST(BatchNorm, TrainingGradientMatchesFiniteDifference) {
+  BatchNorm1d bn(3);
+  Rng rng(41);
+  Tensor x = Tensor::randn({8, 3}, rng);
+  // Use inference-mode loss on fixed running stats for the input check
+  // (training-mode FD would re-estimate statistics under perturbation too —
+  // that is exercised below via the analytic identity instead).
+  const Tensor y = bn.forward(x, true);
+  const Tensor gx = bn.backward(y);
+  // Property: per feature, sum_r gx == 0 (training-mode BN gradient is
+  // orthogonal to the constant shift).
+  for (Index c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    for (Index r = 0; r < 8; ++r) {
+      sum += gx.at2(r, c);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, InferenceGradientMatchesFiniteDifference) {
+  BatchNorm1d bn(3);
+  Rng rng(42);
+  // Prime running stats.
+  bn.forward(Tensor::randn({32, 3}, rng, 2.0f), true);
+  Tensor x = Tensor::randn({4, 3}, rng);
+  const Tensor y = bn.forward(x, false);
+  const Tensor gx = bn.backward(y);
+  const GradCheckResult check = check_tensor_gradient(
+      x, gx, [&]() { return half_sq_sum(bn.forward(x, false)); });
+  EXPECT_TRUE(check.ok()) << check.max_rel_error;
+}
+
+TEST(BatchNorm, GammaBetaGradients) {
+  BatchNorm1d bn(2);
+  Rng rng(43);
+  Tensor x = Tensor::randn({16, 2}, rng);
+  auto loss_fn = [&]() { return half_sq_sum(bn.forward(x, true)); };
+  const Tensor y = bn.forward(x, true);
+  bn.backward(y);
+  ParamRefs params = bn.params();
+  const GradCheckResult gamma_check = check_param_gradient(*params[0], loss_fn);
+  EXPECT_TRUE(gamma_check.ok()) << gamma_check.max_rel_error;
+  const GradCheckResult beta_check = check_param_gradient(*params[1], loss_fn);
+  EXPECT_TRUE(beta_check.ok()) << beta_check.max_rel_error;
+}
+
+TEST(Pooling, AveragesOnlyUnmaskedPositions) {
+  MaskedAveragePool pool;
+  const Tensor x = Tensor::from_vector({1, 3, 2}, {1, 2, 3, 4, 100, 200});
+  const Tensor mask = Tensor::from_vector({1, 3}, {1, 1, 0});
+  const Tensor y = pool.forward(x, mask);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 3.0f);
+}
+
+TEST(Pooling, FullyMaskedRowYieldsZeros) {
+  MaskedAveragePool pool;
+  const Tensor x = Tensor::full({1, 2, 3}, 7.0f);
+  const Tensor mask({1, 2});
+  const Tensor y = pool.forward(x, mask);
+  for (Index c = 0; c < 3; ++c) {
+    EXPECT_EQ(y.at2(0, c), 0.0f);
+  }
+}
+
+TEST(Pooling, BackwardDistributesUniformly) {
+  MaskedAveragePool pool;
+  const Tensor x({2, 4, 3});
+  Tensor mask = Tensor::full({2, 4}, 1.0f);
+  mask.at2(1, 3) = 0.0f;  // second row has 3 valid positions
+  pool.forward(x, mask);
+  const Tensor g = Tensor::full({2, 3}, 12.0f);
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx.at3(0, 0, 0), 3.0f);   // 12/4
+  EXPECT_FLOAT_EQ(gx.at3(1, 0, 0), 4.0f);   // 12/3
+  EXPECT_FLOAT_EQ(gx.at3(1, 3, 0), 0.0f);   // masked position gets nothing
+}
+
+TEST(Pooling, MaskFromIds) {
+  const std::vector<std::int32_t> ids = {5, 0, 3, 0};
+  const Tensor mask = mask_from_ids(ids, 2, 2, 0);
+  EXPECT_EQ(mask.at2(0, 0), 1.0f);
+  EXPECT_EQ(mask.at2(0, 1), 0.0f);
+  EXPECT_EQ(mask.at2(1, 0), 1.0f);
+  EXPECT_EQ(mask.at2(1, 1), 0.0f);
+}
+
+TEST(SequentialContainer, ChainsForwardAndBackward) {
+  Rng rng(44);
+  Sequential seq;
+  seq.emplace<Dense>(4, 8, rng, "d1");
+  seq.emplace<Relu>();
+  seq.emplace<Dense>(8, 2, rng, "d2");
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq.params().size(), 4u);
+
+  Tensor x = Tensor::randn({5, 4}, rng);
+  const Tensor y = seq.forward(x, false);
+  EXPECT_EQ(y.dim(1), 2);
+  const Tensor gx = seq.backward(y);
+  EXPECT_EQ(gx.dim(1), 4);
+
+  // float32 central differences at this epsilon carry ~1e-3 absolute noise
+  // on near-zero gradient elements; a genuinely wrong backward would be off
+  // at gradient scale (~0.1+), so bound the absolute error.
+  const GradCheckResult check = check_tensor_gradient(
+      x, gx, [&]() { return half_sq_sum(seq.forward(x, false)); }, 3e-4f);
+  EXPECT_LE(check.max_abs_error, 5e-3f);
+  EXPECT_GE(check.fraction_within(1e-1f), 0.95f) << check.max_rel_error;
+}
+
+}  // namespace
+}  // namespace memcom

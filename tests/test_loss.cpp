@@ -1,0 +1,157 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ops.h"
+#include "nn/grad_check.h"
+
+namespace memcom {
+namespace {
+
+TEST(SoftmaxXent, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({4, 10});  // all zeros -> uniform
+  const std::vector<Index> labels = {0, 3, 7, 9};
+  EXPECT_NEAR(loss.forward(logits, labels), std::log(10.0f), 1e-5f);
+}
+
+TEST(SoftmaxXent, PerfectPredictionNearZeroLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  logits.at2(0, 1) = 50.0f;
+  logits.at2(1, 2) = 50.0f;
+  EXPECT_NEAR(loss.forward(logits, {1, 2}), 0.0f, 1e-4f);
+}
+
+TEST(SoftmaxXent, GradientIsProbsMinusOneHotOverB) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(61);
+  const Tensor logits = Tensor::randn({3, 4}, rng);
+  loss.forward(logits, {2, 0, 1});
+  const Tensor grad = loss.backward();
+  const Tensor probs = softmax_rows(logits);
+  for (Index r = 0; r < 3; ++r) {
+    for (Index c = 0; c < 4; ++c) {
+      float expected = probs.at2(r, c) / 3.0f;
+      if ((r == 0 && c == 2) || (r == 1 && c == 0) || (r == 2 && c == 1)) {
+        expected -= 1.0f / 3.0f;
+      }
+      EXPECT_NEAR(grad.at2(r, c), expected, 1e-5f);
+    }
+  }
+}
+
+TEST(SoftmaxXent, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(62);
+  Tensor logits = Tensor::randn({4, 5}, rng);
+  const std::vector<Index> labels = {1, 0, 4, 2};
+  loss.forward(logits, labels);
+  const Tensor analytic = loss.backward();
+  const GradCheckResult check = check_tensor_gradient(
+      logits, analytic,
+      [&]() {
+        SoftmaxCrossEntropy fresh;
+        return fresh.forward(logits, labels);
+      },
+      1e-2f);
+  EXPECT_TRUE(check.ok()) << check.max_rel_error;
+}
+
+TEST(SoftmaxXent, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(63);
+  const Tensor logits = Tensor::randn({5, 7}, rng);
+  loss.forward(logits, {0, 1, 2, 3, 4});
+  const Tensor grad = loss.backward();
+  for (Index r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (Index c = 0; c < 7; ++c) {
+      sum += grad.at2(r, c);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxXent, LabelOutOfRangeThrows) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({1, 3});
+  EXPECT_THROW(loss.forward(logits, {3}), std::runtime_error);
+  EXPECT_THROW(loss.forward(logits, {-1}), std::runtime_error);
+}
+
+TEST(SoftmaxXent, ProbabilitiesExposedAndNormalized) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(64);
+  const Tensor logits = Tensor::randn({2, 6}, rng);
+  loss.forward(logits, {0, 5});
+  const Tensor& probs = loss.probabilities();
+  EXPECT_TRUE(probs.allclose(softmax_rows(logits), 1e-5f));
+}
+
+TEST(RankNet, EqualScoresGiveLog2) {
+  RankNetLoss loss;
+  const Tensor a = Tensor::from_vector({3}, {1, 1, 1});
+  const Tensor b = Tensor::from_vector({3}, {1, 1, 1});
+  EXPECT_NEAR(loss.forward(a, b), std::log(2.0f), 1e-6f);
+}
+
+TEST(RankNet, CorrectOrderSmallLossWrongOrderLargeLoss) {
+  RankNetLoss loss;
+  const Tensor good_pref = Tensor::from_vector({1}, {10.0f});
+  const Tensor good_other = Tensor::from_vector({1}, {0.0f});
+  EXPECT_LT(loss.forward(good_pref, good_other), 1e-3f);
+  EXPECT_NEAR(loss.pairwise_accuracy(), 1.0f, 1e-6f);
+
+  EXPECT_GT(loss.forward(good_other, good_pref), 9.0f);
+  EXPECT_NEAR(loss.pairwise_accuracy(), 0.0f, 1e-6f);
+}
+
+TEST(RankNet, StableForExtremeDifferences) {
+  RankNetLoss loss;
+  const Tensor a = Tensor::from_vector({1}, {-500.0f});
+  const Tensor b = Tensor::from_vector({1}, {500.0f});
+  const float value = loss.forward(a, b);
+  EXPECT_FALSE(std::isnan(value));
+  EXPECT_FALSE(std::isinf(value));
+  EXPECT_NEAR(value, 1000.0f, 1.0f);
+}
+
+TEST(RankNet, GradientsAreOppositeAndMatchFiniteDifference) {
+  RankNetLoss loss;
+  Rng rng(65);
+  Tensor pref = Tensor::randn({4}, rng);
+  Tensor other = Tensor::randn({4}, rng);
+  loss.forward(pref, other);
+  const Tensor g_pref = loss.backward_preferred();
+  const Tensor g_other = loss.backward_other();
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(g_pref[i], -g_other[i]);
+    EXPECT_LT(g_pref[i], 0.0f);  // increasing preferred score lowers loss
+  }
+  const GradCheckResult check = check_tensor_gradient(
+      pref, g_pref,
+      [&]() {
+        RankNetLoss fresh;
+        return fresh.forward(pref, other);
+      },
+      1e-2f);
+  EXPECT_TRUE(check.ok()) << check.max_rel_error;
+}
+
+TEST(RankNet, ShapeMismatchThrows) {
+  RankNetLoss loss;
+  const Tensor a({3});
+  const Tensor b({4});
+  EXPECT_THROW(loss.forward(a, b), std::runtime_error);
+}
+
+TEST(RankNet, BackwardBeforeForwardThrows) {
+  RankNetLoss loss;
+  EXPECT_THROW(loss.backward_preferred(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,145 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace memcom {
+namespace {
+
+TEST(Accuracy, PerfectAndZero) {
+  Tensor scores({2, 3});
+  scores.at2(0, 1) = 1.0f;
+  scores.at2(1, 2) = 1.0f;
+  EXPECT_DOUBLE_EQ(accuracy(scores, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(scores, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy(scores, {1, 0}), 0.5);
+}
+
+TEST(RankOfLabel, CountsStrictlyBetterWithTieBreaking) {
+  const Tensor scores = Tensor::from_vector({1, 4}, {0.9f, 0.5f, 0.9f, 0.1f});
+  EXPECT_EQ(rank_of_label(scores, 0, 0), 0);  // ties broken by column order
+  EXPECT_EQ(rank_of_label(scores, 0, 2), 1);
+  EXPECT_EQ(rank_of_label(scores, 0, 1), 2);
+  EXPECT_EQ(rank_of_label(scores, 0, 3), 3);
+}
+
+TEST(TopK, MonotoneInK) {
+  Rng rng(141);
+  const Tensor scores = Tensor::randn({50, 20}, rng);
+  std::vector<Index> labels(50);
+  for (Index i = 0; i < 50; ++i) {
+    labels[static_cast<std::size_t>(i)] = i % 20;
+  }
+  double prev = 0.0;
+  for (const Index k : {1, 3, 5, 10, 20}) {
+    const double acc = topk_accuracy(scores, labels, k);
+    EXPECT_GE(acc, prev);
+    prev = acc;
+  }
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, labels, 20), 1.0);
+}
+
+TEST(TopK, K1EqualsAccuracy) {
+  Rng rng(142);
+  const Tensor scores = Tensor::randn({30, 10}, rng);
+  std::vector<Index> labels(30, 3);
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, labels, 1),
+                   accuracy(scores, labels));
+}
+
+TEST(Ndcg, PerfectRankingIsOne) {
+  Tensor scores({3, 5});
+  scores.at2(0, 2) = 10.0f;
+  scores.at2(1, 0) = 10.0f;
+  scores.at2(2, 4) = 10.0f;
+  EXPECT_NEAR(ndcg_at_k(scores, {2, 0, 4}, 5), 1.0, 1e-12);
+}
+
+TEST(Ndcg, RankTwoGivesInverseLog3) {
+  Tensor scores({1, 4});
+  scores.at2(0, 0) = 2.0f;  // rank 0
+  scores.at2(0, 1) = 1.0f;  // the label, rank 1
+  EXPECT_NEAR(ndcg_at_k(scores, {1}, 4), 1.0 / std::log2(3.0), 1e-9);
+}
+
+TEST(Ndcg, LabelOutsideTopKContributesZero) {
+  Tensor scores({1, 10});
+  for (Index c = 0; c < 10; ++c) {
+    scores.at2(0, c) = static_cast<float>(10 - c);
+  }
+  EXPECT_NEAR(ndcg_at_k(scores, {9}, 5), 0.0, 1e-12);  // rank 9, k=5
+  EXPECT_GT(ndcg_at_k(scores, {9}, 10), 0.0);
+}
+
+TEST(Ndcg, ImprovingASwapRaisesNdcg) {
+  Tensor worse({1, 3});
+  worse.at2(0, 0) = 3.0f;
+  worse.at2(0, 1) = 2.0f;
+  worse.at2(0, 2) = 1.0f;  // label at rank 2
+  Tensor better = worse;
+  better.at2(0, 2) = 2.5f;  // label moves to rank 1
+  EXPECT_GT(ndcg_at_k(better, {2}, 3), ndcg_at_k(worse, {2}, 3));
+}
+
+TEST(NdcgGraded, MatchesSingleRelevantSpecialCase) {
+  Rng rng(143);
+  const Tensor scores = Tensor::randn({10, 8}, rng);
+  std::vector<Index> labels(10);
+  std::vector<std::vector<std::pair<Index, double>>> graded(10);
+  for (Index i = 0; i < 10; ++i) {
+    labels[static_cast<std::size_t>(i)] = (i * 3) % 8;
+    graded[static_cast<std::size_t>(i)] = {
+        {labels[static_cast<std::size_t>(i)], 1.0}};
+  }
+  EXPECT_NEAR(ndcg_at_k_graded(scores, graded, 8),
+              ndcg_at_k(scores, labels, 8), 1e-9);
+}
+
+TEST(NdcgGraded, IdealOrderingGivesOne) {
+  Tensor scores({1, 3});
+  scores.at2(0, 0) = 3.0f;
+  scores.at2(0, 1) = 2.0f;
+  scores.at2(0, 2) = 1.0f;
+  const std::vector<std::vector<std::pair<Index, double>>> graded = {
+      {{0, 3.0}, {1, 2.0}, {2, 1.0}}};
+  EXPECT_NEAR(ndcg_at_k_graded(scores, graded, 3), 1.0, 1e-12);
+}
+
+TEST(NdcgGraded, ReversedOrderingBelowOne) {
+  Tensor scores({1, 3});
+  scores.at2(0, 0) = 1.0f;
+  scores.at2(0, 1) = 2.0f;
+  scores.at2(0, 2) = 3.0f;
+  const std::vector<std::vector<std::pair<Index, double>>> graded = {
+      {{0, 3.0}, {1, 2.0}, {2, 1.0}}};
+  const double v = ndcg_at_k_graded(scores, graded, 3);
+  EXPECT_LT(v, 1.0);
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(Mrr, ReciprocalOfRankPlusOne) {
+  Tensor scores({2, 4});
+  scores.at2(0, 3) = 5.0f;  // label 3 at rank 0 -> RR 1
+  scores.at2(1, 0) = 5.0f;
+  scores.at2(1, 1) = 4.0f;
+  scores.at2(1, 2) = 3.0f;  // label 2 at rank 2 -> RR 1/3
+  EXPECT_NEAR(mrr(scores, {3, 2}), (1.0 + 1.0 / 3.0) / 2.0, 1e-9);
+}
+
+TEST(RelativeLoss, PaperYAxisSemantics) {
+  EXPECT_NEAR(relative_loss_percent(0.5, 0.48), 4.0, 1e-9);
+  EXPECT_NEAR(relative_loss_percent(0.5, 0.5), 0.0, 1e-9);
+  EXPECT_NEAR(relative_loss_percent(0.5, 0.55), -10.0, 1e-9);  // improvement
+  EXPECT_THROW(relative_loss_percent(0.0, 0.1), std::runtime_error);
+}
+
+TEST(MetricsValidation, ShapeErrors) {
+  const Tensor scores({2, 3});
+  EXPECT_THROW(accuracy(scores, {0}), std::runtime_error);
+  EXPECT_THROW(ndcg_at_k(scores, {0, 1}, 0), std::runtime_error);
+  EXPECT_THROW(rank_of_label(scores, 0, 5), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace memcom

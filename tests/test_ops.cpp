@@ -1,0 +1,165 @@
+#include "core/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace memcom {
+namespace {
+
+TEST(Matmul, SmallKnownResult) {
+  const Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::from_vector({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.dim(0), 2);
+  EXPECT_EQ(c.dim(1), 2);
+  EXPECT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Matmul, InnerDimensionMismatchThrows) {
+  const Tensor a({2, 3});
+  const Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), std::runtime_error);
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  Rng rng(5);
+  const Tensor a = Tensor::randn({4, 4}, rng);
+  Tensor eye({4, 4});
+  for (Index i = 0; i < 4; ++i) {
+    eye.at2(i, i) = 1.0f;
+  }
+  EXPECT_TRUE(matmul(a, eye).allclose(a, 1e-6f));
+  EXPECT_TRUE(matmul(eye, a).allclose(a, 1e-6f));
+}
+
+TEST(Matmul, TnMatchesExplicitTranspose) {
+  Rng rng(6);
+  const Tensor a = Tensor::randn({5, 3}, rng);
+  const Tensor b = Tensor::randn({5, 4}, rng);
+  const Tensor via_tn = matmul_tn(a, b);
+  const Tensor via_transpose = matmul(transpose(a), b);
+  EXPECT_TRUE(via_tn.allclose(via_transpose, 1e-4f));
+}
+
+TEST(Matmul, NtMatchesExplicitTranspose) {
+  Rng rng(7);
+  const Tensor a = Tensor::randn({5, 3}, rng);
+  const Tensor b = Tensor::randn({4, 3}, rng);
+  const Tensor via_nt = matmul_nt(a, b);
+  const Tensor via_transpose = matmul(a, transpose(b));
+  EXPECT_TRUE(via_nt.allclose(via_transpose, 1e-4f));
+}
+
+TEST(Matmul, AccumulateAddsIntoExisting) {
+  const Tensor a = Tensor::from_vector({1, 1}, {2});
+  const Tensor b = Tensor::from_vector({1, 1}, {3});
+  Tensor out = Tensor::from_vector({1, 1}, {100});
+  matmul_accumulate(a, b, out);
+  EXPECT_EQ(out[0], 106.0f);
+}
+
+TEST(Transpose, RoundTrip) {
+  Rng rng(8);
+  const Tensor a = Tensor::randn({3, 7}, rng);
+  EXPECT_TRUE(transpose(transpose(a)).equals(a));
+}
+
+TEST(RowBias, AddAndColumnSumsAreAdjoint) {
+  Rng rng(9);
+  Tensor x = Tensor::randn({4, 3}, rng);
+  const Tensor x_before = x;
+  const Tensor bias = Tensor::from_vector({3}, {1, -2, 3});
+  add_row_bias(x, bias);
+  for (Index r = 0; r < 4; ++r) {
+    for (Index c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(x.at2(r, c), x_before.at2(r, c) + bias[c]);
+    }
+  }
+  const Tensor sums = column_sums(x);
+  for (Index c = 0; c < 3; ++c) {
+    float expected = 0.0f;
+    for (Index r = 0; r < 4; ++r) {
+      expected += x.at2(r, c);
+    }
+    EXPECT_NEAR(sums[c], expected, 1e-5f);
+  }
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  const Tensor logits = Tensor::from_vector({2, 3}, {1, 2, 3, -1, 5, 0});
+  const Tensor p = softmax_rows(logits);
+  for (Index r = 0; r < 2; ++r) {
+    float row_sum = 0.0f;
+    for (Index c = 0; c < 3; ++c) {
+      EXPECT_GT(p.at2(r, c), 0.0f);
+      row_sum += p.at2(r, c);
+    }
+    EXPECT_NEAR(row_sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(p.at2(0, 2), p.at2(0, 1));
+  EXPECT_GT(p.at2(0, 1), p.at2(0, 0));
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  const Tensor logits = Tensor::from_vector({1, 2}, {1000.0f, 999.0f});
+  const Tensor p = softmax_rows(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5f);
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  const Tensor a = Tensor::from_vector({1, 3}, {1, 2, 3});
+  const Tensor b = Tensor::from_vector({1, 3}, {101, 102, 103});
+  EXPECT_TRUE(softmax_rows(a).allclose(softmax_rows(b), 1e-5f));
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax) {
+  const Tensor logits = Tensor::from_vector({2, 3}, {0.5f, -1, 2, 3, 3, 3});
+  const Tensor lp = log_softmax_rows(logits);
+  const Tensor p = softmax_rows(logits);
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_NEAR(lp[i], std::log(p[i]), 1e-5f);
+  }
+}
+
+TEST(LogSumExp, KnownValuesAndStability) {
+  const Tensor logits = Tensor::from_vector({1, 2}, {0.0f, 0.0f});
+  EXPECT_NEAR(logsumexp_rows(logits)[0], std::log(2.0f), 1e-6f);
+  const Tensor huge = Tensor::from_vector({1, 2}, {10000.0f, 10000.0f});
+  EXPECT_NEAR(logsumexp_rows(huge)[0], 10000.0f + std::log(2.0f), 1e-2f);
+}
+
+TEST(SigmoidFn, SymmetryAndRange) {
+  EXPECT_NEAR(sigmoid(0.0f), 0.5f, 1e-6f);
+  EXPECT_NEAR(sigmoid(3.0f) + sigmoid(-3.0f), 1.0f, 1e-6f);
+  EXPECT_GT(sigmoid(30.0f), 0.9999f);
+  EXPECT_LT(sigmoid(-30.0f), 1e-4f);
+}
+
+TEST(WeightedSumMiddle, MasksAndWeights) {
+  // x: [1, 3, 2]
+  const Tensor x = Tensor::from_vector({1, 3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor w = Tensor::from_vector({1, 3}, {0.5f, 0.0f, 0.5f});
+  const Tensor out = weighted_sum_middle(x, w);
+  EXPECT_EQ(out.dim(0), 1);
+  EXPECT_EQ(out.dim(1), 2);
+  EXPECT_FLOAT_EQ(out.at2(0, 0), 0.5f * 1 + 0.5f * 5);
+  EXPECT_FLOAT_EQ(out.at2(0, 1), 0.5f * 2 + 0.5f * 6);
+}
+
+TEST(ElementwiseHelpers, AddSubMul) {
+  const Tensor a = Tensor::from_vector({2}, {3, 4});
+  const Tensor b = Tensor::from_vector({2}, {1, 2});
+  EXPECT_EQ(add(a, b)[0], 4.0f);
+  EXPECT_EQ(sub(a, b)[1], 2.0f);
+  EXPECT_EQ(mul(a, b)[1], 8.0f);
+}
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "privacy/dp_sgd.h"
+#include "privacy/rdp_accountant.h"
+
+namespace memcom {
+namespace {
+
+Param make_param(Shape shape) { return Param("p", Tensor(shape)); }
+
+TEST(DpSgd, ClipsLargeExampleGradients) {
+  Param p = make_param({4});
+  DpSgdAggregator agg(/*clip_norm=*/1.0, /*noise=*/0.0, Rng(171));
+  agg.begin_batch({&p});
+  p.grad = Tensor::from_vector({4}, {3.0f, 0.0f, 4.0f, 0.0f});  // norm 5
+  agg.accumulate_example({&p});
+  EXPECT_NEAR(agg.last_example_norm(), 5.0, 1e-5);
+  p.zero_grad();
+  agg.finalize_into_grads({&p});
+  // Clipped to norm 1: (0.6, 0, 0.8, 0), one example so mean = itself.
+  EXPECT_NEAR(p.grad[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(p.grad[2], 0.8f, 1e-5f);
+  EXPECT_NEAR(p.grad.l2_norm(), 1.0f, 1e-5f);
+}
+
+TEST(DpSgd, SmallGradientsPassThrough) {
+  Param p = make_param({2});
+  DpSgdAggregator agg(10.0, 0.0, Rng(172));
+  agg.begin_batch({&p});
+  p.grad = Tensor::from_vector({2}, {0.3f, -0.4f});  // norm 0.5 < 10
+  agg.accumulate_example({&p});
+  p.zero_grad();
+  agg.finalize_into_grads({&p});
+  EXPECT_NEAR(p.grad[0], 0.3f, 1e-6f);
+  EXPECT_NEAR(p.grad[1], -0.4f, 1e-6f);
+}
+
+TEST(DpSgd, AveragesOverExamples) {
+  Param p = make_param({1});
+  DpSgdAggregator agg(100.0, 0.0, Rng(173));
+  agg.begin_batch({&p});
+  for (const float g : {1.0f, 2.0f, 3.0f}) {
+    p.grad = Tensor::from_vector({1}, {g});
+    agg.accumulate_example({&p});
+    p.zero_grad();
+  }
+  EXPECT_EQ(agg.example_count(), 3);
+  agg.finalize_into_grads({&p});
+  EXPECT_NEAR(p.grad[0], 2.0f, 1e-6f);
+}
+
+TEST(DpSgd, ZeroNoiseIsDeterministic) {
+  Param a = make_param({8});
+  Param b = make_param({8});
+  DpSgdAggregator agg_a(1.0, 0.0, Rng(174));
+  DpSgdAggregator agg_b(1.0, 0.0, Rng(999));  // different rng, no noise
+  for (auto* pair : {&a, &b}) {
+    (void)pair;
+  }
+  agg_a.begin_batch({&a});
+  agg_b.begin_batch({&b});
+  Rng g(175);
+  const Tensor grad = Tensor::randn({8}, g);
+  a.grad = grad;
+  b.grad = grad;
+  agg_a.accumulate_example({&a});
+  agg_b.accumulate_example({&b});
+  a.zero_grad();
+  b.zero_grad();
+  agg_a.finalize_into_grads({&a});
+  agg_b.finalize_into_grads({&b});
+  EXPECT_TRUE(a.grad.equals(b.grad));
+}
+
+TEST(DpSgd, NoiseScalesWithMultiplier) {
+  // With zero example gradients, the finalized grad is pure noise with
+  // stddev = noise_multiplier * clip / batch.
+  const auto noise_level = [](double multiplier) {
+    Param p = make_param({4096});
+    DpSgdAggregator agg(2.0, multiplier, Rng(176));
+    agg.begin_batch({&p});
+    p.grad.zero();
+    agg.accumulate_example({&p});
+    agg.finalize_into_grads({&p});
+    double sq = 0.0;
+    for (Index i = 0; i < 4096; ++i) {
+      sq += static_cast<double>(p.grad[i]) * p.grad[i];
+    }
+    return std::sqrt(sq / 4096.0);
+  };
+  EXPECT_NEAR(noise_level(1.0), 2.0, 0.1);   // sigma*clip/1
+  EXPECT_NEAR(noise_level(0.5), 1.0, 0.05);
+  EXPECT_NEAR(noise_level(0.0), 0.0, 1e-9);
+}
+
+TEST(DpSgd, NoisyFinalizeDisablesSparseFastPath) {
+  Param p = make_param({4, 2});
+  p.sparse = true;
+  DpSgdAggregator agg(1.0, 1.0, Rng(177));
+  agg.begin_batch({&p});
+  p.grad.zero();
+  agg.accumulate_example({&p});
+  agg.finalize_into_grads({&p});
+  EXPECT_FALSE(p.sparse);  // noise densifies the gradient
+}
+
+TEST(DpSgd, InvalidConfigRejected) {
+  EXPECT_THROW(DpSgdAggregator(0.0, 1.0, Rng(1)), std::runtime_error);
+  EXPECT_THROW(DpSgdAggregator(1.0, -0.5, Rng(1)), std::runtime_error);
+  Param p = make_param({2});
+  DpSgdAggregator agg(1.0, 0.0, Rng(1));
+  EXPECT_THROW(agg.finalize_into_grads({&p}), std::runtime_error);
+}
+
+TEST(Rdp, GaussianOrderFormulaAtQ1) {
+  // Non-subsampled Gaussian: eps(alpha) = alpha / (2 sigma^2).
+  const RdpAccountant acct(1.0, 2.0);
+  EXPECT_NEAR(acct.rdp_at_order(2), 2.0 / 8.0, 1e-9);
+  EXPECT_NEAR(acct.rdp_at_order(16), 16.0 / 8.0, 1e-9);
+}
+
+TEST(Rdp, SubsamplingAmplifiesPrivacy) {
+  const RdpAccountant full(1.0, 1.0);
+  const RdpAccountant sampled(0.01, 1.0);
+  EXPECT_LT(sampled.rdp_at_order(4), full.rdp_at_order(4));
+  EXPECT_LT(sampled.rdp_at_order(4), 0.01);  // ~q^2 regime
+}
+
+TEST(Rdp, EpsilonMonotoneInSteps) {
+  const RdpAccountant acct(0.05, 1.0);
+  const double delta = 1e-5;
+  double prev = 0.0;
+  for (const long long steps : {10LL, 100LL, 1000LL}) {
+    const double eps = acct.epsilon(steps, delta);
+    EXPECT_GT(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(Rdp, EpsilonDecreasesWithNoise) {
+  const double delta = 1e-5;
+  const double eps_low_noise = RdpAccountant(0.05, 0.6).epsilon(500, delta);
+  const double eps_high_noise = RdpAccountant(0.05, 2.0).epsilon(500, delta);
+  EXPECT_GT(eps_low_noise, eps_high_noise);
+}
+
+TEST(Rdp, ZeroStepsZeroEpsilon) {
+  const RdpAccountant acct(0.1, 1.0);
+  EXPECT_EQ(acct.epsilon(0, 1e-5), 0.0);
+}
+
+TEST(Rdp, InvalidArgsRejected) {
+  EXPECT_THROW(RdpAccountant(0.0, 1.0), std::runtime_error);
+  EXPECT_THROW(RdpAccountant(1.5, 1.0), std::runtime_error);
+  EXPECT_THROW(RdpAccountant(0.1, 0.0), std::runtime_error);
+  const RdpAccountant acct(0.1, 1.0);
+  EXPECT_THROW(acct.rdp_at_order(1), std::runtime_error);
+  EXPECT_THROW(acct.epsilon(10, 0.0), std::runtime_error);
+  EXPECT_THROW(acct.epsilon(-1, 1e-5), std::runtime_error);
+}
+
+TEST(Rdp, TypicalFigure5RegimeProducesFiniteEpsilon) {
+  // Batch 32 of 1000 samples, 60 steps, sigma = 1.0 — a plausible A.3 run.
+  const RdpAccountant acct(0.032, 1.0);
+  const double eps = acct.epsilon(60, 1e-3);
+  EXPECT_GT(eps, 0.1);
+  EXPECT_LT(eps, 50.0);
+}
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,80 @@
+#include "ondevice/prune.h"
+
+#include <gtest/gtest.h>
+
+namespace memcom {
+namespace {
+
+TEST(Prune, ZeroSparsityIsNoop) {
+  Rng rng(181);
+  Tensor t = Tensor::randn({10, 10}, rng);
+  const Tensor before = t;
+  const PruneResult result = magnitude_prune(t, 0.0);
+  EXPECT_TRUE(t.equals(before));
+  EXPECT_EQ(result.zeroed, 0);
+  EXPECT_EQ(result.total, 100);
+}
+
+TEST(Prune, AchievesRequestedSparsityApproximately) {
+  Rng rng(182);
+  Tensor t = Tensor::randn({100, 50}, rng);
+  const PruneResult result = magnitude_prune(t, 0.8);
+  EXPECT_NEAR(result.sparsity(), 0.8, 0.01);
+  EXPECT_NEAR(measured_sparsity(t), 0.8, 0.01);
+}
+
+TEST(Prune, KeepsLargestMagnitudes) {
+  Tensor t = Tensor::from_vector({6}, {0.01f, -5.0f, 0.02f, 3.0f, -0.03f, 1.0f});
+  magnitude_prune(t, 0.5);
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t[1], -5.0f);
+  EXPECT_EQ(t[2], 0.0f);
+  EXPECT_EQ(t[3], 3.0f);
+  EXPECT_EQ(t[4], 0.0f);
+  EXPECT_EQ(t[5], 1.0f);
+}
+
+TEST(Prune, GlobalThresholdSpansParams) {
+  // One param with tiny weights, one with large: global pruning at 50%
+  // should wipe out (mostly) the tiny param.
+  Param small("small", Tensor::full({10}, 0.001f));
+  Param large("large", Tensor::full({10}, 1.0f));
+  const PruneResult result = magnitude_prune_global({&small, &large}, 0.5);
+  EXPECT_NEAR(result.sparsity(), 0.5, 0.05);
+  EXPECT_EQ(nonzero_count(small.value), 0);
+  EXPECT_EQ(nonzero_count(large.value), 10);
+}
+
+TEST(Prune, InvalidSparsityRejected) {
+  Tensor t({4});
+  EXPECT_THROW(magnitude_prune(t, 1.0), std::runtime_error);
+  EXPECT_THROW(magnitude_prune(t, -0.1), std::runtime_error);
+}
+
+TEST(Prune, CsrStorageShrinksWithSparsity) {
+  Rng rng(183);
+  Tensor dense = Tensor::randn({100, 64}, rng);
+  const Index dense_csr = csr_storage_bytes(dense);
+  Tensor sparse = dense;
+  magnitude_prune(sparse, 0.9);
+  const Index sparse_csr = csr_storage_bytes(sparse);
+  EXPECT_LT(sparse_csr, dense_csr / 5);
+  // CSR only wins over dense storage when sparse enough.
+  EXPECT_LT(sparse_csr, dense.numel() * 4);
+}
+
+TEST(Prune, CsrStorageAccountsValueBits) {
+  Rng rng(184);
+  Tensor t = Tensor::randn({10, 10}, rng);
+  magnitude_prune(t, 0.5);
+  EXPECT_LT(csr_storage_bytes(t, 8), csr_storage_bytes(t, 32));
+}
+
+TEST(Prune, SparsityOfAllZeroTensor) {
+  const Tensor t({5, 5});
+  EXPECT_DOUBLE_EQ(measured_sparsity(t), 1.0);
+  EXPECT_EQ(nonzero_count(t), 0);
+}
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,148 @@
+#include "ondevice/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace memcom {
+namespace {
+
+TEST(DTypeMeta, NamesBitsAndPacking) {
+  EXPECT_STREQ(dtype_name(DType::kF32), "f32");
+  EXPECT_STREQ(dtype_name(DType::kI4), "i4");
+  EXPECT_EQ(dtype_bits(DType::kF16), 16);
+  EXPECT_EQ(dtype_from_bits(8), DType::kI8);
+  EXPECT_THROW(dtype_from_bits(2), std::runtime_error);
+  EXPECT_EQ(packed_byte_size(DType::kF32, 3), 12u);
+  EXPECT_EQ(packed_byte_size(DType::kI4, 3), 2u);  // two nibbles per byte
+  EXPECT_EQ(packed_byte_size(DType::kI4, 4), 2u);
+}
+
+TEST(Fp16, ExactForSmallPowersAndIntegers) {
+  for (const float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f}) {
+    EXPECT_EQ(f16_to_f32(f32_to_f16(v)), v) << v;
+  }
+}
+
+TEST(Fp16, RoundTripErrorWithinHalfUlp) {
+  Rng rng(151);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-8.0f, 8.0f);
+    const float back = f16_to_f32(f32_to_f16(v));
+    EXPECT_NEAR(back, v, std::fabs(v) * 0x1.0p-10f + 1e-6f);
+  }
+}
+
+TEST(Fp16, SpecialValues) {
+  EXPECT_EQ(f16_to_f32(f32_to_f16(65504.0f)), 65504.0f);  // fp16 max
+  EXPECT_TRUE(std::isinf(f16_to_f32(f32_to_f16(1e30f))));  // overflow -> inf
+  EXPECT_TRUE(std::isnan(f16_to_f32(f32_to_f16(NAN))));
+  // Subnormal round trip.
+  const float tiny = 3.0e-7f;
+  const float back = f16_to_f32(f32_to_f16(tiny));
+  EXPECT_NEAR(back, tiny, 6e-8f);
+}
+
+TEST(QuantizeF32, IsBitExactCopy) {
+  Rng rng(152);
+  const Tensor t = Tensor::randn({16, 4}, rng);
+  const QuantizedTensor q = quantize(t, DType::kF32);
+  EXPECT_TRUE(dequantize(q).equals(t));
+  EXPECT_EQ(q.scale, 1.0f);
+}
+
+TEST(QuantizeI8, ErrorBoundedByHalfScale) {
+  Rng rng(153);
+  const Tensor t = Tensor::randn({100, 8}, rng, 0.2f);
+  const QuantizedTensor q = quantize(t, DType::kI8);
+  const Tensor back = dequantize(q);
+  const float bound = quantization_error_bound(DType::kI8, q.scale,
+                                               t.abs_max());
+  for (Index i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(back[i] - t[i]), bound) << "element " << i;
+  }
+}
+
+TEST(QuantizeI4, ErrorBoundedByHalfScale) {
+  Rng rng(154);
+  const Tensor t = Tensor::randn({64, 4}, rng, 0.1f);
+  const QuantizedTensor q = quantize(t, DType::kI4);
+  const Tensor back = dequantize(q);
+  const float bound =
+      quantization_error_bound(DType::kI4, q.scale, t.abs_max());
+  for (Index i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(back[i] - t[i]), bound);
+  }
+}
+
+TEST(QuantizeI4, OddElementCountPacksCorrectly) {
+  const Tensor t = Tensor::from_vector({3}, {0.1f, -0.2f, 0.3f});
+  const QuantizedTensor q = quantize(t, DType::kI4);
+  EXPECT_EQ(q.payload.size(), 2u);
+  const Tensor back = dequantize(q);
+  EXPECT_EQ(back.numel(), 3);
+  EXPECT_NEAR(back[2], 0.3f, q.scale);
+}
+
+TEST(QuantizeI8, SymmetricScaleUsesAbsMax) {
+  const Tensor t = Tensor::from_vector({4}, {-1.27f, 0.5f, 1.0f, -0.02f});
+  const QuantizedTensor q = quantize(t, DType::kI8);
+  EXPECT_NEAR(q.scale, 1.27f / 127.0f, 1e-6f);
+  const Tensor back = dequantize(q);
+  EXPECT_NEAR(back[0], -1.27f, 1e-5f);  // extreme value is exact
+}
+
+TEST(QuantizeI8, ZeroTensorSafe) {
+  const Tensor t({8});
+  const QuantizedTensor q = quantize(t, DType::kI8);
+  const Tensor back = dequantize(q);
+  for (Index i = 0; i < 8; ++i) {
+    EXPECT_EQ(back[i], 0.0f);
+  }
+}
+
+TEST(DequantizeSpan, OffsetReadsMatchFullDequantize) {
+  Rng rng(155);
+  const Tensor t = Tensor::randn({10, 6}, rng, 0.3f);
+  for (const DType dtype :
+       {DType::kF32, DType::kF16, DType::kI8, DType::kI4}) {
+    const QuantizedTensor q = quantize(t, dtype);
+    const Tensor full = dequantize(q);
+    std::vector<float> row(6);
+    for (Index r = 0; r < 10; ++r) {
+      dequantize_span(dtype, q.scale, q.payload.data(), r * 6, 6, row.data());
+      for (Index c = 0; c < 6; ++c) {
+        EXPECT_EQ(row[static_cast<std::size_t>(c)], full.at2(r, c))
+            << dtype_name(dtype) << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(QuantizePrecisionLadder, ErrorGrowsAsBitsShrink) {
+  Rng rng(156);
+  const Tensor t = Tensor::randn({200, 8}, rng, 0.5f);
+  double prev_err = -1.0;
+  for (const DType dtype :
+       {DType::kF32, DType::kF16, DType::kI8, DType::kI4}) {
+    const Tensor back = dequantize(quantize(t, dtype));
+    double err = 0.0;
+    for (Index i = 0; i < t.numel(); ++i) {
+      err += std::fabs(back[i] - t[i]);
+    }
+    EXPECT_GE(err, prev_err) << dtype_name(dtype);
+    prev_err = err;
+  }
+}
+
+TEST(QuantizedTensorStruct, ShapePreserved) {
+  Rng rng(157);
+  const Tensor t = Tensor::randn({3, 5, 2}, rng);
+  const QuantizedTensor q = quantize(t, DType::kF16);
+  EXPECT_EQ(q.shape, t.shape());
+  EXPECT_EQ(q.numel(), 30);
+  EXPECT_EQ(dequantize(q).shape(), t.shape());
+}
+
+}  // namespace
+}  // namespace memcom

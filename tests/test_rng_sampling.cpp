@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/rng.h"
+#include "core/sampling.h"
+
+namespace memcom {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(4);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(10.0f, 0.5f);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(6);
+  std::map<std::int64_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t v = rng.uniform_index(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    ++counts[v];
+  }
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count), n / 7.0, n * 0.012);
+  }
+  EXPECT_EQ(counts.size(), 7u);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(7);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(8);
+  Rng child_a = parent.split(1);
+  Rng child_b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += child_a.next_u64() == child_b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(9);
+  Rng b(9);
+  Rng ca = a.split(5);
+  Rng cb = b.split(5);
+  EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Splitmix, KnownNonTrivialMixing) {
+  EXPECT_NE(splitmix64(0), 0u);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(AliasSampler, MatchesInputDistribution) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  const AliasSampler sampler(weights);
+  EXPECT_EQ(sampler.size(), 4);
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_NEAR(sampler.probability(i), weights[i] / 10.0, 1e-12);
+  }
+  Rng rng(10);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(sampler.sample(rng))];
+  }
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(i)] / static_cast<double>(n),
+                sampler.probability(i), 0.01);
+  }
+}
+
+TEST(AliasSampler, SingleOutcome) {
+  const AliasSampler sampler({5.0});
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sampler.sample(rng), 0);
+  }
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled) {
+  const AliasSampler sampler({1.0, 0.0, 1.0});
+  Rng rng(12);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(sampler.sample(rng), 1);
+  }
+}
+
+TEST(AliasSampler, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasSampler({}), std::runtime_error);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), std::runtime_error);
+  EXPECT_THROW(AliasSampler({1.0, -1.0}), std::runtime_error);
+}
+
+TEST(Zipf, WeightsFollowPowerLaw) {
+  const std::vector<double> w = zipf_weights(100, 1.0);
+  EXPECT_EQ(w.size(), 100u);
+  EXPECT_NEAR(w[0], 1.0, 1e-12);
+  EXPECT_NEAR(w[1], 0.5, 1e-12);
+  EXPECT_NEAR(w[9], 0.1, 1e-12);
+  // Monotone decreasing.
+  EXPECT_TRUE(std::is_sorted(w.rbegin(), w.rend()));
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  const std::vector<double> w = zipf_weights(10, 0.0);
+  for (const double v : w) {
+    EXPECT_NEAR(v, 1.0, 1e-12);
+  }
+}
+
+TEST(GumbelTopK, ReturnsDistinctIndices) {
+  Rng rng(13);
+  const std::vector<float> scores(20, 0.0f);
+  const std::vector<Index> picks = gumbel_top_k(scores, 10, rng);
+  EXPECT_EQ(picks.size(), 10u);
+  std::vector<Index> sorted = picks;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(GumbelTopK, PrefersHighScores) {
+  Rng rng(14);
+  std::vector<float> scores(50, 0.0f);
+  scores[7] = 20.0f;  // overwhelmingly the largest
+  int hits = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<Index> picks = gumbel_top_k(scores, 1, rng);
+    hits += picks[0] == 7 ? 1 : 0;
+  }
+  EXPECT_GT(hits, 190);
+}
+
+TEST(GumbelTopK, KEqualsNReturnsAll) {
+  Rng rng(15);
+  const std::vector<float> scores = {1.0f, 2.0f, 3.0f};
+  std::vector<Index> picks = gumbel_top_k(scores, 3, rng);
+  std::sort(picks.begin(), picks.end());
+  EXPECT_EQ(picks, (std::vector<Index>{0, 1, 2}));
+  EXPECT_THROW(gumbel_top_k(scores, 4, rng), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace memcom

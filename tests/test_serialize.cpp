@@ -1,0 +1,95 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace memcom {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  std::stringstream ss;
+  write_u32(ss, 0xDEADBEEFu);
+  write_u64(ss, 0x0123456789ABCDEFULL);
+  write_i64(ss, -42);
+  write_f32(ss, 3.25f);
+  EXPECT_EQ(read_u32(ss), 0xDEADBEEFu);
+  EXPECT_EQ(read_u64(ss), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(read_i64(ss), -42);
+  EXPECT_EQ(read_f32(ss), 3.25f);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  std::stringstream ss;
+  write_string(ss, "hello world");
+  write_string(ss, "");
+  write_string(ss, std::string("\0binary\xff", 8));
+  EXPECT_EQ(read_string(ss), "hello world");
+  EXPECT_EQ(read_string(ss), "");
+  EXPECT_EQ(read_string(ss), std::string("\0binary\xff", 8));
+}
+
+TEST(Serialize, F32ArrayRoundTrip) {
+  std::stringstream ss;
+  const std::vector<float> data = {1.0f, -2.5f, 3.75f, 0.0f};
+  write_f32_array(ss, data.data(), data.size());
+  std::vector<float> out(4);
+  read_f32_array(ss, out.data(), out.size());
+  EXPECT_EQ(data, out);
+}
+
+TEST(Serialize, TensorRoundTripBitExact) {
+  Rng rng(21);
+  const Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const Tensor back = read_tensor(ss);
+  EXPECT_TRUE(back.equals(t));
+  EXPECT_EQ(back.shape(), t.shape());
+}
+
+TEST(Serialize, EmptyTensorRoundTrip) {
+  const Tensor t({0, 4});
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const Tensor back = read_tensor(ss);
+  EXPECT_EQ(back.numel(), 0);
+  EXPECT_EQ(back.shape(), (Shape{0, 4}));
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::stringstream ss;
+  write_u64(ss, 123);
+  read_u64(ss);
+  EXPECT_THROW(read_u64(ss), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedTensorThrows) {
+  Rng rng(22);
+  const Tensor t = Tensor::randn({8, 8}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_tensor(cut), std::runtime_error);
+}
+
+TEST(Serialize, ImplausibleRankRejected) {
+  std::stringstream ss;
+  write_u64(ss, 1000);  // claimed rank
+  EXPECT_THROW(read_tensor(ss), std::runtime_error);
+}
+
+TEST(Serialize, MultipleTensorsSequential) {
+  Rng rng(23);
+  const Tensor a = Tensor::randn({4}, rng);
+  const Tensor b = Tensor::randn({2, 2}, rng);
+  std::stringstream ss;
+  write_tensor(ss, a);
+  write_tensor(ss, b);
+  EXPECT_TRUE(read_tensor(ss).equals(a));
+  EXPECT_TRUE(read_tensor(ss).equals(b));
+}
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,125 @@
+#include "repro/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace memcom {
+namespace {
+
+DatasetSpec micro_spec() {
+  DatasetSpec s;
+  s.name = "micro";
+  s.items = 120;
+  s.output_vocab = 20;
+  s.train_samples = 500;
+  s.eval_samples = 120;
+  s.seq_len = 10;
+  s.affinity = 6.0;
+  s.latent_dim = 8;
+  return s;
+}
+
+TEST(KnobLadder, HashTechniquesFollowPaperDivisors) {
+  const std::vector<Index> ladder =
+      knob_ladder(TechniqueKind::kMemcom, 1000, 64, 3);
+  ASSERT_EQ(ladder.size(), 3u);
+  EXPECT_EQ(ladder[0], 500);   // vocab/2
+  EXPECT_EQ(ladder[1], 125);   // vocab/8
+  EXPECT_EQ(ladder[2], 31);    // vocab/32
+}
+
+TEST(KnobLadder, ClampsToMinimumEight) {
+  const std::vector<Index> ladder =
+      knob_ladder(TechniqueKind::kNaiveHash, 20, 64, 4);
+  for (const Index knob : ladder) {
+    EXPECT_GE(knob, 8);
+  }
+}
+
+TEST(KnobLadder, FactorizedAndReduceDimHalveDimensions) {
+  const std::vector<Index> fact =
+      knob_ladder(TechniqueKind::kFactorized, 1000, 64, 4);
+  EXPECT_EQ(fact, (std::vector<Index>{32, 16, 8, 4}));
+  const std::vector<Index> reduce =
+      knob_ladder(TechniqueKind::kReduceDim, 1000, 16, 10);
+  EXPECT_EQ(reduce, (std::vector<Index>{8, 4, 2}));  // stops at 2
+}
+
+TEST(KnobLadder, DeduplicatesCollapsedRungs) {
+  const std::vector<Index> ladder =
+      knob_ladder(TechniqueKind::kMemcom, 30, 64, 5);
+  std::vector<Index> sorted = ladder;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(ModelParamCount, MatchesConstructedModel) {
+  EmbeddingConfig emb = {TechniqueKind::kMemcom, 500, 32, 50};
+  const Index count = model_param_count(emb, ModelArch::kRanking, 40);
+  ModelConfig config;
+  config.embedding = emb;
+  config.arch = ModelArch::kRanking;
+  config.output_vocab = 40;
+  RecModel model(config);
+  EXPECT_EQ(count, model.param_count());
+}
+
+TEST(Sweep, ProducesMonotoneCompressionAndSanePoints) {
+  const SyntheticDataset data(micro_spec(), 31);
+  TrainConfig train;
+  train.epochs = 3;
+  train.batch_size = 32;
+  const SweepResult result = run_compression_sweep(
+      data, ModelArch::kClassification,
+      {TechniqueKind::kMemcom, TechniqueKind::kNaiveHash}, train,
+      /*embed_dim=*/16, /*ladder_levels=*/2);
+
+  EXPECT_EQ(result.dataset, "micro");
+  EXPECT_GT(result.baseline_metric, 0.0);
+  EXPECT_GT(result.baseline_params, 0);
+  ASSERT_EQ(result.series.size(), 2u);
+  for (const TechniqueSeries& series : result.series) {
+    ASSERT_FALSE(series.points.empty());
+    double prev_ratio = 0.0;
+    for (const SweepPoint& point : series.points) {
+      EXPECT_GT(point.compression_ratio, 1.0)
+          << technique_name(series.kind);
+      EXPECT_GT(point.compression_ratio, prev_ratio);  // ladder shrinks knob
+      prev_ratio = point.compression_ratio;
+      EXPECT_GE(point.metric, 0.0);
+      EXPECT_LE(point.metric, 1.0);
+      if (result.baseline_metric > 0.0) {
+        EXPECT_NEAR(point.relative_loss_pct,
+                    100.0 * (result.baseline_metric - point.metric) /
+                        result.baseline_metric,
+                    1e-9);
+      }
+    }
+  }
+}
+
+TEST(Sweep, MemcomCompressesMoreThanFactorizedAtSameLadder) {
+  // MEmCom removes the v x e table entirely; factorized keeps v x h.
+  EmbeddingConfig memcom = {TechniqueKind::kMemcom, 2000, 64, 125};
+  EmbeddingConfig fact = {TechniqueKind::kFactorized, 2000, 64, 32};
+  EXPECT_LT(embedding_param_formula(memcom), embedding_param_formula(fact));
+}
+
+TEST(Sweep, PrinterEmitsEveryPoint) {
+  const SyntheticDataset data(micro_spec(), 32);
+  TrainConfig train;
+  train.epochs = 1;
+  const SweepResult result =
+      run_compression_sweep(data, ModelArch::kClassification,
+                            {TechniqueKind::kMemcom}, train, 16, 2);
+  std::ostringstream os;
+  print_sweep(result, "accuracy", os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("memcom"), std::string::npos);
+  EXPECT_NE(text.find("baseline"), std::string::npos);
+  EXPECT_NE(text.find("micro"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memcom

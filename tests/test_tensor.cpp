@@ -1,0 +1,175 @@
+#include "core/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace memcom {
+namespace {
+
+TEST(Tensor, DefaultConstructedIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.ndim(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({4, 5, 6});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(0), 4);
+  EXPECT_EQ(t.dim(1), 5);
+  EXPECT_EQ(t.dim(2), 6);
+  EXPECT_EQ(t.dim(-1), 6);
+  EXPECT_EQ(t.dim(-3), 4);
+  EXPECT_THROW(t.dim(3), std::runtime_error);
+  EXPECT_THROW(t.dim(-4), std::runtime_error);
+}
+
+TEST(Tensor, FullFillsValue) {
+  const Tensor t = Tensor::full({3, 2}, 2.5f);
+  for (Index i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 2.5f);
+  }
+}
+
+TEST(Tensor, FromVectorPreservesValuesAndChecksCount) {
+  const Tensor t = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at2(0, 0), 1.0f);
+  EXPECT_EQ(t.at2(0, 1), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+  EXPECT_EQ(t.at2(1, 1), 4.0f);
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1, 2, 3}), std::runtime_error);
+}
+
+TEST(Tensor, At2At3RowMajorLayout) {
+  Tensor t({2, 3, 4});
+  t.at3(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 9.0f);
+  Tensor m({3, 4});
+  m.at2(2, 1) = 7.0f;
+  EXPECT_EQ(m[2 * 4 + 1], 7.0f);
+}
+
+TEST(Tensor, BoundsCheckedAt) {
+  Tensor t({4});
+  EXPECT_NO_THROW(t.at(3));
+  EXPECT_THROW(t.at(4), std::runtime_error);
+  EXPECT_THROW(t.at(-1), std::runtime_error);
+}
+
+TEST(Tensor, ReshapePreservesDataRequiresSameNumel) {
+  Tensor t = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at2(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::runtime_error);
+  const Tensor r = t.reshaped({6});
+  EXPECT_EQ(r.ndim(), 1);
+  EXPECT_EQ(r[5], 6.0f);
+  EXPECT_EQ(t.ndim(), 2);  // reshaped() does not mutate
+}
+
+TEST(Tensor, RandnUniformDeterministicUnderSeed) {
+  Rng rng_a(123);
+  Rng rng_b(123);
+  const Tensor a = Tensor::randn({32, 8}, rng_a);
+  const Tensor b = Tensor::randn({32, 8}, rng_b);
+  EXPECT_TRUE(a.equals(b));
+  Rng rng_c(124);
+  const Tensor c = Tensor::randn({32, 8}, rng_c);
+  EXPECT_FALSE(a.equals(c));
+}
+
+TEST(Tensor, UniformRespectsRange) {
+  Rng rng(7);
+  const Tensor t = Tensor::uniform({1000}, rng, -0.25f, 0.5f);
+  EXPECT_GE(t.min(), -0.25f);
+  EXPECT_LT(t.max(), 0.5f);
+  // The sample mean should be near the midpoint.
+  EXPECT_NEAR(t.mean(), 0.125f, 0.03f);
+}
+
+TEST(Tensor, GlorotLimit) {
+  Rng rng(7);
+  const Tensor t = Tensor::glorot(100, 50, rng);
+  const float limit = std::sqrt(6.0f / 150.0f);
+  EXPECT_GE(t.min(), -limit);
+  EXPECT_LE(t.max(), limit);
+  EXPECT_EQ(t.dim(0), 100);
+  EXPECT_EQ(t.dim(1), 50);
+}
+
+TEST(Tensor, AddSubScaleMul) {
+  Tensor a = Tensor::from_vector({3}, {1, 2, 3});
+  const Tensor b = Tensor::from_vector({3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_EQ(a[0], 11.0f);
+  a.axpy_(-1.0f, b);
+  EXPECT_EQ(a[2], 3.0f);
+  a.scale_(2.0f);
+  EXPECT_EQ(a[1], 4.0f);
+  a.mul_(b);
+  EXPECT_EQ(a[0], 20.0f);
+}
+
+TEST(Tensor, ArithmeticShapeMismatchThrows) {
+  Tensor a({2, 2});
+  const Tensor b({4});
+  EXPECT_THROW(a.add_(b), std::runtime_error);
+  EXPECT_THROW(a.mul_(b), std::runtime_error);
+  EXPECT_THROW(a.axpy_(1.0f, b), std::runtime_error);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t = Tensor::from_vector({4}, {-1, 2, -3, 4});
+  EXPECT_EQ(t.sum(), 2.0f);
+  EXPECT_EQ(t.mean(), 0.5f);
+  EXPECT_EQ(t.min(), -3.0f);
+  EXPECT_EQ(t.max(), 4.0f);
+  EXPECT_EQ(t.abs_max(), 4.0f);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(30.0f), 1e-5f);
+}
+
+TEST(Tensor, ReductionsOnEmptyThrow) {
+  Tensor t;
+  EXPECT_THROW(t.mean(), std::runtime_error);
+  EXPECT_THROW(t.min(), std::runtime_error);
+  EXPECT_THROW(t.max(), std::runtime_error);
+}
+
+TEST(Tensor, AllcloseToleranceAndShape) {
+  const Tensor a = Tensor::from_vector({2}, {1.0f, 2.0f});
+  const Tensor b = Tensor::from_vector({2}, {1.0f + 5e-6f, 2.0f});
+  EXPECT_TRUE(a.allclose(b, 1e-5f));
+  EXPECT_FALSE(a.allclose(b, 1e-7f));
+  const Tensor c = Tensor::from_vector({1, 2}, {1.0f, 2.0f});
+  EXPECT_FALSE(a.allclose(c));
+}
+
+TEST(Tensor, NegativeDimensionRejected) {
+  EXPECT_THROW(Tensor({2, -1}), std::runtime_error);
+}
+
+TEST(Tensor, ShapeToString) {
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+  Tensor t({5});
+  EXPECT_EQ(t.shape_string(), "[5]");
+}
+
+TEST(Tensor, ZeroDimensionTensorHasZeroElements) {
+  Tensor t({0, 8});
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace memcom

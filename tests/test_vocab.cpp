@@ -1,0 +1,126 @@
+#include "data/vocab.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace memcom {
+namespace {
+
+Vocab sample_vocab(Index reserved = 0) {
+  VocabBuilder builder;
+  builder.add("common", 100);
+  builder.add("frequent", 50);
+  builder.add("occasional", 10);
+  builder.add("rare", 1);
+  return builder.freeze(0, reserved);
+}
+
+TEST(Vocab, FrequencySortedIdAssignment) {
+  const Vocab vocab = sample_vocab();
+  // id 0 = pad; most frequent token gets id 1.
+  EXPECT_EQ(vocab.id_of("common"), 1);
+  EXPECT_EQ(vocab.id_of("frequent"), 2);
+  EXPECT_EQ(vocab.id_of("occasional"), 3);
+  EXPECT_EQ(vocab.id_of("rare"), 4);
+  EXPECT_EQ(vocab.size(), 5);
+  EXPECT_EQ(vocab.token_count(), 4);
+}
+
+TEST(Vocab, ReservedRangeShiftsTokenIds) {
+  // The paper's Games/Arcade setup: countries get ids 1..n, apps n+1...
+  const Vocab vocab = sample_vocab(/*reserved=*/24);
+  EXPECT_EQ(vocab.first_token_id(), 25);
+  EXPECT_EQ(vocab.id_of("common"), 25);
+  EXPECT_EQ(vocab.size(), 1 + 24 + 4);
+}
+
+TEST(Vocab, CountsAccumulateAcrossAdds) {
+  VocabBuilder builder;
+  builder.add("x");
+  builder.add("x", 4);
+  builder.add("y", 3);
+  const Vocab vocab = builder.freeze();
+  EXPECT_EQ(vocab.id_of("x"), 1);  // 5 occurrences beats 3
+  EXPECT_EQ(vocab.count_of("x"), 5);
+  EXPECT_EQ(vocab.count_of("y"), 3);
+  EXPECT_EQ(vocab.count_of("z"), 0);
+}
+
+TEST(Vocab, TiesBrokenLexicographically) {
+  VocabBuilder builder;
+  builder.add("beta", 7);
+  builder.add("alpha", 7);
+  const Vocab vocab = builder.freeze();
+  EXPECT_EQ(vocab.id_of("alpha"), 1);
+  EXPECT_EQ(vocab.id_of("beta"), 2);
+}
+
+TEST(Vocab, MaxTokensKeepsHead) {
+  VocabBuilder builder;
+  builder.add("a", 10);
+  builder.add("b", 5);
+  builder.add("c", 1);
+  const Vocab vocab = builder.freeze(/*max_tokens=*/2);
+  EXPECT_TRUE(vocab.contains("a"));
+  EXPECT_TRUE(vocab.contains("b"));
+  EXPECT_FALSE(vocab.contains("c"));
+  EXPECT_EQ(vocab.id_of("c"), Vocab::kUnknownId);
+}
+
+TEST(Vocab, TokenOfRoundTrip) {
+  const Vocab vocab = sample_vocab();
+  for (Index id = vocab.first_token_id(); id < vocab.size(); ++id) {
+    EXPECT_EQ(vocab.id_of(vocab.token_of(id)), id);
+  }
+  EXPECT_THROW(vocab.token_of(0), std::runtime_error);
+  EXPECT_THROW(vocab.token_of(vocab.size()), std::runtime_error);
+}
+
+TEST(Vocab, EncodePadsAndTruncates) {
+  const Vocab vocab = sample_vocab();
+  const auto padded = vocab.encode({"common", "rare"}, 4);
+  EXPECT_EQ(padded, (std::vector<std::int32_t>{1, 4, 0, 0}));
+  const auto truncated =
+      vocab.encode({"common", "frequent", "occasional", "rare"}, 2);
+  EXPECT_EQ(truncated, (std::vector<std::int32_t>{1, 2}));
+}
+
+TEST(Vocab, EncodeDropsUnknownTokens) {
+  const Vocab vocab = sample_vocab();
+  const auto ids = vocab.encode({"unknown", "common", "???", "rare"}, 4);
+  EXPECT_EQ(ids, (std::vector<std::int32_t>{1, 4, 0, 0}));
+}
+
+TEST(Vocab, SaveLoadRoundTrip) {
+  const Vocab vocab = sample_vocab(/*reserved=*/3);
+  std::stringstream ss;
+  vocab.save(ss);
+  const Vocab loaded = Vocab::load(ss);
+  EXPECT_TRUE(loaded == vocab);
+  EXPECT_EQ(loaded.id_of("occasional"), vocab.id_of("occasional"));
+  EXPECT_EQ(loaded.count_of("common"), 100);
+}
+
+TEST(Vocab, LoadRejectsBadTag) {
+  std::stringstream ss;
+  ss.write("garbagegarbage", 14);
+  EXPECT_THROW(Vocab::load(ss), std::runtime_error);
+}
+
+TEST(Vocab, BuilderValidation) {
+  VocabBuilder builder;
+  EXPECT_THROW(builder.add("", 1), std::runtime_error);
+  EXPECT_THROW(builder.add("x", 0), std::runtime_error);
+  EXPECT_THROW(builder.freeze(0, -1), std::runtime_error);
+}
+
+TEST(Vocab, EmptyVocabIsJustPad) {
+  VocabBuilder builder;
+  const Vocab vocab = builder.freeze();
+  EXPECT_EQ(vocab.size(), 1);
+  EXPECT_EQ(vocab.token_count(), 0);
+}
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,60 @@
+// mcm_inspect — print the contents of an exported .mcm on-device model:
+// metadata, tensor directory (name / dtype / shape / quantization scale /
+// blob offset / size), and summary statistics per tensor.
+//
+//   ./mcm_inspect model.mcm [--stats]
+#include <iostream>
+
+#include "core/flags.h"
+#include "core/table.h"
+#include "ondevice/format.h"
+
+using namespace memcom;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::cerr << "usage: mcm_inspect <model.mcm> [--stats]\n";
+    return 2;
+  }
+  const std::string path = flags.positional()[0];
+  const MmapModel model(path);
+
+  std::cout << "file: " << path << " (" << model.file_size() << " bytes)\n\n";
+  std::cout << "metadata:\n";
+  for (const auto& [key, value] : model.metadata()) {
+    std::cout << "  " << key << " = " << value << "\n";
+  }
+
+  TextTable table({"tensor", "dtype", "shape", "scale", "offset", "bytes"});
+  std::uint64_t total_bytes = 0;
+  for (const std::string& name : model.tensor_names()) {
+    const TensorEntry& entry = model.entry(name);
+    table.add_row({name, dtype_name(entry.dtype),
+                   shape_to_string(entry.shape),
+                   format_float(entry.scale, 6),
+                   std::to_string(entry.offset),
+                   std::to_string(entry.byte_size)});
+    total_bytes += entry.byte_size;
+  }
+  std::cout << "\n" << table.to_string();
+  std::cout << "total tensor payload: " << total_bytes << " bytes ("
+            << format_float(static_cast<double>(total_bytes) / 1024.0 / 1024.0,
+                            2)
+            << " MB)\n";
+
+  if (flags.get_bool("stats", false)) {
+    std::cout << "\nper-tensor statistics (dequantized):\n";
+    TextTable stats({"tensor", "min", "max", "mean", "l2"});
+    for (const std::string& name : model.tensor_names()) {
+      const Tensor t = model.load_tensor(name);
+      if (t.empty()) {
+        continue;
+      }
+      stats.add_row({name, format_float(t.min(), 4), format_float(t.max(), 4),
+                     format_float(t.mean(), 5), format_float(t.l2_norm(), 3)});
+    }
+    std::cout << stats.to_string();
+  }
+  return 0;
+}
