@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <filesystem>
 
 #include "data/synthetic.h"
@@ -271,7 +273,7 @@ TEST_F(EngineTest, PaddedHistoryIgnoredInPooling) {
   // Same real ids, different padding amounts -> identical logits.
   const Tensor a = engine.run({5, 9, 0, 0}).logits;
   const Tensor b = engine.run({5, 9, 0, 0, 0, 0, 0, 0}).logits;
-  EXPECT_TRUE(a.allclose(b, 1e-5f));
+  EXPECT_TENSOR_NEAR(a, b, 1e-5f);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -65,11 +67,11 @@ TEST_F(FormatTest, QuantizedTensorsRoundTripWithinBound) {
 
   const MmapModel model(path);
   EXPECT_TRUE(model.load_tensor("w32").equals(t));
-  EXPECT_TRUE(model.load_tensor("w16").allclose(t, 0.001f));
+  EXPECT_TENSOR_NEAR(model.load_tensor("w16"), t, 0.001f);
   const TensorEntry& e8 = model.entry("w8");
-  EXPECT_TRUE(model.load_tensor("w8").allclose(t, e8.scale * 0.5f + 1e-6f));
+  EXPECT_TENSOR_NEAR(model.load_tensor("w8"), t, e8.scale * 0.5f + 1e-6f);
   const TensorEntry& e4 = model.entry("w4");
-  EXPECT_TRUE(model.load_tensor("w4").allclose(t, e4.scale * 0.5f + 1e-6f));
+  EXPECT_TENSOR_NEAR(model.load_tensor("w4"), t, e4.scale * 0.5f + 1e-6f);
   // Stored sizes shrink with precision.
   EXPECT_GT(model.entry("w32").byte_size, model.entry("w16").byte_size);
   EXPECT_GT(model.entry("w16").byte_size, model.entry("w8").byte_size);

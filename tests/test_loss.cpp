@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <cmath>
 
 #include "core/ops.h"
@@ -88,7 +90,7 @@ TEST(SoftmaxXent, ProbabilitiesExposedAndNormalized) {
   const Tensor logits = Tensor::randn({2, 6}, rng);
   loss.forward(logits, {0, 5});
   const Tensor& probs = loss.probabilities();
-  EXPECT_TRUE(probs.allclose(softmax_rows(logits), 1e-5f));
+  EXPECT_TENSOR_NEAR(probs, softmax_rows(logits), 1e-5f);
 }
 
 TEST(RankNet, EqualScoresGiveLog2) {

@@ -1,0 +1,125 @@
+// Round-trips a .mcm written by ondevice/format through the mcm_inspect
+// command-line tool and asserts on the inspector's summary output.
+//
+// The tool's binary path is injected by CMake via MCM_INSPECT_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "test_util.h"
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "ondevice/format.h"
+
+namespace memcom {
+namespace {
+
+#ifndef MCM_INSPECT_PATH
+#error "MCM_INSPECT_PATH must be defined by the build"
+#endif
+
+struct ToolResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+ToolResult run_tool(const std::string& args) {
+  // Quote the binary path; build trees may live under paths with spaces.
+  const std::string cmd =
+      "\"" + std::string(MCM_INSPECT_PATH) + "\" " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ToolResult result;
+  if (pipe == nullptr) {
+    return result;
+  }
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    result.output += buf;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class McmInspectTest : public test::SeededTest {
+ protected:
+  McmInspectTest()
+      : path_((std::filesystem::temp_directory_path() /
+               "memcom_inspect_test.mcm")
+                  .string()) {}
+
+  ~McmInspectTest() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+
+  const std::string path_;
+};
+
+TEST_F(McmInspectTest, SummarizesRoundTrippedModel) {
+  ModelWriter writer(path_);
+  writer.set_metadata("technique", "memcom");
+  writer.set_metadata_int("embedding_dim", 8);
+  const Tensor table = Tensor::randn({16, 8}, rng_);
+  const Tensor bias = Tensor::full({8}, 0.25f);
+  writer.add_tensor("embedding", table, DType::kI8);
+  writer.add_tensor("bias", bias, DType::kF32);
+  const std::uint64_t bytes_written = writer.finish();
+  ASSERT_GT(bytes_written, 0u);
+
+  const ToolResult result = run_tool("\"" + path_ + "\"");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+
+  // File summary line reports the on-disk size.
+  EXPECT_NE(result.output.find("file: " + path_), std::string::npos);
+  EXPECT_NE(result.output.find(std::to_string(bytes_written) + " bytes"),
+            std::string::npos);
+
+  // Metadata section echoes both entries.
+  EXPECT_NE(result.output.find("technique = memcom"), std::string::npos);
+  EXPECT_NE(result.output.find("embedding_dim = 8"), std::string::npos);
+
+  // Tensor directory lists both tensors with dtype and shape.
+  EXPECT_NE(result.output.find("embedding"), std::string::npos);
+  EXPECT_NE(result.output.find("bias"), std::string::npos);
+  EXPECT_NE(result.output.find("i8"), std::string::npos);
+  EXPECT_NE(result.output.find("f32"), std::string::npos);
+  EXPECT_NE(result.output.find(shape_to_string({16, 8})), std::string::npos);
+
+  // The payload total matches the directory entries read back directly.
+  const MmapModel model(path_);
+  const std::uint64_t payload = model.entry("embedding").byte_size +
+                                model.entry("bias").byte_size;
+  EXPECT_NE(
+      result.output.find("total tensor payload: " + std::to_string(payload)),
+      std::string::npos);
+}
+
+TEST_F(McmInspectTest, StatsFlagPrintsDequantizedStatistics) {
+  ModelWriter writer(path_);
+  const Tensor bias = Tensor::full({4}, 0.25f);
+  writer.add_tensor("bias", bias, DType::kF32);
+  writer.finish();
+
+  const ToolResult result = run_tool("\"" + path_ + "\" --stats");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("per-tensor statistics"), std::string::npos);
+  // f32 round-trips exactly: min == max == mean == 0.25.
+  EXPECT_NE(result.output.find("0.25"), std::string::npos);
+
+  // The f32 payload must also reload bit-exactly through the format API.
+  const MmapModel model(path_);
+  EXPECT_TENSOR_NEAR(model.load_tensor("bias"), bias, 0.0f);
+}
+
+TEST_F(McmInspectTest, MissingArgumentFailsWithUsage) {
+  const ToolResult result = run_tool("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memcom

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -33,8 +35,8 @@ TEST(Matmul, IdentityIsNoop) {
   for (Index i = 0; i < 4; ++i) {
     eye.at2(i, i) = 1.0f;
   }
-  EXPECT_TRUE(matmul(a, eye).allclose(a, 1e-6f));
-  EXPECT_TRUE(matmul(eye, a).allclose(a, 1e-6f));
+  EXPECT_TENSOR_NEAR(matmul(a, eye), a, 1e-6f);
+  EXPECT_TENSOR_NEAR(matmul(eye, a), a, 1e-6f);
 }
 
 TEST(Matmul, TnMatchesExplicitTranspose) {
@@ -43,7 +45,7 @@ TEST(Matmul, TnMatchesExplicitTranspose) {
   const Tensor b = Tensor::randn({5, 4}, rng);
   const Tensor via_tn = matmul_tn(a, b);
   const Tensor via_transpose = matmul(transpose(a), b);
-  EXPECT_TRUE(via_tn.allclose(via_transpose, 1e-4f));
+  EXPECT_TENSOR_NEAR(via_tn, via_transpose, 1e-4f);
 }
 
 TEST(Matmul, NtMatchesExplicitTranspose) {
@@ -52,7 +54,7 @@ TEST(Matmul, NtMatchesExplicitTranspose) {
   const Tensor b = Tensor::randn({4, 3}, rng);
   const Tensor via_nt = matmul_nt(a, b);
   const Tensor via_transpose = matmul(a, transpose(b));
-  EXPECT_TRUE(via_nt.allclose(via_transpose, 1e-4f));
+  EXPECT_TENSOR_NEAR(via_nt, via_transpose, 1e-4f);
 }
 
 TEST(Matmul, AccumulateAddsIntoExisting) {
@@ -116,7 +118,7 @@ TEST(Softmax, StableUnderLargeLogits) {
 TEST(Softmax, ShiftInvariance) {
   const Tensor a = Tensor::from_vector({1, 3}, {1, 2, 3});
   const Tensor b = Tensor::from_vector({1, 3}, {101, 102, 103});
-  EXPECT_TRUE(softmax_rows(a).allclose(softmax_rows(b), 1e-5f));
+  EXPECT_TENSOR_NEAR(softmax_rows(a), softmax_rows(b), 1e-5f);
 }
 
 TEST(LogSoftmax, MatchesLogOfSoftmax) {
