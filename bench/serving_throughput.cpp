@@ -1,0 +1,161 @@
+// Serving throughput benchmark: single-thread vs multi-thread QPS of the
+// zero-allocation inference fast path, per compression technique.
+//
+// Unlike micro_lookup/micro_ops this does not need Google Benchmark — it is
+// a plain binary driven by core/flags.h, so it builds everywhere the engine
+// does. Besides the human-readable table it writes a machine-readable
+// BENCH_serving.json for CI trend tracking.
+//
+//   ./bench_serving_throughput                  # default scale
+//   ./bench_serving_throughput --smoke          # tiny model, few iterations
+//   ./bench_serving_throughput --threads 8 --requests 512 --repeat 16
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/flags.h"
+#include "core/rng.h"
+#include "core/table.h"
+#include "ondevice/serving.h"
+#include "repro/model.h"
+
+using namespace memcom;
+
+namespace {
+
+struct ResultRow {
+  std::string technique;
+  int threads = 0;
+  double qps = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, mean_ms = 0;
+  double resident_mb = 0;
+};
+
+void write_json(const std::string& path, unsigned hardware_threads,
+                const std::vector<ResultRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"hardware_threads\": " << hardware_threads
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ResultRow& r = rows[i];
+    out << "    {\"technique\": \"" << r.technique << "\", "
+        << "\"threads\": " << r.threads << ", "
+        << "\"qps\": " << r.qps << ", "
+        << "\"p50_ms\": " << r.p50_ms << ", "
+        << "\"p95_ms\": " << r.p95_ms << ", "
+        << "\"p99_ms\": " << r.p99_ms << ", "
+        << "\"mean_ms\": " << r.mean_ms << ", "
+        << "\"resident_mb\": " << r.resident_mb << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+  const Index vocab = flags.get_int("vocab", smoke ? 2000 : 50000);
+  const Index embed_dim = flags.get_int("embed-dim", smoke ? 32 : 128);
+  const Index seq_len = flags.get_int("seq-len", smoke ? 16 : 64);
+  const Index hash = flags.get_int("hash", std::max<Index>(8, vocab / 16));
+  const int max_threads =
+      static_cast<int>(flags.get_int("threads", smoke ? 2 : 4));
+  const int request_count =
+      static_cast<int>(flags.get_int("requests", smoke ? 64 : 256));
+  const int repeat = static_cast<int>(flags.get_int("repeat", smoke ? 4 : 8));
+  const std::string json_path =
+      flags.get_string("out", "BENCH_serving.json");
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::cout << "serving throughput: vocab=" << vocab << " e=" << embed_dim
+            << " hash=" << hash << " L=" << seq_len
+            << " requests=" << request_count << " repeat=" << repeat
+            << " threads=1.." << max_threads << " (hardware threads: "
+            << hw_threads << ")\n";
+  if (hw_threads < static_cast<unsigned>(max_threads)) {
+    std::cout << "NOTE: only " << hw_threads << " hardware thread(s) visible;"
+              << " multi-thread QPS cannot exceed single-thread here.\n";
+  }
+  std::cout << "\n";
+
+  // A realistic request mix: random histories with a padded tail.
+  Rng rng(7);
+  std::vector<std::vector<std::int32_t>> requests;
+  requests.reserve(static_cast<std::size_t>(request_count));
+  for (int i = 0; i < request_count; ++i) {
+    std::vector<std::int32_t> history(static_cast<std::size_t>(seq_len), 0);
+    const Index real = seq_len - static_cast<Index>(rng.uniform_index(
+                                     static_cast<Index>(seq_len / 4 + 1)));
+    for (Index t = 0; t < real; ++t) {
+      history[static_cast<std::size_t>(t)] =
+          static_cast<std::int32_t>(1 + rng.uniform_index(vocab - 1));
+    }
+    requests.push_back(std::move(history));
+  }
+
+  TextTable table({"technique", "threads", "qps", "p50 ms", "p95 ms",
+                   "p99 ms", "mean ms", "resident MB"});
+  std::vector<ResultRow> rows;
+
+  for (const TechniqueKind kind :
+       {TechniqueKind::kMemcom, TechniqueKind::kQrMult,
+        TechniqueKind::kNaiveHash}) {
+    ModelConfig config;
+    config.embedding = {kind, vocab, embed_dim, hash};
+    config.arch = ModelArch::kClassification;
+    config.output_vocab = smoke ? 32 : 256;
+    config.seed = 99;
+    RecModel model(config);
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("serving_" + std::string(technique_name(kind)) + ".mcm"))
+            .string();
+    model.export_mcm(path, DType::kF32);
+    const MmapModel mapped(path);
+
+    double single_qps = 0.0;
+    std::vector<int> thread_counts = {1};
+    if (max_threads > 1) {
+      thread_counts.push_back(max_threads);
+    }
+    for (const int threads : thread_counts) {
+      ServingHarness harness(mapped, tflite_profile(), threads);
+      // Warm the page cache / branch predictors before measuring.
+      harness.serve(requests, 1);
+      const ServingReport report = harness.serve(requests, repeat);
+      if (threads == 1) {
+        single_qps = report.qps;
+      }
+      ResultRow row;
+      row.technique = technique_name(kind);
+      row.threads = threads;
+      row.qps = report.qps;
+      row.p50_ms = report.latency.p50_ms;
+      row.p95_ms = report.latency.p95_ms;
+      row.p99_ms = report.latency.p99_ms;
+      row.mean_ms = report.latency.mean_ms;
+      row.resident_mb = harness.max_resident_megabytes();
+      rows.push_back(row);
+      table.add_row({row.technique, std::to_string(threads),
+                     format_float(row.qps, 0), format_float(row.p50_ms, 4),
+                     format_float(row.p95_ms, 4), format_float(row.p99_ms, 4),
+                     format_float(row.mean_ms, 4),
+                     format_float(row.resident_mb, 2)});
+    }
+    if (single_qps > 0.0 && !rows.empty()) {
+      std::cout << "[" << technique_name(kind) << "] scaling 1->"
+                << max_threads << " threads: "
+                << format_float(rows.back().qps / single_qps, 2) << "x\n";
+    }
+    std::filesystem::remove(path);
+  }
+
+  std::cout << "\n" << table.to_string();
+  write_json(json_path, hw_threads, rows);
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

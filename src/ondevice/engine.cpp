@@ -1,9 +1,12 @@
 #include "ondevice/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 
 #include "core/check.h"
+#include "embedding/factory.h"
 #include "embedding/hashing.h"
 #include "embedding/id_batch.h"
 
@@ -16,7 +19,64 @@ double elapsed_ms(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
 }
+
+// The engine supports the lookup/one-hot subset of the technique registry;
+// going through embedding/factory's TechniqueKind keeps the metadata-string
+// mapping in one place, and this exhaustive switch forces an explicit
+// supported/unsupported decision whenever the registry grows.
+Technique compile_technique(const std::string& name) {
+  switch (technique_from_string(name)) {
+    case TechniqueKind::kFull: return Technique::kUncompressed;
+    case TechniqueKind::kReduceDim: return Technique::kReduceDim;
+    case TechniqueKind::kTruncateRare: return Technique::kTruncateRare;
+    case TechniqueKind::kNaiveHash: return Technique::kNaiveHash;
+    case TechniqueKind::kWeinberger: return Technique::kWeinberger;
+    case TechniqueKind::kMemcom: return Technique::kMemcom;
+    case TechniqueKind::kMemcomBias: return Technique::kMemcomBias;
+    case TechniqueKind::kQrMult: return Technique::kQrMult;
+    case TechniqueKind::kQrConcat: return Technique::kQrConcat;
+    case TechniqueKind::kDoubleHash: return Technique::kDoubleHash;
+    case TechniqueKind::kFactorized: return Technique::kFactorized;
+    case TechniqueKind::kHashedNets:
+    case TechniqueKind::kMixedDim:
+    case TechniqueKind::kTtRec:
+      break;
+  }
+  check(false, "engine: unsupported technique " + name);
+  return Technique::kUncompressed;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  // Nearest-rank: the smallest sample with at least p% of samples <= it.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank > 0 ? rank - 1 : 0;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
 }  // namespace
+
+LatencyStats latency_stats_from_samples(std::vector<double> samples_ms) {
+  LatencyStats stats;
+  stats.runs = static_cast<int>(samples_ms.size());
+  if (samples_ms.empty()) {
+    return stats;
+  }
+  std::sort(samples_ms.begin(), samples_ms.end());
+  stats.min_ms = samples_ms.front();
+  stats.max_ms = samples_ms.back();
+  double total = 0.0;
+  for (const double s : samples_ms) {
+    total += s;
+  }
+  stats.mean_ms = total / static_cast<double>(samples_ms.size());
+  stats.p50_ms = percentile(samples_ms, 50.0);
+  stats.p95_ms = percentile(samples_ms, 95.0);
+  stats.p99_ms = percentile(samples_ms, 99.0);
+  return stats;
+}
 
 InferenceEngine::InferenceEngine(const MmapModel& model, DeviceProfile profile)
     : model_(model),
@@ -32,302 +92,535 @@ InferenceEngine::InferenceEngine(const MmapModel& model, DeviceProfile profile)
       model_.has_metadata("hidden_dim") ? model_.metadata_int("hidden_dim") : 0;
   check(arch_ == "classification" || arch_ == "ranking",
         "engine: unknown architecture " + arch_);
-}
+  kind_ = compile_technique(technique_);
+  embed_ops_ = embedding_stage_ops();
+  has_hidden_ = arch_ == "classification";
 
-void InferenceEngine::read_span(const TensorEntry& entry, Index offset,
-                                Index count, float* out) {
-  const std::size_t element_bits =
-      static_cast<std::size_t>(dtype_bits(entry.dtype));
-  const Index byte_offset =
-      static_cast<Index>(static_cast<std::size_t>(offset) * element_bits / 8);
-  const Index byte_len = static_cast<Index>(
-      (static_cast<std::size_t>(count) * element_bits + 7) / 8);
-  meter_.touch(static_cast<Index>(entry.offset) + byte_offset, byte_len);
-  dequantize_span(entry.dtype, entry.scale, model_.payload(entry), offset,
-                  count, out);
-}
-
-void InferenceEngine::embed_id(std::int32_t id, float* out) {
-  const Index e = embed_dim_;
-  if (technique_ == "uncompressed" || technique_ == "reduce_dim") {
-    read_span(model_.entry("emb.table"), static_cast<Index>(id) * e, e, out);
-  } else if (technique_ == "truncate_rare") {
-    const Index keep = hash_size_;
-    const Index row = static_cast<Index>(id) <= keep ? id : keep + 1;
-    read_span(model_.entry("emb.table"), row * e, e, out);
-  } else if (technique_ == "naive_hash") {
-    read_span(model_.entry("emb.table"), mod_hash(id, hash_size_) * e, e, out);
-  } else if (technique_ == "weinberger") {
-    // Lookup formulation of feature hashing (±row); the canonical one-hot
-    // path lives in embed_onehot_pooled.
-    read_span(model_.entry("emb.table"), mod_hash(id, hash_size_) * e, e, out);
-    const float sign = sign_hash(id);
-    for (Index c = 0; c < e; ++c) {
-      out[c] *= sign;
-    }
-  } else if (technique_ == "memcom" || technique_ == "memcom_bias") {
-    read_span(model_.entry("emb.shared"), mod_hash(id, hash_size_) * e, e,
-              out);
-    float mult = 0.0f;
-    read_span(model_.entry("emb.multiplier"), id, 1, &mult);
-    for (Index c = 0; c < e; ++c) {
-      out[c] *= mult;
-    }
-    if (technique_ == "memcom_bias") {
-      float bias = 0.0f;
-      read_span(model_.entry("emb.bias"), id, 1, &bias);
-      for (Index c = 0; c < e; ++c) {
-        out[c] += bias;
+  // --- Compile the execution plan: resolve every tensor name once. ---
+  switch (kind_) {
+    case Technique::kUncompressed:
+    case Technique::kReduceDim:
+    case Technique::kTruncateRare:
+    case Technique::kNaiveHash:
+      emb_a_ = resolve("emb.table");
+      break;
+    case Technique::kWeinberger:
+      emb_a_ = resolve("emb.table");
+      onehot_.resize(static_cast<std::size_t>(hash_size_), 0.0f);
+      break;
+    case Technique::kMemcom:
+    case Technique::kMemcomBias:
+      emb_a_ = resolve("emb.shared");
+      emb_b_ = resolve("emb.multiplier");
+      if (kind_ == Technique::kMemcomBias) {
+        emb_c_ = resolve("emb.bias");
       }
-    }
-  } else if (technique_ == "qr_mult") {
-    std::vector<float> quotient(static_cast<std::size_t>(e));
-    read_span(model_.entry("emb.remainder"), mod_hash(id, hash_size_) * e, e,
-              out);
-    read_span(model_.entry("emb.quotient"),
-              (static_cast<Index>(id) / hash_size_) * e, e, quotient.data());
-    for (Index c = 0; c < e; ++c) {
-      out[c] *= quotient[static_cast<std::size_t>(c)];
-    }
-  } else if (technique_ == "qr_concat") {
-    const Index half = e / 2;
-    read_span(model_.entry("emb.remainder"), mod_hash(id, hash_size_) * half,
-              half, out);
-    read_span(model_.entry("emb.quotient"),
-              (static_cast<Index>(id) / hash_size_) * half, half, out + half);
-  } else if (technique_ == "double_hash") {
-    const Index half = e / 2;
-    read_span(model_.entry("emb.table_a"), mod_hash(id, hash_size_) * half,
-              half, out);
-    read_span(model_.entry("emb.table_b"), mixed_hash(id, hash_size_) * half,
-              half, out + half);
-  } else if (technique_ == "factorized") {
-    const Index h = model_.entry("emb.factors").shape[1];
-    std::vector<float> factors(static_cast<std::size_t>(h));
-    read_span(model_.entry("emb.factors"), static_cast<Index>(id) * h, h,
-              factors.data());
-    // Project: out = factors · P. Streams the whole projection (h x e, tiny).
-    const TensorEntry& proj = model_.entry("emb.projection");
-    std::vector<float> prow(static_cast<std::size_t>(e));
-    for (Index c = 0; c < e; ++c) {
-      out[c] = 0.0f;
-    }
-    for (Index k = 0; k < h; ++k) {
-      read_span(proj, k * e, e, prow.data());
-      const float f = factors[static_cast<std::size_t>(k)];
-      for (Index c = 0; c < e; ++c) {
-        out[c] += f * prow[static_cast<std::size_t>(c)];
-      }
-    }
-  } else {
-    check(false, "engine: unsupported technique " + technique_);
+      break;
+    case Technique::kQrMult:
+    case Technique::kQrConcat:
+      emb_a_ = resolve("emb.remainder");
+      emb_b_ = resolve("emb.quotient");
+      break;
+    case Technique::kDoubleHash:
+      emb_a_ = resolve("emb.table_a");
+      emb_b_ = resolve("emb.table_b");
+      break;
+    case Technique::kFactorized:
+      emb_a_ = resolve("emb.factors");
+      emb_b_ = resolve("emb.projection");
+      factor_dim_ = emb_a_.entry->shape[1];
+      predequantize(emb_b_, projection_);
+      break;
   }
+
+  bn1_ = resolve_batchnorm("bn1", embed_dim_);
+  if (has_hidden_) {
+    dense1_ = resolve_dense("dense1", embed_dim_, hidden_dim_);
+    bn2_ = resolve_batchnorm("bn2", hidden_dim_);
+  }
+  out_ = resolve_dense("out", has_hidden_ ? hidden_dim_ : embed_dim_,
+                       output_dim_);
+
+  // --- Size the scratch arena once from model metadata. ---
+  const Index e = embed_dim_;
+  pooled_.resize(static_cast<std::size_t>(e), 0.0f);
+  row_.resize(static_cast<std::size_t>(std::max(e, factor_dim_)), 0.0f);
+  row2_.resize(static_cast<std::size_t>(
+                   std::max({e, hidden_dim_, output_dim_})),
+               0.0f);
+  hidden_.resize(static_cast<std::size_t>(hidden_dim_), 0.0f);
+  logits_.resize(static_cast<std::size_t>(output_dim_), 0.0f);
+}
+
+InferenceEngine::TensorRef InferenceEngine::resolve(
+    const std::string& name) const {
+  const TensorEntry& entry = model_.entry(name);
+  TensorRef ref;
+  ref.entry = &entry;
+  ref.payload = model_.payload(entry);
+  ref.dtype = entry.dtype;
+  ref.scale = entry.scale;
+  ref.element_bits = static_cast<std::size_t>(dtype_bits(entry.dtype));
+  ref.file_offset = static_cast<Index>(entry.offset);
+  if (entry.dtype == DType::kF32) {
+    ref.f32 = reinterpret_cast<const float*>(ref.payload);
+  }
+  return ref;
+}
+
+void InferenceEngine::predequantize(const TensorRef& ref,
+                                    std::vector<float>& out) {
+  const Index n = ref.entry->numel();
+  out.resize(static_cast<std::size_t>(n));
+  dequantize_span(ref.dtype, ref.scale, ref.payload, 0, n, out.data());
+}
+
+InferenceEngine::BatchNormPlan InferenceEngine::resolve_batchnorm(
+    const std::string& prefix, Index width) {
+  BatchNormPlan plan;
+  plan.gamma = resolve(prefix + ".gamma");
+  plan.beta = resolve(prefix + ".beta");
+  plan.mean = resolve(prefix + ".mean");
+  plan.var = resolve(prefix + ".var");
+  plan.width = width;
+  std::vector<float> gamma, beta, mean, var;
+  predequantize(plan.gamma, gamma);
+  predequantize(plan.beta, beta);
+  predequantize(plan.mean, mean);
+  predequantize(plan.var, var);
+  plan.scale.resize(static_cast<std::size_t>(width));
+  plan.shift.resize(static_cast<std::size_t>(width));
+  for (Index i = 0; i < width; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    plan.scale[s] = gamma[s] / std::sqrt(var[s] + 1e-5f);
+    plan.shift[s] = beta[s] - mean[s] * plan.scale[s];
+  }
+  return plan;
+}
+
+InferenceEngine::DensePlan InferenceEngine::resolve_dense(
+    const std::string& prefix, Index expect_in, Index expect_out) {
+  DensePlan plan;
+  plan.weight = resolve(prefix + ".weight");
+  plan.bias_ref = resolve(prefix + ".bias");
+  plan.in = plan.weight.entry->shape[0];
+  plan.out = plan.weight.entry->shape[1];
+  // The scratch buffers apply_dense reads/writes are sized from metadata, so
+  // an inconsistent file must fail here, not overflow the arena at run time.
+  check_eq(expect_in, plan.in, prefix + " input width");
+  check_eq(expect_out, plan.out, prefix + " output width");
+  predequantize(plan.bias_ref, plan.bias);
+  return plan;
+}
+
+void InferenceEngine::touch(const TensorRef& ref, Index offset, Index count) {
+  const Index byte_offset = static_cast<Index>(
+      static_cast<std::size_t>(offset) * ref.element_bits / 8);
+  const Index byte_len = static_cast<Index>(
+      (static_cast<std::size_t>(count) * ref.element_bits + 7) / 8);
+  meter_.touch(ref.file_offset + byte_offset, byte_len);
+}
+
+const float* InferenceEngine::fetch(const TensorRef& ref, Index offset,
+                                    Index count, float* scratch) {
+  touch(ref, offset, count);
+  if (ref.f32 != nullptr) {
+    return ref.f32 + offset;
+  }
+  dequantize_span(ref.dtype, ref.scale, ref.payload, offset, count, scratch);
+  return scratch;
 }
 
 Index InferenceEngine::embedding_stage_ops() const {
   // The frameworks execute the WHOLE batch-1 embedding stage as a handful
   // of fused graph ops (gather per table + the composition op), not one op
   // per token — dispatch overhead must be charged accordingly.
-  if (technique_ == "uncompressed" || technique_ == "reduce_dim" ||
-      technique_ == "naive_hash" || technique_ == "truncate_rare") {
-    return 1;  // gather
-  }
-  if (technique_ == "memcom") {
-    return 3;  // gather U, gather V, broadcast multiply
-  }
-  if (technique_ == "memcom_bias") {
-    return 5;  // + gather W, broadcast add
-  }
-  if (technique_ == "qr_mult" || technique_ == "qr_concat" ||
-      technique_ == "double_hash") {
-    return 3;  // two gathers + compose
-  }
-  if (technique_ == "factorized") {
-    return 2;  // gather + projection matmul
-  }
-  if (technique_ == "weinberger") {
-    return 3;  // one_hot + matmul + reduce_sum (the un-fused §5.3 path)
+  switch (kind_) {
+    case Technique::kUncompressed:
+    case Technique::kReduceDim:
+    case Technique::kNaiveHash:
+    case Technique::kTruncateRare:
+      return 1;  // gather
+    case Technique::kMemcom:
+      return 3;  // gather U, gather V, broadcast multiply
+    case Technique::kMemcomBias:
+      return 5;  // + gather W, broadcast add
+    case Technique::kQrMult:
+    case Technique::kQrConcat:
+    case Technique::kDoubleHash:
+      return 3;  // two gathers + compose
+    case Technique::kFactorized:
+      return 2;  // gather + projection matmul
+    case Technique::kWeinberger:
+      return 3;  // one_hot + matmul + reduce_sum (the un-fused §5.3 path)
   }
   return 1;
 }
 
-void InferenceEngine::embed_onehot_pooled(
-    const std::vector<std::int32_t>& history, std::vector<float>& pooled) {
+Index InferenceEngine::embed_pooled(const std::int32_t* ids, Index length) {
+  const Index e = embed_dim_;
+  std::fill(pooled_.begin(), pooled_.end(), 0.0f);
+  float* pooled = pooled_.data();
+  Index real = 0;
+  for (Index t = 0; t < length; ++t) {
+    const std::int32_t id = ids[t];
+    if (id == kPadId) {
+      continue;
+    }
+    ++real;
+    switch (kind_) {
+      case Technique::kUncompressed:
+      case Technique::kReduceDim: {
+        const float* row =
+            fetch(emb_a_, static_cast<Index>(id) * e, e, row_.data());
+        for (Index c = 0; c < e; ++c) {
+          pooled[c] += row[c];
+        }
+        break;
+      }
+      case Technique::kTruncateRare: {
+        const Index keep = hash_size_;
+        const Index r = static_cast<Index>(id) <= keep ? id : keep + 1;
+        const float* row = fetch(emb_a_, r * e, e, row_.data());
+        for (Index c = 0; c < e; ++c) {
+          pooled[c] += row[c];
+        }
+        break;
+      }
+      case Technique::kNaiveHash: {
+        const float* row =
+            fetch(emb_a_, mod_hash(id, hash_size_) * e, e, row_.data());
+        for (Index c = 0; c < e; ++c) {
+          pooled[c] += row[c];
+        }
+        break;
+      }
+      case Technique::kMemcom:
+      case Technique::kMemcomBias: {
+        const float* row =
+            fetch(emb_a_, mod_hash(id, hash_size_) * e, e, row_.data());
+        float mult = 0.0f;
+        const float* mult_ptr = fetch(emb_b_, id, 1, &mult);
+        const float m = *mult_ptr;
+        if (kind_ == Technique::kMemcomBias) {
+          float bias = 0.0f;
+          const float* bias_ptr = fetch(emb_c_, id, 1, &bias);
+          const float b = *bias_ptr;
+          for (Index c = 0; c < e; ++c) {
+            pooled[c] += row[c] * m + b;
+          }
+        } else {
+          for (Index c = 0; c < e; ++c) {
+            pooled[c] += row[c] * m;
+          }
+        }
+        break;
+      }
+      case Technique::kQrMult: {
+        const float* rem =
+            fetch(emb_a_, mod_hash(id, hash_size_) * e, e, row_.data());
+        const float* quo =
+            fetch(emb_b_, (static_cast<Index>(id) / hash_size_) * e, e,
+                  row2_.data());
+        for (Index c = 0; c < e; ++c) {
+          pooled[c] += rem[c] * quo[c];
+        }
+        break;
+      }
+      case Technique::kQrConcat: {
+        const Index half = e / 2;
+        const float* rem =
+            fetch(emb_a_, mod_hash(id, hash_size_) * half, half, row_.data());
+        const float* quo =
+            fetch(emb_b_, (static_cast<Index>(id) / hash_size_) * half, half,
+                  row2_.data());
+        for (Index c = 0; c < half; ++c) {
+          pooled[c] += rem[c];
+        }
+        for (Index c = 0; c < half; ++c) {
+          pooled[half + c] += quo[c];
+        }
+        break;
+      }
+      case Technique::kDoubleHash: {
+        const Index half = e / 2;
+        const float* a =
+            fetch(emb_a_, mod_hash(id, hash_size_) * half, half, row_.data());
+        const float* b =
+            fetch(emb_b_, mixed_hash(id, hash_size_) * half, half,
+                  row2_.data());
+        for (Index c = 0; c < half; ++c) {
+          pooled[c] += a[c];
+        }
+        for (Index c = 0; c < half; ++c) {
+          pooled[half + c] += b[c];
+        }
+        break;
+      }
+      case Technique::kFactorized: {
+        const Index h = factor_dim_;
+        const float* factors =
+            fetch(emb_a_, static_cast<Index>(id) * h, h, row_.data());
+        // Project: row2 = factors · P using the pre-dequantized projection;
+        // the mmap range is still metered exactly like the streaming read.
+        touch(emb_b_, 0, h * e);
+        float* acc = row2_.data();
+        std::fill(acc, acc + e, 0.0f);
+        const float* proj = projection_.data();
+        for (Index k = 0; k < h; ++k) {
+          const float f = factors[k];
+          const float* prow = proj + k * e;
+          for (Index c = 0; c < e; ++c) {
+            acc[c] += f * prow[c];
+          }
+        }
+        for (Index c = 0; c < e; ++c) {
+          pooled[c] += acc[c];
+        }
+        break;
+      }
+      case Technique::kWeinberger:
+        // forward_scratch routes weinberger through embed_onehot_pooled;
+        // keeping a shadow lookup formulation here would silently diverge.
+        check(false, "engine: weinberger uses the one-hot path");
+        break;
+    }
+  }
+  return real;
+}
+
+void InferenceEngine::embed_onehot_pooled(const std::int32_t* ids,
+                                          Index length) {
   const Index e = embed_dim_;
   const Index m = hash_size_;
   // Stage 1: hashed one-hot bag z in R^m (normalized so the result matches
   // the lookup path's masked average exactly).
   Index real = 0;
-  for (const std::int32_t id : history) {
-    if (id != kPadId) {
+  for (Index t = 0; t < length; ++t) {
+    if (ids[t] != kPadId) {
       ++real;
     }
   }
-  std::vector<float> onehot(static_cast<std::size_t>(m), 0.0f);
+  std::fill(onehot_.begin(), onehot_.end(), 0.0f);
   const float inv = real > 0 ? 1.0f / static_cast<float>(real) : 0.0f;
-  for (const std::int32_t id : history) {
+  for (Index t = 0; t < length; ++t) {
+    const std::int32_t id = ids[t];
     if (id == kPadId) {
       continue;
     }
-    onehot[static_cast<std::size_t>(mod_hash(id, m))] += sign_hash(id) * inv;
+    onehot_[static_cast<std::size_t>(mod_hash(id, m))] += sign_hash(id) * inv;
   }
   // Stage 2: z^T W — streams the ENTIRE table (this is the point of §5.3).
-  const TensorEntry& table = model_.entry("emb.table");
-  pooled.assign(static_cast<std::size_t>(e), 0.0f);
-  std::vector<float> row(static_cast<std::size_t>(e));
-  for (Index j = 0; j < m; ++j) {
-    read_span(table, j * e, e, row.data());
-    const float z = onehot[static_cast<std::size_t>(j)];
-    if (z != 0.0f) {
-      for (Index c = 0; c < e; ++c) {
-        pooled[static_cast<std::size_t>(c)] +=
-            z * row[static_cast<std::size_t>(c)];
+  // One full-range touch covers the same page set as the row-by-row reads.
+  touch(emb_a_, 0, m * e);
+  std::fill(pooled_.begin(), pooled_.end(), 0.0f);
+  float* pooled = pooled_.data();
+  if (emb_a_.f32 != nullptr) {
+    const float* table = emb_a_.f32;
+    for (Index j = 0; j < m; ++j) {
+      const float z = onehot_[static_cast<std::size_t>(j)];
+      if (z != 0.0f) {
+        const float* row = table + j * e;
+        for (Index c = 0; c < e; ++c) {
+          pooled[c] += z * row[c];
+        }
+      }
+    }
+  } else {
+    for (Index j = 0; j < m; ++j) {
+      const float z = onehot_[static_cast<std::size_t>(j)];
+      if (z != 0.0f) {
+        dequantize_span(emb_a_.dtype, emb_a_.scale, emb_a_.payload, j * e, e,
+                        row_.data());
+        for (Index c = 0; c < e; ++c) {
+          pooled[c] += z * row_[static_cast<std::size_t>(c)];
+        }
       }
     }
   }
 }
 
-void InferenceEngine::apply_batchnorm(const std::string& prefix,
-                                      std::vector<float>& x) {
-  const Index n = static_cast<Index>(x.size());
-  std::vector<float> gamma(x.size());
-  std::vector<float> beta(x.size());
-  std::vector<float> mean(x.size());
-  std::vector<float> var(x.size());
-  read_span(model_.entry(prefix + ".gamma"), 0, n, gamma.data());
-  read_span(model_.entry(prefix + ".beta"), 0, n, beta.data());
-  read_span(model_.entry(prefix + ".mean"), 0, n, mean.data());
-  read_span(model_.entry(prefix + ".var"), 0, n, var.data());
+void InferenceEngine::apply_batchnorm(const BatchNormPlan& bn, float* x) {
+  const Index n = bn.width;
+  touch(bn.gamma, 0, n);
+  touch(bn.beta, 0, n);
+  touch(bn.mean, 0, n);
+  touch(bn.var, 0, n);
+  const float* scale = bn.scale.data();
+  const float* shift = bn.shift.data();
   for (Index i = 0; i < n; ++i) {
-    const std::size_t s = static_cast<std::size_t>(i);
-    x[s] = gamma[s] * (x[s] - mean[s]) /
-               std::sqrt(var[s] + 1e-5f) +
-           beta[s];
+    x[i] = x[i] * scale[static_cast<std::size_t>(i)] +
+           shift[static_cast<std::size_t>(i)];
   }
   ++op_count_;
 }
 
-void InferenceEngine::apply_dense(const std::string& prefix,
-                                  const std::vector<float>& x,
-                                  std::vector<float>& y) {
-  const TensorEntry& weight = model_.entry(prefix + ".weight");
-  const Index in = weight.shape[0];
-  const Index out = weight.shape[1];
-  check_eq(in, static_cast<long long>(x.size()), prefix + " input width");
-  y.assign(static_cast<std::size_t>(out), 0.0f);
-  std::vector<float> row(static_cast<std::size_t>(out));
-  for (Index k = 0; k < in; ++k) {
-    const float xv = x[static_cast<std::size_t>(k)];
-    read_span(weight, k * out, out, row.data());
-    if (xv != 0.0f) {
-      for (Index c = 0; c < out; ++c) {
-        y[static_cast<std::size_t>(c)] += xv * row[static_cast<std::size_t>(c)];
+void InferenceEngine::apply_dense(const DensePlan& dense, const float* x,
+                                  float* y) {
+  const Index in = dense.in;
+  const Index out = dense.out;
+  // One full-range touch covers the same pages as streaming every row.
+  touch(dense.weight, 0, in * out);
+  std::fill(y, y + out, 0.0f);
+  if (dense.weight.f32 != nullptr) {
+    const float* weight = dense.weight.f32;
+    for (Index k = 0; k < in; ++k) {
+      const float xv = x[k];
+      if (xv != 0.0f) {
+        const float* row = weight + k * out;
+        for (Index c = 0; c < out; ++c) {
+          y[c] += xv * row[c];
+        }
+      }
+    }
+  } else {
+    for (Index k = 0; k < in; ++k) {
+      const float xv = x[k];
+      if (xv != 0.0f) {
+        dequantize_span(dense.weight.dtype, dense.weight.scale,
+                        dense.weight.payload, k * out, out, row2_.data());
+        for (Index c = 0; c < out; ++c) {
+          y[c] += xv * row2_[static_cast<std::size_t>(c)];
+        }
       }
     }
   }
-  std::vector<float> bias(static_cast<std::size_t>(out));
-  read_span(model_.entry(prefix + ".bias"), 0, out, bias.data());
+  touch(dense.bias_ref, 0, out);
+  const float* bias = dense.bias.data();
   for (Index c = 0; c < out; ++c) {
-    y[static_cast<std::size_t>(c)] += bias[static_cast<std::size_t>(c)];
+    y[c] += bias[c];
   }
   ++op_count_;
 }
 
-InferenceResult InferenceEngine::run(const std::vector<std::int32_t>& history) {
+InferenceEngine::RawForward InferenceEngine::forward_scratch(
+    const std::int32_t* ids, Index length) {
   op_count_ = 0;
   activation_bytes_ = 0;
   const Index e = embed_dim_;
-  const Index l = static_cast<Index>(history.size());
 
-  InferenceResult result;
+  RawForward raw;
   const auto start = Clock::now();
 
   // --- Embedding stage + masked average pooling ---
-  std::vector<float> pooled(static_cast<std::size_t>(e), 0.0f);
-  double onehot_extra_ms = 0.0;
   if (uses_onehot_path()) {
     const auto onehot_start = Clock::now();
-    embed_onehot_pooled(history, pooled);
+    embed_onehot_pooled(ids, length);
     // The profile's slowdown models the un-fused interpreter path.
-    onehot_extra_ms =
+    raw.onehot_extra_ms =
         elapsed_ms(onehot_start) * (profile_.onehot_slowdown - 1.0);
     activation_bytes_ += hash_size_ * 4;  // the dense one-hot vector
   } else {
-    std::vector<float> row(static_cast<std::size_t>(e));
-    Index real = 0;
-    for (const std::int32_t id : history) {
-      if (id == kPadId) {
-        continue;
-      }
-      ++real;
-      embed_id(id, row.data());
-      for (Index c = 0; c < e; ++c) {
-        pooled[static_cast<std::size_t>(c)] += row[static_cast<std::size_t>(c)];
-      }
-    }
+    const Index real = embed_pooled(ids, length);
     if (real > 0) {
       const float inv = 1.0f / static_cast<float>(real);
-      for (float& v : pooled) {
+      for (float& v : pooled_) {
         v *= inv;
       }
     }
-    activation_bytes_ += l * e * 4;  // the [L, E] lookup output
+    activation_bytes_ += length * e * 4;  // the [L, E] lookup output
   }
-  op_count_ += embedding_stage_ops();
+  op_count_ += embed_ops_;
   ++op_count_;  // pooling op
-  const Index embed_ops = op_count_;
-  result.embedding_ms = elapsed_ms(start) + onehot_extra_ms +
-                        static_cast<double>(embed_ops) *
-                            profile_.per_op_dispatch_us / 1000.0;
+  raw.embed_ops = op_count_;
+  raw.embed_compute_ms = elapsed_ms(start);
 
   // --- Trunk: ReLU -> BN [-> Dense(e/2)+ReLU -> BN] -> Dense(out) ---
-  for (float& v : pooled) {
+  for (float& v : pooled_) {
     v = std::max(v, 0.0f);
   }
   ++op_count_;
-  apply_batchnorm("bn1", pooled);
-  std::vector<float> trunk = std::move(pooled);
-  if (arch_ == "classification") {
-    std::vector<float> hidden;
-    apply_dense("dense1", trunk, hidden);
-    for (float& v : hidden) {
+  apply_batchnorm(bn1_, pooled_.data());
+  const float* trunk = pooled_.data();
+  if (has_hidden_) {
+    apply_dense(dense1_, trunk, hidden_.data());
+    for (float& v : hidden_) {
       v = std::max(v, 0.0f);
     }
     ++op_count_;
-    apply_batchnorm("bn2", hidden);
-    trunk = std::move(hidden);
+    apply_batchnorm(bn2_, hidden_.data());
+    trunk = hidden_.data();
     activation_bytes_ += hidden_dim_ * 4;
   }
-  std::vector<float> logits;
-  apply_dense("out", trunk, logits);
+  apply_dense(out_, trunk, logits_.data());
   activation_bytes_ += output_dim_ * 4 + e * 4;
   meter_.note_activation_bytes(activation_bytes_);
 
-  result.total_ms = elapsed_ms(start) + onehot_extra_ms +
-                    static_cast<double>(op_count_) *
-                        profile_.per_op_dispatch_us / 1000.0;
-  result.op_count = op_count_;
+  raw.compute_ms = elapsed_ms(start);
+  raw.op_count = op_count_;
+  return raw;
+}
+
+InferenceView InferenceEngine::run_view(const std::int32_t* ids,
+                                        Index length) {
+  const RawForward raw = forward_scratch(ids, length);
+  InferenceView view;
+  view.logits = logits_.data();
+  view.dim = output_dim_;
+  view.op_count = raw.op_count;
+  view.embedding_ms = raw.embed_compute_ms + raw.onehot_extra_ms +
+                      static_cast<double>(raw.embed_ops) *
+                          profile_.per_op_dispatch_us / 1000.0;
+  view.total_ms = raw.compute_ms + raw.onehot_extra_ms +
+                  static_cast<double>(raw.op_count) *
+                      profile_.per_op_dispatch_us / 1000.0;
+  return view;
+}
+
+InferenceResult InferenceEngine::run(const std::vector<std::int32_t>& history) {
+  const InferenceView view = run_view(history);
+  InferenceResult result;
+  result.embedding_ms = view.embedding_ms;
+  result.total_ms = view.total_ms;
+  result.op_count = view.op_count;
   result.logits = Tensor::from_vector(
-      {static_cast<Index>(logits.size())},
-      std::vector<float>(logits.begin(), logits.end()));
+      {view.dim}, std::vector<float>(view.logits, view.logits + view.dim));
+  return result;
+}
+
+BatchResult InferenceEngine::run_batch(
+    const std::vector<std::vector<std::int32_t>>& histories) {
+  BatchResult result;
+  result.batch = static_cast<Index>(histories.size());
+  result.logits = Tensor({result.batch, output_dim_});
+  double compute = 0.0;
+  double embed_compute = 0.0;
+  double onehot_extra = 0.0;
+  Index embed_ops = 0;
+  Index ops = 0;
+  for (Index b = 0; b < result.batch; ++b) {
+    const auto& history = histories[static_cast<std::size_t>(b)];
+    const RawForward raw =
+        forward_scratch(history.data(), static_cast<Index>(history.size()));
+    std::memcpy(&result.logits.at2(b, 0), logits_.data(),
+                static_cast<std::size_t>(output_dim_) * sizeof(float));
+    compute += raw.compute_ms;
+    embed_compute += raw.embed_compute_ms;
+    onehot_extra += raw.onehot_extra_ms;
+    embed_ops = raw.embed_ops;
+    ops = raw.op_count;
+  }
+  // The frameworks dispatch ONE fused graph for the whole batch, so the
+  // per-op overhead is charged once — this is the batching win.
+  result.op_count = ops;
+  result.embedding_ms = embed_compute + onehot_extra +
+                        static_cast<double>(embed_ops) *
+                            profile_.per_op_dispatch_us / 1000.0;
+  result.total_ms = compute + onehot_extra +
+                    static_cast<double>(ops) * profile_.per_op_dispatch_us /
+                        1000.0;
   return result;
 }
 
 LatencyStats InferenceEngine::benchmark(
     const std::vector<std::int32_t>& history, int runs) {
   check(runs > 0, "engine: runs must be positive");
-  LatencyStats stats;
-  stats.runs = runs;
-  stats.min_ms = 1e30;
-  double total = 0.0;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
   for (int i = 0; i < runs; ++i) {
-    const InferenceResult r = run(history);
-    total += r.total_ms;
-    stats.min_ms = std::min(stats.min_ms, r.total_ms);
-    stats.max_ms = std::max(stats.max_ms, r.total_ms);
+    samples.push_back(run_view(history).total_ms);
   }
-  stats.mean_ms = total / runs;
-  return stats;
+  return latency_stats_from_samples(std::move(samples));
 }
 
 double InferenceEngine::resident_megabytes() const {

@@ -175,6 +175,7 @@ bool MmapModel::has_tensor(const std::string& name) const {
 }
 
 const TensorEntry& MmapModel::entry(const std::string& name) const {
+  entry_lookups_.fetch_add(1, std::memory_order_relaxed);
   const auto it = entries_.find(name);
   check(it != entries_.end(), "MmapModel: missing tensor " + name);
   return it->second;

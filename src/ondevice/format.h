@@ -12,6 +12,7 @@
 // meter can attribute page touches.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -76,6 +77,14 @@ class MmapModel {
   const TensorEntry& entry(const std::string& name) const;
   std::vector<std::string> tensor_names() const;
 
+  // Number of string-keyed directory lookups served since the model was
+  // opened. The inference fast path resolves all handles at engine
+  // construction, so this must stay flat across steady-state run() calls —
+  // tests/test_fastpath.cpp enforces it.
+  std::uint64_t entry_lookup_count() const {
+    return entry_lookups_.load(std::memory_order_relaxed);
+  }
+
   // Zero-copy pointer to the blob payload inside the mapping.
   const std::uint8_t* payload(const TensorEntry& entry) const;
 
@@ -89,6 +98,9 @@ class MmapModel {
   std::map<std::string, TensorEntry> entries_;
   const std::uint8_t* mapping_ = nullptr;
   std::uint64_t file_size_ = 0;
+  // Mutable: counting lookups does not change the logical model. Atomic so
+  // concurrent serving engines sharing one model stay race-free.
+  mutable std::atomic<std::uint64_t> entry_lookups_{0};
 };
 
 }  // namespace memcom

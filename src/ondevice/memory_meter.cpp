@@ -16,6 +16,9 @@ void MemoryMeter::touch(Index offset_bytes, Index length_bytes) {
   }
   const Index first = offset_bytes / page_size_;
   const Index last = (offset_bytes + length_bytes - 1) / page_size_;
+  if (first >= memo_first_ && last + readahead_pages_ <= memo_last_) {
+    return;  // interval (incl. its readahead) already fully resident
+  }
   for (Index p = first; p <= last; ++p) {
     pages_.insert(p);
     // Model OS readahead: sequential faults pull a few extra pages.
@@ -23,6 +26,8 @@ void MemoryMeter::touch(Index offset_bytes, Index length_bytes) {
       pages_.insert(p + r);
     }
   }
+  memo_first_ = first;
+  memo_last_ = last + readahead_pages_;
 }
 
 void MemoryMeter::note_activation_bytes(Index bytes) {
@@ -36,6 +41,8 @@ Index MemoryMeter::weight_resident_bytes() const {
 void MemoryMeter::reset() {
   pages_.clear();
   activation_peak_ = 0;
+  memo_first_ = -1;
+  memo_last_ = -2;
 }
 
 }  // namespace memcom

@@ -43,6 +43,11 @@ class MemoryMeter {
   Index readahead_pages_;
   std::set<Index> pages_;
   Index activation_peak_ = 0;
+  // Steady-state fast path: repeated forwards touch the same ranges over
+  // and over, so remember the last page interval already known to be fully
+  // resident and skip the set walk (and its potential node allocations).
+  Index memo_first_ = -1;
+  Index memo_last_ = -2;
 };
 
 }  // namespace memcom

@@ -1,0 +1,117 @@
+#include "ondevice/serving.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "core/check.h"
+
+namespace memcom {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+ServingHarness::ServingHarness(const MmapModel& model,
+                               const DeviceProfile& profile, int threads) {
+  check(threads > 0, "serving: thread count must be positive");
+  engines_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    engines_.push_back(std::make_unique<InferenceEngine>(model, profile));
+  }
+}
+
+ServingReport ServingHarness::serve(
+    const std::vector<std::vector<std::int32_t>>& requests, int repeat,
+    Tensor* logits_out) {
+  check(repeat > 0, "serving: repeat must be positive");
+  const std::size_t unique = requests.size();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(unique) * static_cast<std::uint64_t>(repeat);
+  const Index dim = output_dim();
+  if (logits_out != nullptr) {
+    *logits_out = Tensor({static_cast<Index>(unique), dim});
+  }
+
+  ServingReport report;
+  report.threads = threads();
+  report.requests = total;
+  if (total == 0) {
+    return report;
+  }
+
+  std::atomic<std::uint64_t> cursor{0};
+  std::vector<std::vector<double>> samples(engines_.size());
+  for (auto& s : samples) {
+    // Full-capacity reserve: work-stealing imbalance can hand one worker far
+    // more than total/threads requests, and a mid-drain realloc would land
+    // inside the latency window being measured.
+    s.reserve(static_cast<std::size_t>(total));
+  }
+
+  const auto run_worker = [&](std::size_t worker) {
+    InferenceEngine& engine = *engines_[worker];
+    std::vector<double>& lat = samples[worker];
+    for (;;) {
+      const std::uint64_t i =
+          cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) {
+        break;
+      }
+      const std::size_t r = static_cast<std::size_t>(i % unique);
+      const auto& history = requests[r];
+      const auto start = Clock::now();
+      const InferenceView view = engine.run_view(history);
+      lat.push_back(elapsed_ms(start));
+      // Only the first repetition writes logits, so rows are written by
+      // exactly one worker (repeat passes would produce identical bytes).
+      if (logits_out != nullptr && i < unique) {
+        std::memcpy(&logits_out->at2(static_cast<Index>(r), 0), view.logits,
+                    static_cast<std::size_t>(dim) * sizeof(float));
+      }
+    }
+  };
+
+  const auto wall_start = Clock::now();
+  if (engines_.size() == 1) {
+    run_worker(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(engines_.size());
+    for (std::size_t w = 0; w < engines_.size(); ++w) {
+      workers.emplace_back(run_worker, w);
+    }
+    for (std::thread& t : workers) {
+      t.join();
+    }
+  }
+  report.wall_ms = elapsed_ms(wall_start);
+
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(total));
+  for (const auto& s : samples) {
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  report.latency = latency_stats_from_samples(std::move(all));
+  report.qps = report.wall_ms > 0.0
+                   ? static_cast<double>(total) / (report.wall_ms / 1000.0)
+                   : 0.0;
+  return report;
+}
+
+double ServingHarness::max_resident_megabytes() const {
+  double max_mb = 0.0;
+  for (const auto& engine : engines_) {
+    max_mb = std::max(max_mb, engine->resident_megabytes());
+  }
+  return max_mb;
+}
+
+}  // namespace memcom

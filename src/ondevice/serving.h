@@ -1,0 +1,59 @@
+// Multi-threaded serving harness over the on-device inference engine.
+//
+// The deployment story the ROADMAP targets is a fleet of request-serving
+// workers sharing one read-only weight file: the .mcm is mmap'd once, and
+// every worker thread owns a private InferenceEngine (scratch arena + memory
+// meter) compiled against the shared mapping. Workers pull requests from a
+// lock-free atomic cursor, so the harness measures genuine lookup-path
+// throughput with zero cross-thread synchronization on the hot path.
+//
+// Reported numbers: aggregate QPS (wall clock of the whole drain) and the
+// per-request wall-latency distribution (p50/p95/p99 via LatencyStats).
+// Logits are bit-identical to sequential InferenceEngine::run() — the
+// parity tests in tests/test_serving.cpp enforce this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/tensor.h"
+#include "ondevice/engine.h"
+
+namespace memcom {
+
+struct ServingReport {
+  int threads = 0;
+  std::uint64_t requests = 0;  // total forwards executed
+  double wall_ms = 0;          // wall clock of the whole drain
+  double qps = 0;              // requests / wall seconds
+  LatencyStats latency;        // per-request wall latency (ms)
+};
+
+class ServingHarness {
+ public:
+  // Compiles `threads` independent engines against the shared model. The
+  // model must outlive the harness.
+  ServingHarness(const MmapModel& model, const DeviceProfile& profile,
+                 int threads);
+
+  // Drains `requests` (repeated `repeat` times) across the worker pool.
+  // When `logits_out` is non-null it is resized to [requests, output_dim]
+  // and filled with each request's logits (first repetition).
+  ServingReport serve(const std::vector<std::vector<std::int32_t>>& requests,
+                      int repeat = 1, Tensor* logits_out = nullptr);
+
+  int threads() const { return static_cast<int>(engines_.size()); }
+  Index output_dim() const { return engines_.front()->output_dim(); }
+  const InferenceEngine& engine(int i) const { return *engines_[i]; }
+
+  // Peak resident footprint across workers (each worker meters its own
+  // touches; the weight pages are shared, so the fleet-wide footprint is
+  // the max, not the sum).
+  double max_resident_megabytes() const;
+
+ private:
+  std::vector<std::unique_ptr<InferenceEngine>> engines_;
+};
+
+}  // namespace memcom

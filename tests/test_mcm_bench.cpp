@@ -1,0 +1,85 @@
+// CLI coverage for tools/mcm_bench: export a real model, invoke the binary,
+// and assert on the latency + serving-throughput report it prints.
+//
+// The tool's binary path is injected by CMake via MCM_BENCH_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "test_util.h"
+
+#include "repro/model.h"
+
+namespace memcom {
+namespace {
+
+#ifndef MCM_BENCH_PATH
+#error "MCM_BENCH_PATH must be defined by the build"
+#endif
+
+struct ToolResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+ToolResult run_tool(const std::string& args) {
+  const std::string cmd =
+      "\"" + std::string(MCM_BENCH_PATH) + "\" " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ToolResult result;
+  if (pipe == nullptr) {
+    return result;
+  }
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    result.output += buf;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class McmBenchTest : public ::testing::Test {
+ protected:
+  McmBenchTest()
+      : path_((std::filesystem::temp_directory_path() /
+               "memcom_bench_tool_test.mcm")
+                  .string()) {}
+
+  ~McmBenchTest() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+
+  const std::string path_;
+};
+
+TEST_F(McmBenchTest, ReportsLatencyAndServingThroughput) {
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, 300, 16, 32};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = 24;
+  config.seed = 7;
+  RecModel model(config);
+  model.export_mcm(path_);
+
+  const ToolResult result = run_tool(
+      "\"" + path_ + "\" --runs 20 --threads 2 --requests 16 --repeat 2");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("technique=memcom"), std::string::npos);
+  EXPECT_NE(result.output.find("single-input latency"), std::string::npos);
+  EXPECT_NE(result.output.find("p99 ms"), std::string::npos);
+  EXPECT_NE(result.output.find("serving throughput"), std::string::npos);
+  EXPECT_NE(result.output.find("qps"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, MissingArgumentFailsWithUsage) {
+  const ToolResult result = run_tool("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memcom

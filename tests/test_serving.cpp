@@ -1,0 +1,162 @@
+// ServingHarness tests: threaded serving over one shared MmapModel must
+// produce bit-identical logits to sequential single-engine runs, and the
+// report (QPS, percentiles, request counts) must be internally consistent.
+#include "ondevice/serving.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "repro/model.h"
+#include "test_util.h"
+
+namespace memcom {
+namespace {
+
+class ServingTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& tag) {
+    auto p = std::filesystem::temp_directory_path() /
+             ("memcom_serving_" + tag + ".mcm");
+    paths_.push_back(p);
+    return p.string();
+  }
+  void TearDown() override {
+    for (const auto& p : paths_) {
+      std::filesystem::remove(p);
+    }
+  }
+
+  std::string export_model(TechniqueKind kind, ModelArch arch,
+                           const std::string& tag) {
+    ModelConfig config;
+    config.embedding.kind = kind;
+    config.embedding.vocab = 200;
+    config.embedding.embed_dim = 16;
+    config.embedding.knob =
+        kind == TechniqueKind::kFactorized ? 8 : 32;
+    config.arch = arch;
+    config.output_vocab = 24;
+    config.seed = 4321;
+    RecModel model(config);
+    const std::string path = temp_path(tag);
+    model.export_mcm(path);
+    return path;
+  }
+
+  std::vector<std::filesystem::path> paths_;
+};
+
+std::vector<std::vector<std::int32_t>> make_requests(int count) {
+  std::vector<std::vector<std::int32_t>> requests;
+  Rng rng(5);
+  for (int i = 0; i < count; ++i) {
+    std::vector<std::int32_t> history(8, 0);
+    const Index real = 2 + static_cast<Index>(rng.uniform_index(6));
+    for (Index t = 0; t < real; ++t) {
+      history[static_cast<std::size_t>(t)] =
+          static_cast<std::int32_t>(1 + rng.uniform_index(199));
+    }
+    requests.push_back(std::move(history));
+  }
+  return requests;
+}
+
+TEST_F(ServingTest, ThreadedHarnessMatchesSequentialEngineBitExact) {
+  for (const TechniqueKind kind :
+       {TechniqueKind::kMemcom, TechniqueKind::kQrConcat,
+        TechniqueKind::kWeinberger}) {
+    const std::string path = export_model(
+        kind, ModelArch::kClassification,
+        "parity_" + std::string(technique_name(kind)));
+    const MmapModel mapped(path);
+    const auto requests = make_requests(24);
+
+    InferenceEngine sequential(mapped, tflite_profile());
+    ServingHarness harness(mapped, tflite_profile(), 4);
+    Tensor served;
+    const ServingReport report = harness.serve(requests, 1, &served);
+    ASSERT_EQ(report.requests, 24u);
+    ASSERT_EQ(served.dim(0), 24);
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      const Tensor expected = sequential.run(requests[r]).logits;
+      for (Index c = 0; c < expected.numel(); ++c) {
+        EXPECT_EQ(served.at2(static_cast<Index>(r), c), expected[c])
+            << technique_name(kind) << " request " << r << " logit " << c;
+      }
+    }
+  }
+}
+
+TEST_F(ServingTest, SingleThreadHarnessMatchesToo) {
+  const std::string path =
+      export_model(TechniqueKind::kMemcom, ModelArch::kRanking, "single");
+  const MmapModel mapped(path);
+  const auto requests = make_requests(10);
+  InferenceEngine sequential(mapped, coreml_profile("all"));
+  ServingHarness harness(mapped, coreml_profile("all"), 1);
+  Tensor served;
+  harness.serve(requests, 1, &served);
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const Tensor expected = sequential.run(requests[r]).logits;
+    for (Index c = 0; c < expected.numel(); ++c) {
+      EXPECT_EQ(served.at2(static_cast<Index>(r), c), expected[c]);
+    }
+  }
+}
+
+TEST_F(ServingTest, RepeatedDrainsKeepLogitsStable) {
+  const std::string path =
+      export_model(TechniqueKind::kNaiveHash, ModelArch::kClassification,
+                   "repeat");
+  const MmapModel mapped(path);
+  const auto requests = make_requests(6);
+  ServingHarness harness(mapped, tflite_profile(), 3);
+  Tensor first, second;
+  harness.serve(requests, 4, &first);
+  const ServingReport report = harness.serve(requests, 4, &second);
+  EXPECT_EQ(report.requests, 24u);  // 6 unique x 4 repeats
+  EXPECT_TENSOR_NEAR(first, second, 0.0f);
+}
+
+TEST_F(ServingTest, ReportIsInternallyConsistent) {
+  const std::string path =
+      export_model(TechniqueKind::kMemcom, ModelArch::kClassification,
+                   "report");
+  const MmapModel mapped(path);
+  const auto requests = make_requests(16);
+  ServingHarness harness(mapped, tflite_profile(), 2);
+  const ServingReport report = harness.serve(requests, 3);
+  EXPECT_EQ(report.threads, 2);
+  EXPECT_EQ(report.requests, 48u);
+  EXPECT_EQ(report.latency.runs, 48);
+  EXPECT_GT(report.wall_ms, 0.0);
+  EXPECT_GT(report.qps, 0.0);
+  EXPECT_LE(report.latency.min_ms, report.latency.p50_ms);
+  EXPECT_LE(report.latency.p50_ms, report.latency.p95_ms);
+  EXPECT_LE(report.latency.p95_ms, report.latency.p99_ms);
+  EXPECT_LE(report.latency.p99_ms, report.latency.max_ms);
+  // The whole drain can't be faster than its slowest request.
+  EXPECT_GE(report.wall_ms, report.latency.max_ms);
+  EXPECT_GT(harness.max_resident_megabytes(), 0.0);
+}
+
+TEST_F(ServingTest, WorkersMeterIndependently) {
+  // Each worker owns a private meter over the shared mapping; a worker that
+  // served at least one request reports a plausible resident footprint.
+  const std::string path =
+      export_model(TechniqueKind::kMemcom, ModelArch::kRanking, "meters");
+  const MmapModel mapped(path);
+  const auto requests = make_requests(32);
+  ServingHarness harness(mapped, tflite_profile(), 2);
+  harness.serve(requests, 2);
+  Index served_by_someone = 0;
+  for (int w = 0; w < harness.threads(); ++w) {
+    served_by_someone += harness.engine(w).meter().touched_pages();
+  }
+  EXPECT_GT(served_by_someone, 0);
+}
+
+}  // namespace
+}  // namespace memcom

@@ -1,0 +1,104 @@
+// mcm_bench — latency + serving-throughput benchmark for an exported .mcm
+// model, driven through the zero-allocation inference fast path.
+//
+//   ./mcm_bench model.mcm [--runs 1000] [--threads 4] [--requests 256]
+//               [--repeat 8] [--seq-len 32] [--profile coreml|tflite]
+//
+// Prints the single-input latency distribution (mean/min/p50/p95/p99/max,
+// the paper's §5.3 metric) and the multi-threaded serving report (QPS,
+// per-request wall latency percentiles).
+#include <iostream>
+#include <vector>
+
+#include "core/flags.h"
+#include "core/rng.h"
+#include "core/table.h"
+#include "ondevice/serving.h"
+
+using namespace memcom;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::cerr << "usage: mcm_bench <model.mcm> [--runs N] [--threads N] "
+                 "[--requests N] [--repeat N] [--seq-len L] "
+                 "[--profile coreml|tflite]\n";
+    return 2;
+  }
+  const std::string path = flags.positional()[0];
+  const int runs = static_cast<int>(flags.get_int("runs", 1000));
+  const int threads = static_cast<int>(flags.get_int("threads", 4));
+  const int request_count = static_cast<int>(flags.get_int("requests", 256));
+  const int repeat = static_cast<int>(flags.get_int("repeat", 8));
+  const Index seq_len = flags.get_int("seq-len", 32);
+  if (runs < 1 || threads < 1 || request_count < 1 || repeat < 1 ||
+      seq_len < 1) {
+    std::cerr << "mcm_bench: --runs/--threads/--requests/--repeat/--seq-len "
+                 "must all be positive\n";
+    return 2;
+  }
+  const std::string profile_name = flags.get_string("profile", "tflite");
+  if (profile_name != "tflite" && profile_name != "coreml") {
+    std::cerr << "mcm_bench: unknown --profile " << profile_name
+              << " (expected coreml|tflite)\n";
+    return 2;
+  }
+  const DeviceProfile profile =
+      profile_name == "tflite" ? tflite_profile() : coreml_profile("all");
+
+  const MmapModel model(path);
+  const Index vocab = model.metadata_int("vocab");
+  std::cout << "model: " << path << "  technique="
+            << model.metadata_value("technique")
+            << " arch=" << model.metadata_value("arch") << " vocab=" << vocab
+            << " e=" << model.metadata_int("embed_dim")
+            << "  profile=" << profile.label() << "\n\n";
+
+  Rng rng(17);
+  std::vector<std::vector<std::int32_t>> requests;
+  requests.reserve(static_cast<std::size_t>(request_count));
+  for (int i = 0; i < request_count; ++i) {
+    std::vector<std::int32_t> history(static_cast<std::size_t>(seq_len));
+    for (auto& id : history) {
+      id = static_cast<std::int32_t>(1 + rng.uniform_index(vocab - 1));
+    }
+    requests.push_back(std::move(history));
+  }
+
+  // Single-input latency (the paper's Table 3 metric).
+  InferenceEngine engine(model, profile);
+  const LatencyStats stats = engine.benchmark(requests.front(), runs);
+  TextTable latency({"runs", "mean ms", "min ms", "p50 ms", "p95 ms",
+                     "p99 ms", "max ms", "resident MB"});
+  latency.add_row({std::to_string(stats.runs), format_float(stats.mean_ms, 4),
+                   format_float(stats.min_ms, 4),
+                   format_float(stats.p50_ms, 4),
+                   format_float(stats.p95_ms, 4),
+                   format_float(stats.p99_ms, 4),
+                   format_float(stats.max_ms, 4),
+                   format_float(engine.resident_megabytes(), 2)});
+  std::cout << "single-input latency (" << runs << " runs):\n"
+            << latency.to_string() << "\n";
+
+  // Threaded serving throughput.
+  TextTable serving({"threads", "requests", "qps", "p50 ms", "p95 ms",
+                     "p99 ms", "wall ms"});
+  std::vector<int> thread_counts = {1};
+  if (threads > 1) {
+    thread_counts.push_back(threads);
+  }
+  for (const int t : thread_counts) {
+    ServingHarness harness(model, profile, t);
+    harness.serve(requests, 1);  // warm-up
+    const ServingReport report = harness.serve(requests, repeat);
+    serving.add_row({std::to_string(report.threads),
+                     std::to_string(report.requests),
+                     format_float(report.qps, 0),
+                     format_float(report.latency.p50_ms, 4),
+                     format_float(report.latency.p95_ms, 4),
+                     format_float(report.latency.p99_ms, 4),
+                     format_float(report.wall_ms, 1)});
+  }
+  std::cout << "serving throughput:\n" << serving.to_string();
+  return 0;
+}
