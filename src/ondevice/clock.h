@@ -1,0 +1,17 @@
+// Shared steady-clock timing helper for the on-device latency paths. Every
+// reported millisecond figure (engine forward timings, serving harness wall
+// clock) must come from this one clock source so they stay comparable.
+#pragma once
+
+#include <chrono>
+
+namespace memcom {
+
+using SteadyClock = std::chrono::steady_clock;
+
+inline double elapsed_ms(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
+
+}  // namespace memcom

@@ -1,7 +1,6 @@
 #include "ondevice/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -9,16 +8,12 @@
 #include "embedding/factory.h"
 #include "embedding/hashing.h"
 #include "embedding/id_batch.h"
+#include "ondevice/clock.h"
 
 namespace memcom {
 
 namespace {
-using Clock = std::chrono::steady_clock;
-
-double elapsed_ms(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
+using Clock = SteadyClock;
 
 // The engine supports the lookup/one-hot subset of the technique registry;
 // going through embedding/factory's TechniqueKind keeps the metadata-string
@@ -410,31 +405,20 @@ void InferenceEngine::embed_onehot_pooled(const std::int32_t* ids,
     }
     onehot_[static_cast<std::size_t>(mod_hash(id, m))] += sign_hash(id) * inv;
   }
-  // Stage 2: z^T W — streams the ENTIRE table (this is the point of §5.3).
+  // Stage 2: z^T W — streams the ENTIRE table (this is the point of §5.3):
+  // every row is read/dequantized regardless of z, so the simulated wall
+  // time stays O(m·e) like the real un-fused one_hot->matmul, not O(nnz·e).
   // One full-range touch covers the same page set as the row-by-row reads.
   touch(emb_a_, 0, m * e);
   std::fill(pooled_.begin(), pooled_.end(), 0.0f);
   float* pooled = pooled_.data();
-  if (emb_a_.f32 != nullptr) {
-    const float* table = emb_a_.f32;
-    for (Index j = 0; j < m; ++j) {
-      const float z = onehot_[static_cast<std::size_t>(j)];
-      if (z != 0.0f) {
-        const float* row = table + j * e;
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += z * row[c];
-        }
-      }
-    }
-  } else {
-    for (Index j = 0; j < m; ++j) {
-      const float z = onehot_[static_cast<std::size_t>(j)];
-      if (z != 0.0f) {
-        dequantize_span(emb_a_.dtype, emb_a_.scale, emb_a_.payload, j * e, e,
-                        row_.data());
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += z * row_[static_cast<std::size_t>(c)];
-        }
+  float* row = row_.data();
+  for (Index j = 0; j < m; ++j) {
+    dequantize_span(emb_a_.dtype, emb_a_.scale, emb_a_.payload, j * e, e, row);
+    const float z = onehot_[static_cast<std::size_t>(j)];
+    if (z != 0.0f) {
+      for (Index c = 0; c < e; ++c) {
+        pooled[c] += z * row[c];
       }
     }
   }
@@ -463,22 +447,26 @@ void InferenceEngine::apply_dense(const DensePlan& dense, const float* x,
   touch(dense.weight, 0, in * out);
   std::fill(y, y + out, 0.0f);
   if (dense.weight.f32 != nullptr) {
+    // Unconditional MAC over every row: a real dense matmul kernel pays the
+    // full in·out cost, so the modeled latency must not scale with post-ReLU
+    // sparsity of x (zero rows contribute ±0 and leave y unchanged).
     const float* weight = dense.weight.f32;
     for (Index k = 0; k < in; ++k) {
       const float xv = x[k];
-      if (xv != 0.0f) {
-        const float* row = weight + k * out;
-        for (Index c = 0; c < out; ++c) {
-          y[c] += xv * row[c];
-        }
+      const float* row = weight + k * out;
+      for (Index c = 0; c < out; ++c) {
+        y[c] += xv * row[c];
       }
     }
   } else {
+    // Every weight row is dequantized regardless of activation sparsity, so
+    // the modeled int8/f16 dense latency stays that of a real streaming
+    // matmul kernel rather than scaling with post-ReLU zeros.
     for (Index k = 0; k < in; ++k) {
+      dequantize_span(dense.weight.dtype, dense.weight.scale,
+                      dense.weight.payload, k * out, out, row2_.data());
       const float xv = x[k];
       if (xv != 0.0f) {
-        dequantize_span(dense.weight.dtype, dense.weight.scale,
-                        dense.weight.payload, k * out, out, row2_.data());
         for (Index c = 0; c < out; ++c) {
           y[c] += xv * row2_[static_cast<std::size_t>(c)];
         }

@@ -2,21 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "core/check.h"
+#include "ondevice/clock.h"
 
 namespace memcom {
 
 namespace {
-using Clock = std::chrono::steady_clock;
-
-double elapsed_ms(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
+using Clock = SteadyClock;
 }  // namespace
 
 ServingHarness::ServingHarness(const MmapModel& model,
@@ -49,11 +44,14 @@ ServingReport ServingHarness::serve(
 
   std::atomic<std::uint64_t> cursor{0};
   std::vector<std::vector<double>> samples(engines_.size());
+  // Reserve ~2× the fair share per worker: enough headroom for work-stealing
+  // imbalance without pre-allocating threads×total samples on large drains.
+  // A rare mid-drain realloc happens between timing windows, so it can only
+  // nudge aggregate wall_ms/QPS, never an individual latency sample.
+  const std::uint64_t per_worker = std::min(
+      total, total / static_cast<std::uint64_t>(engines_.size()) * 2 + 64);
   for (auto& s : samples) {
-    // Full-capacity reserve: work-stealing imbalance can hand one worker far
-    // more than total/threads requests, and a mid-drain realloc would land
-    // inside the latency window being measured.
-    s.reserve(static_cast<std::size_t>(total));
+    s.reserve(static_cast<std::size_t>(per_worker));
   }
 
   const auto run_worker = [&](std::size_t worker) {
