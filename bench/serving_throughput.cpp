@@ -1,14 +1,25 @@
-// Serving throughput benchmark: single-thread vs multi-thread QPS of the
-// zero-allocation inference fast path, per compression technique.
+// Serving throughput benchmark: closed-loop batch-1 drain (ServingHarness)
+// vs the open-loop async micro-batching pipeline (AsyncServer), per
+// compression technique, with a micro-batch-size sweep and hot-row cache
+// hit rates.
+//
+// Two QPS figures per row:
+//   * qps          — real wall clock of the drain (bounded by host cores
+//                    and, for paced runs, by the offered arrival rate);
+//   * modeled_qps  — simulated-device throughput from the engines' modeled
+//                    per-forward latency (compute + per-op dispatch). This
+//                    is where micro-batching wins: a micro-batch of B pays
+//                    the dispatch overhead once instead of B times.
 //
 // Unlike micro_lookup/micro_ops this does not need Google Benchmark — it is
 // a plain binary driven by core/flags.h, so it builds everywhere the engine
-// does. Besides the human-readable table it writes a machine-readable
+// does. Besides the human-readable tables it writes a machine-readable
 // BENCH_serving.json for CI trend tracking.
 //
 //   ./bench_serving_throughput                  # default scale
 //   ./bench_serving_throughput --smoke          # tiny model, few iterations
 //   ./bench_serving_throughput --threads 8 --requests 512 --repeat 16
+//       --arrival-qps 20000 --cache-kb 128 --max-delay-us 200  (one line)
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -27,11 +38,44 @@ namespace {
 
 struct ResultRow {
   std::string technique;
+  std::string mode;  // "closed" | "async"
   int threads = 0;
-  double qps = 0;
+  Index max_batch = 1;       // micro-batch bound (1 for closed-loop)
+  double offered_qps = 0;    // open-loop arrival rate (0 = unthrottled)
+  double qps = 0;            // real wall-clock throughput
+  double modeled_qps = 0;    // simulated-device throughput
   double p50_ms = 0, p95_ms = 0, p99_ms = 0, mean_ms = 0;
+  double queue_wait_p50_ms = 0, queue_wait_p95_ms = 0;
+  double service_p50_ms = 0, service_p95_ms = 0;
+  double mean_batch = 0;
+  double cache_hit_rate = 0;
   double resident_mb = 0;
 };
+
+ResultRow make_row(const std::string& technique, const std::string& mode,
+                   Index max_batch, double offered_qps,
+                   const ServingReport& report, double resident_mb) {
+  ResultRow row;
+  row.technique = technique;
+  row.mode = mode;
+  row.threads = report.threads;
+  row.max_batch = max_batch;
+  row.offered_qps = offered_qps;
+  row.qps = report.qps;
+  row.modeled_qps = report.modeled_qps;
+  row.p50_ms = report.latency.p50_ms;
+  row.p95_ms = report.latency.p95_ms;
+  row.p99_ms = report.latency.p99_ms;
+  row.mean_ms = report.latency.mean_ms;
+  row.queue_wait_p50_ms = report.queue_wait.p50_ms;
+  row.queue_wait_p95_ms = report.queue_wait.p95_ms;
+  row.service_p50_ms = report.service.p50_ms;
+  row.service_p95_ms = report.service.p95_ms;
+  row.mean_batch = report.mean_batch;
+  row.cache_hit_rate = report.cache.hit_rate();
+  row.resident_mb = resident_mb;
+  return row;
+}
 
 void write_json(const std::string& path, unsigned hardware_threads,
                 const std::vector<ResultRow>& rows) {
@@ -41,12 +85,22 @@ void write_json(const std::string& path, unsigned hardware_threads,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ResultRow& r = rows[i];
     out << "    {\"technique\": \"" << r.technique << "\", "
+        << "\"mode\": \"" << r.mode << "\", "
         << "\"threads\": " << r.threads << ", "
+        << "\"max_batch\": " << r.max_batch << ", "
+        << "\"offered_qps\": " << r.offered_qps << ", "
         << "\"qps\": " << r.qps << ", "
+        << "\"modeled_qps\": " << r.modeled_qps << ", "
         << "\"p50_ms\": " << r.p50_ms << ", "
         << "\"p95_ms\": " << r.p95_ms << ", "
         << "\"p99_ms\": " << r.p99_ms << ", "
         << "\"mean_ms\": " << r.mean_ms << ", "
+        << "\"queue_wait_p50_ms\": " << r.queue_wait_p50_ms << ", "
+        << "\"queue_wait_p95_ms\": " << r.queue_wait_p95_ms << ", "
+        << "\"service_p50_ms\": " << r.service_p50_ms << ", "
+        << "\"service_p95_ms\": " << r.service_p95_ms << ", "
+        << "\"mean_batch\": " << r.mean_batch << ", "
+        << "\"cache_hit_rate\": " << r.cache_hit_rate << ", "
         << "\"resident_mb\": " << r.resident_mb << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -67,6 +121,9 @@ int main(int argc, char** argv) {
   const int request_count =
       static_cast<int>(flags.get_int("requests", smoke ? 64 : 256));
   const int repeat = static_cast<int>(flags.get_int("repeat", smoke ? 4 : 8));
+  const double arrival_qps = flags.get_double("arrival-qps", 0.0);
+  const double max_delay_us = flags.get_double("max-delay-us", 200.0);
+  const Index cache_kb = flags.get_int("cache-kb", smoke ? 64 : 256);
   const std::string json_path =
       flags.get_string("out", "BENCH_serving.json");
 
@@ -74,11 +131,13 @@ int main(int argc, char** argv) {
   std::cout << "serving throughput: vocab=" << vocab << " e=" << embed_dim
             << " hash=" << hash << " L=" << seq_len
             << " requests=" << request_count << " repeat=" << repeat
-            << " threads=1.." << max_threads << " (hardware threads: "
-            << hw_threads << ")\n";
+            << " threads=1.." << max_threads << " cache=" << cache_kb
+            << "KiB arrival=" << (arrival_qps > 0 ? arrival_qps : 0)
+            << "qps (hardware threads: " << hw_threads << ")\n";
   if (hw_threads < static_cast<unsigned>(max_threads)) {
     std::cout << "NOTE: only " << hw_threads << " hardware thread(s) visible;"
-              << " multi-thread QPS cannot exceed single-thread here.\n";
+              << " real wall-clock QPS cannot scale with threads here —"
+              << " compare modeled_qps for the simulated-device story.\n";
   }
   std::cout << "\n";
 
@@ -97,8 +156,11 @@ int main(int argc, char** argv) {
     requests.push_back(std::move(history));
   }
 
-  TextTable table({"technique", "threads", "qps", "p50 ms", "p95 ms",
-                   "p99 ms", "mean ms", "resident MB"});
+  TextTable closed_table({"technique", "threads", "qps", "modeled qps",
+                          "p50 ms", "p95 ms", "p99 ms", "resident MB"});
+  TextTable async_table({"technique", "batch<=", "offered", "qps",
+                         "modeled qps", "p50 ms", "wait p95", "svc p95",
+                         "mean batch", "hit%", "resident MB"});
   std::vector<ResultRow> rows;
 
   for (const TechniqueKind kind :
@@ -117,7 +179,8 @@ int main(int argc, char** argv) {
     model.export_mcm(path, DType::kF32);
     const MmapModel mapped(path);
 
-    double single_qps = 0.0;
+    // --- Closed-loop baseline (batch-1 atomic-cursor drain) --------------
+    double closed_modeled_qps = 0.0;
     std::vector<int> thread_counts = {1};
     if (max_threads > 1) {
       thread_counts.push_back(max_threads);
@@ -127,34 +190,64 @@ int main(int argc, char** argv) {
       // Warm the page cache / branch predictors before measuring.
       harness.serve(requests, 1);
       const ServingReport report = harness.serve(requests, repeat);
-      if (threads == 1) {
-        single_qps = report.qps;
+      if (threads == max_threads) {
+        closed_modeled_qps = report.modeled_qps;
       }
-      ResultRow row;
-      row.technique = technique_name(kind);
-      row.threads = threads;
-      row.qps = report.qps;
-      row.p50_ms = report.latency.p50_ms;
-      row.p95_ms = report.latency.p95_ms;
-      row.p99_ms = report.latency.p99_ms;
-      row.mean_ms = report.latency.mean_ms;
-      row.resident_mb = harness.max_resident_megabytes();
+      const ResultRow row =
+          make_row(technique_name(kind), "closed", 1, 0.0, report,
+                   harness.max_resident_megabytes());
       rows.push_back(row);
-      table.add_row({row.technique, std::to_string(threads),
-                     format_float(row.qps, 0), format_float(row.p50_ms, 4),
-                     format_float(row.p95_ms, 4), format_float(row.p99_ms, 4),
-                     format_float(row.mean_ms, 4),
-                     format_float(row.resident_mb, 2)});
+      closed_table.add_row(
+          {row.technique, std::to_string(threads), format_float(row.qps, 0),
+           format_float(row.modeled_qps, 0), format_float(row.p50_ms, 4),
+           format_float(row.p95_ms, 4), format_float(row.p99_ms, 4),
+           format_float(row.resident_mb, 2)});
     }
-    if (single_qps > 0.0 && !rows.empty()) {
-      std::cout << "[" << technique_name(kind) << "] scaling 1->"
-                << max_threads << " threads: "
-                << format_float(rows.back().qps / single_qps, 2) << "x\n";
+
+    // --- Async micro-batching sweep --------------------------------------
+    for (const Index max_batch : {Index{1}, Index{8}, Index{32}}) {
+      AsyncServerConfig server_config;
+      server_config.threads = max_threads;
+      server_config.max_batch = max_batch;
+      server_config.max_delay_us = max_delay_us;
+      server_config.queue_capacity =
+          static_cast<std::size_t>(std::max<Index>(64, max_batch * 8));
+      server_config.cache_budget_bytes =
+          static_cast<std::size_t>(cache_kb) * 1024;
+      AsyncServer server(mapped, tflite_profile(), server_config);
+      server.serve(requests, 1);  // warm-up (also warms the row cache)
+      const ServingReport report =
+          server.serve(requests, repeat, arrival_qps);
+      const ResultRow row =
+          make_row(technique_name(kind), "async", max_batch, arrival_qps,
+                   report, server.max_resident_megabytes());
+      rows.push_back(row);
+      async_table.add_row(
+          {row.technique, std::to_string(max_batch),
+           arrival_qps > 0 ? format_float(arrival_qps, 0) : "max",
+           format_float(row.qps, 0), format_float(row.modeled_qps, 0),
+           format_float(row.p50_ms, 4),
+           format_float(row.queue_wait_p95_ms, 4),
+           format_float(row.service_p95_ms, 4),
+           format_float(row.mean_batch, 1),
+           format_float(row.cache_hit_rate * 100.0, 1),
+           format_float(row.resident_mb, 2)});
+      if (max_batch >= 8 && closed_modeled_qps > 0.0) {
+        std::cout << "[" << technique_name(kind) << "] async batch<="
+                  << max_batch << " vs closed-loop batch-1 (both "
+                  << max_threads << " threads): modeled "
+                  << format_float(report.modeled_qps / closed_modeled_qps, 2)
+                  << "x\n";
+      }
     }
     std::filesystem::remove(path);
   }
 
-  std::cout << "\n" << table.to_string();
+  std::cout << "\nclosed-loop (batch-1, no cache):\n"
+            << closed_table.to_string();
+  std::cout << "\nasync micro-batching (open-loop, hot-row cache "
+            << cache_kb << " KiB/engine):\n"
+            << async_table.to_string();
   write_json(json_path, hw_threads, rows);
   std::cout << "\nwrote " << json_path << "\n";
   return 0;

@@ -226,6 +226,77 @@ const float* InferenceEngine::fetch(const TensorRef& ref, Index offset,
   return scratch;
 }
 
+const float* InferenceEngine::fetch_row(const TensorRef& ref,
+                                        std::size_t table, Index row,
+                                        Index elems, float* scratch) {
+  if (row_cache_ == nullptr) {
+    return fetch(ref, row * elems, elems, scratch);
+  }
+  if (const float* hit = row_cache_->lookup(table, row)) {
+    // Served from the cache slab: no page touch, no dequantize. The slab
+    // holds exactly the floats the mmap read would have produced, so the
+    // logits stay bit-identical either way.
+    return hit;
+  }
+  touch(ref, row * elems, elems);
+  float* slot = row_cache_->fill(table, row);
+  if (ref.f32 != nullptr) {
+    std::memcpy(slot, ref.f32 + row * elems,
+                static_cast<std::size_t>(elems) * sizeof(float));
+  } else {
+    dequantize_span(ref.dtype, ref.scale, ref.payload, row * elems, elems,
+                    slot);
+  }
+  return slot;
+}
+
+bool InferenceEngine::enable_row_cache(std::size_t budget_bytes) {
+  // Technique-aware attachment: one partition per embedding tensor of the
+  // compiled plan, each with that tensor's row width.
+  std::vector<Index> widths;
+  const Index e = embed_dim_;
+  switch (kind_) {
+    case Technique::kUncompressed:
+    case Technique::kReduceDim:
+    case Technique::kTruncateRare:
+    case Technique::kNaiveHash:
+      widths = {e};
+      break;
+    case Technique::kMemcom:
+      widths = {e, 1};  // shared rows + per-entity multiplier
+      break;
+    case Technique::kMemcomBias:
+      widths = {e, 1, 1};  // + per-entity bias
+      break;
+    case Technique::kQrMult:
+      widths = {e, e};
+      break;
+    case Technique::kQrConcat:
+    case Technique::kDoubleHash:
+      widths = {e / 2, e / 2};
+      break;
+    case Technique::kFactorized:
+      widths = {factor_dim_};  // the projection is pre-dequantized already
+      break;
+    case Technique::kWeinberger:
+      // The one-hot path streams the entire table every forward; caching
+      // individual rows cannot skip any work, so the cache is bypassed.
+      return false;
+  }
+  row_cache_ = std::make_unique<HotRowCache>(budget_bytes, std::move(widths));
+  return true;
+}
+
+void InferenceEngine::clear_row_cache() {
+  if (row_cache_ != nullptr) {
+    row_cache_->clear();
+  }
+}
+
+RowCacheStats InferenceEngine::row_cache_stats() const {
+  return row_cache_ != nullptr ? row_cache_->stats() : RowCacheStats{};
+}
+
 Index InferenceEngine::embedding_stage_ops() const {
   // The frameworks execute the WHOLE batch-1 embedding stage as a handful
   // of fused graph ops (gather per table + the composition op), not one op
@@ -267,7 +338,7 @@ Index InferenceEngine::embed_pooled(const std::int32_t* ids, Index length) {
       case Technique::kUncompressed:
       case Technique::kReduceDim: {
         const float* row =
-            fetch(emb_a_, static_cast<Index>(id) * e, e, row_.data());
+            fetch_row(emb_a_, kCacheTableA, id, e, row_.data());
         for (Index c = 0; c < e; ++c) {
           pooled[c] += row[c];
         }
@@ -276,15 +347,15 @@ Index InferenceEngine::embed_pooled(const std::int32_t* ids, Index length) {
       case Technique::kTruncateRare: {
         const Index keep = hash_size_;
         const Index r = static_cast<Index>(id) <= keep ? id : keep + 1;
-        const float* row = fetch(emb_a_, r * e, e, row_.data());
+        const float* row = fetch_row(emb_a_, kCacheTableA, r, e, row_.data());
         for (Index c = 0; c < e; ++c) {
           pooled[c] += row[c];
         }
         break;
       }
       case Technique::kNaiveHash: {
-        const float* row =
-            fetch(emb_a_, mod_hash(id, hash_size_) * e, e, row_.data());
+        const float* row = fetch_row(emb_a_, kCacheTableA,
+                                     mod_hash(id, hash_size_), e, row_.data());
         for (Index c = 0; c < e; ++c) {
           pooled[c] += row[c];
         }
@@ -292,14 +363,15 @@ Index InferenceEngine::embed_pooled(const std::int32_t* ids, Index length) {
       }
       case Technique::kMemcom:
       case Technique::kMemcomBias: {
-        const float* row =
-            fetch(emb_a_, mod_hash(id, hash_size_) * e, e, row_.data());
+        const float* row = fetch_row(emb_a_, kCacheTableA,
+                                     mod_hash(id, hash_size_), e, row_.data());
         float mult = 0.0f;
-        const float* mult_ptr = fetch(emb_b_, id, 1, &mult);
+        const float* mult_ptr = fetch_row(emb_b_, kCacheTableB, id, 1, &mult);
         const float m = *mult_ptr;
         if (kind_ == Technique::kMemcomBias) {
           float bias = 0.0f;
-          const float* bias_ptr = fetch(emb_c_, id, 1, &bias);
+          const float* bias_ptr =
+              fetch_row(emb_c_, kCacheTableC, id, 1, &bias);
           const float b = *bias_ptr;
           for (Index c = 0; c < e; ++c) {
             pooled[c] += row[c] * m + b;
@@ -312,11 +384,11 @@ Index InferenceEngine::embed_pooled(const std::int32_t* ids, Index length) {
         break;
       }
       case Technique::kQrMult: {
-        const float* rem =
-            fetch(emb_a_, mod_hash(id, hash_size_) * e, e, row_.data());
+        const float* rem = fetch_row(emb_a_, kCacheTableA,
+                                     mod_hash(id, hash_size_), e, row_.data());
         const float* quo =
-            fetch(emb_b_, (static_cast<Index>(id) / hash_size_) * e, e,
-                  row2_.data());
+            fetch_row(emb_b_, kCacheTableB, static_cast<Index>(id) / hash_size_,
+                      e, row2_.data());
         for (Index c = 0; c < e; ++c) {
           pooled[c] += rem[c] * quo[c];
         }
@@ -325,10 +397,11 @@ Index InferenceEngine::embed_pooled(const std::int32_t* ids, Index length) {
       case Technique::kQrConcat: {
         const Index half = e / 2;
         const float* rem =
-            fetch(emb_a_, mod_hash(id, hash_size_) * half, half, row_.data());
+            fetch_row(emb_a_, kCacheTableA, mod_hash(id, hash_size_), half,
+                      row_.data());
         const float* quo =
-            fetch(emb_b_, (static_cast<Index>(id) / hash_size_) * half, half,
-                  row2_.data());
+            fetch_row(emb_b_, kCacheTableB, static_cast<Index>(id) / hash_size_,
+                      half, row2_.data());
         for (Index c = 0; c < half; ++c) {
           pooled[c] += rem[c];
         }
@@ -340,10 +413,11 @@ Index InferenceEngine::embed_pooled(const std::int32_t* ids, Index length) {
       case Technique::kDoubleHash: {
         const Index half = e / 2;
         const float* a =
-            fetch(emb_a_, mod_hash(id, hash_size_) * half, half, row_.data());
+            fetch_row(emb_a_, kCacheTableA, mod_hash(id, hash_size_), half,
+                      row_.data());
         const float* b =
-            fetch(emb_b_, mixed_hash(id, hash_size_) * half, half,
-                  row2_.data());
+            fetch_row(emb_b_, kCacheTableB, mixed_hash(id, hash_size_), half,
+                      row2_.data());
         for (Index c = 0; c < half; ++c) {
           pooled[c] += a[c];
         }
@@ -355,7 +429,7 @@ Index InferenceEngine::embed_pooled(const std::int32_t* ids, Index length) {
       case Technique::kFactorized: {
         const Index h = factor_dim_;
         const float* factors =
-            fetch(emb_a_, static_cast<Index>(id) * h, h, row_.data());
+            fetch_row(emb_a_, kCacheTableA, id, h, row_.data());
         // Project: row2 = factors · P using the pre-dequantized projection;
         // the mmap range is still metered exactly like the streaming read.
         touch(emb_b_, 0, h * e);
@@ -541,11 +615,17 @@ InferenceEngine::RawForward InferenceEngine::forward_scratch(
 
 InferenceView InferenceEngine::run_view(const std::int32_t* ids,
                                         Index length) {
+  const RowCacheStats before = row_cache_stats();
   const RawForward raw = forward_scratch(ids, length);
   InferenceView view;
   view.logits = logits_.data();
   view.dim = output_dim_;
   view.op_count = raw.op_count;
+  if (before.enabled) {
+    const RowCacheStats after = row_cache_stats();
+    view.cache_hits = after.hits - before.hits;
+    view.cache_misses = after.misses - before.misses;
+  }
   view.embedding_ms = raw.embed_compute_ms + raw.onehot_extra_ms +
                       static_cast<double>(raw.embed_ops) *
                           profile_.per_op_dispatch_us / 1000.0;
@@ -568,6 +648,7 @@ InferenceResult InferenceEngine::run(const std::vector<std::int32_t>& history) {
 
 BatchResult InferenceEngine::run_batch(
     const std::vector<std::vector<std::int32_t>>& histories) {
+  const RowCacheStats before = row_cache_stats();
   BatchResult result;
   result.batch = static_cast<Index>(histories.size());
   result.logits = Tensor({result.batch, output_dim_});
@@ -597,6 +678,11 @@ BatchResult InferenceEngine::run_batch(
   result.total_ms = compute + onehot_extra +
                     static_cast<double>(ops) * profile_.per_op_dispatch_us /
                         1000.0;
+  if (before.enabled) {
+    const RowCacheStats after = row_cache_stats();
+    result.cache_hits = after.hits - before.hits;
+    result.cache_misses = after.misses - before.misses;
+  }
   return result;
 }
 
@@ -612,8 +698,13 @@ LatencyStats InferenceEngine::benchmark(
 }
 
 double InferenceEngine::resident_megabytes() const {
+  // The cache slab is extra runtime memory the device pays for; its filled
+  // bytes join the weight pages and activation peak in the footprint.
+  const std::size_t cache_bytes =
+      row_cache_ != nullptr ? row_cache_->stats().resident_bytes : 0;
   return static_cast<double>(meter_.total_resident_bytes() +
-                             profile_.runtime_overhead_bytes) /
+                             profile_.runtime_overhead_bytes +
+                             static_cast<Index>(cache_bytes)) /
          (1024.0 * 1024.0);
 }
 

@@ -29,12 +29,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/tensor.h"
 #include "ondevice/device_profile.h"
 #include "ondevice/format.h"
+#include "ondevice/hot_row_cache.h"
 #include "ondevice/memory_meter.h"
 
 namespace memcom {
@@ -70,6 +72,10 @@ struct InferenceView {
   double embedding_ms = 0;
   double total_ms = 0;
   Index op_count = 0;
+  // Hot-row cache traffic of THIS forward (both zero when no cache is
+  // attached or the technique bypasses it).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 // Batched forward: one fused-graph dispatch for the whole batch, so the
@@ -80,6 +86,9 @@ struct BatchResult {
   double total_ms = 0;
   Index op_count = 0;       // fused graph ops dispatched for the batch
   Index batch = 0;
+  // Hot-row cache traffic of THIS batch (zero without an attached cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 struct LatencyStats {
@@ -126,6 +135,18 @@ class InferenceEngine {
   const MemoryMeter& meter() const { return meter_; }
   void reset_meter() { meter_.reset(); }
   double resident_megabytes() const;
+
+  // Attaches a fixed-budget HotRowCache over the lookup-path embedding
+  // tensors; subsequent row gathers serve hits from the cache slab (skipping
+  // the page touch and the dequantize) and fill it on misses. Returns false
+  // — and attaches nothing — for the one-hot Weinberger path, which streams
+  // the whole table and cannot benefit from row caching. Cached and
+  // uncached forwards produce bit-identical logits.
+  bool enable_row_cache(std::size_t budget_bytes);
+  // Evicts every cached row and zeroes the hit/miss counters (cold cache).
+  void clear_row_cache();
+  bool row_cache_enabled() const { return row_cache_ != nullptr; }
+  RowCacheStats row_cache_stats() const;
 
   const std::string& technique() const { return technique_; }
   Technique technique_kind() const { return kind_; }
@@ -185,6 +206,13 @@ class InferenceEngine {
   // zero-copy for fp32 tensors, dequantized into `scratch` otherwise.
   const float* fetch(const TensorRef& ref, Index offset, Index count,
                      float* scratch);
+  // Row-gather hook: like fetch() for row `row` of `elems` floats, but
+  // consults the hot-row cache first when one is attached. `table` selects
+  // the cache partition (kCacheTableA/B/C). The returned pointer is valid
+  // until the next fetch_row on the SAME table — partitions isolate the
+  // per-token multi-table gathers from each other.
+  const float* fetch_row(const TensorRef& ref, std::size_t table, Index row,
+                         Index elems, float* scratch);
 
   // Number of fused graph ops the framework dispatches for the embedding
   // stage of this technique (gathers + composition).
@@ -222,6 +250,11 @@ class InferenceEngine {
   TensorRef emb_a_;  // table / shared / remainder / table_a / factors
   TensorRef emb_b_;  // multiplier / quotient / table_b / projection
   TensorRef emb_c_;  // memcom_bias bias
+  // Cache partition tags for the embedding tensors above.
+  static constexpr std::size_t kCacheTableA = 0;
+  static constexpr std::size_t kCacheTableB = 1;
+  static constexpr std::size_t kCacheTableC = 2;
+  std::unique_ptr<HotRowCache> row_cache_;  // null = disabled
   std::vector<float> projection_;  // factorized: pre-dequantized [h, e]
   Index factor_dim_ = 0;           // factorized h
   BatchNormPlan bn1_, bn2_;

@@ -7,7 +7,9 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/check.h"
 #include "core/serialize.h"
@@ -138,17 +140,43 @@ MmapModel::MmapModel(const std::string& path) {
   for (std::uint64_t i = 0; i < tensor_count; ++i) {
     TensorEntry entry;
     entry.name = read_string(is);
-    entry.dtype = static_cast<DType>(read_u32(is));
+    const std::uint32_t raw_dtype = read_u32(is);
+    check(raw_dtype <= static_cast<std::uint32_t>(DType::kI4),
+          "MmapModel: unknown dtype for " + entry.name);
+    entry.dtype = static_cast<DType>(raw_dtype);
     const std::uint64_t ndim = read_u64(is);
     check(ndim <= 8, "MmapModel: implausible tensor rank");
     entry.shape.resize(ndim);
+    // Overflow-checked element count: a hostile directory can pick dims
+    // whose product wraps std::int64_t (UB in shape_numel) or whose packed
+    // byte size wraps std::uint64_t back to a plausible value.
+    std::int64_t numel = 1;
     for (std::uint64_t d = 0; d < ndim; ++d) {
       entry.shape[d] = read_i64(is);
+      check(entry.shape[d] >= 0,
+            "MmapModel: negative dimension for " + entry.name);
+      check(entry.shape[d] == 0 ||
+                numel <= std::numeric_limits<std::int64_t>::max() /
+                             entry.shape[d],
+            "MmapModel: tensor element count overflows for " + entry.name);
+      numel *= entry.shape[d];
     }
+    // Densest dtype packs 2 elements per byte, so anything beyond
+    // 2*file_size elements cannot be backed by this file — and bounding
+    // numel here keeps packed_byte_size below from wrapping.
+    check(static_cast<std::uint64_t>(numel) <= file_size_ * 2,
+          "MmapModel: tensor larger than file for " + entry.name);
     entry.scale = read_f32(is);
     entry.offset = read_u64(is);
     entry.byte_size = read_u64(is);
-    check(entry.offset + entry.byte_size <= file_size_,
+    // The payload must carry exactly the elements the shape promises...
+    check(entry.byte_size ==
+              packed_byte_size(entry.dtype, static_cast<std::size_t>(numel)),
+          "MmapModel: blob size does not match shape for " + entry.name);
+    // ...and live inside the file (subtraction form: offset + byte_size
+    // could wrap around std::uint64_t on a hostile directory).
+    check(entry.byte_size <= file_size_ &&
+              entry.offset <= file_size_ - entry.byte_size,
           "MmapModel: blob out of bounds for " + entry.name);
     entries_.emplace(entry.name, std::move(entry));
   }
@@ -167,7 +195,22 @@ std::string MmapModel::metadata_value(const std::string& key) const {
 }
 
 std::int64_t MmapModel::metadata_int(const std::string& key) const {
-  return std::stoll(metadata_value(key));
+  // stoll alone would leak std::invalid_argument (and accept trailing
+  // garbage like "12abc"); a corrupt metadata value must fail like every
+  // other malformed-file problem: with one clean runtime_error.
+  const std::string value = metadata_value(key);
+  try {
+    std::size_t consumed = 0;
+    const long long parsed = std::stoll(value, &consumed);
+    check(consumed == value.size(),
+          "MmapModel: non-numeric metadata " + key + "=" + value);
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    check(false, "MmapModel: non-numeric metadata " + key + "=" + value);
+  } catch (const std::out_of_range&) {
+    check(false, "MmapModel: metadata out of range " + key + "=" + value);
+  }
+  return 0;  // unreachable
 }
 
 bool MmapModel::has_tensor(const std::string& name) const {

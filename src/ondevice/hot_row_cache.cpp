@@ -1,0 +1,100 @@
+#include "ondevice/hot_row_cache.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace memcom {
+
+namespace {
+// Per-slot bookkeeping cost: the 8-byte key. Payload cost is the row width.
+constexpr std::size_t kKeyBytes = sizeof(std::uint64_t);
+
+// splitmix64 finalizer: sequential row ids must not map to sequential
+// slots, or a direct-mapped cache degenerates for strided access patterns.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+HotRowCache::HotRowCache(std::size_t budget_bytes,
+                         std::vector<Index> table_row_elems) {
+  check(!table_row_elems.empty(), "HotRowCache: no tables to cache");
+  check(budget_bytes > 0, "HotRowCache: budget must be positive");
+  const std::size_t per_table = budget_bytes / table_row_elems.size();
+  partitions_.reserve(table_row_elems.size());
+  for (const Index elems : table_row_elems) {
+    check(elems > 0, "HotRowCache: row width must be positive");
+    Partition p;
+    p.row_elems = elems;
+    const std::size_t slot_bytes =
+        kKeyBytes + static_cast<std::size_t>(elems) * sizeof(float);
+    p.slots = std::max<std::size_t>(1, per_table / slot_bytes);
+    p.keys.assign(p.slots, 0);
+    p.payload.assign(p.slots * static_cast<std::size_t>(elems), 0.0f);
+    capacity_bytes_ += p.slots * slot_bytes;
+    partitions_.push_back(std::move(p));
+  }
+}
+
+std::size_t HotRowCache::slot_index(const Partition& p, Index row) {
+  return static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(row)) %
+                                  p.slots);
+}
+
+const float* HotRowCache::lookup(std::size_t table, Index row) {
+  Partition& p = partitions_[table];
+  const std::size_t slot = slot_index(p, row);
+  if (p.keys[slot] == static_cast<std::uint64_t>(row) + 1) {
+    ++hits_;
+    return p.payload.data() + slot * static_cast<std::size_t>(p.row_elems);
+  }
+  ++misses_;
+  return nullptr;
+}
+
+float* HotRowCache::fill(std::size_t table, Index row) {
+  Partition& p = partitions_[table];
+  const std::size_t slot = slot_index(p, row);
+  if (p.keys[slot] == 0) {
+    ++p.filled;
+  }
+  p.keys[slot] = static_cast<std::uint64_t>(row) + 1;
+  return p.payload.data() + slot * static_cast<std::size_t>(p.row_elems);
+}
+
+std::size_t HotRowCache::slot_count() const {
+  std::size_t total = 0;
+  for (const Partition& p : partitions_) {
+    total += p.slots;
+  }
+  return total;
+}
+
+void HotRowCache::clear() {
+  for (Partition& p : partitions_) {
+    std::fill(p.keys.begin(), p.keys.end(), 0);
+    p.filled = 0;
+  }
+  hits_ = 0;
+  misses_ = 0;
+}
+
+RowCacheStats HotRowCache::stats() const {
+  RowCacheStats s;
+  s.enabled = true;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.capacity_bytes = capacity_bytes_;
+  for (const Partition& p : partitions_) {
+    s.resident_bytes +=
+        p.filled *
+        (kKeyBytes + static_cast<std::size_t>(p.row_elems) * sizeof(float));
+  }
+  return s;
+}
+
+}  // namespace memcom

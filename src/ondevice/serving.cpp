@@ -2,24 +2,58 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
-#include <thread>
+#include <utility>
 
 #include "core/check.h"
-#include "ondevice/clock.h"
 
 namespace memcom {
 
 namespace {
 using Clock = SteadyClock;
+
+RowCacheStats aggregate_cache_stats(
+    const std::vector<std::unique_ptr<InferenceEngine>>& engines) {
+  RowCacheStats total;
+  for (const auto& engine : engines) {
+    const RowCacheStats s = engine->row_cache_stats();
+    if (!s.enabled) {
+      continue;
+    }
+    total.enabled = true;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    // Each worker owns a private slab, so the fleet pays the sum (unlike
+    // the shared weight pages, where the footprint is the max).
+    total.resident_bytes += s.resident_bytes;
+    total.capacity_bytes += s.capacity_bytes;
+  }
+  return total;
+}
+
+// A drain's report must cover THAT drain: hit/miss counters are lifetime
+// totals per engine, so subtract the pre-drain snapshot (resident/capacity
+// stay absolute — they describe the slab, not the traffic).
+RowCacheStats cache_stats_delta(const RowCacheStats& before,
+                                const RowCacheStats& after) {
+  RowCacheStats delta = after;
+  delta.hits = after.hits - before.hits;
+  delta.misses = after.misses - before.misses;
+  return delta;
+}
 }  // namespace
 
 ServingHarness::ServingHarness(const MmapModel& model,
-                               const DeviceProfile& profile, int threads) {
+                               const DeviceProfile& profile, int threads,
+                               std::size_t cache_budget_bytes) {
   check(threads > 0, "serving: thread count must be positive");
   engines_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     engines_.push_back(std::make_unique<InferenceEngine>(model, profile));
+    if (cache_budget_bytes > 0) {
+      engines_.back()->enable_row_cache(cache_budget_bytes);
+    }
   }
 }
 
@@ -41,9 +75,11 @@ ServingReport ServingHarness::serve(
   if (total == 0) {
     return report;
   }
+  const RowCacheStats cache_before = aggregate_cache_stats(engines_);
 
   std::atomic<std::uint64_t> cursor{0};
   std::vector<std::vector<double>> samples(engines_.size());
+  std::vector<double> modeled(engines_.size(), 0.0);
   // Reserve ~2× the fair share per worker: enough headroom for work-stealing
   // imbalance without pre-allocating threads×total samples on large drains.
   // A rare mid-drain realloc happens between timing windows, so it can only
@@ -57,6 +93,7 @@ ServingReport ServingHarness::serve(
   const auto run_worker = [&](std::size_t worker) {
     InferenceEngine& engine = *engines_[worker];
     std::vector<double>& lat = samples[worker];
+    double busy_ms = 0.0;
     for (;;) {
       const std::uint64_t i =
           cursor.fetch_add(1, std::memory_order_relaxed);
@@ -68,6 +105,7 @@ ServingReport ServingHarness::serve(
       const auto start = Clock::now();
       const InferenceView view = engine.run_view(history);
       lat.push_back(elapsed_ms(start));
+      busy_ms += view.total_ms;
       // Only the first repetition writes logits, so rows are written by
       // exactly one worker (repeat passes would produce identical bytes).
       if (logits_out != nullptr && i < unique) {
@@ -75,6 +113,7 @@ ServingReport ServingHarness::serve(
                     static_cast<std::size_t>(dim) * sizeof(float));
       }
     }
+    modeled[worker] = busy_ms;
   };
 
   const auto wall_start = Clock::now();
@@ -101,10 +140,283 @@ ServingReport ServingHarness::serve(
   report.qps = report.wall_ms > 0.0
                    ? static_cast<double>(total) / (report.wall_ms / 1000.0)
                    : 0.0;
+  report.modeled_busy_ms =
+      *std::max_element(modeled.begin(), modeled.end());
+  report.modeled_qps =
+      report.modeled_busy_ms > 0.0
+          ? static_cast<double>(total) / (report.modeled_busy_ms / 1000.0)
+          : 0.0;
+  report.cache =
+      cache_stats_delta(cache_before, aggregate_cache_stats(engines_));
   return report;
 }
 
 double ServingHarness::max_resident_megabytes() const {
+  double max_mb = 0.0;
+  for (const auto& engine : engines_) {
+    max_mb = std::max(max_mb, engine->resident_megabytes());
+  }
+  return max_mb;
+}
+
+// ---------------------------------------------------------------------------
+// AsyncServer
+
+AsyncServer::AsyncServer(const MmapModel& model, const DeviceProfile& profile,
+                         AsyncServerConfig config)
+    : config_(config),
+      queue_(config.queue_capacity),
+      // The dispatch queue only needs to keep every worker fed plus a small
+      // runway; bounding it makes scheduler -> worker backpressure propagate
+      // back to the admission queue (and from there to producers).
+      dispatch_(static_cast<std::size_t>(std::max(1, config.threads)) * 2) {
+  check(config_.threads > 0, "AsyncServer: thread count must be positive");
+  check(config_.max_batch > 0, "AsyncServer: max_batch must be positive");
+  check(config_.max_delay_us >= 0.0,
+        "AsyncServer: max_delay_us must be non-negative");
+  engines_.reserve(static_cast<std::size_t>(config_.threads));
+  for (int i = 0; i < config_.threads; ++i) {
+    engines_.push_back(std::make_unique<InferenceEngine>(model, profile));
+    if (config_.cache_budget_bytes > 0) {
+      engines_.back()->enable_row_cache(config_.cache_budget_bytes);
+    }
+  }
+  worker_stats_.resize(engines_.size());
+  scheduler_ = std::thread(&AsyncServer::scheduler_loop, this);
+  workers_.reserve(engines_.size());
+  for (std::size_t w = 0; w < engines_.size(); ++w) {
+    workers_.emplace_back(&AsyncServer::worker_loop, this, w);
+  }
+}
+
+AsyncServer::~AsyncServer() {
+  queue_.close();  // pops drain what was accepted, then the scheduler exits
+  if (scheduler_.joinable()) {
+    scheduler_.join();
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+std::future<AsyncResult> AsyncServer::submit(
+    std::vector<std::int32_t> history) {
+  QueuedRequest request;
+  request.history = std::move(history);
+  request.enqueue_tp = Clock::now();
+  std::future<AsyncResult> future = request.promise.get_future();
+  check(queue_.push(std::move(request)),
+        "AsyncServer: submit after shutdown");
+  return future;
+}
+
+bool AsyncServer::try_submit(std::vector<std::int32_t> history,
+                             std::future<AsyncResult>* out) {
+  QueuedRequest request;
+  request.history = std::move(history);
+  request.enqueue_tp = Clock::now();
+  std::future<AsyncResult> future = request.promise.get_future();
+  if (!queue_.try_push(std::move(request))) {
+    return false;
+  }
+  if (out != nullptr) {
+    *out = std::move(future);
+  }
+  return true;
+}
+
+void AsyncServer::scheduler_loop() {
+  const auto delay = std::chrono::microseconds(
+      static_cast<std::int64_t>(config_.max_delay_us));
+  for (;;) {
+    QueuedRequest first;
+    if (!queue_.pop(first)) {
+      break;  // closed and drained
+    }
+    BatchTask task;
+    task.requests.reserve(static_cast<std::size_t>(config_.max_batch));
+    task.requests.push_back(std::move(first));
+    // Dynamic micro-batch: keep admitting until the batch is full or the
+    // first request has waited max_delay_us.
+    const auto deadline = Clock::now() + delay;
+    while (task.requests.size() <
+           static_cast<std::size_t>(config_.max_batch)) {
+      QueuedRequest next;
+      if (!queue_.pop_wait_until(next, deadline)) {
+        break;  // flush on timeout (or on shutdown drain)
+      }
+      task.requests.push_back(std::move(next));
+    }
+    dispatch_.push(std::move(task));  // only fails after dispatch_ close
+  }
+  dispatch_.close();
+}
+
+void AsyncServer::worker_loop(std::size_t worker) {
+  InferenceEngine& engine = *engines_[worker];
+  std::vector<std::vector<std::int32_t>> histories;
+  BatchTask task;
+  while (dispatch_.pop(task)) {
+    const auto service_start = Clock::now();
+    histories.clear();
+    histories.reserve(task.requests.size());
+    for (QueuedRequest& r : task.requests) {
+      // The history is not read again after execution (only the promise
+      // and timestamps are), so hand the buffer over instead of copying.
+      histories.push_back(std::move(r.history));
+    }
+    BatchResult batch = engine.run_batch(histories);
+    const auto service_end = Clock::now();
+    const double service_ms = elapsed_ms(service_start);
+
+    // Record stats BEFORE resolving the promises: anyone who has observed
+    // every future of a drain is guaranteed to see its samples.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      WorkerStats& stats = worker_stats_[worker];
+      stats.modeled_busy_ms += batch.total_ms;
+      ++stats.batches;
+      for (const QueuedRequest& r : task.requests) {
+        const double wait_ms =
+            std::chrono::duration<double, std::milli>(service_start -
+                                                      r.enqueue_tp)
+                .count();
+        const double total_ms =
+            std::chrono::duration<double, std::milli>(service_end -
+                                                      r.enqueue_tp)
+                .count();
+        stats.queue_wait_ms.push_back(wait_ms);
+        stats.service_ms.push_back(service_ms);
+        stats.total_ms.push_back(total_ms);
+        ++stats.requests;
+      }
+    }
+
+    const Index dim = engine.output_dim();
+    for (std::size_t i = 0; i < task.requests.size(); ++i) {
+      QueuedRequest& r = task.requests[i];
+      AsyncResult result;
+      result.batch = batch.batch;
+      result.service_ms = service_ms;
+      result.queue_wait_ms = std::chrono::duration<double, std::milli>(
+                                 service_start - r.enqueue_tp)
+                                 .count();
+      result.total_ms = std::chrono::duration<double, std::milli>(
+                            service_end - r.enqueue_tp)
+                            .count();
+      const float* row = &batch.logits.at2(static_cast<Index>(i), 0);
+      result.logits.assign(row, row + dim);
+      r.promise.set_value(std::move(result));
+    }
+  }
+}
+
+void AsyncServer::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  for (WorkerStats& stats : worker_stats_) {
+    stats.queue_wait_ms.clear();
+    stats.service_ms.clear();
+    stats.total_ms.clear();
+    stats.modeled_busy_ms = 0;
+    stats.batches = 0;
+    stats.requests = 0;
+  }
+}
+
+ServingReport AsyncServer::serve(
+    const std::vector<std::vector<std::int32_t>>& requests, int repeat,
+    double arrival_qps, Tensor* logits_out) {
+  check(repeat > 0, "AsyncServer: repeat must be positive");
+  const std::size_t unique = requests.size();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(unique) * static_cast<std::uint64_t>(repeat);
+  const Index dim = output_dim();
+  if (logits_out != nullptr) {
+    *logits_out = Tensor({static_cast<Index>(unique), dim});
+  }
+
+  ServingReport report;
+  report.threads = threads();
+  report.requests = total;
+  if (total == 0) {
+    return report;
+  }
+  reset_stats();
+  const RowCacheStats cache_before = cache_stats();
+
+  // Open-loop arrivals: with a nonzero rate, request i is released at
+  // i/arrival_qps seconds regardless of completions (only admission-queue
+  // backpressure can stall the producer). rate 0 = as fast as admitted.
+  const auto inter_arrival =
+      arrival_qps > 0.0
+          ? std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(1.0 / arrival_qps))
+          : Clock::duration::zero();
+
+  std::vector<std::future<AsyncResult>> futures;
+  futures.reserve(static_cast<std::size_t>(total));
+  const auto wall_start = Clock::now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (inter_arrival.count() > 0) {
+      std::this_thread::sleep_until(
+          wall_start + inter_arrival * static_cast<std::int64_t>(i));
+    }
+    futures.push_back(
+        submit(requests[static_cast<std::size_t>(i % unique)]));
+  }
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const AsyncResult result = futures[static_cast<std::size_t>(i)].get();
+    if (logits_out != nullptr && i < unique) {
+      std::memcpy(&logits_out->at2(static_cast<Index>(i), 0),
+                  result.logits.data(),
+                  static_cast<std::size_t>(dim) * sizeof(float));
+    }
+  }
+  report.wall_ms = elapsed_ms(wall_start);
+  report.qps = report.wall_ms > 0.0
+                   ? static_cast<double>(total) / (report.wall_ms / 1000.0)
+                   : 0.0;
+
+  std::vector<double> waits, services, totals;
+  waits.reserve(static_cast<std::size_t>(total));
+  services.reserve(static_cast<std::size_t>(total));
+  totals.reserve(static_cast<std::size_t>(total));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (const WorkerStats& stats : worker_stats_) {
+      waits.insert(waits.end(), stats.queue_wait_ms.begin(),
+                   stats.queue_wait_ms.end());
+      services.insert(services.end(), stats.service_ms.begin(),
+                      stats.service_ms.end());
+      totals.insert(totals.end(), stats.total_ms.begin(),
+                    stats.total_ms.end());
+      report.batches += stats.batches;
+      report.modeled_busy_ms =
+          std::max(report.modeled_busy_ms, stats.modeled_busy_ms);
+    }
+  }
+  report.latency = latency_stats_from_samples(std::move(totals));
+  report.queue_wait = latency_stats_from_samples(std::move(waits));
+  report.service = latency_stats_from_samples(std::move(services));
+  report.mean_batch =
+      report.batches > 0
+          ? static_cast<double>(total) / static_cast<double>(report.batches)
+          : 0.0;
+  report.modeled_qps =
+      report.modeled_busy_ms > 0.0
+          ? static_cast<double>(total) / (report.modeled_busy_ms / 1000.0)
+          : 0.0;
+  report.cache = cache_stats_delta(cache_before, cache_stats());
+  return report;
+}
+
+RowCacheStats AsyncServer::cache_stats() const {
+  return aggregate_cache_stats(engines_);
+}
+
+double AsyncServer::max_resident_megabytes() const {
   double max_mb = 0.0;
   for (const auto& engine : engines_) {
     max_mb = std::max(max_mb, engine->resident_megabytes());

@@ -1,24 +1,46 @@
-// Multi-threaded serving harness over the on-device inference engine.
+// Serving harnesses over the on-device inference engine.
 //
-// The deployment story the ROADMAP targets is a fleet of request-serving
-// workers sharing one read-only weight file: the .mcm is mmap'd once, and
-// every worker thread owns a private InferenceEngine (scratch arena + memory
-// meter) compiled against the shared mapping. Workers pull requests from a
-// lock-free atomic cursor, so the harness measures genuine lookup-path
-// throughput with zero cross-thread synchronization on the hot path.
+// Two execution models share one read-only weight file (the .mcm is mmap'd
+// once; every worker thread owns a private InferenceEngine — scratch arena,
+// memory meter, optional hot-row cache — compiled against the shared
+// mapping):
 //
-// Reported numbers: aggregate QPS (wall clock of the whole drain) and the
-// per-request wall-latency distribution (p50/p95/p99 via LatencyStats).
-// Logits are bit-identical to sequential InferenceEngine::run() — the
-// parity tests in tests/test_serving.cpp enforce this.
+//   * ServingHarness — CLOSED-LOOP drain: workers pull requests off a
+//     lock-free atomic cursor as fast as they complete them. Measures the
+//     peak batch-1 throughput of the fast path.
+//
+//   * AsyncServer — OPEN-LOOP pipeline: producers enqueue requests into a
+//     bounded RequestQueue (blocking push / failing try_push = the
+//     backpressure surface), a scheduler thread forms dynamic micro-batches
+//     (flushed at `max_batch` or after `max_delay_us`), and worker engines
+//     execute each micro-batch through the fused run_batch path, so the
+//     device profile's per-op dispatch cost is paid once per batch instead
+//     of once per request. Every request carries its enqueue/dispatch/
+//     complete timestamps, splitting latency into queue-wait vs service
+//     time.
+//
+// Both report real wall-clock QPS and a modeled-device QPS derived from the
+// engines' simulated per-forward latency (which includes the profile's
+// dispatch overhead — this is where micro-batching visibly wins; real wall
+// clock on a shared host measures mostly the simulator itself).
+//
+// Logits are bit-identical to sequential InferenceEngine::run() on every
+// path, cache cold or warm — tests/test_serving.cpp and
+// tests/test_differential.cpp enforce this.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/tensor.h"
+#include "ondevice/clock.h"
 #include "ondevice/engine.h"
+#include "ondevice/request_queue.h"
 
 namespace memcom {
 
@@ -26,16 +48,33 @@ struct ServingReport {
   int threads = 0;
   std::uint64_t requests = 0;  // total forwards executed
   double wall_ms = 0;          // wall clock of the whole drain
-  double qps = 0;              // requests / wall seconds
-  LatencyStats latency;        // per-request wall latency (ms)
+  double qps = 0;              // requests / wall seconds (real clock)
+  LatencyStats latency;        // per-request end-to-end wall latency (ms)
+
+  // Modeled-device throughput: each worker engine is one simulated device;
+  // its busy time is the sum of the simulated latencies (compute + per-op
+  // dispatch) of the forwards it executed. The fleet finishes when the
+  // busiest device does.
+  double modeled_busy_ms = 0;  // max over workers of summed simulated ms
+  double modeled_qps = 0;      // requests / modeled busy seconds
+
+  // Async pipeline only (runs == 0 for the closed-loop harness):
+  LatencyStats queue_wait;  // enqueue -> micro-batch picked up by a worker
+  LatencyStats service;     // micro-batch execution wall time
+  std::uint64_t batches = 0;   // micro-batches dispatched
+  double mean_batch = 0;       // requests / batches
+
+  // Hot-row cache totals across workers (enabled=false when no cache).
+  RowCacheStats cache;
 };
 
 class ServingHarness {
  public:
   // Compiles `threads` independent engines against the shared model. The
-  // model must outlive the harness.
+  // model must outlive the harness. A nonzero `cache_budget_bytes` attaches
+  // a per-engine HotRowCache (bypassed for one-hot techniques).
   ServingHarness(const MmapModel& model, const DeviceProfile& profile,
-                 int threads);
+                 int threads, std::size_t cache_budget_bytes = 0);
 
   // Drains `requests` (repeated `repeat` times) across the worker pool.
   // When `logits_out` is non-null it is resized to [requests, output_dim]
@@ -54,6 +93,102 @@ class ServingHarness {
 
  private:
   std::vector<std::unique_ptr<InferenceEngine>> engines_;
+};
+
+// ---------------------------------------------------------------------------
+// Asynchronous micro-batching pipeline: queue -> scheduler -> workers.
+
+struct AsyncServerConfig {
+  int threads = 2;
+  Index max_batch = 8;          // flush a micro-batch at this size...
+  double max_delay_us = 200.0;  // ...or this long after its first request
+  std::size_t queue_capacity = 1024;  // admission bound (backpressure)
+  std::size_t cache_budget_bytes = 0;  // per-engine hot-row cache; 0 = off
+};
+
+// What a request's future resolves to.
+struct AsyncResult {
+  std::vector<float> logits;  // [output_dim]
+  double queue_wait_ms = 0;   // enqueue -> worker picked the batch up
+  double service_ms = 0;      // fused micro-batch execution (wall)
+  double total_ms = 0;        // enqueue -> completion
+  Index batch = 0;            // size of the micro-batch this request rode in
+};
+
+class AsyncServer {
+ public:
+  AsyncServer(const MmapModel& model, const DeviceProfile& profile,
+              AsyncServerConfig config);
+  // Closes the queue, drains every accepted request, joins all threads.
+  ~AsyncServer();
+
+  AsyncServer(const AsyncServer&) = delete;
+  AsyncServer& operator=(const AsyncServer&) = delete;
+
+  // Enqueues a request; BLOCKS while the queue is at capacity
+  // (backpressure). The future resolves once a worker completed the
+  // request's micro-batch.
+  std::future<AsyncResult> submit(std::vector<std::int32_t> history);
+
+  // Non-blocking admission: false (and no future) when the queue is full
+  // or the server is shutting down.
+  bool try_submit(std::vector<std::int32_t> history,
+                  std::future<AsyncResult>* out);
+
+  // Convenience driver: submits `requests` (repeated `repeat` times) from
+  // this thread — paced at `arrival_qps` when nonzero (open-loop arrivals),
+  // as fast as backpressure admits otherwise — waits for every completion,
+  // and aggregates the report. When `logits_out` is non-null it is filled
+  // with the first repetition's logits, row r = requests[r].
+  ServingReport serve(const std::vector<std::vector<std::int32_t>>& requests,
+                      int repeat = 1, double arrival_qps = 0.0,
+                      Tensor* logits_out = nullptr);
+
+  const AsyncServerConfig& config() const { return config_; }
+  int threads() const { return static_cast<int>(engines_.size()); }
+  Index output_dim() const { return engines_.front()->output_dim(); }
+
+  // Backpressure observability (lifetime totals of the admission queue).
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+  std::size_t queue_high_water() const { return queue_.high_water(); }
+  std::uint64_t rejected() const { return queue_.rejected(); }
+
+  // Aggregated hot-row cache counters across worker engines.
+  RowCacheStats cache_stats() const;
+  double max_resident_megabytes() const;
+
+ private:
+  struct QueuedRequest {
+    std::vector<std::int32_t> history;
+    std::promise<AsyncResult> promise;
+    SteadyClock::time_point enqueue_tp;
+  };
+  struct BatchTask {
+    std::vector<QueuedRequest> requests;
+  };
+  // Per-batch accounting a worker appends under stats_mutex_; serve()
+  // snapshots these after every future it waits on has resolved.
+  struct WorkerStats {
+    std::vector<double> queue_wait_ms;
+    std::vector<double> service_ms;
+    std::vector<double> total_ms;
+    double modeled_busy_ms = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t requests = 0;
+  };
+
+  void scheduler_loop();
+  void worker_loop(std::size_t worker);
+  void reset_stats();
+
+  AsyncServerConfig config_;
+  std::vector<std::unique_ptr<InferenceEngine>> engines_;
+  RequestQueue<QueuedRequest> queue_;     // producers -> scheduler
+  RequestQueue<BatchTask> dispatch_;      // scheduler -> workers
+  std::vector<WorkerStats> worker_stats_;
+  mutable std::mutex stats_mutex_;
+  std::thread scheduler_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace memcom

@@ -1,0 +1,302 @@
+// Cross-technique differential test harness.
+//
+// Every inference entry point — run(), run_view(), run_batch(),
+// ServingHarness::serve(), and the AsyncServer micro-batching pipeline —
+// must produce BIT-IDENTICAL logits for every Technique enum value over a
+// seeded corpus of edge-case histories, with the hot-row cache detached,
+// cold, and warm. This is the contract that lets future fast-path /
+// scheduling / caching changes land without re-litigating numerical parity:
+// if a change perturbs a single logit bit anywhere, this suite names the
+// technique, the path, the request, and the logit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/sampling.h"
+#include "ondevice/serving.h"
+#include "repro/model.h"
+#include "test_util.h"
+
+namespace memcom {
+namespace {
+
+constexpr Index kVocab = 150;
+constexpr Index kEmbedDim = 16;
+constexpr Index kMaxLen = 32;
+constexpr std::size_t kCacheBudget = 32 * 1024;
+
+// Every value of the engine's Technique enum, via the registry kinds that
+// compile to it. If the enum grows, this list (and the exhaustive switch in
+// engine.cpp) must grow with it.
+const TechniqueKind kAllEngineTechniques[] = {
+    TechniqueKind::kFull,        TechniqueKind::kReduceDim,
+    TechniqueKind::kTruncateRare, TechniqueKind::kNaiveHash,
+    TechniqueKind::kWeinberger,  TechniqueKind::kMemcom,
+    TechniqueKind::kMemcomBias,  TechniqueKind::kQrMult,
+    TechniqueKind::kQrConcat,    TechniqueKind::kDoubleHash,
+    TechniqueKind::kFactorized,
+};
+
+// Seeded corpus of edge-case histories: empty, length-1, all-duplicate ids,
+// all-padding, maximum length, and Zipf-skewed draws (the distribution the
+// hot-row cache is designed for — duplicates across requests are the point).
+std::vector<std::vector<std::int32_t>> edge_case_corpus() {
+  std::vector<std::vector<std::int32_t>> corpus;
+  corpus.push_back({});                            // empty
+  corpus.push_back({1});                           // length-1, first real id
+  corpus.push_back({static_cast<std::int32_t>(kVocab - 1)});  // last id
+  corpus.push_back(std::vector<std::int32_t>(8, 7));          // all-duplicate
+  corpus.push_back(std::vector<std::int32_t>(6, 0));          // all padding
+  {
+    std::vector<std::int32_t> dense(static_cast<std::size_t>(kMaxLen));
+    for (Index t = 0; t < kMaxLen; ++t) {  // max length, full id sweep
+      dense[static_cast<std::size_t>(t)] =
+          static_cast<std::int32_t>(1 + (t * 37) % (kVocab - 1));
+    }
+    corpus.push_back(std::move(dense));
+  }
+  corpus.push_back({5, 0, 17, 0, 42, 0});  // interleaved padding
+  Rng rng(2024);
+  const AliasSampler zipf(zipf_weights(kVocab - 1, 1.1));
+  for (int i = 0; i < 8; ++i) {  // skewed Zipf traffic
+    std::vector<std::int32_t> history(
+        static_cast<std::size_t>(4 + rng.uniform_index(kMaxLen - 4)), 0);
+    for (auto& id : history) {
+      id = static_cast<std::int32_t>(1 + zipf.sample(rng));
+    }
+    corpus.push_back(std::move(history));
+  }
+  return corpus;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<TechniqueKind> {
+ protected:
+  void TearDown() override {
+    for (const auto& p : paths_) {
+      std::filesystem::remove(p);
+    }
+  }
+
+  std::string export_model(TechniqueKind kind, DType dtype) {
+    ModelConfig config;
+    config.embedding.kind = kind;
+    config.embedding.vocab = kVocab;
+    config.embedding.embed_dim = kEmbedDim;
+    switch (kind) {
+      case TechniqueKind::kFactorized:
+      case TechniqueKind::kReduceDim:
+        config.embedding.knob = 8;
+        break;
+      case TechniqueKind::kFull:
+        config.embedding.knob = 0;
+        break;
+      default:
+        config.embedding.knob = 24;
+    }
+    config.arch = ModelArch::kClassification;
+    config.output_vocab = 24;
+    config.seed = 99177;
+    RecModel model(config);
+    auto p = std::filesystem::temp_directory_path() /
+             ("memcom_diff_" + std::string(technique_name(kind)) + "_" +
+              dtype_name(dtype) + ".mcm");
+    paths_.push_back(p);
+    model.export_mcm(p.string(), dtype);
+    return p.string();
+  }
+
+  std::vector<std::filesystem::path> paths_;
+};
+
+// Reference logits: sequential run() on a dedicated engine.
+std::vector<Tensor> reference_logits(
+    const MmapModel& model,
+    const std::vector<std::vector<std::int32_t>>& corpus) {
+  InferenceEngine engine(model, tflite_profile());
+  std::vector<Tensor> out;
+  out.reserve(corpus.size());
+  for (const auto& history : corpus) {
+    out.push_back(engine.run(history).logits);
+  }
+  return out;
+}
+
+void expect_bit_identical(const float* actual, const Tensor& expected,
+                          const std::string& path, std::size_t request) {
+  for (Index c = 0; c < expected.numel(); ++c) {
+    // EXPECT_EQ on floats: bit-identical is the contract, not "close".
+    EXPECT_EQ(actual[static_cast<std::size_t>(c)], expected[c])
+        << path << " request " << request << " logit " << c;
+  }
+}
+
+void check_all_paths(const MmapModel& model,
+                     const std::vector<std::vector<std::int32_t>>& corpus,
+                     const std::vector<Tensor>& expected,
+                     const std::string& tag) {
+  // --- run_view -----------------------------------------------------------
+  {
+    InferenceEngine engine(model, tflite_profile());
+    for (std::size_t r = 0; r < corpus.size(); ++r) {
+      const InferenceView view = engine.run_view(corpus[r]);
+      expect_bit_identical(view.logits, expected[r], tag + "/run_view", r);
+    }
+  }
+  // --- run_batch ----------------------------------------------------------
+  {
+    InferenceEngine engine(model, tflite_profile());
+    BatchResult batch = engine.run_batch(corpus);
+    for (std::size_t r = 0; r < corpus.size(); ++r) {
+      expect_bit_identical(&batch.logits.at2(static_cast<Index>(r), 0),
+                           expected[r], tag + "/run_batch", r);
+    }
+  }
+  // --- ServingHarness (closed loop, threaded) -----------------------------
+  {
+    ServingHarness harness(model, tflite_profile(), 3);
+    Tensor served;
+    harness.serve(corpus, 1, &served);
+    for (std::size_t r = 0; r < corpus.size(); ++r) {
+      expect_bit_identical(&served.at2(static_cast<Index>(r), 0), expected[r],
+                           tag + "/harness", r);
+    }
+  }
+  // --- AsyncServer (micro-batching pipeline), cache off -------------------
+  {
+    AsyncServerConfig config;
+    config.threads = 2;
+    config.max_batch = 4;
+    config.max_delay_us = 100.0;
+    config.queue_capacity = 8;
+    AsyncServer server(model, tflite_profile(), config);
+    Tensor served;
+    server.serve(corpus, 1, 0.0, &served);
+    for (std::size_t r = 0; r < corpus.size(); ++r) {
+      expect_bit_identical(&served.at2(static_cast<Index>(r), 0), expected[r],
+                           tag + "/async", r);
+    }
+  }
+  // --- Hot-row cache: cold pass then warm pass ----------------------------
+  {
+    InferenceEngine engine(model, tflite_profile());
+    const bool attached = engine.enable_row_cache(kCacheBudget);
+    EXPECT_EQ(attached, !engine.uses_onehot_path()) << tag;
+    for (std::size_t r = 0; r < corpus.size(); ++r) {  // cold
+      const InferenceView view = engine.run_view(corpus[r]);
+      expect_bit_identical(view.logits, expected[r], tag + "/cache_cold", r);
+    }
+    const RowCacheStats after_cold = engine.row_cache_stats();
+    for (std::size_t r = 0; r < corpus.size(); ++r) {  // warm
+      const InferenceView view = engine.run_view(corpus[r]);
+      expect_bit_identical(view.logits, expected[r], tag + "/cache_warm", r);
+    }
+    if (attached) {
+      const RowCacheStats after_warm = engine.row_cache_stats();
+      // The corpus is Zipf-skewed and fits the budget: the warm pass must
+      // actually hit (otherwise this test isn't exercising the cache).
+      EXPECT_GT(after_warm.hits, after_cold.hits) << tag;
+      EXPECT_GT(after_warm.resident_bytes, 0u) << tag;
+      EXPECT_LE(after_warm.resident_bytes, after_warm.capacity_bytes) << tag;
+    }
+  }
+  // --- AsyncServer with the cache enabled, two drains (cold + warm) -------
+  {
+    AsyncServerConfig config;
+    config.threads = 2;
+    config.max_batch = 8;
+    config.max_delay_us = 50.0;
+    config.queue_capacity = 16;
+    config.cache_budget_bytes = kCacheBudget;
+    AsyncServer server(model, tflite_profile(), config);
+    for (int pass = 0; pass < 2; ++pass) {
+      Tensor served;
+      server.serve(corpus, 1, 0.0, &served);
+      for (std::size_t r = 0; r < corpus.size(); ++r) {
+        expect_bit_identical(
+            &served.at2(static_cast<Index>(r), 0), expected[r],
+            tag + "/async_cached_pass" + std::to_string(pass), r);
+      }
+    }
+  }
+}
+
+TEST_P(DifferentialTest, AllPathsBitIdenticalF32) {
+  const TechniqueKind kind = GetParam();
+  const std::string path = export_model(kind, DType::kF32);
+  const MmapModel model(path);
+  const auto corpus = edge_case_corpus();
+  const auto expected = reference_logits(model, corpus);
+  check_all_paths(model, corpus, expected,
+                  std::string(technique_name(kind)) + "/f32");
+}
+
+TEST_P(DifferentialTest, AllPathsBitIdenticalQuantizedI8) {
+  const TechniqueKind kind = GetParam();
+  const std::string path = export_model(kind, DType::kI8);
+  const MmapModel model(path);
+  const auto corpus = edge_case_corpus();
+  const auto expected = reference_logits(model, corpus);
+  check_all_paths(model, corpus, expected,
+                  std::string(technique_name(kind)) + "/i8");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniques, DifferentialTest,
+    ::testing::ValuesIn(kAllEngineTechniques),
+    [](const ::testing::TestParamInfo<TechniqueKind>& info) {
+      return std::string(technique_name(info.param));
+    });
+
+// The memory metering of the UNCACHED path must be unaffected by the cache
+// machinery existing at all: byte-identical to an engine that never had the
+// hook (this pins the PR-2 accounting).
+TEST(DifferentialMetering, UncachedMeteringUnchangedByCacheHook) {
+  for (const TechniqueKind kind : kAllEngineTechniques) {
+    ModelConfig config;
+    config.embedding.kind = kind;
+    config.embedding.vocab = kVocab;
+    config.embedding.embed_dim = kEmbedDim;
+    config.embedding.knob =
+        (kind == TechniqueKind::kFactorized ||
+         kind == TechniqueKind::kReduceDim)
+            ? 8
+            : (kind == TechniqueKind::kFull ? 0 : 24);
+    config.arch = ModelArch::kRanking;
+    config.output_vocab = 12;
+    config.seed = 5150;
+    RecModel model(config);
+    const auto p = std::filesystem::temp_directory_path() /
+                   ("memcom_diff_meter_" +
+                    std::string(technique_name(kind)) + ".mcm");
+    model.export_mcm(p.string());
+    {
+      const MmapModel mapped(p.string());
+      const auto corpus = edge_case_corpus();
+      InferenceEngine uncached(mapped, tflite_profile());
+      InferenceEngine cached(mapped, tflite_profile());
+      cached.enable_row_cache(kCacheBudget);
+      for (const auto& history : corpus) {
+        uncached.run_view(history);
+        cached.run_view(history);
+        cached.run_view(history);  // warm re-run must add no pages either
+      }
+      EXPECT_EQ(uncached.meter().touched_pages(),
+                cached.meter().touched_pages())
+          << technique_name(kind);
+      EXPECT_EQ(uncached.meter().weight_resident_bytes(),
+                cached.meter().weight_resident_bytes())
+          << technique_name(kind);
+      EXPECT_EQ(uncached.meter().activation_peak_bytes(),
+                cached.meter().activation_peak_bytes())
+          << technique_name(kind);
+    }
+    std::filesystem::remove(p);
+  }
+}
+
+}  // namespace
+}  // namespace memcom

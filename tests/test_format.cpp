@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/serialize.h"
+#include "ondevice/engine.h"
 #include "ondevice/memory_meter.h"
 
 namespace memcom {
@@ -141,6 +143,181 @@ TEST_F(FormatTest, PayloadPointerIsZeroCopyView) {
   const float* view = reinterpret_cast<const float*>(model.payload(entry));
   EXPECT_EQ(view[0], 1.5f);
   EXPECT_EQ(view[1], -2.5f);
+}
+
+// --- Malformed-model rejection ---------------------------------------------
+// Every corruption below must fail with one clean std::runtime_error at
+// open (or first use), never UB — the ASan/UBSan job runs this suite too.
+
+namespace {
+// Writes a file whose front matter follows the .mcm layout but with a
+// caller-controlled directory entry, so individual fields can be corrupted.
+void write_raw_model(const std::string& path, std::uint32_t dtype,
+                     const std::vector<std::int64_t>& dims,
+                     std::uint64_t offset, std::uint64_t byte_size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  write_u32(out, 0x314D434DU);  // "MCM1"
+  write_u32(out, 1);            // version
+  write_u64(out, 0);            // metadata count
+  write_u64(out, 1);            // tensor count
+  write_string(out, "x");
+  write_u32(out, dtype);
+  write_u64(out, dims.size());
+  for (const std::int64_t d : dims) {
+    write_i64(out, d);
+  }
+  write_f32(out, 1.0f);
+  write_u64(out, offset);
+  write_u64(out, byte_size);
+  // Some trailing payload bytes, so only the field under test is wrong.
+  for (int i = 0; i < 256; ++i) {
+    out.put('\0');
+  }
+}
+}  // namespace
+
+TEST_F(FormatTest, TruncatedPayloadRejected) {
+  const std::string path = temp_path();
+  Rng rng(177);
+  ModelWriter writer(path);
+  writer.add_tensor("big", Tensor::randn({64, 16}, rng));
+  writer.finish();
+  const std::uint64_t blob_offset = MmapModel(path).entry("big").offset;
+  // Cut the file mid-payload: the directory now promises bytes that are
+  // not there.
+  std::filesystem::resize_file(path, blob_offset + 8);
+  EXPECT_THROW(MmapModel truncated(path), std::runtime_error);
+}
+
+TEST_F(FormatTest, TruncatedDirectoryRejected) {
+  const std::string path = temp_path();
+  Rng rng(178);
+  ModelWriter writer(path);
+  writer.add_tensor("t", Tensor::randn({8, 8}, rng));
+  writer.finish();
+  // Cut inside the front matter itself (header survives, directory does
+  // not): parsing must fail on the truncated stream, not read garbage.
+  // Descending sizes — resize_file only ever shrinks here (growing would
+  // zero-fill and turn the directory into a valid empty one).
+  for (const std::uintmax_t keep : {40u, 25u, 14u}) {
+    std::filesystem::resize_file(path, keep);
+    EXPECT_THROW(MmapModel cut(path), std::runtime_error) << keep;
+  }
+}
+
+TEST_F(FormatTest, OutOfRangeTensorOffsetRejected) {
+  const std::string path = temp_path();
+  write_raw_model(path, /*dtype=*/0, {2, 2}, /*offset=*/1ULL << 40,
+                  /*byte_size=*/16);
+  EXPECT_THROW(MmapModel bad(path), std::runtime_error);
+}
+
+TEST_F(FormatTest, WrappingOffsetPlusSizeRejected) {
+  // offset + byte_size overflows std::uint64_t back into range; the bound
+  // check must be written subtraction-style to catch it.
+  const std::string path = temp_path();
+  write_raw_model(path, /*dtype=*/0, {2, 2},
+                  /*offset=*/~std::uint64_t{0} - 8, /*byte_size=*/16);
+  EXPECT_THROW(MmapModel bad(path), std::runtime_error);
+}
+
+TEST_F(FormatTest, UnknownDtypeRejected) {
+  const std::string path = temp_path();
+  write_raw_model(path, /*dtype=*/99, {2, 2}, /*offset=*/64,
+                  /*byte_size=*/16);
+  EXPECT_THROW(MmapModel bad(path), std::runtime_error);
+}
+
+TEST_F(FormatTest, NegativeDimensionRejected) {
+  const std::string path = temp_path();
+  write_raw_model(path, /*dtype=*/0, {2, -2}, /*offset=*/64,
+                  /*byte_size=*/16);
+  EXPECT_THROW(MmapModel bad(path), std::runtime_error);
+}
+
+TEST_F(FormatTest, ImplausibleRankRejected) {
+  const std::string path = temp_path();
+  write_raw_model(path, /*dtype=*/0, std::vector<std::int64_t>(9, 1),
+                  /*offset=*/64, /*byte_size=*/4);
+  EXPECT_THROW(MmapModel bad(path), std::runtime_error);
+}
+
+TEST_F(FormatTest, OverflowingShapeRejected) {
+  // numel = 2^62: packed_byte_size(kF32, 2^62) wraps std::uint64_t to 0,
+  // which would "match" a declared byte_size of 0 and pass the bounds
+  // check trivially — the element count must be bounded before any byte
+  // math happens.
+  const std::string path = temp_path();
+  write_raw_model(path, /*dtype=*/0, {std::int64_t{1} << 31,
+                                      std::int64_t{1} << 31},
+                  /*offset=*/64, /*byte_size=*/0);
+  EXPECT_THROW(MmapModel bad(path), std::runtime_error);
+}
+
+TEST_F(FormatTest, Int64NumelOverflowRejected) {
+  // dims whose product overflows std::int64_t itself (UB in shape_numel if
+  // it were ever computed): the checked multiply must reject first.
+  const std::string path = temp_path();
+  write_raw_model(path, /*dtype=*/0, {std::int64_t{1} << 62,
+                                      std::int64_t{1} << 62},
+                  /*offset=*/64, /*byte_size=*/0);
+  EXPECT_THROW(MmapModel bad(path), std::runtime_error);
+}
+
+TEST_F(FormatTest, BlobSizeShapeMismatchRejected) {
+  // Directory says [2,2] f32 (16 bytes) but claims a 12-byte blob.
+  const std::string path = temp_path();
+  write_raw_model(path, /*dtype=*/0, {2, 2}, /*offset=*/64,
+                  /*byte_size=*/12);
+  EXPECT_THROW(MmapModel bad(path), std::runtime_error);
+}
+
+TEST_F(FormatTest, NonNumericMetadataIntRejected) {
+  const std::string path = temp_path();
+  ModelWriter writer(path);
+  writer.set_metadata("vocab", "not-a-number");
+  writer.set_metadata("embed_dim", "12abc");
+  writer.add_tensor("x", Tensor({2}));
+  writer.finish();
+  const MmapModel model(path);
+  EXPECT_THROW(model.metadata_int("vocab"), std::runtime_error);
+  EXPECT_THROW(model.metadata_int("embed_dim"), std::runtime_error);
+}
+
+namespace {
+// A structurally valid single-tensor model whose `technique` metadata is
+// caller-chosen: enough for InferenceEngine construction to reach (and
+// reject) the technique resolution.
+void write_model_with_technique(const std::string& path,
+                                const std::string& technique) {
+  ModelWriter writer(path);
+  writer.set_metadata("arch", "ranking");
+  writer.set_metadata("technique", technique);
+  writer.set_metadata_int("vocab", 16);
+  writer.set_metadata_int("embed_dim", 4);
+  writer.set_metadata_int("knob", 4);
+  writer.set_metadata_int("output_dim", 2);
+  writer.add_tensor("emb.table", Tensor({16, 4}));
+  writer.finish();
+}
+}  // namespace
+
+TEST_F(FormatTest, UnknownTechniqueStringRejectedByEngine) {
+  const std::string path = temp_path();
+  write_model_with_technique(path, "snake_oil");
+  const MmapModel model(path);
+  EXPECT_THROW(InferenceEngine engine(model, tflite_profile()),
+               std::runtime_error);
+}
+
+TEST_F(FormatTest, RegistryTechniqueUnsupportedByEngineRejected) {
+  // hashed_nets parses to a valid TechniqueKind but has no engine path;
+  // the exhaustive switch must refuse it explicitly.
+  const std::string path = temp_path();
+  write_model_with_technique(path, "hashed_nets");
+  const MmapModel model(path);
+  EXPECT_THROW(InferenceEngine engine(model, tflite_profile()),
+               std::runtime_error);
 }
 
 TEST(MemoryMeterUnit, PageCountingAndReset) {

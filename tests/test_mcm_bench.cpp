@@ -75,10 +75,38 @@ TEST_F(McmBenchTest, ReportsLatencyAndServingThroughput) {
   EXPECT_NE(result.output.find("qps"), std::string::npos);
 }
 
+TEST_F(McmBenchTest, AsyncModeReportsPipelineColumns) {
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kQrMult, 300, 16, 32};
+  config.arch = ModelArch::kRanking;
+  config.output_vocab = 8;
+  config.seed = 8;
+  RecModel model(config);
+  model.export_mcm(path_);
+
+  const ToolResult result = run_tool(
+      "\"" + path_ +
+      "\" --runs 10 --threads 2 --requests 16 --repeat 2 --async "
+      "--max-batch 4 --max-delay-us 100 --cache-kb 32");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("async micro-batching pipeline"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("modeled qps"), std::string::npos);
+  EXPECT_NE(result.output.find("wait p95 ms"), std::string::npos);
+  EXPECT_NE(result.output.find("mean batch"), std::string::npos);
+  EXPECT_NE(result.output.find("hit%"), std::string::npos);
+}
+
 TEST_F(McmBenchTest, MissingArgumentFailsWithUsage) {
   const ToolResult result = run_tool("");
   EXPECT_EQ(result.exit_code, 2);
   EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, InvalidAsyncFlagsFailCleanly) {
+  const ToolResult result = run_tool("model.mcm --max-batch 0");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--max-batch"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,405 @@
+// Concurrency stress tests for the async serving pipeline.
+//
+//   * RequestQueue under producer/consumer contention: bounded capacity is a
+//     hard invariant (backpressure engages at capacity), nothing is lost or
+//     duplicated, close() drains cleanly and wakes blocked producers.
+//   * AsyncServer under multi-producer load with random pacing: every
+//     submitted request resolves exactly once with logits bit-identical to
+//     the sequential engine, regardless of micro-batch composition — i.e.
+//     the run is deterministic in request CONTENT even though scheduling is
+//     not (order-independent logit multiset).
+//
+// The CI ThreadSanitizer job runs this suite (MEMCOM_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ondevice/request_queue.h"
+#include "ondevice/serving.h"
+#include "repro/model.h"
+#include "test_util.h"
+
+namespace memcom {
+namespace {
+
+// --- RequestQueue --------------------------------------------------------
+
+TEST(RequestQueueStress, NoLossNoDuplicationUnderContention) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  constexpr std::size_t kCapacity = 8;
+  RequestQueue<std::uint64_t> queue(kCapacity);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      std::mt19937 rng(static_cast<unsigned>(1000 + p));
+      std::uniform_int_distribution<int> delay_us(0, 80);
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t token =
+            (static_cast<std::uint64_t>(p) << 32) |
+            static_cast<std::uint64_t>(i);
+        ASSERT_TRUE(queue.push(token));
+        if (const int d = delay_us(rng); d > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(d));
+        }
+      }
+    });
+  }
+
+  std::vector<std::vector<std::uint64_t>> received(2);
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < received.size(); ++c) {
+    consumers.emplace_back([&queue, &received, c] {
+      std::uint64_t token = 0;
+      while (queue.pop(token)) {
+        received[c].push_back(token);
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  queue.close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+
+  std::vector<std::uint64_t> all;
+  for (const auto& r : received) {
+    all.insert(all.end(), r.begin(), r.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(),
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+  // Sorted tokens must be exactly {p<<32|i}: any loss or duplication breaks
+  // the element-wise match.
+  std::size_t idx = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      EXPECT_EQ(all[idx++], (static_cast<std::uint64_t>(p) << 32) |
+                                static_cast<std::uint64_t>(i));
+    }
+  }
+  EXPECT_EQ(queue.total_pushed(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  // The ring IS the storage: occupancy can never have exceeded capacity.
+  EXPECT_LE(queue.high_water(), kCapacity);
+}
+
+TEST(RequestQueueStress, BackpressureEngagesAtCapacity) {
+  RequestQueue<int> queue(3);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_push(3));
+  // Full: non-blocking admission must fail and be counted.
+  EXPECT_FALSE(queue.try_push(4));
+  EXPECT_FALSE(queue.try_push(5));
+  EXPECT_EQ(queue.rejected(), 2u);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.high_water(), 3u);
+  int out = 0;
+  ASSERT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  // One slot freed: admission resumes.
+  EXPECT_TRUE(queue.try_push(6));
+  EXPECT_EQ(queue.high_water(), 3u);
+}
+
+TEST(RequestQueueStress, CloseDrainsPendingThenStops) {
+  RequestQueue<int> queue(4);
+  ASSERT_TRUE(queue.push(10));
+  ASSERT_TRUE(queue.push(11));
+  queue.close();
+  EXPECT_FALSE(queue.push(12));      // no admission after close...
+  EXPECT_FALSE(queue.try_push(13));
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));       // ...but the backlog still drains
+  EXPECT_EQ(out, 10);
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 11);
+  EXPECT_FALSE(queue.pop(out));      // drained: pop reports shutdown
+}
+
+TEST(RequestQueueStress, CloseWakesBlockedProducer) {
+  RequestQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::promise<bool> pushed;
+  std::thread producer([&] {
+    pushed.set_value(queue.push(2));  // blocks: queue is full
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+  EXPECT_FALSE(pushed.get_future().get());  // woken with a clean failure
+}
+
+TEST(RequestQueueStress, PopWaitUntilTimesOutOnEmptyQueue) {
+  RequestQueue<int> queue(2);
+  int out = 0;
+  bool timed_out = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  EXPECT_FALSE(queue.pop_wait_until(out, deadline, &timed_out));
+  EXPECT_TRUE(timed_out);
+}
+
+// --- AsyncServer ---------------------------------------------------------
+
+class AsyncStressTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : paths_) {
+      std::filesystem::remove(p);
+    }
+  }
+
+  std::string export_model(TechniqueKind kind, const std::string& tag) {
+    ModelConfig config;
+    config.embedding.kind = kind;
+    config.embedding.vocab = 200;
+    config.embedding.embed_dim = 16;
+    config.embedding.knob = 32;
+    config.arch = ModelArch::kClassification;
+    config.output_vocab = 20;
+    config.seed = 777;
+    RecModel model(config);
+    auto p = std::filesystem::temp_directory_path() /
+             ("memcom_async_stress_" + tag + ".mcm");
+    paths_.push_back(p);
+    model.export_mcm(p.string());
+    return p.string();
+  }
+
+  std::vector<std::filesystem::path> paths_;
+};
+
+std::vector<std::int32_t> random_history(std::mt19937& rng) {
+  std::uniform_int_distribution<int> len(1, 12);
+  std::uniform_int_distribution<std::int32_t> id(1, 199);
+  std::vector<std::int32_t> history(static_cast<std::size_t>(len(rng)));
+  for (auto& v : history) {
+    v = id(rng);
+  }
+  return history;
+}
+
+TEST_F(AsyncStressTest, MultiProducerNoLossNoDuplicationBitExact) {
+  const std::string path = export_model(TechniqueKind::kMemcom, "producers");
+  const MmapModel model(path);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 40;
+  AsyncServerConfig config;
+  config.threads = 3;
+  config.max_batch = 4;
+  config.max_delay_us = 100.0;
+  config.queue_capacity = 8;  // small on purpose: submit() must block
+  config.cache_budget_bytes = 16 * 1024;
+
+  struct Submitted {
+    std::vector<std::int32_t> history;
+    std::future<AsyncResult> future;
+  };
+  std::vector<std::vector<Submitted>> per_producer(kProducers);
+  {
+    AsyncServer server(model, tflite_profile(), config);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&server, &per_producer, p] {
+        std::mt19937 rng(static_cast<unsigned>(31 + p));
+        std::uniform_int_distribution<int> delay_us(0, 120);
+        for (int i = 0; i < kPerProducer; ++i) {
+          Submitted s;
+          s.history = random_history(rng);
+          s.future = server.submit(s.history);
+          per_producer[static_cast<std::size_t>(p)].push_back(std::move(s));
+          if (const int d = delay_us(rng); d > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(d));
+          }
+        }
+      });
+    }
+    for (auto& t : producers) {
+      t.join();
+    }
+    // Backpressure invariant: admission never exceeded the bound.
+    EXPECT_LE(server.queue_high_water(), config.queue_capacity);
+
+    // Every request resolves exactly once, bit-identical to the sequential
+    // engine — the scheduler may have packed them into any micro-batches.
+    InferenceEngine reference(model, tflite_profile());
+    std::uint64_t resolved = 0;
+    for (auto& produced : per_producer) {
+      for (Submitted& s : produced) {
+        const AsyncResult result = s.future.get();
+        ++resolved;
+        const Tensor expected = reference.run(s.history).logits;
+        ASSERT_EQ(static_cast<Index>(result.logits.size()),
+                  expected.numel());
+        for (Index c = 0; c < expected.numel(); ++c) {
+          EXPECT_EQ(result.logits[static_cast<std::size_t>(c)], expected[c]);
+        }
+        EXPECT_GE(result.batch, 1);
+        EXPECT_LE(result.batch, config.max_batch);
+        EXPECT_GE(result.queue_wait_ms, 0.0);
+        EXPECT_GE(result.total_ms, result.service_ms);
+      }
+    }
+    EXPECT_EQ(resolved,
+              static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  }
+}
+
+TEST_F(AsyncStressTest, LogitMultisetIsScheduleIndependent) {
+  const std::string path = export_model(TechniqueKind::kQrMult, "multiset");
+  const MmapModel model(path);
+
+  std::mt19937 rng(404);
+  std::vector<std::vector<std::int32_t>> requests;
+  for (int i = 0; i < 48; ++i) {
+    requests.push_back(random_history(rng));
+  }
+
+  // Same request content through two very different schedules: batch-1
+  // single worker vs aggressive micro-batching on 4 workers with a cache.
+  auto drain = [&](AsyncServerConfig config) {
+    AsyncServer server(model, tflite_profile(), config);
+    Tensor logits;
+    server.serve(requests, 1, 0.0, &logits);
+    std::vector<std::vector<float>> rows;
+    for (Index r = 0; r < logits.dim(0); ++r) {
+      const float* row = &logits.at2(r, 0);
+      rows.emplace_back(row, row + logits.shape()[1]);
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+
+  AsyncServerConfig serial;
+  serial.threads = 1;
+  serial.max_batch = 1;
+  serial.max_delay_us = 0.0;
+  serial.queue_capacity = 4;
+  AsyncServerConfig batched;
+  batched.threads = 4;
+  batched.max_batch = 16;
+  batched.max_delay_us = 300.0;
+  batched.queue_capacity = 32;
+  batched.cache_budget_bytes = 64 * 1024;
+
+  const auto rows_serial = drain(serial);
+  const auto rows_batched = drain(batched);
+  ASSERT_EQ(rows_serial.size(), rows_batched.size());
+  for (std::size_t i = 0; i < rows_serial.size(); ++i) {
+    EXPECT_EQ(rows_serial[i], rows_batched[i]) << "sorted row " << i;
+  }
+}
+
+TEST_F(AsyncStressTest, ReportIsInternallyConsistent) {
+  const std::string path = export_model(TechniqueKind::kMemcom, "report");
+  const MmapModel model(path);
+
+  std::mt19937 rng(11);
+  std::vector<std::vector<std::int32_t>> requests;
+  for (int i = 0; i < 24; ++i) {
+    requests.push_back(random_history(rng));
+  }
+
+  AsyncServerConfig config;
+  config.threads = 2;
+  config.max_batch = 8;
+  config.max_delay_us = 200.0;
+  config.queue_capacity = 16;
+  config.cache_budget_bytes = 32 * 1024;
+  AsyncServer server(model, tflite_profile(), config);
+  const ServingReport report = server.serve(requests, 3);
+
+  EXPECT_EQ(report.threads, 2);
+  EXPECT_EQ(report.requests, 72u);
+  EXPECT_EQ(report.latency.runs, 72);
+  EXPECT_EQ(report.queue_wait.runs, 72);
+  EXPECT_EQ(report.service.runs, 72);
+  EXPECT_GT(report.batches, 0u);
+  EXPECT_GE(report.mean_batch, 1.0);
+  EXPECT_LE(report.mean_batch, static_cast<double>(config.max_batch));
+  EXPECT_GT(report.wall_ms, 0.0);
+  EXPECT_GT(report.qps, 0.0);
+  EXPECT_GT(report.modeled_busy_ms, 0.0);
+  EXPECT_GT(report.modeled_qps, 0.0);
+  EXPECT_LE(report.latency.min_ms, report.latency.p50_ms);
+  EXPECT_LE(report.latency.p50_ms, report.latency.p99_ms);
+  EXPECT_LE(report.latency.p99_ms, report.latency.max_ms);
+  // total = queue wait + service, so the max total bounds each part's min.
+  EXPECT_GE(report.latency.max_ms, report.queue_wait.min_ms);
+  EXPECT_GE(report.latency.max_ms, report.service.min_ms);
+  // Cache engaged: memcom is a lookup technique and the drain repeats the
+  // corpus three times, so hits are guaranteed.
+  EXPECT_TRUE(report.cache.enabled);
+  EXPECT_GT(report.cache.hits, 0u);
+  EXPECT_GT(report.cache.resident_bytes, 0u);
+  EXPECT_LE(report.cache.resident_bytes, report.cache.capacity_bytes);
+  EXPECT_GT(server.max_resident_megabytes(), 0.0);
+
+  // Cache counters in a report are the DRAIN'S delta, not lifetime totals:
+  // the same corpus gathers the same row count every drain, and a warmer
+  // cache can only shift misses toward hits.
+  const ServingReport second = server.serve(requests, 3);
+  EXPECT_EQ(second.cache.hits + second.cache.misses,
+            report.cache.hits + report.cache.misses);
+  EXPECT_GE(second.cache.hits, report.cache.hits);
+}
+
+TEST_F(AsyncStressTest, TrySubmitRejectsWhenQueueSaturated) {
+  const std::string path = export_model(TechniqueKind::kMemcom, "reject");
+  const MmapModel model(path);
+
+  AsyncServerConfig config;
+  config.threads = 1;
+  config.max_batch = 2;
+  config.max_delay_us = 50.0;
+  config.queue_capacity = 2;
+  AsyncServer server(model, tflite_profile(), config);
+
+  // Flood the tiny queue from one thread with no pacing: with a single
+  // worker some try_submit must eventually bounce (and be counted), while
+  // every ACCEPTED request still resolves correctly.
+  InferenceEngine reference(model, tflite_profile());
+  std::mt19937 rng(8);
+  struct Accepted {
+    std::vector<std::int32_t> history;
+    std::future<AsyncResult> future;
+  };
+  std::vector<Accepted> accepted;
+  std::uint64_t bounced = 0;
+  for (int i = 0; i < 400; ++i) {
+    Accepted a;
+    a.history = random_history(rng);
+    if (server.try_submit(a.history, &a.future)) {
+      accepted.push_back(std::move(a));
+    } else {
+      ++bounced;
+    }
+  }
+  EXPECT_GT(bounced, 0u);
+  EXPECT_EQ(server.rejected(), bounced);
+  EXPECT_EQ(server.queue_high_water(), config.queue_capacity);
+  for (Accepted& a : accepted) {
+    const AsyncResult result = a.future.get();
+    const Tensor expected = reference.run(a.history).logits;
+    for (Index c = 0; c < expected.numel(); ++c) {
+      EXPECT_EQ(result.logits[static_cast<std::size_t>(c)], expected[c]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memcom

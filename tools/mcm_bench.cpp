@@ -3,10 +3,14 @@
 //
 //   ./mcm_bench model.mcm [--runs 1000] [--threads 4] [--requests 256]
 //               [--repeat 8] [--seq-len 32] [--profile coreml|tflite]
+//               [--async] [--max-batch 8] [--max-delay-us 200]
+//               [--queue-cap 256] [--cache-kb 0] [--arrival-qps 0]
 //
 // Prints the single-input latency distribution (mean/min/p50/p95/p99/max,
 // the paper's §5.3 metric) and the multi-threaded serving report (QPS,
-// per-request wall latency percentiles).
+// per-request wall latency percentiles). With --async it also drives the
+// open-loop micro-batching pipeline and reports the queue-wait vs
+// service-time split, modeled-device QPS, and the hot-row cache hit rate.
 #include <iostream>
 #include <vector>
 
@@ -22,7 +26,9 @@ int main(int argc, char** argv) {
   if (flags.positional().empty()) {
     std::cerr << "usage: mcm_bench <model.mcm> [--runs N] [--threads N] "
                  "[--requests N] [--repeat N] [--seq-len L] "
-                 "[--profile coreml|tflite]\n";
+                 "[--profile coreml|tflite] [--async] [--max-batch N] "
+                 "[--max-delay-us U] [--queue-cap N] [--cache-kb K] "
+                 "[--arrival-qps Q]\n";
     return 2;
   }
   const std::string path = flags.positional()[0];
@@ -31,10 +37,22 @@ int main(int argc, char** argv) {
   const int request_count = static_cast<int>(flags.get_int("requests", 256));
   const int repeat = static_cast<int>(flags.get_int("repeat", 8));
   const Index seq_len = flags.get_int("seq-len", 32);
+  const bool async = flags.get_bool("async", false);
+  const Index max_batch = flags.get_int("max-batch", 8);
+  const double max_delay_us = flags.get_double("max-delay-us", 200.0);
+  const Index queue_cap = flags.get_int("queue-cap", 256);
+  const Index cache_kb = flags.get_int("cache-kb", 0);
+  const double arrival_qps = flags.get_double("arrival-qps", 0.0);
   if (runs < 1 || threads < 1 || request_count < 1 || repeat < 1 ||
       seq_len < 1) {
     std::cerr << "mcm_bench: --runs/--threads/--requests/--repeat/--seq-len "
                  "must all be positive\n";
+    return 2;
+  }
+  if (max_batch < 1 || queue_cap < 1 || max_delay_us < 0.0 || cache_kb < 0 ||
+      arrival_qps < 0.0) {
+    std::cerr << "mcm_bench: --max-batch/--queue-cap must be positive; "
+                 "--max-delay-us/--cache-kb/--arrival-qps non-negative\n";
     return 2;
   }
   const std::string profile_name = flags.get_string("profile", "tflite");
@@ -100,5 +118,33 @@ int main(int argc, char** argv) {
                      format_float(report.wall_ms, 1)});
   }
   std::cout << "serving throughput:\n" << serving.to_string();
+
+  if (async) {
+    AsyncServerConfig config;
+    config.threads = threads;
+    config.max_batch = max_batch;
+    config.max_delay_us = max_delay_us;
+    config.queue_capacity = static_cast<std::size_t>(queue_cap);
+    config.cache_budget_bytes = static_cast<std::size_t>(cache_kb) * 1024;
+    AsyncServer server(model, profile, config);
+    server.serve(requests, 1);  // warm-up (also warms the row cache)
+    const ServingReport report = server.serve(requests, repeat, arrival_qps);
+    TextTable table({"threads", "batch<=", "offered", "qps", "modeled qps",
+                     "p50 ms", "wait p50 ms", "wait p95 ms", "svc p50 ms",
+                     "mean batch", "hit%"});
+    table.add_row(
+        {std::to_string(report.threads), std::to_string(max_batch),
+         arrival_qps > 0 ? format_float(arrival_qps, 0) : "max",
+         format_float(report.qps, 0), format_float(report.modeled_qps, 0),
+         format_float(report.latency.p50_ms, 4),
+         format_float(report.queue_wait.p50_ms, 4),
+         format_float(report.queue_wait.p95_ms, 4),
+         format_float(report.service.p50_ms, 4),
+         format_float(report.mean_batch, 1),
+         report.cache.enabled
+             ? format_float(report.cache.hit_rate() * 100.0, 1)
+             : "off"});
+    std::cout << "\nasync micro-batching pipeline:\n" << table.to_string();
+  }
   return 0;
 }
