@@ -1,0 +1,237 @@
+#include "ondevice/compiled_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "embedding/factory.h"
+
+namespace memcom {
+
+namespace {
+// The engine supports the lookup/one-hot subset of the technique registry;
+// going through embedding/factory's TechniqueKind keeps the metadata-string
+// mapping in one place, and this exhaustive switch forces an explicit
+// supported/unsupported decision whenever the registry grows.
+Technique compile_technique(const std::string& name) {
+  switch (technique_from_string(name)) {
+    case TechniqueKind::kFull: return Technique::kUncompressed;
+    case TechniqueKind::kReduceDim: return Technique::kReduceDim;
+    case TechniqueKind::kTruncateRare: return Technique::kTruncateRare;
+    case TechniqueKind::kNaiveHash: return Technique::kNaiveHash;
+    case TechniqueKind::kWeinberger: return Technique::kWeinberger;
+    case TechniqueKind::kMemcom: return Technique::kMemcom;
+    case TechniqueKind::kMemcomBias: return Technique::kMemcomBias;
+    case TechniqueKind::kQrMult: return Technique::kQrMult;
+    case TechniqueKind::kQrConcat: return Technique::kQrConcat;
+    case TechniqueKind::kDoubleHash: return Technique::kDoubleHash;
+    case TechniqueKind::kFactorized: return Technique::kFactorized;
+    case TechniqueKind::kHashedNets:
+    case TechniqueKind::kMixedDim:
+    case TechniqueKind::kTtRec:
+      break;
+  }
+  check(false, "engine: unsupported technique " + name);
+  return Technique::kUncompressed;
+}
+
+std::size_t float_bytes(const std::vector<float>& v) {
+  return v.size() * sizeof(float);
+}
+}  // namespace
+
+CompiledModel::CompiledModel(const MmapModel& model) : model_(model) {
+  compile();
+}
+
+CompiledModel::CompiledModel(std::shared_ptr<const MmapModel> model)
+    : owned_(std::move(model)), model_(*owned_) {
+  compile();
+}
+
+void CompiledModel::compile() {
+  arch_ = model_.metadata_value("arch");
+  technique_ = model_.metadata_value("technique");
+  vocab_ = model_.metadata_int("vocab");
+  embed_dim_ = model_.metadata_int("embed_dim");
+  hash_size_ = model_.metadata_int("knob");
+  output_dim_ = model_.metadata_int("output_dim");
+  hidden_dim_ =
+      model_.has_metadata("hidden_dim") ? model_.metadata_int("hidden_dim") : 0;
+  model_name_ = model_.model_name();
+  model_version_ = model_.model_version();
+  check(arch_ == "classification" || arch_ == "ranking",
+        "engine: unknown architecture " + arch_);
+  kind_ = compile_technique(technique_);
+  embed_ops_ = count_embedding_stage_ops();
+  has_hidden_ = arch_ == "classification";
+
+  // Resolve every tensor name once — the forward pass only ever sees the
+  // handles below.
+  switch (kind_) {
+    case Technique::kUncompressed:
+    case Technique::kReduceDim:
+    case Technique::kTruncateRare:
+    case Technique::kNaiveHash:
+    case Technique::kWeinberger:
+      emb_a_ = resolve("emb.table");
+      break;
+    case Technique::kMemcom:
+    case Technique::kMemcomBias:
+      emb_a_ = resolve("emb.shared");
+      emb_b_ = resolve("emb.multiplier");
+      if (kind_ == Technique::kMemcomBias) {
+        emb_c_ = resolve("emb.bias");
+      }
+      break;
+    case Technique::kQrMult:
+    case Technique::kQrConcat:
+      emb_a_ = resolve("emb.remainder");
+      emb_b_ = resolve("emb.quotient");
+      break;
+    case Technique::kDoubleHash:
+      emb_a_ = resolve("emb.table_a");
+      emb_b_ = resolve("emb.table_b");
+      break;
+    case Technique::kFactorized:
+      emb_a_ = resolve("emb.factors");
+      emb_b_ = resolve("emb.projection");
+      factor_dim_ = emb_a_.entry->shape[1];
+      predequantize(emb_b_, projection_);
+      break;
+  }
+
+  bn1_ = resolve_batchnorm("bn1", embed_dim_);
+  if (has_hidden_) {
+    dense1_ = resolve_dense("dense1", embed_dim_, hidden_dim_);
+    bn2_ = resolve_batchnorm("bn2", hidden_dim_);
+  }
+  out_ = resolve_dense("out", has_hidden_ ? hidden_dim_ : embed_dim_,
+                       output_dim_);
+}
+
+TensorRef CompiledModel::resolve(const std::string& name) const {
+  const TensorEntry& entry = model_.entry(name);
+  TensorRef ref;
+  ref.entry = &entry;
+  ref.payload = model_.payload(entry);
+  ref.dtype = entry.dtype;
+  ref.scale = entry.scale;
+  ref.element_bits = static_cast<std::size_t>(dtype_bits(entry.dtype));
+  ref.file_offset = static_cast<Index>(entry.offset);
+  if (entry.dtype == DType::kF32) {
+    ref.f32 = reinterpret_cast<const float*>(ref.payload);
+  }
+  return ref;
+}
+
+void CompiledModel::predequantize(const TensorRef& ref,
+                                  std::vector<float>& out) {
+  const Index n = ref.entry->numel();
+  out.resize(static_cast<std::size_t>(n));
+  dequantize_span(ref.dtype, ref.scale, ref.payload, 0, n, out.data());
+}
+
+BatchNormPlan CompiledModel::resolve_batchnorm(const std::string& prefix,
+                                               Index width) {
+  BatchNormPlan plan;
+  plan.gamma = resolve(prefix + ".gamma");
+  plan.beta = resolve(prefix + ".beta");
+  plan.mean = resolve(prefix + ".mean");
+  plan.var = resolve(prefix + ".var");
+  plan.width = width;
+  std::vector<float> gamma, beta, mean, var;
+  predequantize(plan.gamma, gamma);
+  predequantize(plan.beta, beta);
+  predequantize(plan.mean, mean);
+  predequantize(plan.var, var);
+  plan.scale.resize(static_cast<std::size_t>(width));
+  plan.shift.resize(static_cast<std::size_t>(width));
+  for (Index i = 0; i < width; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    plan.scale[s] = gamma[s] / std::sqrt(var[s] + 1e-5f);
+    plan.shift[s] = beta[s] - mean[s] * plan.scale[s];
+  }
+  return plan;
+}
+
+DensePlan CompiledModel::resolve_dense(const std::string& prefix,
+                                       Index expect_in, Index expect_out) {
+  DensePlan plan;
+  plan.weight = resolve(prefix + ".weight");
+  plan.bias_ref = resolve(prefix + ".bias");
+  plan.in = plan.weight.entry->shape[0];
+  plan.out = plan.weight.entry->shape[1];
+  // The scratch buffers the forward pass reads/writes are sized from
+  // metadata, so an inconsistent file must fail here, not overflow the
+  // arena at run time.
+  check_eq(expect_in, plan.in, prefix + " input width");
+  check_eq(expect_out, plan.out, prefix + " output width");
+  predequantize(plan.bias_ref, plan.bias);
+  return plan;
+}
+
+Index CompiledModel::count_embedding_stage_ops() const {
+  // The frameworks execute the WHOLE batch-1 embedding stage as a handful
+  // of fused graph ops (gather per table + the composition op), not one op
+  // per token — dispatch overhead must be charged accordingly.
+  switch (kind_) {
+    case Technique::kUncompressed:
+    case Technique::kReduceDim:
+    case Technique::kNaiveHash:
+    case Technique::kTruncateRare:
+      return 1;  // gather
+    case Technique::kMemcom:
+      return 3;  // gather U, gather V, broadcast multiply
+    case Technique::kMemcomBias:
+      return 5;  // + gather W, broadcast add
+    case Technique::kQrMult:
+    case Technique::kQrConcat:
+    case Technique::kDoubleHash:
+      return 3;  // two gathers + compose
+    case Technique::kFactorized:
+      return 2;  // gather + projection matmul
+    case Technique::kWeinberger:
+      return 3;  // one_hot + matmul + reduce_sum (the un-fused §5.3 path)
+  }
+  return 1;
+}
+
+std::vector<Index> CompiledModel::cache_row_widths() const {
+  // One partition per embedding tensor of the plan, each with that tensor's
+  // row width.
+  const Index e = embed_dim_;
+  switch (kind_) {
+    case Technique::kUncompressed:
+    case Technique::kReduceDim:
+    case Technique::kTruncateRare:
+    case Technique::kNaiveHash:
+      return {e};
+    case Technique::kMemcom:
+      return {e, 1};  // shared rows + per-entity multiplier
+    case Technique::kMemcomBias:
+      return {e, 1, 1};  // + per-entity bias
+    case Technique::kQrMult:
+      return {e, e};
+    case Technique::kQrConcat:
+    case Technique::kDoubleHash:
+      return {e / 2, e / 2};
+    case Technique::kFactorized:
+      return {factor_dim_};  // the projection is pre-dequantized already
+    case Technique::kWeinberger:
+      // The one-hot path streams the entire table every forward; caching
+      // individual rows cannot skip any work.
+      return {};
+  }
+  return {};
+}
+
+std::size_t CompiledModel::plan_resident_bytes() const {
+  std::size_t bytes = float_bytes(projection_);
+  bytes += float_bytes(bn1_.scale) + float_bytes(bn1_.shift);
+  bytes += float_bytes(bn2_.scale) + float_bytes(bn2_.shift);
+  bytes += float_bytes(dense1_.bias) + float_bytes(out_.bias);
+  return bytes;
+}
+
+}  // namespace memcom

@@ -1,0 +1,166 @@
+// Immutable, shareable execution plan compiled from an mmap'd .mcm model.
+//
+// Compilation happens ONCE per model file: the technique metadata string is
+// resolved to an enum, every tensor name to a `TensorRef` handle (with a
+// direct `const float*` payload view for fp32 blobs), the batchnorm
+// parameters are folded into scale/shift pairs, and the small trunk tensors
+// (biases, the factorized projection) are pre-dequantized. The result is a
+// read-only plan that any number of worker threads can execute against
+// concurrently — per-thread mutable state (scratch arena, memory meter,
+// hot-row cache) lives in ExecutionContext, NOT here.
+//
+// This split is what makes multi-tenant serving cheap: N workers serving
+// one model share one CompiledModel by reference (the plan's pre-dequantized
+// buffers are paid for once, see plan_resident_bytes()), and the
+// ModelRegistry publishes new versions as fresh CompiledModel instances
+// whose lifetime is refcount-managed — in-flight batches keep the old
+// version (and, when the plan owns its mapping, the mmap itself) alive
+// until they drain.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "ondevice/format.h"
+
+namespace memcom {
+
+// Compiled form of the "technique" metadata string; resolved once at plan
+// compilation so the forward pass never compares strings.
+enum class Technique : std::uint8_t {
+  kUncompressed,
+  kReduceDim,
+  kTruncateRare,
+  kNaiveHash,
+  kWeinberger,
+  kMemcom,
+  kMemcomBias,
+  kQrMult,
+  kQrConcat,
+  kDoubleHash,
+  kFactorized,
+};
+
+// A pre-resolved tensor handle: directory entry + raw payload pointer; for
+// fp32 blobs also a direct float view that bypasses dequantize_span.
+struct TensorRef {
+  const TensorEntry* entry = nullptr;
+  const std::uint8_t* payload = nullptr;
+  const float* f32 = nullptr;
+  DType dtype = DType::kF32;
+  float scale = 1.0f;
+  std::size_t element_bits = 32;
+  Index file_offset = 0;  // byte offset of the blob within the file
+};
+
+// Inference-folded batchnorm: y = x * scale + shift with
+// scale = gamma / sqrt(var + eps), shift = beta - mean * scale. The raw
+// handles are kept so the per-run metering matches the unfused reads.
+struct BatchNormPlan {
+  TensorRef gamma, beta, mean, var;
+  std::vector<float> scale, shift;
+  Index width = 0;
+};
+
+struct DensePlan {
+  TensorRef weight;    // [in, out] row-major
+  TensorRef bias_ref;  // metered per run; values pre-dequantized below
+  std::vector<float> bias;
+  Index in = 0;
+  Index out = 0;
+};
+
+class CompiledModel {
+ public:
+  // Compiles against a caller-owned mapping; `model` must outlive the plan.
+  explicit CompiledModel(const MmapModel& model);
+  // Compiles against a shared mapping and keeps it alive: the mmap is
+  // released only when the last plan reference drains (the ModelRegistry's
+  // hot-swap retirement path).
+  explicit CompiledModel(std::shared_ptr<const MmapModel> model);
+
+  CompiledModel(const CompiledModel&) = delete;
+  CompiledModel& operator=(const CompiledModel&) = delete;
+
+  const MmapModel& model() const { return model_; }
+
+  // Identity metadata (empty name / version 0 for legacy files that
+  // predate set_model_identity).
+  const std::string& model_name() const { return model_name_; }
+  std::uint64_t model_version() const { return model_version_; }
+
+  const std::string& technique() const { return technique_; }
+  Technique technique_kind() const { return kind_; }
+  const std::string& architecture() const { return arch_; }
+  bool uses_onehot_path() const { return kind_ == Technique::kWeinberger; }
+
+  Index vocab() const { return vocab_; }
+  Index embed_dim() const { return embed_dim_; }
+  Index hash_size() const { return hash_size_; }
+  Index hidden_dim() const { return hidden_dim_; }
+  Index output_dim() const { return output_dim_; }
+  Index factor_dim() const { return factor_dim_; }
+  Index embedding_stage_ops() const { return embed_ops_; }
+  bool has_hidden() const { return has_hidden_; }
+
+  const TensorRef& emb_a() const { return emb_a_; }
+  const TensorRef& emb_b() const { return emb_b_; }
+  const TensorRef& emb_c() const { return emb_c_; }
+  const BatchNormPlan& bn1() const { return bn1_; }
+  const BatchNormPlan& bn2() const { return bn2_; }
+  const DensePlan& dense1() const { return dense1_; }
+  const DensePlan& out() const { return out_; }
+  const std::vector<float>& projection() const { return projection_; }
+
+  // Row widths (floats) of the lookup-path embedding tensors, one per
+  // hot-row-cache partition; EMPTY for the one-hot Weinberger path, which
+  // streams the whole table and cannot benefit from row caching.
+  std::vector<Index> cache_row_widths() const;
+
+  // Bytes of the plan's pre-dequantized buffers (folded batchnorm, dense
+  // biases, the factorized projection). This is the per-plan memory the
+  // PR-3 serving layer duplicated once per worker and that sharing one
+  // CompiledModel now pays exactly once per model version.
+  std::size_t plan_resident_bytes() const;
+
+ private:
+  void compile();
+
+  TensorRef resolve(const std::string& name) const;
+  BatchNormPlan resolve_batchnorm(const std::string& prefix, Index width);
+  DensePlan resolve_dense(const std::string& prefix, Index expect_in,
+                          Index expect_out);
+  // Dequantizes the whole tensor behind `ref` into `out` (compile only).
+  void predequantize(const TensorRef& ref, std::vector<float>& out);
+  Index count_embedding_stage_ops() const;
+
+  // Keepalive for registry-owned mappings (null when the caller owns it).
+  std::shared_ptr<const MmapModel> owned_;
+  const MmapModel& model_;
+
+  std::string model_name_;
+  std::uint64_t model_version_ = 0;
+  std::string arch_;  // "classification" | "ranking"
+  std::string technique_;
+  Technique kind_ = Technique::kUncompressed;
+  Index vocab_ = 0;
+  Index embed_dim_ = 0;  // output width of the embedding stage
+  Index hash_size_ = 0;  // technique knob (m / h / keep / buckets)
+  Index hidden_dim_ = 0; // classification trunk width (e/2)
+  Index output_dim_ = 0;
+  Index embed_ops_ = 0;  // precomputed embedding-stage fused-op count
+  Index factor_dim_ = 0; // factorized h
+  bool has_hidden_ = false;
+
+  TensorRef emb_a_;  // table / shared / remainder / table_a / factors
+  TensorRef emb_b_;  // multiplier / quotient / table_b / projection
+  TensorRef emb_c_;  // memcom_bias bias
+  std::vector<float> projection_;  // factorized: pre-dequantized [h, e]
+  BatchNormPlan bn1_, bn2_;
+  DensePlan dense1_, out_;
+};
+
+}  // namespace memcom

@@ -2,45 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
+#include <utility>
 
 #include "core/check.h"
-#include "embedding/factory.h"
-#include "embedding/hashing.h"
-#include "embedding/id_batch.h"
-#include "ondevice/clock.h"
 
 namespace memcom {
 
 namespace {
-using Clock = SteadyClock;
-
-// The engine supports the lookup/one-hot subset of the technique registry;
-// going through embedding/factory's TechniqueKind keeps the metadata-string
-// mapping in one place, and this exhaustive switch forces an explicit
-// supported/unsupported decision whenever the registry grows.
-Technique compile_technique(const std::string& name) {
-  switch (technique_from_string(name)) {
-    case TechniqueKind::kFull: return Technique::kUncompressed;
-    case TechniqueKind::kReduceDim: return Technique::kReduceDim;
-    case TechniqueKind::kTruncateRare: return Technique::kTruncateRare;
-    case TechniqueKind::kNaiveHash: return Technique::kNaiveHash;
-    case TechniqueKind::kWeinberger: return Technique::kWeinberger;
-    case TechniqueKind::kMemcom: return Technique::kMemcom;
-    case TechniqueKind::kMemcomBias: return Technique::kMemcomBias;
-    case TechniqueKind::kQrMult: return Technique::kQrMult;
-    case TechniqueKind::kQrConcat: return Technique::kQrConcat;
-    case TechniqueKind::kDoubleHash: return Technique::kDoubleHash;
-    case TechniqueKind::kFactorized: return Technique::kFactorized;
-    case TechniqueKind::kHashedNets:
-    case TechniqueKind::kMixedDim:
-    case TechniqueKind::kTtRec:
-      break;
-  }
-  check(false, "engine: unsupported technique " + name);
-  return Technique::kUncompressed;
-}
-
 double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) {
     return 0.0;
@@ -74,565 +42,13 @@ LatencyStats latency_stats_from_samples(std::vector<double> samples_ms) {
 }
 
 InferenceEngine::InferenceEngine(const MmapModel& model, DeviceProfile profile)
-    : model_(model),
-      profile_(std::move(profile)),
-      meter_(profile_.page_size, profile_.readahead_pages) {
-  arch_ = model_.metadata_value("arch");
-  technique_ = model_.metadata_value("technique");
-  vocab_ = model_.metadata_int("vocab");
-  embed_dim_ = model_.metadata_int("embed_dim");
-  hash_size_ = model_.metadata_int("knob");
-  output_dim_ = model_.metadata_int("output_dim");
-  hidden_dim_ =
-      model_.has_metadata("hidden_dim") ? model_.metadata_int("hidden_dim") : 0;
-  check(arch_ == "classification" || arch_ == "ranking",
-        "engine: unknown architecture " + arch_);
-  kind_ = compile_technique(technique_);
-  embed_ops_ = embedding_stage_ops();
-  has_hidden_ = arch_ == "classification";
+    : compiled_(std::make_shared<const CompiledModel>(model)),
+      context_(compiled_, std::move(profile)) {}
 
-  // --- Compile the execution plan: resolve every tensor name once. ---
-  switch (kind_) {
-    case Technique::kUncompressed:
-    case Technique::kReduceDim:
-    case Technique::kTruncateRare:
-    case Technique::kNaiveHash:
-      emb_a_ = resolve("emb.table");
-      break;
-    case Technique::kWeinberger:
-      emb_a_ = resolve("emb.table");
-      onehot_.resize(static_cast<std::size_t>(hash_size_), 0.0f);
-      break;
-    case Technique::kMemcom:
-    case Technique::kMemcomBias:
-      emb_a_ = resolve("emb.shared");
-      emb_b_ = resolve("emb.multiplier");
-      if (kind_ == Technique::kMemcomBias) {
-        emb_c_ = resolve("emb.bias");
-      }
-      break;
-    case Technique::kQrMult:
-    case Technique::kQrConcat:
-      emb_a_ = resolve("emb.remainder");
-      emb_b_ = resolve("emb.quotient");
-      break;
-    case Technique::kDoubleHash:
-      emb_a_ = resolve("emb.table_a");
-      emb_b_ = resolve("emb.table_b");
-      break;
-    case Technique::kFactorized:
-      emb_a_ = resolve("emb.factors");
-      emb_b_ = resolve("emb.projection");
-      factor_dim_ = emb_a_.entry->shape[1];
-      predequantize(emb_b_, projection_);
-      break;
-  }
-
-  bn1_ = resolve_batchnorm("bn1", embed_dim_);
-  if (has_hidden_) {
-    dense1_ = resolve_dense("dense1", embed_dim_, hidden_dim_);
-    bn2_ = resolve_batchnorm("bn2", hidden_dim_);
-  }
-  out_ = resolve_dense("out", has_hidden_ ? hidden_dim_ : embed_dim_,
-                       output_dim_);
-
-  // --- Size the scratch arena once from model metadata. ---
-  const Index e = embed_dim_;
-  pooled_.resize(static_cast<std::size_t>(e), 0.0f);
-  row_.resize(static_cast<std::size_t>(std::max(e, factor_dim_)), 0.0f);
-  row2_.resize(static_cast<std::size_t>(
-                   std::max({e, hidden_dim_, output_dim_})),
-               0.0f);
-  hidden_.resize(static_cast<std::size_t>(hidden_dim_), 0.0f);
-  logits_.resize(static_cast<std::size_t>(output_dim_), 0.0f);
-}
-
-InferenceEngine::TensorRef InferenceEngine::resolve(
-    const std::string& name) const {
-  const TensorEntry& entry = model_.entry(name);
-  TensorRef ref;
-  ref.entry = &entry;
-  ref.payload = model_.payload(entry);
-  ref.dtype = entry.dtype;
-  ref.scale = entry.scale;
-  ref.element_bits = static_cast<std::size_t>(dtype_bits(entry.dtype));
-  ref.file_offset = static_cast<Index>(entry.offset);
-  if (entry.dtype == DType::kF32) {
-    ref.f32 = reinterpret_cast<const float*>(ref.payload);
-  }
-  return ref;
-}
-
-void InferenceEngine::predequantize(const TensorRef& ref,
-                                    std::vector<float>& out) {
-  const Index n = ref.entry->numel();
-  out.resize(static_cast<std::size_t>(n));
-  dequantize_span(ref.dtype, ref.scale, ref.payload, 0, n, out.data());
-}
-
-InferenceEngine::BatchNormPlan InferenceEngine::resolve_batchnorm(
-    const std::string& prefix, Index width) {
-  BatchNormPlan plan;
-  plan.gamma = resolve(prefix + ".gamma");
-  plan.beta = resolve(prefix + ".beta");
-  plan.mean = resolve(prefix + ".mean");
-  plan.var = resolve(prefix + ".var");
-  plan.width = width;
-  std::vector<float> gamma, beta, mean, var;
-  predequantize(plan.gamma, gamma);
-  predequantize(plan.beta, beta);
-  predequantize(plan.mean, mean);
-  predequantize(plan.var, var);
-  plan.scale.resize(static_cast<std::size_t>(width));
-  plan.shift.resize(static_cast<std::size_t>(width));
-  for (Index i = 0; i < width; ++i) {
-    const std::size_t s = static_cast<std::size_t>(i);
-    plan.scale[s] = gamma[s] / std::sqrt(var[s] + 1e-5f);
-    plan.shift[s] = beta[s] - mean[s] * plan.scale[s];
-  }
-  return plan;
-}
-
-InferenceEngine::DensePlan InferenceEngine::resolve_dense(
-    const std::string& prefix, Index expect_in, Index expect_out) {
-  DensePlan plan;
-  plan.weight = resolve(prefix + ".weight");
-  plan.bias_ref = resolve(prefix + ".bias");
-  plan.in = plan.weight.entry->shape[0];
-  plan.out = plan.weight.entry->shape[1];
-  // The scratch buffers apply_dense reads/writes are sized from metadata, so
-  // an inconsistent file must fail here, not overflow the arena at run time.
-  check_eq(expect_in, plan.in, prefix + " input width");
-  check_eq(expect_out, plan.out, prefix + " output width");
-  predequantize(plan.bias_ref, plan.bias);
-  return plan;
-}
-
-void InferenceEngine::touch(const TensorRef& ref, Index offset, Index count) {
-  const Index byte_offset = static_cast<Index>(
-      static_cast<std::size_t>(offset) * ref.element_bits / 8);
-  const Index byte_len = static_cast<Index>(
-      (static_cast<std::size_t>(count) * ref.element_bits + 7) / 8);
-  meter_.touch(ref.file_offset + byte_offset, byte_len);
-}
-
-const float* InferenceEngine::fetch(const TensorRef& ref, Index offset,
-                                    Index count, float* scratch) {
-  touch(ref, offset, count);
-  if (ref.f32 != nullptr) {
-    return ref.f32 + offset;
-  }
-  dequantize_span(ref.dtype, ref.scale, ref.payload, offset, count, scratch);
-  return scratch;
-}
-
-const float* InferenceEngine::fetch_row(const TensorRef& ref,
-                                        std::size_t table, Index row,
-                                        Index elems, float* scratch) {
-  if (row_cache_ == nullptr) {
-    return fetch(ref, row * elems, elems, scratch);
-  }
-  if (const float* hit = row_cache_->lookup(table, row)) {
-    // Served from the cache slab: no page touch, no dequantize. The slab
-    // holds exactly the floats the mmap read would have produced, so the
-    // logits stay bit-identical either way.
-    return hit;
-  }
-  touch(ref, row * elems, elems);
-  float* slot = row_cache_->fill(table, row);
-  if (ref.f32 != nullptr) {
-    std::memcpy(slot, ref.f32 + row * elems,
-                static_cast<std::size_t>(elems) * sizeof(float));
-  } else {
-    dequantize_span(ref.dtype, ref.scale, ref.payload, row * elems, elems,
-                    slot);
-  }
-  return slot;
-}
-
-bool InferenceEngine::enable_row_cache(std::size_t budget_bytes) {
-  // Technique-aware attachment: one partition per embedding tensor of the
-  // compiled plan, each with that tensor's row width.
-  std::vector<Index> widths;
-  const Index e = embed_dim_;
-  switch (kind_) {
-    case Technique::kUncompressed:
-    case Technique::kReduceDim:
-    case Technique::kTruncateRare:
-    case Technique::kNaiveHash:
-      widths = {e};
-      break;
-    case Technique::kMemcom:
-      widths = {e, 1};  // shared rows + per-entity multiplier
-      break;
-    case Technique::kMemcomBias:
-      widths = {e, 1, 1};  // + per-entity bias
-      break;
-    case Technique::kQrMult:
-      widths = {e, e};
-      break;
-    case Technique::kQrConcat:
-    case Technique::kDoubleHash:
-      widths = {e / 2, e / 2};
-      break;
-    case Technique::kFactorized:
-      widths = {factor_dim_};  // the projection is pre-dequantized already
-      break;
-    case Technique::kWeinberger:
-      // The one-hot path streams the entire table every forward; caching
-      // individual rows cannot skip any work, so the cache is bypassed.
-      return false;
-  }
-  row_cache_ = std::make_unique<HotRowCache>(budget_bytes, std::move(widths));
-  return true;
-}
-
-void InferenceEngine::clear_row_cache() {
-  if (row_cache_ != nullptr) {
-    row_cache_->clear();
-  }
-}
-
-RowCacheStats InferenceEngine::row_cache_stats() const {
-  return row_cache_ != nullptr ? row_cache_->stats() : RowCacheStats{};
-}
-
-Index InferenceEngine::embedding_stage_ops() const {
-  // The frameworks execute the WHOLE batch-1 embedding stage as a handful
-  // of fused graph ops (gather per table + the composition op), not one op
-  // per token — dispatch overhead must be charged accordingly.
-  switch (kind_) {
-    case Technique::kUncompressed:
-    case Technique::kReduceDim:
-    case Technique::kNaiveHash:
-    case Technique::kTruncateRare:
-      return 1;  // gather
-    case Technique::kMemcom:
-      return 3;  // gather U, gather V, broadcast multiply
-    case Technique::kMemcomBias:
-      return 5;  // + gather W, broadcast add
-    case Technique::kQrMult:
-    case Technique::kQrConcat:
-    case Technique::kDoubleHash:
-      return 3;  // two gathers + compose
-    case Technique::kFactorized:
-      return 2;  // gather + projection matmul
-    case Technique::kWeinberger:
-      return 3;  // one_hot + matmul + reduce_sum (the un-fused §5.3 path)
-  }
-  return 1;
-}
-
-Index InferenceEngine::embed_pooled(const std::int32_t* ids, Index length) {
-  const Index e = embed_dim_;
-  std::fill(pooled_.begin(), pooled_.end(), 0.0f);
-  float* pooled = pooled_.data();
-  Index real = 0;
-  for (Index t = 0; t < length; ++t) {
-    const std::int32_t id = ids[t];
-    if (id == kPadId) {
-      continue;
-    }
-    ++real;
-    switch (kind_) {
-      case Technique::kUncompressed:
-      case Technique::kReduceDim: {
-        const float* row =
-            fetch_row(emb_a_, kCacheTableA, id, e, row_.data());
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += row[c];
-        }
-        break;
-      }
-      case Technique::kTruncateRare: {
-        const Index keep = hash_size_;
-        const Index r = static_cast<Index>(id) <= keep ? id : keep + 1;
-        const float* row = fetch_row(emb_a_, kCacheTableA, r, e, row_.data());
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += row[c];
-        }
-        break;
-      }
-      case Technique::kNaiveHash: {
-        const float* row = fetch_row(emb_a_, kCacheTableA,
-                                     mod_hash(id, hash_size_), e, row_.data());
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += row[c];
-        }
-        break;
-      }
-      case Technique::kMemcom:
-      case Technique::kMemcomBias: {
-        const float* row = fetch_row(emb_a_, kCacheTableA,
-                                     mod_hash(id, hash_size_), e, row_.data());
-        float mult = 0.0f;
-        const float* mult_ptr = fetch_row(emb_b_, kCacheTableB, id, 1, &mult);
-        const float m = *mult_ptr;
-        if (kind_ == Technique::kMemcomBias) {
-          float bias = 0.0f;
-          const float* bias_ptr =
-              fetch_row(emb_c_, kCacheTableC, id, 1, &bias);
-          const float b = *bias_ptr;
-          for (Index c = 0; c < e; ++c) {
-            pooled[c] += row[c] * m + b;
-          }
-        } else {
-          for (Index c = 0; c < e; ++c) {
-            pooled[c] += row[c] * m;
-          }
-        }
-        break;
-      }
-      case Technique::kQrMult: {
-        const float* rem = fetch_row(emb_a_, kCacheTableA,
-                                     mod_hash(id, hash_size_), e, row_.data());
-        const float* quo =
-            fetch_row(emb_b_, kCacheTableB, static_cast<Index>(id) / hash_size_,
-                      e, row2_.data());
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += rem[c] * quo[c];
-        }
-        break;
-      }
-      case Technique::kQrConcat: {
-        const Index half = e / 2;
-        const float* rem =
-            fetch_row(emb_a_, kCacheTableA, mod_hash(id, hash_size_), half,
-                      row_.data());
-        const float* quo =
-            fetch_row(emb_b_, kCacheTableB, static_cast<Index>(id) / hash_size_,
-                      half, row2_.data());
-        for (Index c = 0; c < half; ++c) {
-          pooled[c] += rem[c];
-        }
-        for (Index c = 0; c < half; ++c) {
-          pooled[half + c] += quo[c];
-        }
-        break;
-      }
-      case Technique::kDoubleHash: {
-        const Index half = e / 2;
-        const float* a =
-            fetch_row(emb_a_, kCacheTableA, mod_hash(id, hash_size_), half,
-                      row_.data());
-        const float* b =
-            fetch_row(emb_b_, kCacheTableB, mixed_hash(id, hash_size_), half,
-                      row2_.data());
-        for (Index c = 0; c < half; ++c) {
-          pooled[c] += a[c];
-        }
-        for (Index c = 0; c < half; ++c) {
-          pooled[half + c] += b[c];
-        }
-        break;
-      }
-      case Technique::kFactorized: {
-        const Index h = factor_dim_;
-        const float* factors =
-            fetch_row(emb_a_, kCacheTableA, id, h, row_.data());
-        // Project: row2 = factors · P using the pre-dequantized projection;
-        // the mmap range is still metered exactly like the streaming read.
-        touch(emb_b_, 0, h * e);
-        float* acc = row2_.data();
-        std::fill(acc, acc + e, 0.0f);
-        const float* proj = projection_.data();
-        for (Index k = 0; k < h; ++k) {
-          const float f = factors[k];
-          const float* prow = proj + k * e;
-          for (Index c = 0; c < e; ++c) {
-            acc[c] += f * prow[c];
-          }
-        }
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += acc[c];
-        }
-        break;
-      }
-      case Technique::kWeinberger:
-        // forward_scratch routes weinberger through embed_onehot_pooled;
-        // keeping a shadow lookup formulation here would silently diverge.
-        check(false, "engine: weinberger uses the one-hot path");
-        break;
-    }
-  }
-  return real;
-}
-
-void InferenceEngine::embed_onehot_pooled(const std::int32_t* ids,
-                                          Index length) {
-  const Index e = embed_dim_;
-  const Index m = hash_size_;
-  // Stage 1: hashed one-hot bag z in R^m (normalized so the result matches
-  // the lookup path's masked average exactly).
-  Index real = 0;
-  for (Index t = 0; t < length; ++t) {
-    if (ids[t] != kPadId) {
-      ++real;
-    }
-  }
-  std::fill(onehot_.begin(), onehot_.end(), 0.0f);
-  const float inv = real > 0 ? 1.0f / static_cast<float>(real) : 0.0f;
-  for (Index t = 0; t < length; ++t) {
-    const std::int32_t id = ids[t];
-    if (id == kPadId) {
-      continue;
-    }
-    onehot_[static_cast<std::size_t>(mod_hash(id, m))] += sign_hash(id) * inv;
-  }
-  // Stage 2: z^T W — streams the ENTIRE table (this is the point of §5.3):
-  // every row is read/dequantized regardless of z, so the simulated wall
-  // time stays O(m·e) like the real un-fused one_hot->matmul, not O(nnz·e).
-  // One full-range touch covers the same page set as the row-by-row reads.
-  touch(emb_a_, 0, m * e);
-  std::fill(pooled_.begin(), pooled_.end(), 0.0f);
-  float* pooled = pooled_.data();
-  float* row = row_.data();
-  for (Index j = 0; j < m; ++j) {
-    dequantize_span(emb_a_.dtype, emb_a_.scale, emb_a_.payload, j * e, e, row);
-    const float z = onehot_[static_cast<std::size_t>(j)];
-    if (z != 0.0f) {
-      for (Index c = 0; c < e; ++c) {
-        pooled[c] += z * row[c];
-      }
-    }
-  }
-}
-
-void InferenceEngine::apply_batchnorm(const BatchNormPlan& bn, float* x) {
-  const Index n = bn.width;
-  touch(bn.gamma, 0, n);
-  touch(bn.beta, 0, n);
-  touch(bn.mean, 0, n);
-  touch(bn.var, 0, n);
-  const float* scale = bn.scale.data();
-  const float* shift = bn.shift.data();
-  for (Index i = 0; i < n; ++i) {
-    x[i] = x[i] * scale[static_cast<std::size_t>(i)] +
-           shift[static_cast<std::size_t>(i)];
-  }
-  ++op_count_;
-}
-
-void InferenceEngine::apply_dense(const DensePlan& dense, const float* x,
-                                  float* y) {
-  const Index in = dense.in;
-  const Index out = dense.out;
-  // One full-range touch covers the same pages as streaming every row.
-  touch(dense.weight, 0, in * out);
-  std::fill(y, y + out, 0.0f);
-  if (dense.weight.f32 != nullptr) {
-    // Unconditional MAC over every row: a real dense matmul kernel pays the
-    // full in·out cost, so the modeled latency must not scale with post-ReLU
-    // sparsity of x (zero rows contribute ±0 and leave y unchanged).
-    const float* weight = dense.weight.f32;
-    for (Index k = 0; k < in; ++k) {
-      const float xv = x[k];
-      const float* row = weight + k * out;
-      for (Index c = 0; c < out; ++c) {
-        y[c] += xv * row[c];
-      }
-    }
-  } else {
-    // Every weight row is dequantized regardless of activation sparsity, so
-    // the modeled int8/f16 dense latency stays that of a real streaming
-    // matmul kernel rather than scaling with post-ReLU zeros.
-    for (Index k = 0; k < in; ++k) {
-      dequantize_span(dense.weight.dtype, dense.weight.scale,
-                      dense.weight.payload, k * out, out, row2_.data());
-      const float xv = x[k];
-      if (xv != 0.0f) {
-        for (Index c = 0; c < out; ++c) {
-          y[c] += xv * row2_[static_cast<std::size_t>(c)];
-        }
-      }
-    }
-  }
-  touch(dense.bias_ref, 0, out);
-  const float* bias = dense.bias.data();
-  for (Index c = 0; c < out; ++c) {
-    y[c] += bias[c];
-  }
-  ++op_count_;
-}
-
-InferenceEngine::RawForward InferenceEngine::forward_scratch(
-    const std::int32_t* ids, Index length) {
-  op_count_ = 0;
-  activation_bytes_ = 0;
-  const Index e = embed_dim_;
-
-  RawForward raw;
-  const auto start = Clock::now();
-
-  // --- Embedding stage + masked average pooling ---
-  if (uses_onehot_path()) {
-    const auto onehot_start = Clock::now();
-    embed_onehot_pooled(ids, length);
-    // The profile's slowdown models the un-fused interpreter path.
-    raw.onehot_extra_ms =
-        elapsed_ms(onehot_start) * (profile_.onehot_slowdown - 1.0);
-    activation_bytes_ += hash_size_ * 4;  // the dense one-hot vector
-  } else {
-    const Index real = embed_pooled(ids, length);
-    if (real > 0) {
-      const float inv = 1.0f / static_cast<float>(real);
-      for (float& v : pooled_) {
-        v *= inv;
-      }
-    }
-    activation_bytes_ += length * e * 4;  // the [L, E] lookup output
-  }
-  op_count_ += embed_ops_;
-  ++op_count_;  // pooling op
-  raw.embed_ops = op_count_;
-  raw.embed_compute_ms = elapsed_ms(start);
-
-  // --- Trunk: ReLU -> BN [-> Dense(e/2)+ReLU -> BN] -> Dense(out) ---
-  for (float& v : pooled_) {
-    v = std::max(v, 0.0f);
-  }
-  ++op_count_;
-  apply_batchnorm(bn1_, pooled_.data());
-  const float* trunk = pooled_.data();
-  if (has_hidden_) {
-    apply_dense(dense1_, trunk, hidden_.data());
-    for (float& v : hidden_) {
-      v = std::max(v, 0.0f);
-    }
-    ++op_count_;
-    apply_batchnorm(bn2_, hidden_.data());
-    trunk = hidden_.data();
-    activation_bytes_ += hidden_dim_ * 4;
-  }
-  apply_dense(out_, trunk, logits_.data());
-  activation_bytes_ += output_dim_ * 4 + e * 4;
-  meter_.note_activation_bytes(activation_bytes_);
-
-  raw.compute_ms = elapsed_ms(start);
-  raw.op_count = op_count_;
-  return raw;
-}
-
-InferenceView InferenceEngine::run_view(const std::int32_t* ids,
-                                        Index length) {
-  const RowCacheStats before = row_cache_stats();
-  const RawForward raw = forward_scratch(ids, length);
-  InferenceView view;
-  view.logits = logits_.data();
-  view.dim = output_dim_;
-  view.op_count = raw.op_count;
-  if (before.enabled) {
-    const RowCacheStats after = row_cache_stats();
-    view.cache_hits = after.hits - before.hits;
-    view.cache_misses = after.misses - before.misses;
-  }
-  view.embedding_ms = raw.embed_compute_ms + raw.onehot_extra_ms +
-                      static_cast<double>(raw.embed_ops) *
-                          profile_.per_op_dispatch_us / 1000.0;
-  view.total_ms = raw.compute_ms + raw.onehot_extra_ms +
-                  static_cast<double>(raw.op_count) *
-                      profile_.per_op_dispatch_us / 1000.0;
-  return view;
+InferenceEngine::InferenceEngine(std::shared_ptr<const CompiledModel> compiled,
+                                 DeviceProfile profile)
+    : compiled_(std::move(compiled)), context_(compiled_, std::move(profile)) {
+  // A null plan is rejected by the context_ member's constructor above.
 }
 
 InferenceResult InferenceEngine::run(const std::vector<std::int32_t>& history) {
@@ -646,46 +62,6 @@ InferenceResult InferenceEngine::run(const std::vector<std::int32_t>& history) {
   return result;
 }
 
-BatchResult InferenceEngine::run_batch(
-    const std::vector<std::vector<std::int32_t>>& histories) {
-  const RowCacheStats before = row_cache_stats();
-  BatchResult result;
-  result.batch = static_cast<Index>(histories.size());
-  result.logits = Tensor({result.batch, output_dim_});
-  double compute = 0.0;
-  double embed_compute = 0.0;
-  double onehot_extra = 0.0;
-  Index embed_ops = 0;
-  Index ops = 0;
-  for (Index b = 0; b < result.batch; ++b) {
-    const auto& history = histories[static_cast<std::size_t>(b)];
-    const RawForward raw =
-        forward_scratch(history.data(), static_cast<Index>(history.size()));
-    std::memcpy(&result.logits.at2(b, 0), logits_.data(),
-                static_cast<std::size_t>(output_dim_) * sizeof(float));
-    compute += raw.compute_ms;
-    embed_compute += raw.embed_compute_ms;
-    onehot_extra += raw.onehot_extra_ms;
-    embed_ops = raw.embed_ops;
-    ops = raw.op_count;
-  }
-  // The frameworks dispatch ONE fused graph for the whole batch, so the
-  // per-op overhead is charged once — this is the batching win.
-  result.op_count = ops;
-  result.embedding_ms = embed_compute + onehot_extra +
-                        static_cast<double>(embed_ops) *
-                            profile_.per_op_dispatch_us / 1000.0;
-  result.total_ms = compute + onehot_extra +
-                    static_cast<double>(ops) * profile_.per_op_dispatch_us /
-                        1000.0;
-  if (before.enabled) {
-    const RowCacheStats after = row_cache_stats();
-    result.cache_hits = after.hits - before.hits;
-    result.cache_misses = after.misses - before.misses;
-  }
-  return result;
-}
-
 LatencyStats InferenceEngine::benchmark(
     const std::vector<std::int32_t>& history, int runs) {
   check(runs > 0, "engine: runs must be positive");
@@ -695,17 +71,6 @@ LatencyStats InferenceEngine::benchmark(
     samples.push_back(run_view(history).total_ms);
   }
   return latency_stats_from_samples(std::move(samples));
-}
-
-double InferenceEngine::resident_megabytes() const {
-  // The cache slab is extra runtime memory the device pays for; its filled
-  // bytes join the weight pages and activation peak in the footprint.
-  const std::size_t cache_bytes =
-      row_cache_ != nullptr ? row_cache_->stats().resident_bytes : 0;
-  return static_cast<double>(meter_.total_resident_bytes() +
-                             profile_.runtime_overhead_bytes +
-                             static_cast<Index>(cache_bytes)) /
-         (1024.0 * 1024.0);
 }
 
 }  // namespace memcom

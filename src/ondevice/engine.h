@@ -12,20 +12,28 @@
 //     hashed bag-of-words vector times the full table; touches every table
 //     page and costs O(m·e) regardless of history length.
 //
-// The hot path is built around a compile-once execution plan: construction
-// resolves the technique string to an enum, every tensor name to a
-// `const TensorEntry*` handle (with a direct `const float*` payload view for
-// fp32 blobs that bypasses dequantize_span), pre-dequantizes the small trunk
-// tensors (batchnorm parameters, dense biases, the factorized projection),
-// and sizes a scratch arena from the model metadata. Steady-state `run()`
-// therefore performs zero string hashing, zero map lookups, and zero heap
-// allocations — see tests/test_fastpath.cpp for the enforcement.
+// The engine is a thin façade over two layers (see compiled_model.h and
+// execution_context.h):
+//
+//   * CompiledModel    — the immutable execution plan: technique enum,
+//     pre-resolved TensorRef handles, folded batchnorm, pre-dequantized
+//     trunk buffers. Compiled ONCE per .mcm and shareable by reference
+//     across any number of engines/workers.
+//   * ExecutionContext — the per-thread mutable state: scratch arena,
+//     MemoryMeter, optional HotRowCache, dispatch accounting.
+//
+// An engine constructed from an MmapModel compiles a private plan (the
+// PR-2 behavior); an engine constructed from a shared_ptr<CompiledModel>
+// reuses an existing plan — the serving layer compiles once per model and
+// fans it out to every worker. Steady-state run() performs zero string
+// hashing, zero map lookups, and zero heap allocations either way — see
+// tests/test_fastpath.cpp for the enforcement.
 //
 // Latency is wall time of the real computation plus the device profile's
 // per-op dispatch overhead (and the profile's one-hot slowdown for the
 // un-fused TF-Lite path). `run_batch` amortizes the dispatch overhead over
-// the batch, mirroring how the frameworks execute one fused graph per batch.
-// Memory is metered page-granularly, see memory_meter.h.
+// the batch, mirroring how the frameworks execute one fused graph per
+// batch. Memory is metered page-granularly, see memory_meter.h.
 #pragma once
 
 #include <cstdint>
@@ -34,61 +42,18 @@
 #include <vector>
 
 #include "core/tensor.h"
+#include "ondevice/compiled_model.h"
 #include "ondevice/device_profile.h"
+#include "ondevice/execution_context.h"
 #include "ondevice/format.h"
-#include "ondevice/hot_row_cache.h"
-#include "ondevice/memory_meter.h"
 
 namespace memcom {
-
-// Compiled form of the "technique" metadata string; resolved once at engine
-// construction so run() never compares strings.
-enum class Technique : std::uint8_t {
-  kUncompressed,
-  kReduceDim,
-  kTruncateRare,
-  kNaiveHash,
-  kWeinberger,
-  kMemcom,
-  kMemcomBias,
-  kQrMult,
-  kQrConcat,
-  kDoubleHash,
-  kFactorized,
-};
 
 struct InferenceResult {
   Tensor logits;            // [output_dim]
   double embedding_ms = 0;  // embedding stage latency (incl. overheads)
   double total_ms = 0;      // end-to-end latency (incl. overheads)
   Index op_count = 0;
-};
-
-// Allocation-free view over the engine-owned logits scratch. Valid until the
-// next run on the same engine.
-struct InferenceView {
-  const float* logits = nullptr;
-  Index dim = 0;
-  double embedding_ms = 0;
-  double total_ms = 0;
-  Index op_count = 0;
-  // Hot-row cache traffic of THIS forward (both zero when no cache is
-  // attached or the technique bypasses it).
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-};
-
-// Batched forward: one fused-graph dispatch for the whole batch, so the
-// per-op overhead is charged once instead of once per request.
-struct BatchResult {
-  Tensor logits;            // [batch, output_dim]
-  double embedding_ms = 0;  // summed compute + one amortized dispatch
-  double total_ms = 0;
-  Index op_count = 0;       // fused graph ops dispatched for the batch
-  Index batch = 0;
-  // Hot-row cache traffic of THIS batch (zero without an attached cache).
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
 };
 
 struct LatencyStats {
@@ -107,34 +72,45 @@ LatencyStats latency_stats_from_samples(std::vector<double> samples_ms);
 
 class InferenceEngine {
  public:
-  // The engine keeps a reference to `model`; it must outlive the engine.
-  // Construction compiles the execution plan (all tensor-name resolution
-  // happens here, never in run()).
+  // Compiles a PRIVATE execution plan against `model`; the model must
+  // outlive the engine. All tensor-name resolution happens here, never in
+  // run().
   InferenceEngine(const MmapModel& model, DeviceProfile profile);
+
+  // Executes against an EXISTING plan (shared with other engines/threads);
+  // no tensor resolution, no pre-dequantization — construction is cheap and
+  // the plan's buffers are paid for once across all sharers.
+  InferenceEngine(std::shared_ptr<const CompiledModel> compiled,
+                  DeviceProfile profile);
 
   // Runs a single batch-1 forward (Table 3's setting).
   InferenceResult run(const std::vector<std::int32_t>& history);
 
   // Zero-allocation fast path: identical computation to run(), but the
   // logits live in engine-owned scratch (valid until the next run).
-  InferenceView run_view(const std::int32_t* ids, Index length);
+  InferenceView run_view(const std::int32_t* ids, Index length) {
+    return context_.run_view(ids, length);
+  }
   InferenceView run_view(const std::vector<std::int32_t>& history) {
-    return run_view(history.data(), static_cast<Index>(history.size()));
+    return context_.run_view(history);
   }
 
   // Runs every history through the forward pass, charging the per-op
   // dispatch overhead once for the whole batch. Logits are bit-identical to
   // sequential run() calls.
-  BatchResult run_batch(const std::vector<std::vector<std::int32_t>>& histories);
+  BatchResult run_batch(
+      const std::vector<std::vector<std::int32_t>>& histories) {
+    return context_.run_batch(histories);
+  }
 
   // Latency distribution over `runs` forwards of the same input (the paper
   // reports the average of 1000 runs; we also keep percentiles).
   LatencyStats benchmark(const std::vector<std::int32_t>& history, int runs);
 
   // Resident memory accounting from all runs since the last reset.
-  const MemoryMeter& meter() const { return meter_; }
-  void reset_meter() { meter_.reset(); }
-  double resident_megabytes() const;
+  const MemoryMeter& meter() const { return context_.meter(); }
+  void reset_meter() { context_.reset_meter(); }
+  double resident_megabytes() const { return context_.resident_megabytes(); }
 
   // Attaches a fixed-budget HotRowCache over the lookup-path embedding
   // tensors; subsequent row gathers serve hits from the cache slab (skipping
@@ -142,131 +118,35 @@ class InferenceEngine {
   // — and attaches nothing — for the one-hot Weinberger path, which streams
   // the whole table and cannot benefit from row caching. Cached and
   // uncached forwards produce bit-identical logits.
-  bool enable_row_cache(std::size_t budget_bytes);
+  bool enable_row_cache(std::size_t budget_bytes) {
+    return context_.enable_row_cache(budget_bytes);
+  }
   // Evicts every cached row and zeroes the hit/miss counters (cold cache).
-  void clear_row_cache();
-  bool row_cache_enabled() const { return row_cache_ != nullptr; }
-  RowCacheStats row_cache_stats() const;
+  void clear_row_cache() { context_.clear_row_cache(); }
+  bool row_cache_enabled() const { return context_.row_cache_enabled(); }
+  RowCacheStats row_cache_stats() const { return context_.row_cache_stats(); }
 
-  const std::string& technique() const { return technique_; }
-  Technique technique_kind() const { return kind_; }
-  const std::string& architecture() const { return arch_; }
-  Index output_dim() const { return output_dim_; }
-  bool uses_onehot_path() const { return kind_ == Technique::kWeinberger; }
+  const CompiledModel& compiled() const { return *compiled_; }
+  const std::shared_ptr<const CompiledModel>& compiled_ptr() const {
+    return compiled_;
+  }
+  // Bytes of the plan's pre-dequantized buffers (shared, not per-engine,
+  // when the plan has other sharers).
+  std::size_t plan_resident_bytes() const {
+    return compiled_->plan_resident_bytes();
+  }
+
+  const std::string& technique() const { return compiled_->technique(); }
+  Technique technique_kind() const { return compiled_->technique_kind(); }
+  const std::string& architecture() const {
+    return compiled_->architecture();
+  }
+  Index output_dim() const { return compiled_->output_dim(); }
+  bool uses_onehot_path() const { return compiled_->uses_onehot_path(); }
 
  private:
-  // A pre-resolved tensor handle: directory entry + raw payload pointer; for
-  // fp32 blobs also a direct float view that bypasses dequantize_span.
-  struct TensorRef {
-    const TensorEntry* entry = nullptr;
-    const std::uint8_t* payload = nullptr;
-    const float* f32 = nullptr;
-    DType dtype = DType::kF32;
-    float scale = 1.0f;
-    std::size_t element_bits = 32;
-    Index file_offset = 0;  // byte offset of the blob within the file
-  };
-
-  // Inference-folded batchnorm: y = x * scale + shift with
-  // scale = gamma / sqrt(var + eps), shift = beta - mean * scale. The raw
-  // handles are kept so the per-run metering matches the unfused reads.
-  struct BatchNormPlan {
-    TensorRef gamma, beta, mean, var;
-    std::vector<float> scale, shift;
-    Index width = 0;
-  };
-
-  struct DensePlan {
-    TensorRef weight;    // [in, out] row-major
-    TensorRef bias_ref;  // metered per run; values pre-dequantized below
-    std::vector<float> bias;
-    Index in = 0;
-    Index out = 0;
-  };
-
-  // Raw (overhead-free) timings of one forward into the scratch arena.
-  struct RawForward {
-    double embed_compute_ms = 0;
-    double compute_ms = 0;
-    double onehot_extra_ms = 0;
-    Index embed_ops = 0;
-    Index op_count = 0;
-  };
-
-  TensorRef resolve(const std::string& name) const;
-  BatchNormPlan resolve_batchnorm(const std::string& prefix, Index width);
-  DensePlan resolve_dense(const std::string& prefix, Index expect_in,
-                          Index expect_out);
-  // Dequantizes the whole tensor behind `ref` into `out` (plan build only).
-  void predequantize(const TensorRef& ref, std::vector<float>& out);
-
-  // Meters the byte range covering `count` elements at element `offset`.
-  void touch(const TensorRef& ref, Index offset, Index count);
-  // Meters + returns a pointer to `count` floats at element `offset`:
-  // zero-copy for fp32 tensors, dequantized into `scratch` otherwise.
-  const float* fetch(const TensorRef& ref, Index offset, Index count,
-                     float* scratch);
-  // Row-gather hook: like fetch() for row `row` of `elems` floats, but
-  // consults the hot-row cache first when one is attached. `table` selects
-  // the cache partition (kCacheTableA/B/C). The returned pointer is valid
-  // until the next fetch_row on the SAME table — partitions isolate the
-  // per-token multi-table gathers from each other.
-  const float* fetch_row(const TensorRef& ref, std::size_t table, Index row,
-                         Index elems, float* scratch);
-
-  // Number of fused graph ops the framework dispatches for the embedding
-  // stage of this technique (gathers + composition).
-  Index embedding_stage_ops() const;
-
-  // Computes logits into logits_; returns raw timings. The only code path
-  // behind run(), run_view(), run_batch(), and benchmark().
-  RawForward forward_scratch(const std::int32_t* ids, Index length);
-  // Pooled embedding into pooled_ (lookup path). Returns #real tokens.
-  Index embed_pooled(const std::int32_t* ids, Index length);
-  // Pooled embedding via the one-hot path (whole-table stream).
-  void embed_onehot_pooled(const std::int32_t* ids, Index length);
-
-  void apply_batchnorm(const BatchNormPlan& bn, float* x);
-  // y[out] = x[in] * W[in,out] + b[out]
-  void apply_dense(const DensePlan& dense, const float* x, float* y);
-
-  const MmapModel& model_;
-  DeviceProfile profile_;
-  MemoryMeter meter_;
-  std::string arch_;  // "classification" | "ranking"
-  std::string technique_;
-  Technique kind_ = Technique::kUncompressed;
-  Index vocab_ = 0;
-  Index embed_dim_ = 0;  // output width of the embedding stage
-  Index hash_size_ = 0;  // technique knob (m / h / keep / buckets)
-  Index hidden_dim_ = 0; // classification trunk width (e/2)
-  Index output_dim_ = 0;
-  Index embed_ops_ = 0;  // precomputed embedding_stage_ops()
-  bool has_hidden_ = false;
-  Index op_count_ = 0;
-  Index activation_bytes_ = 0;
-
-  // --- Execution plan (built once in the constructor) ---
-  TensorRef emb_a_;  // table / shared / remainder / table_a / factors
-  TensorRef emb_b_;  // multiplier / quotient / table_b / projection
-  TensorRef emb_c_;  // memcom_bias bias
-  // Cache partition tags for the embedding tensors above.
-  static constexpr std::size_t kCacheTableA = 0;
-  static constexpr std::size_t kCacheTableB = 1;
-  static constexpr std::size_t kCacheTableC = 2;
-  std::unique_ptr<HotRowCache> row_cache_;  // null = disabled
-  std::vector<float> projection_;  // factorized: pre-dequantized [h, e]
-  Index factor_dim_ = 0;           // factorized h
-  BatchNormPlan bn1_, bn2_;
-  DensePlan dense1_, out_;
-
-  // --- Scratch arena (sized once; reused by every run) ---
-  std::vector<float> pooled_;
-  std::vector<float> row_;      // embedding-row scratch (quantized gathers)
-  std::vector<float> row2_;     // second gather / dense-row scratch
-  std::vector<float> hidden_;
-  std::vector<float> logits_;
-  std::vector<float> onehot_;   // weinberger bag-of-words, size m
+  std::shared_ptr<const CompiledModel> compiled_;
+  ExecutionContext context_;
 };
 
 }  // namespace memcom

@@ -1,0 +1,154 @@
+// Per-thread mutable execution state over a shared CompiledModel.
+//
+// Everything a forward pass mutates lives here: the scratch arena, the
+// page-granular MemoryMeter, the optional HotRowCache, and the per-op
+// dispatch accounting. A context executes against exactly one CompiledModel
+// at a time but can be re-bound (`bind()`) to a different plan — the
+// mechanism behind zero-downtime hot swap: a serving worker keeps one
+// context per model id and re-binds it whenever the ModelRegistry publishes
+// a new version. Re-binding resizes the scratch arena (amortized: steady
+// state on one plan never reallocates), resets the meter (the old version's
+// page set is meaningless for the new mapping), and rebuilds the row cache
+// cold (cached rows of the old version's weights must never serve the new
+// version's traffic).
+//
+// The forward pass itself is the PR-2/PR-3 zero-allocation fast path,
+// unchanged: no string lookups, no heap allocations, page-touch metering
+// identical to the pre-split engine (tests/test_fastpath.cpp and
+// tests/test_differential.cpp enforce both).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/tensor.h"
+#include "ondevice/compiled_model.h"
+#include "ondevice/device_profile.h"
+#include "ondevice/hot_row_cache.h"
+#include "ondevice/memory_meter.h"
+
+namespace memcom {
+
+// Allocation-free view over the context-owned logits scratch. Valid until
+// the next run on the same context.
+struct InferenceView {
+  const float* logits = nullptr;
+  Index dim = 0;
+  double embedding_ms = 0;
+  double total_ms = 0;
+  Index op_count = 0;
+  // Hot-row cache traffic of THIS forward (both zero when no cache is
+  // attached or the technique bypasses it).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+// Batched forward: one fused-graph dispatch for the whole batch, so the
+// per-op overhead is charged once instead of once per request.
+struct BatchResult {
+  Tensor logits;            // [batch, output_dim]
+  double embedding_ms = 0;  // summed compute + one amortized dispatch
+  double total_ms = 0;
+  Index op_count = 0;       // fused graph ops dispatched for the batch
+  Index batch = 0;
+  // Hot-row cache traffic of THIS batch (zero without an attached cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+class ExecutionContext {
+ public:
+  ExecutionContext(std::shared_ptr<const CompiledModel> compiled,
+                   DeviceProfile profile);
+
+  const CompiledModel& compiled() const { return *compiled_; }
+  const std::shared_ptr<const CompiledModel>& compiled_ptr() const {
+    return compiled_;
+  }
+  const DeviceProfile& profile() const { return profile_; }
+
+  // Re-binds the context to a different plan (e.g. a hot-swapped model
+  // version). No-op when `compiled` is the plan already bound. Otherwise:
+  // scratch is resized for the new dims, the meter is reset, and an
+  // attached row cache is rebuilt cold with the new plan's partitions.
+  void bind(std::shared_ptr<const CompiledModel> compiled);
+
+  InferenceView run_view(const std::int32_t* ids, Index length);
+  InferenceView run_view(const std::vector<std::int32_t>& history) {
+    return run_view(history.data(), static_cast<Index>(history.size()));
+  }
+  BatchResult run_batch(const std::vector<std::vector<std::int32_t>>& histories);
+
+  const MemoryMeter& meter() const { return meter_; }
+  void reset_meter() { meter_.reset(); }
+  double resident_megabytes() const;
+
+  // Attaches a fixed-budget HotRowCache over the plan's lookup-path
+  // embedding tensors. Returns false — and attaches nothing — for the
+  // one-hot Weinberger path. The budget is remembered across bind().
+  bool enable_row_cache(std::size_t budget_bytes);
+  void clear_row_cache();
+  bool row_cache_enabled() const { return row_cache_ != nullptr; }
+  RowCacheStats row_cache_stats() const;
+
+ private:
+  // Raw (overhead-free) timings of one forward into the scratch arena.
+  struct RawForward {
+    double embed_compute_ms = 0;
+    double compute_ms = 0;
+    double onehot_extra_ms = 0;
+    Index embed_ops = 0;
+    Index op_count = 0;
+  };
+
+  void resize_scratch();
+  bool attach_row_cache();
+
+  // Meters the byte range covering `count` elements at element `offset`.
+  void touch(const TensorRef& ref, Index offset, Index count);
+  // Meters + returns a pointer to `count` floats at element `offset`:
+  // zero-copy for fp32 tensors, dequantized into `scratch` otherwise.
+  const float* fetch(const TensorRef& ref, Index offset, Index count,
+                     float* scratch);
+  // Row-gather hook: like fetch() for row `row` of `elems` floats, but
+  // consults the hot-row cache first when one is attached. `table` selects
+  // the cache partition (kCacheTableA/B/C).
+  const float* fetch_row(const TensorRef& ref, std::size_t table, Index row,
+                         Index elems, float* scratch);
+
+  // Computes logits into logits_; returns raw timings. The only code path
+  // behind run_view() and run_batch().
+  RawForward forward_scratch(const std::int32_t* ids, Index length);
+  // Pooled embedding into pooled_ (lookup path). Returns #real tokens.
+  Index embed_pooled(const std::int32_t* ids, Index length);
+  // Pooled embedding via the one-hot path (whole-table stream).
+  void embed_onehot_pooled(const std::int32_t* ids, Index length);
+
+  void apply_batchnorm(const BatchNormPlan& bn, float* x);
+  // y[out] = x[in] * W[in,out] + b[out]
+  void apply_dense(const DensePlan& dense, const float* x, float* y);
+
+  // Cache partition tags for the plan's embedding tensors.
+  static constexpr std::size_t kCacheTableA = 0;
+  static constexpr std::size_t kCacheTableB = 1;
+  static constexpr std::size_t kCacheTableC = 2;
+
+  std::shared_ptr<const CompiledModel> compiled_;
+  DeviceProfile profile_;
+  MemoryMeter meter_;
+  std::unique_ptr<HotRowCache> row_cache_;  // null = disabled
+  std::size_t cache_budget_bytes_ = 0;      // sticky across bind()
+  Index op_count_ = 0;
+  Index activation_bytes_ = 0;
+
+  // --- Scratch arena (sized per bound plan; reused by every run) ---
+  std::vector<float> pooled_;
+  std::vector<float> row_;      // embedding-row scratch (quantized gathers)
+  std::vector<float> row2_;     // second gather / dense-row scratch
+  std::vector<float> hidden_;
+  std::vector<float> logits_;
+  std::vector<float> onehot_;   // weinberger bag-of-words, size m
+};
+
+}  // namespace memcom

@@ -37,6 +37,14 @@ void ModelWriter::set_metadata_int(const std::string& key,
   metadata_[key] = std::to_string(value);
 }
 
+void ModelWriter::set_model_identity(const std::string& name,
+                                     std::uint64_t version) {
+  check(!name.empty(), "ModelWriter: model name must be non-empty");
+  check(version >= 1, "ModelWriter: model version must be >= 1");
+  metadata_["model_name"] = name;
+  metadata_["model_version"] = std::to_string(version);
+}
+
 void ModelWriter::add_tensor(const std::string& name, const Tensor& tensor,
                              DType dtype) {
   check(!finished_, "ModelWriter: add_tensor after finish");
@@ -211,6 +219,22 @@ std::int64_t MmapModel::metadata_int(const std::string& key) const {
     check(false, "MmapModel: metadata out of range " + key + "=" + value);
   }
   return 0;  // unreachable
+}
+
+std::string MmapModel::model_name() const {
+  const auto it = metadata_.find("model_name");
+  return it != metadata_.end() ? it->second : std::string();
+}
+
+std::uint64_t MmapModel::model_version() const {
+  // Legacy files carry no identity; report the version-0 sentinel instead
+  // of failing like a missing mandatory key would.
+  if (!has_metadata("model_version")) {
+    return 0;
+  }
+  const std::int64_t version = metadata_int("model_version");
+  check(version >= 0, "MmapModel: negative model_version");
+  return static_cast<std::uint64_t>(version);
 }
 
 bool MmapModel::has_tensor(const std::string& name) const {

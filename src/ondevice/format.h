@@ -42,6 +42,13 @@ class ModelWriter {
   void set_metadata(const std::string& key, const std::string& value);
   void set_metadata_int(const std::string& key, std::int64_t value);
 
+  // Stamps the model's deployment identity ("model_name"/"model_version"
+  // metadata): a stable name shared across refreshes of the same logical
+  // model and a monotonically increasing version the ModelRegistry's
+  // hot-swap path enforces. `version` must be >= 1 (0 is the legacy "no
+  // identity" sentinel readers report for old files).
+  void set_model_identity(const std::string& name, std::uint64_t version);
+
   // Quantizes `tensor` to `dtype` and schedules it for writing.
   void add_tensor(const std::string& name, const Tensor& tensor,
                   DType dtype = DType::kF32);
@@ -72,6 +79,13 @@ class MmapModel {
   bool has_metadata(const std::string& key) const {
     return metadata_.count(key) > 0;
   }
+
+  // Deployment identity, tolerant of legacy files written before
+  // set_model_identity existed: an empty name / version 0 means the file
+  // carries no identity metadata.
+  bool has_model_identity() const { return has_metadata("model_name"); }
+  std::string model_name() const;
+  std::uint64_t model_version() const;
 
   bool has_tensor(const std::string& name) const;
   const TensorEntry& entry(const std::string& name) const;

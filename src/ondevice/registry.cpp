@@ -1,0 +1,140 @@
+#include "ondevice/registry.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace memcom {
+
+namespace {
+std::shared_ptr<const CompiledModel> compile_owned(const std::string& path) {
+  // The registry owns the mapping through the plan: when the last holder of
+  // a retired version drains, the CompiledModel destructor releases the
+  // mmap with it.
+  return std::make_shared<const CompiledModel>(
+      std::make_shared<const MmapModel>(path));
+}
+}  // namespace
+
+std::uint64_t ModelRegistry::load(const std::string& model_id,
+                                  const std::string& path) {
+  // Compile OUTSIDE the registry lock: publication is a pointer swap, the
+  // expensive part must never block concurrent acquire()s.
+  auto compiled = compile_owned(path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publish_locked(model_id, std::move(compiled),
+                        /*expect_existing=*/false);
+}
+
+std::uint64_t ModelRegistry::swap(const std::string& model_id,
+                                  const std::string& path) {
+  auto compiled = compile_owned(path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publish_locked(model_id, std::move(compiled),
+                        /*expect_existing=*/true);
+}
+
+std::uint64_t ModelRegistry::publish(
+    const std::string& model_id,
+    std::shared_ptr<const CompiledModel> compiled) {
+  check(compiled != nullptr, "ModelRegistry: publish null model");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool exists = entries_.count(model_id) > 0;
+  return publish_locked(model_id, std::move(compiled), exists);
+}
+
+std::uint64_t ModelRegistry::publish_locked(
+    const std::string& model_id,
+    std::shared_ptr<const CompiledModel> compiled, bool expect_existing) {
+  check(!model_id.empty(), "ModelRegistry: empty model id");
+  const auto it = entries_.find(model_id);
+  if (!expect_existing) {
+    check(it == entries_.end(),
+          "ModelRegistry: model already registered: " + model_id +
+              " (use swap to publish a new version)");
+    Entry entry;
+    entry.compiled = std::move(compiled);
+    entry.version = 1;
+    entries_.emplace(model_id, std::move(entry));
+    return 1;
+  }
+  check(it != entries_.end(),
+        "ModelRegistry: swap of unknown model " + model_id);
+  const CompiledModel& current = *it->second.compiled;
+  // Self-declared identity, when both artifacts carry it, must agree with
+  // the swap: same logical model, strictly newer version.
+  if (!compiled->model_name().empty() && !current.model_name().empty()) {
+    check(compiled->model_name() == current.model_name(),
+          "ModelRegistry: swap of " + model_id + " changes model_name from " +
+              current.model_name() + " to " + compiled->model_name());
+  }
+  if (compiled->model_version() > 0 && current.model_version() > 0) {
+    check(compiled->model_version() > current.model_version(),
+          "ModelRegistry: swap of " + model_id +
+              " does not increase model_version (" +
+              std::to_string(current.model_version()) + " -> " +
+              std::to_string(compiled->model_version()) + ")");
+  }
+  // Atomic publication: after this assignment every new acquire() sees the
+  // new version; existing holders keep their refcounted old plan.
+  it->second.compiled = std::move(compiled);
+  return ++it->second.version;
+}
+
+bool ModelRegistry::retire(const std::string& model_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.erase(model_id) > 0;
+}
+
+std::shared_ptr<const CompiledModel> ModelRegistry::acquire(
+    const std::string& model_id, std::uint64_t* version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(model_id);
+  if (it == entries_.end()) {
+    if (version != nullptr) {
+      *version = 0;
+    }
+    return nullptr;
+  }
+  if (version != nullptr) {
+    *version = it->second.version;
+  }
+  return it->second.compiled;
+}
+
+std::uint64_t ModelRegistry::version(const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(model_id);
+  return it != entries_.end() ? it->second.version : 0;
+}
+
+bool ModelRegistry::has_model(const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(model_id) > 0;
+}
+
+std::vector<std::string> ModelRegistry::model_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, unused] : entries_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t ModelRegistry::plan_resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [id, entry] : entries_) {
+    bytes += entry.compiled->plan_resident_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace memcom

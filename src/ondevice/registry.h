@@ -1,0 +1,98 @@
+// Multi-tenant model registry with zero-downtime hot swap.
+//
+// The paper's deployment story is a fleet of compressed models pushed to
+// devices and refreshed continuously; the registry is the serving-side
+// anchor for that: named entries map a `model_id` to the CURRENT refcounted
+// CompiledModel version. Publication is epoch/RCU-style:
+//
+//   * `load()`  opens + compiles a .mcm and publishes it as the first
+//     version of a new id;
+//   * `swap()`  publishes a new version for an existing id. Readers that
+//     already `acquire()`d the old version (in-flight micro-batches, bound
+//     ExecutionContexts) keep executing against it — the shared_ptr IS the
+//     epoch refcount, so the old plan (and its mmap, which the registry
+//     hands to CompiledModel as an owning handle) is destroyed exactly when
+//     the last in-flight reference drains. No torn reads, no stop-the-world:
+//     the registry mutex guards only the id -> version pointer map, never
+//     an inference.
+//   * `retire()` unregisters an id; again, holders drain at their own pace.
+//
+// Versioning: every publication bumps a per-id monotonic registry version
+// (returned by load/swap). When the files themselves carry identity
+// metadata (ModelWriter::set_model_identity), swap() additionally enforces
+// that the declared model_version strictly increases and that the declared
+// model_name matches — pushing yesterday's artifact over today's fails
+// loudly instead of silently serving stale weights.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ondevice/compiled_model.h"
+
+namespace memcom {
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // Opens + compiles `path` and publishes it as the first version of
+  // `model_id`. The registry owns the mapping (it lives exactly as long as
+  // plan references do). Fails if the id is already registered — refreshing
+  // an existing model is swap()'s job.
+  std::uint64_t load(const std::string& model_id, const std::string& path);
+
+  // Publishes a new version of an EXISTING id from `path`; returns the new
+  // registry version. In-flight work on the previous version finishes
+  // untouched and releases it by refcount.
+  std::uint64_t swap(const std::string& model_id, const std::string& path);
+
+  // In-memory publication (tests / already-compiled plans). Applies the
+  // same first-version vs upgrade rules as load()/swap().
+  std::uint64_t publish(const std::string& model_id,
+                        std::shared_ptr<const CompiledModel> compiled);
+
+  // Unregisters `model_id`; returns false when the id is unknown. Holders
+  // of acquired versions drain at their own pace.
+  bool retire(const std::string& model_id);
+
+  // Snapshot of the CURRENT version (a refcount bump — cheap, never blocks
+  // inference). Null when the id is unknown or retired. When `version` is
+  // non-null it receives the registry version of the returned plan, taken
+  // under the SAME lock — separate acquire()+version() calls could straddle
+  // a concurrent swap() and mislabel the plan.
+  std::shared_ptr<const CompiledModel> acquire(
+      const std::string& model_id, std::uint64_t* version = nullptr) const;
+
+  // Current registry version of `model_id` (0 when unknown).
+  std::uint64_t version(const std::string& model_id) const;
+
+  bool has_model(const std::string& model_id) const;
+  std::vector<std::string> model_ids() const;
+  std::size_t size() const;
+
+  // Bytes of pre-dequantized plan buffers across all CURRENT versions —
+  // the compile-once memory a fleet of workers shares by reference.
+  std::size_t plan_resident_bytes() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledModel> compiled;
+    std::uint64_t version = 0;  // registry-assigned, monotonic per id
+  };
+
+  std::uint64_t publish_locked(const std::string& model_id,
+                               std::shared_ptr<const CompiledModel> compiled,
+                               bool expect_existing);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace memcom

@@ -1,9 +1,10 @@
 #include "ondevice/serving.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "core/check.h"
@@ -12,8 +13,34 @@ namespace memcom {
 
 namespace {
 using Clock = SteadyClock;
+}  // namespace
 
-RowCacheStats aggregate_cache_stats(
+ServingHarness::ServingHarness(const MmapModel& model,
+                               const DeviceProfile& profile, int threads,
+                               std::size_t cache_budget_bytes)
+    : ServingHarness(std::make_shared<const CompiledModel>(model), profile,
+                     threads, cache_budget_bytes) {}
+
+ServingHarness::ServingHarness(std::shared_ptr<const CompiledModel> compiled,
+                               const DeviceProfile& profile, int threads,
+                               std::size_t cache_budget_bytes)
+    : compiled_(std::move(compiled)) {
+  check(compiled_ != nullptr, "serving: null compiled model");
+  // A non-positive pool would leave serve() with no one to drain the cursor
+  // (and historically made output_dim() dereference an empty engine list).
+  check(threads > 0, "serving: thread count must be positive");
+  engines_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    // Every worker shares the ONE plan; only per-thread state is built here.
+    engines_.push_back(std::make_unique<InferenceEngine>(compiled_, profile));
+    if (cache_budget_bytes > 0) {
+      engines_.back()->enable_row_cache(cache_budget_bytes);
+    }
+  }
+}
+
+namespace {
+RowCacheStats aggregate_engine_cache_stats(
     const std::vector<std::unique_ptr<InferenceEngine>>& engines) {
   RowCacheStats total;
   for (const auto& engine : engines) {
@@ -44,19 +71,6 @@ RowCacheStats cache_stats_delta(const RowCacheStats& before,
 }
 }  // namespace
 
-ServingHarness::ServingHarness(const MmapModel& model,
-                               const DeviceProfile& profile, int threads,
-                               std::size_t cache_budget_bytes) {
-  check(threads > 0, "serving: thread count must be positive");
-  engines_.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i) {
-    engines_.push_back(std::make_unique<InferenceEngine>(model, profile));
-    if (cache_budget_bytes > 0) {
-      engines_.back()->enable_row_cache(cache_budget_bytes);
-    }
-  }
-}
-
 ServingReport ServingHarness::serve(
     const std::vector<std::vector<std::int32_t>>& requests, int repeat,
     Tensor* logits_out) {
@@ -75,7 +89,7 @@ ServingReport ServingHarness::serve(
   if (total == 0) {
     return report;
   }
-  const RowCacheStats cache_before = aggregate_cache_stats(engines_);
+  const RowCacheStats cache_before = aggregate_engine_cache_stats(engines_);
 
   std::atomic<std::uint64_t> cursor{0};
   std::vector<std::vector<double>> samples(engines_.size());
@@ -147,7 +161,7 @@ ServingReport ServingHarness::serve(
           ? static_cast<double>(total) / (report.modeled_busy_ms / 1000.0)
           : 0.0;
   report.cache =
-      cache_stats_delta(cache_before, aggregate_cache_stats(engines_));
+      cache_stats_delta(cache_before, aggregate_engine_cache_stats(engines_));
   return report;
 }
 
@@ -156,7 +170,11 @@ double ServingHarness::max_resident_megabytes() const {
   for (const auto& engine : engines_) {
     max_mb = std::max(max_mb, engine->resident_megabytes());
   }
-  return max_mb;
+  // The plan's pre-dequantized buffers are resident exactly once for the
+  // whole fleet (compile-once sharing); the per-engine figure above covers
+  // only per-thread state.
+  return max_mb +
+         static_cast<double>(plan_resident_bytes()) / (1024.0 * 1024.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -165,27 +183,51 @@ double ServingHarness::max_resident_megabytes() const {
 AsyncServer::AsyncServer(const MmapModel& model, const DeviceProfile& profile,
                          AsyncServerConfig config)
     : config_(config),
+      profile_(profile),
+      owned_registry_(std::make_unique<ModelRegistry>()),
+      registry_(owned_registry_.get()),
+      default_model_(kDefaultModelId),
+      queue_(config.queue_capacity),
+      dispatch_(static_cast<std::size_t>(std::max(1, config.threads)) * 2) {
+  // The caller owns the mapping (it must outlive the server, as before);
+  // the private registry only owns the compiled plan.
+  owned_registry_->publish(default_model_,
+                           std::make_shared<const CompiledModel>(model));
+  start();
+}
+
+AsyncServer::AsyncServer(ModelRegistry& registry,
+                         std::string default_model_id,
+                         const DeviceProfile& profile,
+                         AsyncServerConfig config)
+    : config_(config),
+      profile_(profile),
+      registry_(&registry),
+      default_model_(std::move(default_model_id)),
       queue_(config.queue_capacity),
       // The dispatch queue only needs to keep every worker fed plus a small
       // runway; bounding it makes scheduler -> worker backpressure propagate
       // back to the admission queue (and from there to producers).
       dispatch_(static_cast<std::size_t>(std::max(1, config.threads)) * 2) {
+  start();
+}
+
+// Shared tail of both constructors: validate the configuration and the
+// default model, then bring the pipeline threads up. Checks run BEFORE any
+// thread spawns, so a failed construction never leaks a running thread.
+void AsyncServer::start() {
   check(config_.threads > 0, "AsyncServer: thread count must be positive");
   check(config_.max_batch > 0, "AsyncServer: max_batch must be positive");
   check(config_.max_delay_us >= 0.0,
         "AsyncServer: max_delay_us must be non-negative");
-  engines_.reserve(static_cast<std::size_t>(config_.threads));
-  for (int i = 0; i < config_.threads; ++i) {
-    engines_.push_back(std::make_unique<InferenceEngine>(model, profile));
-    if (config_.cache_budget_bytes > 0) {
-      engines_.back()->enable_row_cache(config_.cache_budget_bytes);
-    }
-  }
-  worker_stats_.resize(engines_.size());
+  check(registry_->has_model(default_model_),
+        "AsyncServer: default model not in registry: " + default_model_);
+  worker_stats_.resize(static_cast<std::size_t>(config_.threads));
   scheduler_ = std::thread(&AsyncServer::scheduler_loop, this);
-  workers_.reserve(engines_.size());
-  for (std::size_t w = 0; w < engines_.size(); ++w) {
-    workers_.emplace_back(&AsyncServer::worker_loop, this, w);
+  workers_.reserve(static_cast<std::size_t>(config_.threads));
+  for (int w = 0; w < config_.threads; ++w) {
+    workers_.emplace_back(&AsyncServer::worker_loop, this,
+                          static_cast<std::size_t>(w));
   }
 }
 
@@ -201,11 +243,33 @@ AsyncServer::~AsyncServer() {
   }
 }
 
-std::future<AsyncResult> AsyncServer::submit(
-    std::vector<std::int32_t> history) {
+Index AsyncServer::output_dim() const {
+  const auto compiled = registry_->acquire(default_model_);
+  check(compiled != nullptr,
+        "AsyncServer: default model retired: " + default_model_);
+  return compiled->output_dim();
+}
+
+AsyncServer::QueuedRequest AsyncServer::make_request(
+    std::string model_id, std::vector<std::int32_t> history) const {
   QueuedRequest request;
+  request.model_id = std::move(model_id);
   request.history = std::move(history);
   request.enqueue_tp = Clock::now();
+  return request;
+}
+
+std::future<AsyncResult> AsyncServer::submit(
+    std::vector<std::int32_t> history) {
+  return submit(default_model_, std::move(history));
+}
+
+std::future<AsyncResult> AsyncServer::submit(
+    std::string model_id, std::vector<std::int32_t> history) {
+  check(registry_->has_model(model_id),
+        "AsyncServer: submit to unknown model " + model_id);
+  QueuedRequest request = make_request(std::move(model_id),
+                                       std::move(history));
   std::future<AsyncResult> future = request.promise.get_future();
   check(queue_.push(std::move(request)),
         "AsyncServer: submit after shutdown");
@@ -214,9 +278,17 @@ std::future<AsyncResult> AsyncServer::submit(
 
 bool AsyncServer::try_submit(std::vector<std::int32_t> history,
                              std::future<AsyncResult>* out) {
-  QueuedRequest request;
-  request.history = std::move(history);
-  request.enqueue_tp = Clock::now();
+  return try_submit(default_model_, std::move(history), out);
+}
+
+bool AsyncServer::try_submit(std::string model_id,
+                             std::vector<std::int32_t> history,
+                             std::future<AsyncResult>* out) {
+  if (!registry_->has_model(model_id)) {
+    return false;
+  }
+  QueuedRequest request = make_request(std::move(model_id),
+                                       std::move(history));
   std::future<AsyncResult> future = request.promise.get_future();
   if (!queue_.try_push(std::move(request))) {
     return false;
@@ -230,35 +302,109 @@ bool AsyncServer::try_submit(std::vector<std::int32_t> history,
 void AsyncServer::scheduler_loop() {
   const auto delay = std::chrono::microseconds(
       static_cast<std::int64_t>(config_.max_delay_us));
-  for (;;) {
-    QueuedRequest first;
-    if (!queue_.pop(first)) {
-      break;  // closed and drained
-    }
+  // One open micro-batch per model id; the batch pins its model version at
+  // formation so a concurrent swap() never retargets in-flight work.
+  struct Pending {
+    std::vector<QueuedRequest> requests;
+    Clock::time_point deadline;
+    std::shared_ptr<const CompiledModel> compiled;
+    std::uint64_t version = 0;
+  };
+  std::unordered_map<std::string, Pending> pending;
+
+  const auto flush = [&](const std::string& model_id, Pending& p) {
     BatchTask task;
-    task.requests.reserve(static_cast<std::size_t>(config_.max_batch));
-    task.requests.push_back(std::move(first));
-    // Dynamic micro-batch: keep admitting until the batch is full or the
-    // first request has waited max_delay_us.
-    const auto deadline = Clock::now() + delay;
-    while (task.requests.size() <
-           static_cast<std::size_t>(config_.max_batch)) {
-      QueuedRequest next;
-      if (!queue_.pop_wait_until(next, deadline)) {
-        break;  // flush on timeout (or on shutdown drain)
-      }
-      task.requests.push_back(std::move(next));
-    }
+    task.model_id = model_id;
+    task.compiled = std::move(p.compiled);
+    task.version = p.version;
+    task.requests = std::move(p.requests);
     dispatch_.push(std::move(task));  // only fails after dispatch_ close
+  };
+
+  bool open = true;
+  while (open || !pending.empty()) {
+    QueuedRequest next;
+    bool got = false;
+    if (pending.empty()) {
+      got = queue_.pop(next);
+      if (!got) {
+        open = false;  // closed and drained
+      }
+    } else {
+      auto deadline = Clock::time_point::max();
+      for (const auto& [id, p] : pending) {
+        deadline = std::min(deadline, p.deadline);
+      }
+      bool timed_out = false;
+      got = queue_.pop_wait_until(next, deadline, &timed_out);
+      if (!got && !timed_out) {
+        open = false;  // closed and drained: flush whatever is pending
+      }
+    }
+    if (got) {
+      Pending& p = pending[next.model_id];
+      if (p.requests.empty()) {
+        p.deadline = Clock::now() + delay;
+        // Version pinned HERE: later requests joining this batch ride the
+        // same plan even if a swap lands mid-formation. One atomic snapshot:
+        // plan and version label must come from the same registry state.
+        p.compiled = registry_->acquire(next.model_id, &p.version);
+        p.requests.reserve(static_cast<std::size_t>(config_.max_batch));
+      }
+      const std::string model_id = next.model_id;
+      p.requests.push_back(std::move(next));
+      if (p.requests.size() >= static_cast<std::size_t>(config_.max_batch)) {
+        flush(model_id, p);
+        pending.erase(model_id);
+      }
+    }
+    // Flush every batch whose delay budget is spent (all of them on
+    // shutdown drain).
+    const auto now = Clock::now();
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (!open || now >= it->second.deadline) {
+        flush(it->first, it->second);
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
   dispatch_.close();
 }
 
 void AsyncServer::worker_loop(std::size_t worker) {
-  InferenceEngine& engine = *engines_[worker];
+  // One context per model id, owned by THIS thread (never shared): the
+  // scratch arena, meter, and row cache are private, and bind() re-targets
+  // a lane to a freshly swapped version (rebuilding its cache cold).
+  std::unordered_map<std::string, std::unique_ptr<ExecutionContext>> contexts;
   std::vector<std::vector<std::int32_t>> histories;
   BatchTask task;
   while (dispatch_.pop(task)) {
+    if (task.compiled == nullptr) {
+      // The model was retired between admission and batch formation; the
+      // futures must still resolve — with the failure, not a hang.
+      for (QueuedRequest& r : task.requests) {
+        r.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+            "AsyncServer: model retired before execution: " +
+            task.model_id)));
+      }
+      completed_.fetch_add(task.requests.size(),
+                           std::memory_order_relaxed);
+      task = BatchTask{};
+      continue;
+    }
+    std::unique_ptr<ExecutionContext>& slot = contexts[task.model_id];
+    if (slot == nullptr) {
+      slot = std::make_unique<ExecutionContext>(task.compiled, profile_);
+      if (config_.cache_budget_bytes > 0) {
+        slot->enable_row_cache(config_.cache_budget_bytes);
+      }
+    } else {
+      slot->bind(task.compiled);  // no-op unless the version changed
+    }
+    ExecutionContext& context = *slot;
+
     const auto service_start = Clock::now();
     histories.clear();
     histories.reserve(task.requests.size());
@@ -267,9 +413,14 @@ void AsyncServer::worker_loop(std::size_t worker) {
       // and timestamps are), so hand the buffer over instead of copying.
       histories.push_back(std::move(r.history));
     }
-    BatchResult batch = engine.run_batch(histories);
+    BatchResult batch = context.run_batch(histories);
     const auto service_end = Clock::now();
-    const double service_ms = elapsed_ms(service_start);
+    // Derive service_ms from the SAME end timestamp the per-request totals
+    // use: a second Clock::now() here could land after a preemption and
+    // report service_ms > total_ms for every request in the batch.
+    const double service_ms =
+        std::chrono::duration<double, std::milli>(service_end - service_start)
+            .count();
 
     // Record stats BEFORE resolving the promises: anyone who has observed
     // every future of a drain is guaranteed to see its samples.
@@ -278,6 +429,18 @@ void AsyncServer::worker_loop(std::size_t worker) {
       WorkerStats& stats = worker_stats_[worker];
       stats.modeled_busy_ms += batch.total_ms;
       ++stats.batches;
+      ModelLane& lane = stats.models[task.model_id];
+      lane.version = task.version;
+      ++lane.batches;
+      lane.modeled_busy_ms += batch.total_ms;
+      lane.cache_hits += batch.cache_hits;
+      lane.cache_misses += batch.cache_misses;
+      const RowCacheStats cache = context.row_cache_stats();
+      lane.cache_enabled = cache.enabled;
+      lane.cache_resident_bytes = cache.resident_bytes;
+      lane.cache_capacity_bytes = cache.capacity_bytes;
+      lane.resident_mb = context.resident_megabytes();
+      lane.plan_bytes = task.compiled->plan_resident_bytes();
       for (const QueuedRequest& r : task.requests) {
         const double wait_ms =
             std::chrono::duration<double, std::milli>(service_start -
@@ -291,13 +454,17 @@ void AsyncServer::worker_loop(std::size_t worker) {
         stats.service_ms.push_back(service_ms);
         stats.total_ms.push_back(total_ms);
         ++stats.requests;
+        lane.total_ms.push_back(total_ms);
+        ++lane.requests;
       }
     }
 
-    const Index dim = engine.output_dim();
+    const Index dim = context.compiled().output_dim();
     for (std::size_t i = 0; i < task.requests.size(); ++i) {
       QueuedRequest& r = task.requests[i];
       AsyncResult result;
+      result.model_id = task.model_id;
+      result.model_version = task.version;
       result.batch = batch.batch;
       result.service_ms = service_ms;
       result.queue_wait_ms = std::chrono::duration<double, std::milli>(
@@ -310,31 +477,83 @@ void AsyncServer::worker_loop(std::size_t worker) {
       result.logits.assign(row, row + dim);
       r.promise.set_value(std::move(result));
     }
+    completed_.fetch_add(task.requests.size(), std::memory_order_relaxed);
+    // Prune every lane whose bound plan the registry has moved past (swap
+    // or retire) — including lanes of OTHER models that went idle. Without
+    // this a lane that sees no further traffic would pin the old plan (and
+    // its mmap) until the server is destroyed; with it a superseded version
+    // drains as soon as this worker completes its next batch of any model.
+    for (auto it = contexts.begin(); it != contexts.end();) {
+      if (registry_->acquire(it->first) != it->second->compiled_ptr()) {
+        it = contexts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Drop the plan reference (and the request buffers) NOW rather than at
+    // the next pop: a hot-swapped old version must drain as soon as its
+    // last batch completes, not when the worker happens to pick up new
+    // work.
+    task = BatchTask{};
   }
 }
 
 void AsyncServer::reset_stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   for (WorkerStats& stats : worker_stats_) {
-    stats.queue_wait_ms.clear();
-    stats.service_ms.clear();
-    stats.total_ms.clear();
-    stats.modeled_busy_ms = 0;
-    stats.batches = 0;
-    stats.requests = 0;
+    stats = WorkerStats{};
   }
 }
 
 ServingReport AsyncServer::serve(
     const std::vector<std::vector<std::int32_t>>& requests, int repeat,
     double arrival_qps, Tensor* logits_out) {
+  std::vector<RequestRef> refs;
+  refs.reserve(requests.size());
+  for (const auto& history : requests) {
+    refs.push_back(RequestRef{&default_model_, &history});
+  }
+  std::vector<std::vector<float>> rows;
+  ServingReport report =
+      drive(refs, repeat, arrival_qps, logits_out != nullptr ? &rows : nullptr);
+  if (logits_out != nullptr) {
+    // Row width comes from the rows actually SERVED, not from the current
+    // registry state: a concurrent swap()/retire() of the default model
+    // after the drain must not invalidate (or abort) 100% successful
+    // results. A mid-drain width change still fails the per-row check.
+    const Index dim =
+        rows.empty() ? 0 : static_cast<Index>(rows.front().size());
+    *logits_out = Tensor({static_cast<Index>(requests.size()), dim});
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      check_eq(dim, static_cast<long long>(rows[r].size()),
+               "AsyncServer: logit row width");
+      std::memcpy(&logits_out->at2(static_cast<Index>(r), 0), rows[r].data(),
+                  static_cast<std::size_t>(dim) * sizeof(float));
+    }
+  }
+  return report;
+}
+
+ServingReport AsyncServer::serve(const std::vector<RoutedRequest>& requests,
+                                 int repeat, double arrival_qps,
+                                 std::vector<std::vector<float>>* logits_out) {
+  std::vector<RequestRef> refs;
+  refs.reserve(requests.size());
+  for (const RoutedRequest& r : requests) {
+    refs.push_back(RequestRef{&r.model_id, &r.history});
+  }
+  return drive(refs, repeat, arrival_qps, logits_out);
+}
+
+ServingReport AsyncServer::drive(
+    const std::vector<RequestRef>& requests, int repeat, double arrival_qps,
+    std::vector<std::vector<float>>* logits_out) {
   check(repeat > 0, "AsyncServer: repeat must be positive");
   const std::size_t unique = requests.size();
   const std::uint64_t total =
       static_cast<std::uint64_t>(unique) * static_cast<std::uint64_t>(repeat);
-  const Index dim = output_dim();
   if (logits_out != nullptr) {
-    *logits_out = Tensor({static_cast<Index>(unique), dim});
+    logits_out->assign(unique, {});
   }
 
   ServingReport report;
@@ -344,7 +563,6 @@ ServingReport AsyncServer::serve(
     return report;
   }
   reset_stats();
-  const RowCacheStats cache_before = cache_stats();
 
   // Open-loop arrivals: with a nonzero rate, request i is released at
   // i/arrival_qps seconds regardless of completions (only admission-queue
@@ -363,15 +581,13 @@ ServingReport AsyncServer::serve(
       std::this_thread::sleep_until(
           wall_start + inter_arrival * static_cast<std::int64_t>(i));
     }
-    futures.push_back(
-        submit(requests[static_cast<std::size_t>(i % unique)]));
+    const RequestRef& r = requests[static_cast<std::size_t>(i % unique)];
+    futures.push_back(submit(*r.model_id, *r.history));
   }
   for (std::uint64_t i = 0; i < total; ++i) {
-    const AsyncResult result = futures[static_cast<std::size_t>(i)].get();
+    AsyncResult result = futures[static_cast<std::size_t>(i)].get();
     if (logits_out != nullptr && i < unique) {
-      std::memcpy(&logits_out->at2(static_cast<Index>(i), 0),
-                  result.logits.data(),
-                  static_cast<std::size_t>(dim) * sizeof(float));
+      (*logits_out)[static_cast<std::size_t>(i)] = std::move(result.logits);
     }
   }
   report.wall_ms = elapsed_ms(wall_start);
@@ -383,6 +599,8 @@ ServingReport AsyncServer::serve(
   waits.reserve(static_cast<std::size_t>(total));
   services.reserve(static_cast<std::size_t>(total));
   totals.reserve(static_cast<std::size_t>(total));
+  std::map<std::string, ModelReport> models;
+  std::map<std::string, std::vector<double>> model_totals;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     for (const WorkerStats& stats : worker_stats_) {
@@ -395,6 +613,31 @@ ServingReport AsyncServer::serve(
       report.batches += stats.batches;
       report.modeled_busy_ms =
           std::max(report.modeled_busy_ms, stats.modeled_busy_ms);
+      for (const auto& [model_id, lane] : stats.models) {
+        ModelReport& model = models[model_id];
+        model.model_id = model_id;
+        model.version = std::max(model.version, lane.version);
+        model.requests += lane.requests;
+        model.batches += lane.batches;
+        model.modeled_busy_ms =
+            std::max(model.modeled_busy_ms, lane.modeled_busy_ms);
+        // Per-tenant footprint: peak per-worker context state plus the
+        // plan, which is shared by every worker and counted once.
+        model.resident_mb = std::max(
+            model.resident_mb,
+            lane.resident_mb + static_cast<double>(lane.plan_bytes) /
+                                   (1024.0 * 1024.0));
+        if (lane.cache_enabled) {
+          model.cache.enabled = true;
+          model.cache.hits += lane.cache_hits;
+          model.cache.misses += lane.cache_misses;
+          model.cache.resident_bytes += lane.cache_resident_bytes;
+          model.cache.capacity_bytes += lane.cache_capacity_bytes;
+        }
+        auto& samples = model_totals[model_id];
+        samples.insert(samples.end(), lane.total_ms.begin(),
+                       lane.total_ms.end());
+      }
     }
   }
   report.latency = latency_stats_from_samples(std::move(totals));
@@ -408,20 +651,71 @@ ServingReport AsyncServer::serve(
       report.modeled_busy_ms > 0.0
           ? static_cast<double>(total) / (report.modeled_busy_ms / 1000.0)
           : 0.0;
-  report.cache = cache_stats_delta(cache_before, cache_stats());
+  for (auto& [model_id, model] : models) {
+    model.latency =
+        latency_stats_from_samples(std::move(model_totals[model_id]));
+    model.mean_batch = model.batches > 0
+                           ? static_cast<double>(model.requests) /
+                                 static_cast<double>(model.batches)
+                           : 0.0;
+    model.modeled_qps =
+        model.modeled_busy_ms > 0.0
+            ? static_cast<double>(model.requests) /
+                  (model.modeled_busy_ms / 1000.0)
+            : 0.0;
+    report.cache.enabled = report.cache.enabled || model.cache.enabled;
+    report.cache.hits += model.cache.hits;
+    report.cache.misses += model.cache.misses;
+    report.cache.resident_bytes += model.cache.resident_bytes;
+    report.cache.capacity_bytes += model.cache.capacity_bytes;
+    report.per_model.push_back(std::move(model));
+  }
   return report;
 }
 
 RowCacheStats AsyncServer::cache_stats() const {
-  return aggregate_cache_stats(engines_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  RowCacheStats total;
+  for (const WorkerStats& stats : worker_stats_) {
+    for (const auto& [model_id, lane] : stats.models) {
+      if (!lane.cache_enabled) {
+        continue;
+      }
+      total.enabled = true;
+      total.hits += lane.cache_hits;
+      total.misses += lane.cache_misses;
+      total.resident_bytes += lane.cache_resident_bytes;
+      total.capacity_bytes += lane.cache_capacity_bytes;
+    }
+  }
+  return total;
 }
 
 double AsyncServer::max_resident_megabytes() const {
   double max_mb = 0.0;
-  for (const auto& engine : engines_) {
-    max_mb = std::max(max_mb, engine->resident_megabytes());
+  std::map<std::string, std::size_t> plan_bytes;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (const WorkerStats& stats : worker_stats_) {
+      double worker_mb = 0.0;
+      for (const auto& [model_id, lane] : stats.models) {
+        // One context per model on this worker; their state coexists.
+        worker_mb += lane.resident_mb;
+        // Plan footprint of the models THIS server served — the registry
+        // may host models other servers own, which are not our memory.
+        auto& bytes = plan_bytes[model_id];
+        bytes = std::max(bytes, lane.plan_bytes);
+      }
+      max_mb = std::max(max_mb, worker_mb);
+    }
   }
-  return max_mb;
+  // Plans are compiled once per model version and shared by every worker.
+  std::size_t shared_plan_bytes = 0;
+  for (const auto& [model_id, bytes] : plan_bytes) {
+    shared_plan_bytes += bytes;
+  }
+  return max_mb +
+         static_cast<double>(shared_plan_bytes) / (1024.0 * 1024.0);
 }
 
 }  // namespace memcom

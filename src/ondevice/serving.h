@@ -1,48 +1,73 @@
 // Serving harnesses over the on-device inference engine.
 //
-// Two execution models share one read-only weight file (the .mcm is mmap'd
-// once; every worker thread owns a private InferenceEngine — scratch arena,
-// memory meter, optional hot-row cache — compiled against the shared
-// mapping):
+// Both execution models share compiled plans instead of recompiling per
+// worker: a CompiledModel is built ONCE per model file and every worker
+// executes it through a private ExecutionContext (scratch arena, memory
+// meter, optional hot-row cache). The plan's pre-dequantized buffers are
+// therefore paid for once per model version, not once per thread — see
+// plan_resident_bytes().
 //
-//   * ServingHarness — CLOSED-LOOP drain: workers pull requests off a
-//     lock-free atomic cursor as fast as they complete them. Measures the
-//     peak batch-1 throughput of the fast path.
+//   * ServingHarness — CLOSED-LOOP drain over ONE model: workers pull
+//     requests off a lock-free atomic cursor as fast as they complete them.
+//     Measures the peak batch-1 throughput of the fast path.
 //
-//   * AsyncServer — OPEN-LOOP pipeline: producers enqueue requests into a
-//     bounded RequestQueue (blocking push / failing try_push = the
-//     backpressure surface), a scheduler thread forms dynamic micro-batches
-//     (flushed at `max_batch` or after `max_delay_us`), and worker engines
-//     execute each micro-batch through the fused run_batch path, so the
-//     device profile's per-op dispatch cost is paid once per batch instead
-//     of once per request. Every request carries its enqueue/dispatch/
-//     complete timestamps, splitting latency into queue-wait vs service
-//     time.
+//   * AsyncServer — OPEN-LOOP multi-tenant pipeline: producers enqueue
+//     requests (each optionally routed to a `model_id`) into a bounded
+//     RequestQueue, a scheduler thread forms PER-MODEL dynamic
+//     micro-batches (flushed at `max_batch` or after `max_delay_us`), and
+//     worker threads execute each micro-batch through the fused run_batch
+//     path. Models live in a ModelRegistry; a `swap()` there is
+//     zero-downtime: micro-batches pin their model version at formation,
+//     in-flight work finishes on the old version, new batches pick up the
+//     new one, and the old plan (plus its mmap) is destroyed when its
+//     refcount drains. Worker-side hot-row caches are rebuilt cold on the
+//     first batch of a new version so stale rows can never serve.
 //
 // Both report real wall-clock QPS and a modeled-device QPS derived from the
 // engines' simulated per-forward latency (which includes the profile's
 // dispatch overhead — this is where micro-batching visibly wins; real wall
-// clock on a shared host measures mostly the simulator itself).
+// clock on a shared host measures mostly the simulator itself). The async
+// report additionally breaks requests/latency/cache down per model id.
 //
 // Logits are bit-identical to sequential InferenceEngine::run() on every
-// path, cache cold or warm — tests/test_serving.cpp and
-// tests/test_differential.cpp enforce this.
+// path — direct, registry-served, and post-swap — cache cold or warm;
+// tests/test_serving.cpp and tests/test_differential.cpp enforce this.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/tensor.h"
 #include "ondevice/clock.h"
 #include "ondevice/engine.h"
+#include "ondevice/registry.h"
 #include "ondevice/request_queue.h"
 
 namespace memcom {
+
+// Per-model slice of a drain (async pipeline only).
+struct ModelReport {
+  std::string model_id;
+  std::uint64_t version = 0;   // latest registry version that served traffic
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;   // micro-batches dispatched for THIS model
+  double mean_batch = 0;       // requests / batches
+  LatencyStats latency;        // end-to-end wall latency of this model's reqs
+  double modeled_busy_ms = 0;  // max over workers of this model's busy time
+  double modeled_qps = 0;
+  // Peak per-worker context footprint of this model plus its shared plan —
+  // what THIS tenant adds to the device, not the whole server's figure.
+  double resident_mb = 0;
+  RowCacheStats cache;
+};
 
 struct ServingReport {
   int threads = 0;
@@ -66,15 +91,23 @@ struct ServingReport {
 
   // Hot-row cache totals across workers (enabled=false when no cache).
   RowCacheStats cache;
+
+  // Per-model breakdown, sorted by model id (async pipeline only; empty for
+  // the single-model closed-loop harness).
+  std::vector<ModelReport> per_model;
 };
 
 class ServingHarness {
  public:
-  // Compiles `threads` independent engines against the shared model. The
-  // model must outlive the harness. A nonzero `cache_budget_bytes` attaches
-  // a per-engine HotRowCache (bypassed for one-hot techniques).
+  // Compiles the plan ONCE and shares it across `threads` worker engines;
+  // the model must outlive the harness. A nonzero `cache_budget_bytes`
+  // attaches a per-worker HotRowCache (bypassed for one-hot techniques).
   ServingHarness(const MmapModel& model, const DeviceProfile& profile,
                  int threads, std::size_t cache_budget_bytes = 0);
+  // Shares an EXISTING plan (e.g. one acquired from a ModelRegistry).
+  ServingHarness(std::shared_ptr<const CompiledModel> compiled,
+                 const DeviceProfile& profile, int threads,
+                 std::size_t cache_budget_bytes = 0);
 
   // Drains `requests` (repeated `repeat` times) across the worker pool.
   // When `logits_out` is non-null it is resized to [requests, output_dim]
@@ -83,42 +116,77 @@ class ServingHarness {
                       int repeat = 1, Tensor* logits_out = nullptr);
 
   int threads() const { return static_cast<int>(engines_.size()); }
-  Index output_dim() const { return engines_.front()->output_dim(); }
+  // Plan-derived (safe even on a degenerate pool — never dereferences a
+  // worker engine).
+  Index output_dim() const { return compiled_->output_dim(); }
+  const CompiledModel& compiled() const { return *compiled_; }
   const InferenceEngine& engine(int i) const { return *engines_[i]; }
 
   // Peak resident footprint across workers (each worker meters its own
   // touches; the weight pages are shared, so the fleet-wide footprint is
-  // the max, not the sum).
+  // the max, not the sum) plus the shared plan, which is resident exactly
+  // once no matter how many workers reference it.
   double max_resident_megabytes() const;
 
+  // Bytes of the shared plan's pre-dequantized buffers. Compiled once:
+  // this does NOT scale with threads() (the PR-3 layer paid it per worker).
+  std::size_t plan_resident_bytes() const {
+    return compiled_->plan_resident_bytes();
+  }
+
  private:
+  std::shared_ptr<const CompiledModel> compiled_;
   std::vector<std::unique_ptr<InferenceEngine>> engines_;
 };
 
 // ---------------------------------------------------------------------------
-// Asynchronous micro-batching pipeline: queue -> scheduler -> workers.
+// Asynchronous multi-tenant micro-batching pipeline:
+//   queue -> per-model scheduler -> workers (one ExecutionContext per
+//   (worker, model id), re-bound on version swap).
 
 struct AsyncServerConfig {
   int threads = 2;
   Index max_batch = 8;          // flush a micro-batch at this size...
   double max_delay_us = 200.0;  // ...or this long after its first request
   std::size_t queue_capacity = 1024;  // admission bound (backpressure)
-  std::size_t cache_budget_bytes = 0;  // per-engine hot-row cache; 0 = off
+  std::size_t cache_budget_bytes = 0;  // per-context hot-row cache; 0 = off
 };
 
 // What a request's future resolves to.
 struct AsyncResult {
-  std::vector<float> logits;  // [output_dim]
+  std::vector<float> logits;  // [output_dim of the serving model]
+  std::string model_id;       // which registry entry served the request
+  std::uint64_t model_version = 0;  // which version of it (swap audit trail)
   double queue_wait_ms = 0;   // enqueue -> worker picked the batch up
   double service_ms = 0;      // fused micro-batch execution (wall)
   double total_ms = 0;        // enqueue -> completion
   Index batch = 0;            // size of the micro-batch this request rode in
 };
 
+// A request explicitly routed to a registry model (the serve() overload
+// that drives mixed multi-model traffic).
+struct RoutedRequest {
+  std::string model_id;
+  std::vector<std::int32_t> history;
+};
+
 class AsyncServer {
  public:
+  // Model id used by the single-model convenience constructor and by the
+  // submit()/serve() overloads that do not name a model.
+  static constexpr const char* kDefaultModelId = "default";
+
+  // Single-model convenience: wraps `model` in a private registry under
+  // kDefaultModelId. The model must outlive the server.
   AsyncServer(const MmapModel& model, const DeviceProfile& profile,
               AsyncServerConfig config);
+
+  // Multi-tenant: serves every model in `registry`, which must outlive the
+  // server. `default_model_id` (which must be registered) answers the
+  // un-routed submit()/serve() calls and output_dim().
+  AsyncServer(ModelRegistry& registry, std::string default_model_id,
+              const DeviceProfile& profile, AsyncServerConfig config);
+
   // Closes the queue, drains every accepted request, joins all threads.
   ~AsyncServer();
 
@@ -127,44 +195,90 @@ class AsyncServer {
 
   // Enqueues a request; BLOCKS while the queue is at capacity
   // (backpressure). The future resolves once a worker completed the
-  // request's micro-batch.
+  // request's micro-batch. The routed overload fails (check) for a model id
+  // the registry does not currently hold.
   std::future<AsyncResult> submit(std::vector<std::int32_t> history);
+  std::future<AsyncResult> submit(std::string model_id,
+                                  std::vector<std::int32_t> history);
 
-  // Non-blocking admission: false (and no future) when the queue is full
-  // or the server is shutting down.
+  // Non-blocking admission: false (and no future) when the queue is full,
+  // the server is shutting down, or the model id is unknown.
   bool try_submit(std::vector<std::int32_t> history,
+                  std::future<AsyncResult>* out);
+  bool try_submit(std::string model_id, std::vector<std::int32_t> history,
                   std::future<AsyncResult>* out);
 
   // Convenience driver: submits `requests` (repeated `repeat` times) from
   // this thread — paced at `arrival_qps` when nonzero (open-loop arrivals),
   // as fast as backpressure admits otherwise — waits for every completion,
   // and aggregates the report. When `logits_out` is non-null it is filled
-  // with the first repetition's logits, row r = requests[r].
+  // with the first repetition's logits, row r = requests[r]. All requests
+  // go to the default model.
   ServingReport serve(const std::vector<std::vector<std::int32_t>>& requests,
                       int repeat = 1, double arrival_qps = 0.0,
                       Tensor* logits_out = nullptr);
 
+  // Mixed-traffic driver: like serve(), but each request names its model.
+  // Output dims may differ per model, so first-repetition logits (when
+  // requested) come back as one vector per request instead of a Tensor.
+  ServingReport serve(const std::vector<RoutedRequest>& requests,
+                      int repeat = 1, double arrival_qps = 0.0,
+                      std::vector<std::vector<float>>* logits_out = nullptr);
+
   const AsyncServerConfig& config() const { return config_; }
-  int threads() const { return static_cast<int>(engines_.size()); }
-  Index output_dim() const { return engines_.front()->output_dim(); }
+  int threads() const { return config_.threads; }
+  const ModelRegistry& registry() const { return *registry_; }
+  const std::string& default_model_id() const { return default_model_; }
+  // Default model's output width (plan-derived; never touches a worker).
+  Index output_dim() const;
+
+  // Lifetime count of requests whose futures have been resolved (including
+  // failed ones). Lets external observers — e.g. a deploy driver deciding
+  // when to swap() — watch progress without joining the drain.
+  std::uint64_t completed_requests() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
 
   // Backpressure observability (lifetime totals of the admission queue).
   std::size_t queue_capacity() const { return queue_.capacity(); }
   std::size_t queue_high_water() const { return queue_.high_water(); }
   std::uint64_t rejected() const { return queue_.rejected(); }
 
-  // Aggregated hot-row cache counters across worker engines.
+  // Aggregated hot-row cache counters across worker contexts since the
+  // last serve() began (all counters flow through the stats mutex, so this
+  // is safe to call whenever the caller holds no in-flight futures).
   RowCacheStats cache_stats() const;
   double max_resident_megabytes() const;
 
  private:
   struct QueuedRequest {
+    std::string model_id;
     std::vector<std::int32_t> history;
     std::promise<AsyncResult> promise;
     SteadyClock::time_point enqueue_tp;
   };
   struct BatchTask {
+    std::string model_id;
+    // Pinned at micro-batch formation: a concurrent swap() cannot retarget
+    // an in-flight batch.
+    std::shared_ptr<const CompiledModel> compiled;
+    std::uint64_t version = 0;
     std::vector<QueuedRequest> requests;
+  };
+  // Per-(worker, model) slice of the per-batch accounting below.
+  struct ModelLane {
+    std::uint64_t version = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    std::vector<double> total_ms;
+    double modeled_busy_ms = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    bool cache_enabled = false;
+    std::size_t cache_resident_bytes = 0;  // post-batch snapshot
+    std::size_t cache_capacity_bytes = 0;  // post-batch snapshot
+    double resident_mb = 0;                // post-batch snapshot
+    std::size_t plan_bytes = 0;            // served plan (shared, not per worker)
   };
   // Per-batch accounting a worker appends under stats_mutex_; serve()
   // snapshots these after every future it waits on has resolved.
@@ -175,18 +289,41 @@ class AsyncServer {
     double modeled_busy_ms = 0;
     std::uint64_t batches = 0;
     std::uint64_t requests = 0;
+    std::map<std::string, ModelLane> models;
   };
 
+  QueuedRequest make_request(std::string model_id,
+                             std::vector<std::int32_t> history) const;
+  // Validates config + default model and spawns the pipeline threads; the
+  // shared tail of both constructors.
+  void start();
   void scheduler_loop();
   void worker_loop(std::size_t worker);
   void reset_stats();
+  // Non-owning view of one request of a serve() corpus: both serve()
+  // overloads flatten to these so the un-routed one does not have to copy
+  // every history into a temporary RoutedRequest just to attach the
+  // default model id (submit() copies per repetition anyway).
+  struct RequestRef {
+    const std::string* model_id = nullptr;
+    const std::vector<std::int32_t>* history = nullptr;
+  };
+  ServingReport drive(const std::vector<RequestRef>& requests, int repeat,
+                      double arrival_qps,
+                      std::vector<std::vector<float>>* logits_out);
 
   AsyncServerConfig config_;
-  std::vector<std::unique_ptr<InferenceEngine>> engines_;
+  DeviceProfile profile_;
+  // Single-model mode owns its registry; multi-tenant mode points at the
+  // caller's.
+  std::unique_ptr<ModelRegistry> owned_registry_;
+  ModelRegistry* registry_ = nullptr;
+  std::string default_model_;
   RequestQueue<QueuedRequest> queue_;     // producers -> scheduler
   RequestQueue<BatchTask> dispatch_;      // scheduler -> workers
   std::vector<WorkerStats> worker_stats_;
   mutable std::mutex stats_mutex_;
+  std::atomic<std::uint64_t> completed_{0};
   std::thread scheduler_;
   std::vector<std::thread> workers_;
 };

@@ -137,8 +137,13 @@ std::vector<std::pair<std::string, Tensor*>> RecModel::named_tensors() {
   return named;
 }
 
-void RecModel::export_mcm(const std::string& path, DType dtype) {
+void RecModel::export_mcm(const std::string& path, DType dtype,
+                          const std::string& model_name,
+                          std::uint64_t model_version) {
   ModelWriter writer(path);
+  if (!model_name.empty()) {
+    writer.set_model_identity(model_name, model_version);
+  }
   writer.set_metadata("arch", config_.arch == ModelArch::kClassification
                                   ? "classification"
                                   : "ranking");

@@ -56,7 +56,13 @@ class RecModel {
 
   // Serializes to the on-device .mcm format, quantizing every tensor to
   // `dtype`. The tensor names match what ondevice::InferenceEngine expects.
-  void export_mcm(const std::string& path, DType dtype = DType::kF32);
+  // A non-empty `model_name` stamps deployment identity metadata
+  // (ModelWriter::set_model_identity) with `model_version`, which the
+  // serving-side ModelRegistry enforces to be monotonically increasing
+  // across hot swaps; the defaults write a legacy file with no identity.
+  void export_mcm(const std::string& path, DType dtype = DType::kF32,
+                  const std::string& model_name = "",
+                  std::uint64_t model_version = 1);
 
   // Loads (dequantized) weights back from an exported .mcm file. The model
   // must have been constructed with the same ModelConfig. Used by the A.2

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/sampling.h"
+#include "ondevice/registry.h"
 #include "ondevice/serving.h"
 #include "repro/model.h"
 #include "test_util.h"
@@ -81,7 +82,8 @@ class DifferentialTest : public ::testing::TestWithParam<TechniqueKind> {
     }
   }
 
-  std::string export_model(TechniqueKind kind, DType dtype) {
+  std::string export_model(TechniqueKind kind, DType dtype,
+                           std::uint64_t version = 1) {
     ModelConfig config;
     config.embedding.kind = kind;
     config.embedding.vocab = kVocab;
@@ -103,9 +105,12 @@ class DifferentialTest : public ::testing::TestWithParam<TechniqueKind> {
     RecModel model(config);
     auto p = std::filesystem::temp_directory_path() /
              ("memcom_diff_" + std::string(technique_name(kind)) + "_" +
-              dtype_name(dtype) + ".mcm");
+              dtype_name(dtype) + "_v" + std::to_string(version) + ".mcm");
     paths_.push_back(p);
-    model.export_mcm(p.string(), dtype);
+    // Same seed each version: the weights are bit-identical, so the
+    // post-swap path below can demand bit-identical logits; the version
+    // stamp is what changes.
+    model.export_mcm(p.string(), dtype, "diff", version);
     return p.string();
   }
 
@@ -137,7 +142,8 @@ void expect_bit_identical(const float* actual, const Tensor& expected,
 void check_all_paths(const MmapModel& model,
                      const std::vector<std::vector<std::int32_t>>& corpus,
                      const std::vector<Tensor>& expected,
-                     const std::string& tag) {
+                     const std::string& tag, const std::string& path,
+                     const std::string& swap_path) {
   // --- run_view -----------------------------------------------------------
   {
     InferenceEngine engine(model, tflite_profile());
@@ -222,26 +228,63 @@ void check_all_paths(const MmapModel& model,
       }
     }
   }
+  // --- ModelRegistry-served, then again after a hot swap ------------------
+  // swap_path carries the SAME weights under a higher declared version, so
+  // the post-swap drain must reproduce every logit bit — the swap machinery
+  // (version pinning, context re-bind, cold cache rebuild) may not perturb
+  // a single bit anywhere.
+  {
+    ModelRegistry registry;
+    registry.load("diff", path);
+    AsyncServerConfig config;
+    config.threads = 2;
+    config.max_batch = 4;
+    config.max_delay_us = 50.0;
+    config.queue_capacity = 16;
+    config.cache_budget_bytes = kCacheBudget;
+    AsyncServer server(registry, "diff", tflite_profile(), config);
+    {
+      Tensor served;
+      server.serve(corpus, 1, 0.0, &served);
+      for (std::size_t r = 0; r < corpus.size(); ++r) {
+        expect_bit_identical(&served.at2(static_cast<Index>(r), 0),
+                             expected[r], tag + "/registry", r);
+      }
+    }
+    registry.swap("diff", swap_path);
+    {
+      Tensor served;
+      server.serve(corpus, 1, 0.0, &served);
+      for (std::size_t r = 0; r < corpus.size(); ++r) {
+        expect_bit_identical(&served.at2(static_cast<Index>(r), 0),
+                             expected[r], tag + "/post_swap", r);
+      }
+    }
+  }
 }
 
 TEST_P(DifferentialTest, AllPathsBitIdenticalF32) {
   const TechniqueKind kind = GetParam();
   const std::string path = export_model(kind, DType::kF32);
+  const std::string swap_path = export_model(kind, DType::kF32, 2);
   const MmapModel model(path);
   const auto corpus = edge_case_corpus();
   const auto expected = reference_logits(model, corpus);
   check_all_paths(model, corpus, expected,
-                  std::string(technique_name(kind)) + "/f32");
+                  std::string(technique_name(kind)) + "/f32", path,
+                  swap_path);
 }
 
 TEST_P(DifferentialTest, AllPathsBitIdenticalQuantizedI8) {
   const TechniqueKind kind = GetParam();
   const std::string path = export_model(kind, DType::kI8);
+  const std::string swap_path = export_model(kind, DType::kI8, 2);
   const MmapModel model(path);
   const auto corpus = edge_case_corpus();
   const auto expected = reference_logits(model, corpus);
   check_all_paths(model, corpus, expected,
-                  std::string(technique_name(kind)) + "/i8");
+                  std::string(technique_name(kind)) + "/i8", path,
+                  swap_path);
 }
 
 INSTANTIATE_TEST_SUITE_P(

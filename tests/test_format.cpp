@@ -56,6 +56,39 @@ TEST_F(FormatTest, WriteReadRoundTripF32) {
   EXPECT_EQ(model.tensor_names().size(), 2u);
 }
 
+TEST_F(FormatTest, ModelIdentityRoundTrips) {
+  const std::string path = temp_path();
+  ModelWriter writer(path);
+  writer.set_model_identity("sessionrec", 7);
+  writer.add_tensor("alpha", Tensor::full({4}, 1.0f));
+  writer.finish();
+
+  const MmapModel model(path);
+  EXPECT_TRUE(model.has_model_identity());
+  EXPECT_EQ(model.model_name(), "sessionrec");
+  EXPECT_EQ(model.model_version(), 7u);
+}
+
+TEST_F(FormatTest, LegacyFileWithoutIdentityReportsSentinels) {
+  // Files written before set_model_identity existed must keep loading; the
+  // accessors report the "no identity" sentinels instead of throwing.
+  const std::string path = temp_path();
+  ModelWriter writer(path);
+  writer.add_tensor("alpha", Tensor::full({4}, 1.0f));
+  writer.finish();
+
+  const MmapModel model(path);
+  EXPECT_FALSE(model.has_model_identity());
+  EXPECT_EQ(model.model_name(), "");
+  EXPECT_EQ(model.model_version(), 0u);
+}
+
+TEST_F(FormatTest, InvalidModelIdentityRejected) {
+  ModelWriter writer(temp_path());
+  EXPECT_THROW(writer.set_model_identity("", 1), std::runtime_error);
+  EXPECT_THROW(writer.set_model_identity("name", 0), std::runtime_error);
+}
+
 TEST_F(FormatTest, QuantizedTensorsRoundTripWithinBound) {
   const std::string path = temp_path();
   Rng rng(162);

@@ -97,6 +97,42 @@ TEST_F(McmBenchTest, AsyncModeReportsPipelineColumns) {
   EXPECT_NE(result.output.find("hit%"), std::string::npos);
 }
 
+TEST_F(McmBenchTest, MultiModelModeReportsPerModelAndHotSwaps) {
+  const std::string path_b =
+      (std::filesystem::temp_directory_path() /
+       "memcom_bench_tool_test_b.mcm")
+          .string();
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, 300, 16, 32};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = 24;
+  config.seed = 7;
+  RecModel model_a(config);
+  model_a.export_mcm(path_);
+  config.embedding.kind = TechniqueKind::kQrMult;
+  config.seed = 9;
+  RecModel model_b(config);
+  model_b.export_mcm(path_b);
+
+  const ToolResult result = run_tool(
+      "--models \"" + path_ + "," + path_b +
+      "\" --threads 2 --requests 12 --repeat 2 --max-batch 4 "
+      "--cache-kb 32 --swap-after 8");
+  std::error_code ec;
+  std::filesystem::remove(path_b, ec);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("technique=memcom"), std::string::npos);
+  EXPECT_NE(result.output.find("technique=qr_mult"), std::string::npos);
+  EXPECT_NE(result.output.find("multi-tenant serving (2 models"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("per-model breakdown"), std::string::npos);
+  // The exports carry no identity metadata, so the same-file republish is
+  // a legal version bump and the swap must land mid-drain or right at its
+  // end — either way the tool reports it.
+  EXPECT_NE(result.output.find("hot-swapped"), std::string::npos);
+  EXPECT_NE(result.output.find("to v2"), std::string::npos);
+}
+
 TEST_F(McmBenchTest, MissingArgumentFailsWithUsage) {
   const ToolResult result = run_tool("");
   EXPECT_EQ(result.exit_code, 2);

@@ -82,6 +82,10 @@ TEST_F(McmInspectTest, SummarizesRoundTrippedModel) {
   EXPECT_NE(result.output.find("technique = memcom"), std::string::npos);
   EXPECT_NE(result.output.find("embedding_dim = 8"), std::string::npos);
 
+  // This writer stamped no identity: the inspector must say so (legacy
+  // files keep working) rather than fail or print garbage.
+  EXPECT_NE(result.output.find("legacy file"), std::string::npos);
+
   // Tensor directory lists both tensors with dtype and shape.
   EXPECT_NE(result.output.find("embedding"), std::string::npos);
   EXPECT_NE(result.output.find("bias"), std::string::npos);
@@ -96,6 +100,23 @@ TEST_F(McmInspectTest, SummarizesRoundTrippedModel) {
   EXPECT_NE(
       result.output.find("total tensor payload: " + std::to_string(payload)),
       std::string::npos);
+}
+
+TEST_F(McmInspectTest, PrintsModelIdentityWhenStamped) {
+  ModelWriter writer(path_);
+  writer.set_model_identity("sessionrec", 12);
+  writer.set_metadata("technique", "memcom");
+  writer.add_tensor("bias", Tensor::full({4}, 0.5f));
+  writer.finish();
+
+  const ToolResult result = run_tool("\"" + path_ + "\"");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("model: sessionrec (version 12)"),
+            std::string::npos);
+  EXPECT_EQ(result.output.find("legacy file"), std::string::npos);
+  // The identity also rides in the ordinary metadata listing.
+  EXPECT_NE(result.output.find("model_name = sessionrec"), std::string::npos);
+  EXPECT_NE(result.output.find("model_version = 12"), std::string::npos);
 }
 
 TEST_F(McmInspectTest, StatsFlagPrintsDequantizedStatistics) {

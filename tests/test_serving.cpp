@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <stdexcept>
 #include <vector>
 
 #include "repro/model.h"
@@ -140,6 +141,75 @@ TEST_F(ServingTest, ReportIsInternallyConsistent) {
   // The whole drain can't be faster than its slowest request.
   EXPECT_GE(report.wall_ms, report.latency.max_ms);
   EXPECT_GT(harness.max_resident_megabytes(), 0.0);
+}
+
+TEST_F(ServingTest, NonPositiveThreadCountRejectedUpFront) {
+  // Both serving layers must reject a 0/negative pool at construction —
+  // otherwise output_dim() would dereference an empty engine list (UB).
+  // The engine split moved these checks; this pins that they still fire
+  // before any thread spawns.
+  const std::string path =
+      export_model(TechniqueKind::kMemcom, ModelArch::kRanking, "degenerate");
+  const MmapModel mapped(path);
+  EXPECT_THROW(ServingHarness(mapped, tflite_profile(), 0),
+               std::runtime_error);
+  EXPECT_THROW(ServingHarness(mapped, tflite_profile(), -4),
+               std::runtime_error);
+  AsyncServerConfig config;
+  config.threads = 0;
+  EXPECT_THROW(AsyncServer(mapped, tflite_profile(), config),
+               std::runtime_error);
+  config.threads = -2;
+  EXPECT_THROW(AsyncServer(mapped, tflite_profile(), config),
+               std::runtime_error);
+  // The checks reject before any thread spawns, so a valid construction
+  // right after the failures works normally.
+  ServingHarness harness(mapped, tflite_profile(), 1);
+  EXPECT_EQ(harness.threads(), 1);
+  EXPECT_GT(harness.output_dim(), 0);
+}
+
+TEST_F(ServingTest, PlanCompiledOnceAndSharedAcrossWorkers) {
+  // Factorized has the largest plan (the pre-dequantized [h, e] projection),
+  // so plan duplication would be most visible here.
+  const std::string path = export_model(
+      TechniqueKind::kFactorized, ModelArch::kClassification, "sharedplan");
+  const MmapModel mapped(path);
+
+  InferenceEngine single(mapped, tflite_profile());
+  const std::size_t one_plan = single.plan_resident_bytes();
+  ASSERT_GT(one_plan, 0u);
+
+  // The PR-3 layout compiled one private plan per worker: N x one_plan.
+  constexpr int kWorkers = 4;
+  std::size_t duplicated = 0;
+  for (int i = 0; i < kWorkers; ++i) {
+    InferenceEngine private_engine(mapped, tflite_profile());
+    duplicated += private_engine.plan_resident_bytes();
+  }
+  EXPECT_EQ(duplicated, static_cast<std::size_t>(kWorkers) * one_plan);
+
+  // The harness shares ONE plan: the fleet's plan bytes equal a single
+  // compile, regardless of worker count...
+  ServingHarness harness(mapped, tflite_profile(), kWorkers);
+  EXPECT_EQ(harness.plan_resident_bytes(), one_plan);
+  EXPECT_LT(harness.plan_resident_bytes(), duplicated);
+  for (int w = 0; w < harness.threads(); ++w) {
+    EXPECT_EQ(&harness.engine(w).compiled(), &harness.compiled());
+  }
+
+  // ...and the shared plan still serves bit-identical logits with the
+  // page-touch metering of the uncached path unchanged per worker.
+  const auto requests = make_requests(12);
+  InferenceEngine reference(mapped, tflite_profile());
+  Tensor served;
+  harness.serve(requests, 1, &served);
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const Tensor expected = reference.run(requests[r]).logits;
+    for (Index c = 0; c < expected.numel(); ++c) {
+      EXPECT_EQ(served.at2(static_cast<Index>(r), c), expected[c]);
+    }
+  }
 }
 
 TEST_F(ServingTest, WorkersMeterIndependently) {

@@ -358,6 +358,243 @@ TEST_F(AsyncStressTest, ReportIsInternallyConsistent) {
   EXPECT_GE(second.cache.hits, report.cache.hits);
 }
 
+TEST_F(AsyncStressTest, HotSwapUnderConcurrentTrafficIsBitExactPerVersion) {
+  // Producers stream requests while the registry publishes v2 mid-traffic.
+  // Contract: every future resolves; each result is bit-identical to a
+  // sequential run on WHICHEVER version served it (the result says which);
+  // the old version's plan+mapping are released once in-flight work drains.
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, 200, 16, 32};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = 20;
+
+  const auto export_version = [&](std::uint64_t seed, std::uint64_t version) {
+    config.seed = seed;
+    RecModel model(config);
+    auto p = std::filesystem::temp_directory_path() /
+             ("memcom_hotswap_v" + std::to_string(version) + ".mcm");
+    paths_.push_back(p);
+    model.export_mcm(p.string(), DType::kF32, "hotswap", version);
+    return p.string();
+  };
+  const std::string v1_path = export_version(1001, 1);
+  const std::string v2_path = export_version(2002, 2);
+
+  const MmapModel v1_mapped(v1_path);
+  const MmapModel v2_mapped(v2_path);
+  InferenceEngine v1_reference(v1_mapped, tflite_profile());
+  InferenceEngine v2_reference(v2_mapped, tflite_profile());
+
+  ModelRegistry registry;
+  registry.load("m", v1_path);
+  std::shared_ptr<const CompiledModel> old_plan = registry.acquire("m");
+
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 60;
+  AsyncServerConfig server_config;
+  server_config.threads = 2;
+  server_config.max_batch = 4;
+  server_config.max_delay_us = 100.0;
+  server_config.queue_capacity = 8;
+  server_config.cache_budget_bytes = 16 * 1024;
+
+  struct Submitted {
+    std::vector<std::int32_t> history;
+    std::future<AsyncResult> future;
+  };
+  std::vector<std::vector<Submitted>> per_producer(kProducers);
+  std::uint64_t served_by_v1 = 0;
+  std::uint64_t served_by_v2 = 0;
+  {
+    AsyncServer server(registry, "m", tflite_profile(), server_config);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&server, &per_producer, p] {
+        std::mt19937 rng(static_cast<unsigned>(91 + p));
+        std::uniform_int_distribution<int> delay_us(0, 120);
+        for (int i = 0; i < kPerProducer; ++i) {
+          Submitted s;
+          s.history = random_history(rng);
+          s.future = server.submit("m", s.history);
+          per_producer[static_cast<std::size_t>(p)].push_back(std::move(s));
+          if (const int d = delay_us(rng); d > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(d));
+          }
+        }
+      });
+    }
+    // Swap once roughly a third of the traffic has completed, so both
+    // versions demonstrably serve (v1 before, v2 after; batches formed
+    // around the swap pin whichever version they started with).
+    while (server.completed_requests() <
+           static_cast<std::uint64_t>(kProducers) * kPerProducer / 3) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    EXPECT_EQ(registry.swap("m", v2_path), 2u);
+    for (auto& t : producers) {
+      t.join();
+    }
+
+    std::uint64_t resolved = 0;
+    for (auto& produced : per_producer) {
+      for (Submitted& s : produced) {
+        const AsyncResult result = s.future.get();
+        ++resolved;
+        ASSERT_TRUE(result.model_version == 1 || result.model_version == 2);
+        InferenceEngine& reference =
+            result.model_version == 1 ? v1_reference : v2_reference;
+        (result.model_version == 1 ? served_by_v1 : served_by_v2) += 1;
+        const Tensor expected = reference.run(s.history).logits;
+        ASSERT_EQ(static_cast<Index>(result.logits.size()),
+                  expected.numel());
+        for (Index c = 0; c < expected.numel(); ++c) {
+          ASSERT_EQ(result.logits[static_cast<std::size_t>(c)], expected[c])
+              << "version " << result.model_version << " logit " << c;
+        }
+      }
+    }
+    EXPECT_EQ(resolved,
+              static_cast<std::uint64_t>(kProducers) * kPerProducer);
+    // The swap landed mid-traffic: v2 must have served, and the swap gate
+    // (a third completed before publication) guarantees v1 did too.
+    EXPECT_GT(served_by_v1, 0u);
+    EXPECT_GT(served_by_v2, 0u);
+  }
+  // Server destroyed: every in-flight batch and worker context has drained,
+  // so the test handle is the LAST reference to v1 — the registry moved on
+  // at swap time. Dropping it releases the old plan and its mmap.
+  EXPECT_EQ(old_plan.use_count(), 1);
+  EXPECT_EQ(registry.acquire("m")->model_version(), 2u);
+}
+
+TEST_F(AsyncStressTest, IdleWorkerLaneReleasesSwappedPlanUnderOtherTraffic) {
+  // Regression: a worker keeps one ExecutionContext lane per model id. If a
+  // model is swapped (or retired) and never sees traffic again, its lane
+  // must not pin the superseded plan until server destruction — completing
+  // a batch of ANY model prunes every stale lane.
+  const std::string a_v1 = export_model(TechniqueKind::kMemcom, "idlelane_a1");
+  const std::string a_v2 = export_model(TechniqueKind::kMemcom, "idlelane_a2");
+  const std::string b = export_model(TechniqueKind::kQrMult, "idlelane_b");
+
+  ModelRegistry registry;
+  registry.load("a", a_v1);
+  registry.load("b", b);
+  std::shared_ptr<const CompiledModel> old_plan = registry.acquire("a");
+
+  AsyncServerConfig config;
+  config.threads = 1;  // deterministic: one worker owns both lanes
+  config.max_batch = 2;
+  config.max_delay_us = 50.0;
+
+  AsyncServer server(registry, "a", tflite_profile(), config);
+  std::mt19937 rng(515);
+  // Bind the worker's "a" lane to v1.
+  server.submit("a", random_history(rng)).get();
+  // Swap "a" while its lane idles; all further traffic goes to "b".
+  EXPECT_EQ(registry.swap("a", a_v2), 2u);
+  server.submit("b", random_history(rng)).get();
+
+  // The "b" batch completion prunes the stale "a" lane. The prune runs
+  // just AFTER the future resolves, so allow it a bounded moment to land.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (old_plan.use_count() > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Only the test handle is left: the v1 plan (and its mmap) drained with
+  // the server still running.
+  EXPECT_EQ(old_plan.use_count(), 1);
+  // The swapped model still serves — on a freshly bound v2 lane.
+  const AsyncResult post = server.submit("a", random_history(rng)).get();
+  EXPECT_EQ(post.model_version, 2u);
+}
+
+TEST_F(AsyncStressTest, MixedModelTrafficRoutesAndReportsPerModel) {
+  // Two models behind one server: interleaved traffic must route each
+  // request to its model (different output widths make cross-routing
+  // impossible to miss) and the report must break down per model.
+  ModelConfig small;
+  small.embedding = {TechniqueKind::kMemcom, 200, 16, 32};
+  small.arch = ModelArch::kClassification;
+  small.output_vocab = 12;
+  small.seed = 31;
+  ModelConfig large;
+  large.embedding = {TechniqueKind::kQrMult, 200, 16, 32};
+  large.arch = ModelArch::kClassification;
+  large.output_vocab = 28;
+  large.seed = 32;
+
+  const auto export_config = [&](const ModelConfig& model_config,
+                                 const std::string& tag) {
+    RecModel model(model_config);
+    auto p = std::filesystem::temp_directory_path() /
+             ("memcom_mixed_" + tag + ".mcm");
+    paths_.push_back(p);
+    model.export_mcm(p.string());
+    return p.string();
+  };
+  const std::string small_path = export_config(small, "small");
+  const std::string large_path = export_config(large, "large");
+
+  ModelRegistry registry;
+  registry.load("small", small_path);
+  registry.load("large", large_path);
+
+  AsyncServerConfig config;
+  config.threads = 2;
+  config.max_batch = 4;
+  config.max_delay_us = 100.0;
+  config.queue_capacity = 16;
+  config.cache_budget_bytes = 16 * 1024;
+  AsyncServer server(registry, "small", tflite_profile(), config);
+  EXPECT_EQ(server.output_dim(), 12);
+
+  std::mt19937 rng(77);
+  std::vector<RoutedRequest> requests;
+  for (int i = 0; i < 40; ++i) {
+    requests.push_back(
+        RoutedRequest{i % 2 == 0 ? "small" : "large", random_history(rng)});
+  }
+  std::vector<std::vector<float>> logits;
+  const ServingReport report = server.serve(requests, 2, 0.0, &logits);
+
+  EXPECT_EQ(report.requests, 80u);
+  ASSERT_EQ(logits.size(), requests.size());
+  const MmapModel small_mapped(small_path);
+  const MmapModel large_mapped(large_path);
+  InferenceEngine small_reference(small_mapped, tflite_profile());
+  InferenceEngine large_reference(large_mapped, tflite_profile());
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    InferenceEngine& reference =
+        requests[r].model_id == "small" ? small_reference : large_reference;
+    const Tensor expected = reference.run(requests[r].history).logits;
+    ASSERT_EQ(static_cast<Index>(logits[r].size()), expected.numel())
+        << requests[r].model_id << " request " << r;
+    for (Index c = 0; c < expected.numel(); ++c) {
+      EXPECT_EQ(logits[r][static_cast<std::size_t>(c)], expected[c])
+          << requests[r].model_id << " request " << r << " logit " << c;
+    }
+  }
+
+  // Per-model breakdown: both models present, request counts split evenly,
+  // latency sample counts match, caches engaged per model.
+  ASSERT_EQ(report.per_model.size(), 2u);
+  std::uint64_t breakdown_total = 0;
+  for (const ModelReport& model : report.per_model) {
+    EXPECT_TRUE(model.model_id == "small" || model.model_id == "large");
+    EXPECT_EQ(model.requests, 40u);
+    EXPECT_EQ(model.latency.runs, 40);
+    EXPECT_GT(model.modeled_busy_ms, 0.0);
+    EXPECT_GT(model.modeled_qps, 0.0);
+    EXPECT_EQ(model.version, 1u);
+    EXPECT_TRUE(model.cache.enabled);
+    EXPECT_GT(model.cache.hits + model.cache.misses, 0u);
+    breakdown_total += model.requests;
+  }
+  EXPECT_EQ(breakdown_total, report.requests);
+}
+
 TEST_F(AsyncStressTest, TrySubmitRejectsWhenQueueSaturated) {
   const std::string path = export_model(TechniqueKind::kMemcom, "reject");
   const MmapModel model(path);

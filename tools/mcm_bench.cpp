@@ -1,37 +1,85 @@
-// mcm_bench — latency + serving-throughput benchmark for an exported .mcm
-// model, driven through the zero-allocation inference fast path.
+// mcm_bench — latency + serving-throughput benchmark for exported .mcm
+// models, driven through the zero-allocation inference fast path.
 //
 //   ./mcm_bench model.mcm [--runs 1000] [--threads 4] [--requests 256]
 //               [--repeat 8] [--seq-len 32] [--profile coreml|tflite]
 //               [--async] [--max-batch 8] [--max-delay-us 200]
 //               [--queue-cap 256] [--cache-kb 0] [--arrival-qps 0]
+//   ./mcm_bench --models a.mcm,b.mcm [--swap-after N] [serving flags above]
 //
 // Prints the single-input latency distribution (mean/min/p50/p95/p99/max,
 // the paper's §5.3 metric) and the multi-threaded serving report (QPS,
 // per-request wall latency percentiles). With --async it also drives the
 // open-loop micro-batching pipeline and reports the queue-wait vs
 // service-time split, modeled-device QPS, and the hot-row cache hit rate.
+//
+// With --models the tool loads every file into a ModelRegistry, drives
+// interleaved multi-tenant traffic through one AsyncServer, and prints the
+// per-model breakdown. --swap-after N hot-swaps the FIRST model (its file
+// re-published as a new version) once N requests have completed — a live
+// demonstration of zero-downtime swap under traffic. Files that declare
+// identity metadata must declare a higher model_version to be accepted.
+#include <atomic>
+#include <filesystem>
 #include <iostream>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/flags.h"
 #include "core/rng.h"
 #include "core/table.h"
+#include "ondevice/registry.h"
 #include "ondevice/serving.h"
 
 using namespace memcom;
 
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::int32_t>> random_requests(Index vocab,
+                                                       Index seq_len,
+                                                       int count,
+                                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::int32_t>> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::vector<std::int32_t> history(static_cast<std::size_t>(seq_len));
+    for (auto& id : history) {
+      id = static_cast<std::int32_t>(1 + rng.uniform_index(vocab - 1));
+    }
+    requests.push_back(std::move(history));
+  }
+  return requests;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  if (flags.positional().empty()) {
+  const std::string models_flag = flags.get_string("models", "");
+  if (flags.positional().empty() && models_flag.empty()) {
     std::cerr << "usage: mcm_bench <model.mcm> [--runs N] [--threads N] "
                  "[--requests N] [--repeat N] [--seq-len L] "
                  "[--profile coreml|tflite] [--async] [--max-batch N] "
                  "[--max-delay-us U] [--queue-cap N] [--cache-kb K] "
-                 "[--arrival-qps Q]\n";
+                 "[--arrival-qps Q]\n"
+                 "       mcm_bench --models a.mcm,b.mcm [--swap-after N] "
+                 "[serving flags]\n";
     return 2;
   }
-  const std::string path = flags.positional()[0];
   const int runs = static_cast<int>(flags.get_int("runs", 1000));
   const int threads = static_cast<int>(flags.get_int("threads", 4));
   const int request_count = static_cast<int>(flags.get_int("requests", 256));
@@ -63,7 +111,144 @@ int main(int argc, char** argv) {
   }
   const DeviceProfile profile =
       profile_name == "tflite" ? tflite_profile() : coreml_profile("all");
+  const std::int64_t swap_after = flags.get_int("swap-after", 0);
+  if (swap_after < 0) {
+    std::cerr << "mcm_bench: --swap-after must be non-negative\n";
+    return 2;
+  }
 
+  // ---- Multi-tenant mode: a registry of models behind one AsyncServer ----
+  if (!models_flag.empty()) {
+    const std::vector<std::string> model_paths = split_csv(models_flag);
+    if (model_paths.empty()) {
+      std::cerr << "mcm_bench: --models needs at least one path\n";
+      return 2;
+    }
+    ModelRegistry registry;
+    std::vector<std::string> ids;
+    for (std::size_t i = 0; i < model_paths.size(); ++i) {
+      std::string id = std::filesystem::path(model_paths[i]).stem().string();
+      if (registry.has_model(id)) {
+        id.push_back('#');
+        id += std::to_string(i);
+      }
+      registry.load(id, model_paths[i]);
+      ids.push_back(std::move(id));
+      const auto compiled = registry.acquire(ids.back());
+      std::cout << "loaded " << ids.back() << " v" << registry.version(ids.back())
+                << ": technique=" << compiled->technique()
+                << " arch=" << compiled->architecture()
+                << " vocab=" << compiled->vocab()
+                << " e=" << compiled->embed_dim()
+                << (compiled->model_name().empty()
+                        ? std::string()
+                        : "  (declares " + compiled->model_name() + " v" +
+                              std::to_string(compiled->model_version()) + ")")
+                << "\n";
+    }
+    std::cout << "profile=" << profile.label()
+              << "  plan bytes (all models, compiled once): "
+              << registry.plan_resident_bytes() << "\n\n";
+
+    // Interleaved traffic: request i goes to model i % M, with per-model
+    // histories drawn from that model's vocabulary.
+    std::vector<std::vector<std::vector<std::int32_t>>> per_model_requests;
+    for (std::size_t m = 0; m < ids.size(); ++m) {
+      per_model_requests.push_back(random_requests(
+          registry.acquire(ids[m])->vocab(), seq_len, request_count,
+          17 + m));
+    }
+    std::vector<RoutedRequest> routed;
+    routed.reserve(static_cast<std::size_t>(request_count) * ids.size());
+    for (int i = 0; i < request_count; ++i) {
+      for (std::size_t m = 0; m < ids.size(); ++m) {
+        routed.push_back(RoutedRequest{
+            ids[m], per_model_requests[m][static_cast<std::size_t>(i)]});
+      }
+    }
+
+    AsyncServerConfig config;
+    config.threads = threads;
+    config.max_batch = max_batch;
+    config.max_delay_us = max_delay_us;
+    config.queue_capacity = static_cast<std::size_t>(queue_cap);
+    config.cache_budget_bytes = static_cast<std::size_t>(cache_kb) * 1024;
+    AsyncServer server(registry, ids.front(), profile, config);
+
+    // Optional hot swap under traffic: once N requests completed, republish
+    // the first model's file as its next version.
+    std::atomic<bool> stop{false};
+    std::string swap_note;
+    std::thread swapper;
+    if (swap_after > 0) {
+      swapper = std::thread([&] {
+        while (!stop.load() && server.completed_requests() <
+                                   static_cast<std::uint64_t>(swap_after)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        // Re-check the THRESHOLD, not the stop flag: the drain can finish
+        // (setting stop) in the same instant the threshold is crossed, and
+        // a legitimately reached threshold must still swap.
+        if (server.completed_requests() <
+            static_cast<std::uint64_t>(swap_after)) {
+          return;
+        }
+        try {
+          const std::uint64_t version =
+              registry.swap(ids.front(), model_paths.front());
+          swap_note = "hot-swapped " + ids.front() + " to v" +
+                      std::to_string(version) + " after " +
+                      std::to_string(server.completed_requests()) +
+                      " completed requests (in-flight batches finished on "
+                      "the old version)";
+        } catch (const std::exception& e) {
+          swap_note = std::string("swap rejected: ") + e.what();
+        }
+      });
+    }
+
+    const ServingReport report = server.serve(routed, repeat, arrival_qps);
+    stop.store(true);
+    if (swapper.joinable()) {
+      swapper.join();
+    }
+    if (!swap_note.empty()) {
+      std::cout << swap_note << "\n\n";
+    }
+
+    TextTable overall({"threads", "models", "requests", "qps", "modeled qps",
+                       "p50 ms", "mean batch", "hit%"});
+    overall.add_row(
+        {std::to_string(report.threads), std::to_string(ids.size()),
+         std::to_string(report.requests), format_float(report.qps, 0),
+         format_float(report.modeled_qps, 0),
+         format_float(report.latency.p50_ms, 4),
+         format_float(report.mean_batch, 1),
+         report.cache.enabled
+             ? format_float(report.cache.hit_rate() * 100.0, 1)
+             : "off"});
+    std::cout << "multi-tenant serving (" << ids.size() << " models, "
+              << "interleaved traffic):\n"
+              << overall.to_string() << "\n";
+
+    TextTable per_model({"model", "version", "requests", "modeled qps",
+                         "p50 ms", "p95 ms", "hit%"});
+    for (const ModelReport& model : report.per_model) {
+      per_model.add_row(
+          {model.model_id, std::to_string(model.version),
+           std::to_string(model.requests),
+           format_float(model.modeled_qps, 0),
+           format_float(model.latency.p50_ms, 4),
+           format_float(model.latency.p95_ms, 4),
+           model.cache.enabled
+               ? format_float(model.cache.hit_rate() * 100.0, 1)
+               : "off"});
+    }
+    std::cout << "per-model breakdown:\n" << per_model.to_string();
+    return 0;
+  }
+
+  const std::string path = flags.positional()[0];
   const MmapModel model(path);
   const Index vocab = model.metadata_int("vocab");
   std::cout << "model: " << path << "  technique="

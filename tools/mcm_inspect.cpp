@@ -20,7 +20,13 @@ int main(int argc, char** argv) {
   const std::string path = flags.positional()[0];
   const MmapModel model(path);
 
-  std::cout << "file: " << path << " (" << model.file_size() << " bytes)\n\n";
+  std::cout << "file: " << path << " (" << model.file_size() << " bytes)\n";
+  if (model.has_model_identity()) {
+    std::cout << "model: " << model.model_name() << " (version "
+              << model.model_version() << ")\n\n";
+  } else {
+    std::cout << "model: (legacy file — no name/version metadata)\n\n";
+  }
   std::cout << "metadata:\n";
   for (const auto& [key, value] : model.metadata()) {
     std::cout << "  " << key << " = " << value << "\n";
