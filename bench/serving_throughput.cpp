@@ -29,6 +29,7 @@
 #include "core/flags.h"
 #include "core/rng.h"
 #include "core/table.h"
+#include "ondevice/quantize.h"
 #include "ondevice/registry.h"
 #include "ondevice/serving.h"
 #include "repro/model.h"
@@ -39,7 +40,8 @@ namespace {
 
 struct ResultRow {
   std::string technique;
-  std::string mode;  // "closed" | "async"
+  std::string mode;  // "closed" | "async" | "multi" | "residency"
+  std::string dtype = "f32";
   int threads = 0;
   Index max_batch = 1;       // micro-batch bound (1 for closed-loop)
   double offered_qps = 0;    // open-loop arrival rate (0 = unthrottled)
@@ -87,6 +89,7 @@ void write_json(const std::string& path, unsigned hardware_threads,
     const ResultRow& r = rows[i];
     out << "    {\"technique\": \"" << r.technique << "\", "
         << "\"mode\": \"" << r.mode << "\", "
+        << "\"dtype\": \"" << r.dtype << "\", "
         << "\"threads\": " << r.threads << ", "
         << "\"max_batch\": " << r.max_batch << ", "
         << "\"offered_qps\": " << r.offered_qps << ", "
@@ -329,6 +332,66 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Quantized residency: i8 vs i4g on a movielens Table-3 model -------
+  // Same memcom model exported at two embedding precisions; the closed-loop
+  // drain meters exactly the bytes each forward touches, so with correct
+  // sub-byte span accounting the 4-bit groupwise export must show a smaller
+  // resident footprint than int8 (nibbles + per-group f32 scales ~ 0.625x).
+  TextTable residency_table({"dtype", "kernel", "qps", "modeled qps",
+                             "p50 ms", "resident MB"});
+  {
+    const Index ml_vocab = smoke ? 2000 : 10000;  // paper movielens vocab
+    const Index ml_embed = smoke ? 32 : 64;
+    const Index ml_hash = std::max<Index>(8, ml_vocab / 16);
+    ModelConfig config;
+    config.embedding = {TechniqueKind::kMemcom, ml_vocab, ml_embed, ml_hash};
+    config.arch = ModelArch::kClassification;
+    config.output_vocab = smoke ? 32 : 500;
+    config.seed = 99;
+    RecModel model(config);
+
+    Rng ml_rng(13);
+    std::vector<std::vector<std::int32_t>> ml_requests;
+    ml_requests.reserve(static_cast<std::size_t>(request_count));
+    for (int i = 0; i < request_count; ++i) {
+      std::vector<std::int32_t> history(static_cast<std::size_t>(seq_len), 0);
+      for (Index t = 0; t < seq_len; ++t) {
+        history[static_cast<std::size_t>(t)] =
+            static_cast<std::int32_t>(1 + ml_rng.uniform_index(ml_vocab - 1));
+      }
+      ml_requests.push_back(std::move(history));
+    }
+
+    struct Variant {
+      const char* label;
+      DType dtype;
+      Index group_size;
+    };
+    for (const Variant v : {Variant{"i8", DType::kI8, 0},
+                            Variant{"i4g", DType::kI4G, kI4GroupDefault}}) {
+      const std::string path =
+          (std::filesystem::temp_directory_path() /
+           ("serving_residency_" + std::string(v.label) + ".mcm"))
+              .string();
+      model.export_mcm(path, v.dtype, /*model_name=*/"", /*model_version=*/1,
+                       v.group_size);
+      const MmapModel mapped(path);
+      ServingHarness harness(mapped, tflite_profile(), max_threads);
+      harness.serve(ml_requests, 1);  // warm-up
+      const ServingReport report = harness.serve(ml_requests, repeat);
+      ResultRow row =
+          make_row("memcom-movielens", "residency", 1, 0.0, report,
+                   harness.max_resident_megabytes());
+      row.dtype = v.label;
+      rows.push_back(row);
+      residency_table.add_row(
+          {v.label, harness.compiled().kernel_name(),
+           format_float(row.qps, 0), format_float(row.modeled_qps, 0),
+           format_float(row.p50_ms, 4), format_float(row.resident_mb, 3)});
+      std::filesystem::remove(path);
+    }
+  }
+
   std::cout << "\nclosed-loop (batch-1, no cache):\n"
             << closed_table.to_string();
   std::cout << "\nasync micro-batching (open-loop, hot-row cache "
@@ -337,6 +400,9 @@ int main(int argc, char** argv) {
   std::cout << "\nmulti-tenant (2 models, interleaved, batch<=8, "
             << max_threads << " threads):\n"
             << multi_table.to_string();
+  std::cout << "\nquantized residency (memcom, movielens table-3 dims, "
+            << "closed-loop batch-1):\n"
+            << residency_table.to_string();
   write_json(json_path, hw_threads, rows);
   std::cout << "\nwrote " << json_path << "\n";
   return 0;

@@ -50,6 +50,7 @@ CompiledModel::CompiledModel(std::shared_ptr<const MmapModel> model)
 }
 
 void CompiledModel::compile() {
+  kernels_ = &select_kernels();
   arch_ = model_.metadata_value("arch");
   technique_ = model_.metadata_value("technique");
   vocab_ = model_.metadata_int("vocab");
@@ -122,6 +123,17 @@ TensorRef CompiledModel::resolve(const std::string& name) const {
   if (entry.dtype == DType::kF32) {
     ref.f32 = reinterpret_cast<const float*>(ref.payload);
   }
+  ref.src.dtype = entry.dtype;
+  ref.src.scale = entry.scale;
+  ref.src.payload = ref.payload;
+  if (entry.dtype == DType::kI4G) {
+    // Split the blob once: [f32 scales header][packed nibbles].
+    ref.src.group_scales = reinterpret_cast<const float*>(ref.payload);
+    ref.src.packed =
+        ref.payload + i4g_scales_bytes(static_cast<std::size_t>(entry.numel()),
+                                       entry.group_size);
+    ref.src.group_size = entry.group_size;
+  }
   return ref;
 }
 
@@ -129,7 +141,9 @@ void CompiledModel::predequantize(const TensorRef& ref,
                                   std::vector<float>& out) {
   const Index n = ref.entry->numel();
   out.resize(static_cast<std::size_t>(n));
-  dequantize_span(ref.dtype, ref.scale, ref.payload, 0, n, out.data());
+  // Always the scalar reference: pre-dequantized buffers feed every kernel
+  // family, so their contents must not depend on the dispatch decision.
+  scalar_kernels().dequant_span(ref.src, 0, n, out.data());
 }
 
 BatchNormPlan CompiledModel::resolve_batchnorm(const std::string& prefix,

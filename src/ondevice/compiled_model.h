@@ -25,6 +25,7 @@
 
 #include "core/tensor.h"
 #include "ondevice/format.h"
+#include "ondevice/kernels.h"
 
 namespace memcom {
 
@@ -54,6 +55,9 @@ struct TensorRef {
   float scale = 1.0f;
   std::size_t element_bits = 32;
   Index file_offset = 0;  // byte offset of the blob within the file
+  // Codec view for the kernel layer's dequant_span: for i4g the scales
+  // header / nibble region split is resolved here, once, at compile time.
+  SpanSrc src;
 };
 
 // Inference-folded batchnorm: y = x * scale + shift with
@@ -115,6 +119,13 @@ class CompiledModel {
   const DensePlan& out() const { return out_; }
   const std::vector<float>& projection() const { return projection_; }
 
+  // The kernel family this plan dispatches to, chosen ONCE at compile time
+  // (select_kernels() honors MEMCOM_DISABLE_SIMD / MEMCOM_ENABLE_FMA at the
+  // moment of compilation). Every ExecutionContext running this plan uses
+  // the same family, so a plan's logits are deterministic across threads.
+  const KernelSet& kernels() const { return *kernels_; }
+  const char* kernel_name() const { return kernels_->name; }
+
   // Row widths (floats) of the lookup-path embedding tensors, one per
   // hot-row-cache partition; EMPTY for the one-hot Weinberger path, which
   // streams the whole table and cannot benefit from row caching.
@@ -155,6 +166,7 @@ class CompiledModel {
   Index factor_dim_ = 0; // factorized h
   bool has_hidden_ = false;
 
+  const KernelSet* kernels_ = nullptr;
   TensorRef emb_a_;  // table / shared / remainder / table_a / factors
   TensorRef emb_b_;  // multiplier / quotient / table_b / projection
   TensorRef emb_c_;  // memcom_bias bias

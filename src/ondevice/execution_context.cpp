@@ -92,11 +92,27 @@ RowCacheStats ExecutionContext::row_cache_stats() const {
 
 void ExecutionContext::touch(const TensorRef& ref, Index offset,
                              Index count) {
-  const Index byte_offset = static_cast<Index>(
-      static_cast<std::size_t>(offset) * ref.element_bits / 8);
-  const Index byte_len = static_cast<Index>(
-      (static_cast<std::size_t>(count) * ref.element_bits + 7) / 8);
-  meter_.touch(ref.file_offset + byte_offset, byte_len);
+  if (ref.dtype == DType::kI4G) {
+    // Grouped blobs are two regions; a span read touches both. Scales: the
+    // f32 entries of every group the span overlaps. Nibbles: the sub-byte
+    // span itself, shifted past the scales header.
+    const Index g = ref.entry->group_size;
+    const Index first_group = offset / g;
+    const Index last_group = (offset + count + g - 1) / g;
+    meter_.touch(ref.file_offset + first_group * 4,
+                 (last_group - first_group) * 4);
+    const Index scales_bytes =
+        static_cast<Index>(ref.src.packed - ref.src.payload);
+    const ByteSpan span = packed_byte_span(offset, count, 4);
+    meter_.touch(ref.file_offset + scales_bytes + span.offset, span.length);
+    return;
+  }
+  // Sub-byte aware: the naive ceil(count*bits/8) undercounts a 4-bit span
+  // starting mid-byte (the satellite bug this PR fixes); packed_byte_span
+  // rounds the bit interval OUT to whole bytes.
+  const ByteSpan span =
+      packed_byte_span(offset, count, static_cast<int>(ref.element_bits));
+  meter_.touch(ref.file_offset + span.offset, span.length);
 }
 
 const float* ExecutionContext::fetch(const TensorRef& ref, Index offset,
@@ -105,7 +121,7 @@ const float* ExecutionContext::fetch(const TensorRef& ref, Index offset,
   if (ref.f32 != nullptr) {
     return ref.f32 + offset;
   }
-  dequantize_span(ref.dtype, ref.scale, ref.payload, offset, count, scratch);
+  compiled_->kernels().dequant_span(ref.src, offset, count, scratch);
   return scratch;
 }
 
@@ -123,18 +139,34 @@ const float* ExecutionContext::fetch_row(const TensorRef& ref,
   }
   touch(ref, row * elems, elems);
   float* slot = row_cache_->fill(table, row);
+  if (slot == nullptr) {
+    // Partition has zero slots (its rows are wider than the per-table
+    // budget share): serve straight from the mapping, never the slab.
+    return fetch_uncached(ref, row * elems, elems, scratch);
+  }
   if (ref.f32 != nullptr) {
     std::memcpy(slot, ref.f32 + row * elems,
                 static_cast<std::size_t>(elems) * sizeof(float));
   } else {
-    dequantize_span(ref.dtype, ref.scale, ref.payload, row * elems, elems,
-                    slot);
+    compiled_->kernels().dequant_span(ref.src, row * elems, elems, slot);
   }
   return slot;
 }
 
+const float* ExecutionContext::fetch_uncached(const TensorRef& ref,
+                                              Index offset, Index count,
+                                              float* scratch) {
+  // Like fetch() minus the touch (the caller already metered the read).
+  if (ref.f32 != nullptr) {
+    return ref.f32 + offset;
+  }
+  compiled_->kernels().dequant_span(ref.src, offset, count, scratch);
+  return scratch;
+}
+
 Index ExecutionContext::embed_pooled(const std::int32_t* ids, Index length) {
   const CompiledModel& plan = *compiled_;
+  const KernelSet& ker = plan.kernels();
   const Technique kind = plan.technique_kind();
   const Index e = plan.embed_dim();
   const Index hash_size = plan.hash_size();
@@ -152,9 +184,7 @@ Index ExecutionContext::embed_pooled(const std::int32_t* ids, Index length) {
       case Technique::kReduceDim: {
         const float* row =
             fetch_row(plan.emb_a(), kCacheTableA, id, e, row_.data());
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += row[c];
-        }
+        ker.acc_add(pooled, row, e);
         break;
       }
       case Technique::kTruncateRare: {
@@ -162,17 +192,13 @@ Index ExecutionContext::embed_pooled(const std::int32_t* ids, Index length) {
         const Index r = static_cast<Index>(id) <= keep ? id : keep + 1;
         const float* row =
             fetch_row(plan.emb_a(), kCacheTableA, r, e, row_.data());
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += row[c];
-        }
+        ker.acc_add(pooled, row, e);
         break;
       }
       case Technique::kNaiveHash: {
         const float* row = fetch_row(plan.emb_a(), kCacheTableA,
                                      mod_hash(id, hash_size), e, row_.data());
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += row[c];
-        }
+        ker.acc_add(pooled, row, e);
         break;
       }
       case Technique::kMemcom:
@@ -188,13 +214,12 @@ Index ExecutionContext::embed_pooled(const std::int32_t* ids, Index length) {
           const float* bias_ptr =
               fetch_row(plan.emb_c(), kCacheTableC, id, 1, &bias);
           const float b = *bias_ptr;
-          for (Index c = 0; c < e; ++c) {
-            pooled[c] += row[c] * m + b;
-          }
+          // Distinct kernel from the plain scale-add: `row*m + b` rounds
+          // differently than `row*m` followed by `+ b` would, and the
+          // bit-exactness contract pins the original expression.
+          ker.acc_scale_bias_add(pooled, row, m, b, e);
         } else {
-          for (Index c = 0; c < e; ++c) {
-            pooled[c] += row[c] * m;
-          }
+          ker.acc_scale_add(pooled, row, m, e);
         }
         break;
       }
@@ -204,9 +229,7 @@ Index ExecutionContext::embed_pooled(const std::int32_t* ids, Index length) {
         const float* quo =
             fetch_row(plan.emb_b(), kCacheTableB,
                       static_cast<Index>(id) / hash_size, e, row2_.data());
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += rem[c] * quo[c];
-        }
+        ker.acc_mult_add(pooled, rem, quo, e);
         break;
       }
       case Technique::kQrConcat: {
@@ -217,12 +240,8 @@ Index ExecutionContext::embed_pooled(const std::int32_t* ids, Index length) {
         const float* quo =
             fetch_row(plan.emb_b(), kCacheTableB,
                       static_cast<Index>(id) / hash_size, half, row2_.data());
-        for (Index c = 0; c < half; ++c) {
-          pooled[c] += rem[c];
-        }
-        for (Index c = 0; c < half; ++c) {
-          pooled[half + c] += quo[c];
-        }
+        ker.acc_add(pooled, rem, half);
+        ker.acc_add(pooled + half, quo, half);
         break;
       }
       case Technique::kDoubleHash: {
@@ -233,12 +252,8 @@ Index ExecutionContext::embed_pooled(const std::int32_t* ids, Index length) {
         const float* b =
             fetch_row(plan.emb_b(), kCacheTableB, mixed_hash(id, hash_size),
                       half, row2_.data());
-        for (Index c = 0; c < half; ++c) {
-          pooled[c] += a[c];
-        }
-        for (Index c = 0; c < half; ++c) {
-          pooled[half + c] += b[c];
-        }
+        ker.acc_add(pooled, a, half);
+        ker.acc_add(pooled + half, b, half);
         break;
       }
       case Technique::kFactorized: {
@@ -252,15 +267,9 @@ Index ExecutionContext::embed_pooled(const std::int32_t* ids, Index length) {
         std::fill(acc, acc + e, 0.0f);
         const float* proj = plan.projection().data();
         for (Index k = 0; k < h; ++k) {
-          const float f = factors[k];
-          const float* prow = proj + k * e;
-          for (Index c = 0; c < e; ++c) {
-            acc[c] += f * prow[c];
-          }
+          ker.axpy(acc, factors[k], proj + k * e, e);
         }
-        for (Index c = 0; c < e; ++c) {
-          pooled[c] += acc[c];
-        }
+        ker.acc_add(pooled, acc, e);
         break;
       }
       case Technique::kWeinberger:
@@ -301,16 +310,15 @@ void ExecutionContext::embed_onehot_pooled(const std::int32_t* ids,
   // One full-range touch covers the same page set as the row-by-row reads.
   touch(plan.emb_a(), 0, m * e);
   std::fill(pooled_.begin(), pooled_.end(), 0.0f);
+  const KernelSet& ker = plan.kernels();
   float* pooled = pooled_.data();
   float* row = row_.data();
   const TensorRef& table = plan.emb_a();
   for (Index j = 0; j < m; ++j) {
-    dequantize_span(table.dtype, table.scale, table.payload, j * e, e, row);
+    ker.dequant_span(table.src, j * e, e, row);
     const float z = onehot_[static_cast<std::size_t>(j)];
     if (z != 0.0f) {
-      for (Index c = 0; c < e; ++c) {
-        pooled[c] += z * row[c];
-      }
+      ker.axpy(pooled, z, row, e);
     }
   }
 }
@@ -337,38 +345,29 @@ void ExecutionContext::apply_dense(const DensePlan& dense, const float* x,
   // One full-range touch covers the same pages as streaming every row.
   touch(dense.weight, 0, in * out);
   std::fill(y, y + out, 0.0f);
+  const KernelSet& ker = compiled_->kernels();
   if (dense.weight.f32 != nullptr) {
     // Unconditional MAC over every row: a real dense matmul kernel pays the
     // full in·out cost, so the modeled latency must not scale with post-ReLU
     // sparsity of x (zero rows contribute ±0 and leave y unchanged).
     const float* weight = dense.weight.f32;
     for (Index k = 0; k < in; ++k) {
-      const float xv = x[k];
-      const float* row = weight + k * out;
-      for (Index c = 0; c < out; ++c) {
-        y[c] += xv * row[c];
-      }
+      ker.axpy(y, x[k], weight + k * out, out);
     }
   } else {
     // Every weight row is dequantized regardless of activation sparsity, so
     // the modeled int8/f16 dense latency stays that of a real streaming
     // matmul kernel rather than scaling with post-ReLU zeros.
     for (Index k = 0; k < in; ++k) {
-      dequantize_span(dense.weight.dtype, dense.weight.scale,
-                      dense.weight.payload, k * out, out, row2_.data());
+      ker.dequant_span(dense.weight.src, k * out, out, row2_.data());
       const float xv = x[k];
       if (xv != 0.0f) {
-        for (Index c = 0; c < out; ++c) {
-          y[c] += xv * row2_[static_cast<std::size_t>(c)];
-        }
+        ker.axpy(y, xv, row2_.data(), out);
       }
     }
   }
   touch(dense.bias_ref, 0, out);
-  const float* bias = dense.bias.data();
-  for (Index c = 0; c < out; ++c) {
-    y[c] += bias[c];
-  }
+  ker.acc_add(y, dense.bias.data(), out);
   ++op_count_;
 }
 

@@ -116,6 +116,10 @@ class ExecutionContext {
   // the cache partition (kCacheTableA/B/C).
   const float* fetch_row(const TensorRef& ref, std::size_t table, Index row,
                          Index elems, float* scratch);
+  // fetch() minus the metering, for reads the caller already touched (the
+  // zero-slot cache-partition bypass).
+  const float* fetch_uncached(const TensorRef& ref, Index offset, Index count,
+                              float* scratch);
 
   // Computes logits into logits_; returns raw timings. The only code path
   // behind run_view() and run_batch().

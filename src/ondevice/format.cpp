@@ -46,12 +46,12 @@ void ModelWriter::set_model_identity(const std::string& name,
 }
 
 void ModelWriter::add_tensor(const std::string& name, const Tensor& tensor,
-                             DType dtype) {
+                             DType dtype, Index group_size) {
   check(!finished_, "ModelWriter: add_tensor after finish");
   for (const auto& [existing, unused] : tensors_) {
     check(existing != name, "ModelWriter: duplicate tensor name " + name);
   }
-  tensors_.emplace_back(name, quantize(tensor, dtype));
+  tensors_.emplace_back(name, quantize(tensor, dtype, group_size));
 }
 
 std::uint64_t ModelWriter::finish() {
@@ -63,10 +63,19 @@ std::uint64_t ModelWriter::finish() {
   // directory size analytically: serialize once with zero offsets, then
   // rewrite with real offsets (the directory size does not depend on offset
   // values because they are fixed-width u64).
+  // Grouped tensors need a per-entry group_size field; that is format
+  // version 2. Files without any stay at version 1 so pre-v2 readers keep
+  // opening them.
+  bool any_grouped = false;
+  for (const auto& [unused, qt] : tensors_) {
+    any_grouped = any_grouped || dtype_is_grouped(qt.dtype);
+  }
+  const std::uint32_t version = any_grouped ? 2 : 1;
+
   auto serialize_front = [&](const std::vector<std::uint64_t>& offsets,
                              std::ostream& os) {
     write_u32(os, kMagic);
-    write_u32(os, 1);  // version
+    write_u32(os, version);
     write_u64(os, metadata_.size());
     for (const auto& [key, value] : metadata_) {
       write_string(os, key);
@@ -82,6 +91,9 @@ std::uint64_t ModelWriter::finish() {
         write_i64(os, d);
       }
       write_f32(os, qt.scale);
+      if (version >= 2) {
+        write_u64(os, static_cast<std::uint64_t>(qt.group_size));
+      }
       write_u64(os, offsets[i]);
       write_u64(os, qt.payload.size());
     }
@@ -136,8 +148,11 @@ MmapModel::MmapModel(const std::string& path) {
       static_cast<std::size_t>(std::min<std::uint64_t>(file_size_, 1 << 20))));
   check_eq(static_cast<long long>(kMagic),
            static_cast<long long>(read_u32(is)), "MmapModel magic");
+  // Version 1: original directory. Version 2: adds a u64 group_size per
+  // entry (grouped sub-byte dtypes). Both stay readable forever.
   const std::uint32_t version = read_u32(is);
-  check_eq(1, static_cast<long long>(version), "MmapModel version");
+  check(version == 1 || version == 2, "MmapModel: unsupported version " +
+                                          std::to_string(version));
   const std::uint64_t metadata_count = read_u64(is);
   for (std::uint64_t i = 0; i < metadata_count; ++i) {
     std::string key = read_string(is);
@@ -149,7 +164,7 @@ MmapModel::MmapModel(const std::string& path) {
     TensorEntry entry;
     entry.name = read_string(is);
     const std::uint32_t raw_dtype = read_u32(is);
-    check(raw_dtype <= static_cast<std::uint32_t>(DType::kI4),
+    check(raw_dtype <= static_cast<std::uint32_t>(DType::kI4G),
           "MmapModel: unknown dtype for " + entry.name);
     entry.dtype = static_cast<DType>(raw_dtype);
     const std::uint64_t ndim = read_u64(is);
@@ -175,11 +190,29 @@ MmapModel::MmapModel(const std::string& path) {
     check(static_cast<std::uint64_t>(numel) <= file_size_ * 2,
           "MmapModel: tensor larger than file for " + entry.name);
     entry.scale = read_f32(is);
+    if (version >= 2) {
+      const std::uint64_t raw_group = read_u64(is);
+      check(raw_group <=
+                static_cast<std::uint64_t>(std::numeric_limits<Index>::max()),
+            "MmapModel: implausible group_size for " + entry.name);
+      entry.group_size = static_cast<Index>(raw_group);
+    }
+    // Grouped dtypes require a valid group size; everything else must not
+    // carry one (a v1 file can never declare a grouped dtype — the field
+    // defaulting to 0 would fail here).
+    if (dtype_is_grouped(entry.dtype)) {
+      check(entry.group_size > 0 && entry.group_size % 8 == 0,
+            "MmapModel: invalid group_size for " + entry.name);
+    } else {
+      check(entry.group_size == 0,
+            "MmapModel: group_size on ungrouped tensor " + entry.name);
+    }
     entry.offset = read_u64(is);
     entry.byte_size = read_u64(is);
     // The payload must carry exactly the elements the shape promises...
     check(entry.byte_size ==
-              packed_byte_size(entry.dtype, static_cast<std::size_t>(numel)),
+              packed_byte_size(entry.dtype, static_cast<std::size_t>(numel),
+                               entry.group_size),
           "MmapModel: blob size does not match shape for " + entry.name);
     // ...and live inside the file (subtraction form: offset + byte_size
     // could wrap around std::uint64_t on a hostile directory).
@@ -264,7 +297,17 @@ const std::uint8_t* MmapModel::payload(const TensorEntry& e) const {
 Tensor MmapModel::load_tensor(const std::string& name) const {
   const TensorEntry& e = entry(name);
   Tensor out(e.shape);
-  dequantize_span(e.dtype, e.scale, payload(e), 0, out.numel(), out.data());
+  const std::uint8_t* blob = payload(e);
+  if (e.dtype == DType::kI4G) {
+    const auto* scales = reinterpret_cast<const float*>(blob);
+    const std::uint8_t* packed =
+        blob + i4g_scales_bytes(static_cast<std::size_t>(out.numel()),
+                                e.group_size);
+    dequantize_span_i4g(scales, packed, e.group_size, 0, out.numel(),
+                        out.data());
+  } else {
+    dequantize_span(e.dtype, e.scale, blob, 0, out.numel(), out.data());
+  }
   return out;
 }
 

@@ -29,6 +29,7 @@ struct TensorEntry {
   DType dtype = DType::kF32;
   Shape shape;
   float scale = 1.0f;
+  Index group_size = 0;  // i4g: elements per scale group, 0 otherwise
   std::uint64_t offset = 0;  // byte offset of the blob within the file
   std::uint64_t byte_size = 0;
 
@@ -50,8 +51,12 @@ class ModelWriter {
   void set_model_identity(const std::string& name, std::uint64_t version);
 
   // Quantizes `tensor` to `dtype` and schedules it for writing.
+  // `group_size` is only meaningful for kI4G (0 picks kI4GroupDefault);
+  // grouped tensors bump the container to format version 2, which appends
+  // a per-entry group_size field to the directory. Files without grouped
+  // tensors keep writing version 1, so old readers stay compatible.
   void add_tensor(const std::string& name, const Tensor& tensor,
-                  DType dtype = DType::kF32);
+                  DType dtype = DType::kF32, Index group_size = 0);
 
   // Writes the file; returns total bytes written. The writer is single-use.
   std::uint64_t finish();

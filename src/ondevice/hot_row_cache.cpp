@@ -32,7 +32,11 @@ HotRowCache::HotRowCache(std::size_t budget_bytes,
     p.row_elems = elems;
     const std::size_t slot_bytes =
         kKeyBytes + static_cast<std::size_t>(elems) * sizeof(float);
-    p.slots = std::max<std::size_t>(1, per_table / slot_bytes);
+    // A table whose single-slot cost exceeds its share gets ZERO slots and
+    // is bypassed (lookups/fills return nullptr). Forcing one slot here
+    // would silently push capacity_bytes_ past budget_bytes, breaking the
+    // fixed-budget contract this class advertises.
+    p.slots = per_table / slot_bytes;
     p.keys.assign(p.slots, 0);
     p.payload.assign(p.slots * static_cast<std::size_t>(elems), 0.0f);
     capacity_bytes_ += p.slots * slot_bytes;
@@ -47,6 +51,11 @@ std::size_t HotRowCache::slot_index(const Partition& p, Index row) {
 
 const float* HotRowCache::lookup(std::size_t table, Index row) {
   Partition& p = partitions_[table];
+  if (p.slots == 0) {
+    // Bypassed table: the cache was never consulted, so this is neither a
+    // hit nor a miss — hit_rate keeps describing tables that CAN cache.
+    return nullptr;
+  }
   const std::size_t slot = slot_index(p, row);
   if (p.keys[slot] == static_cast<std::uint64_t>(row) + 1) {
     ++hits_;
@@ -58,6 +67,9 @@ const float* HotRowCache::lookup(std::size_t table, Index row) {
 
 float* HotRowCache::fill(std::size_t table, Index row) {
   Partition& p = partitions_[table];
+  if (p.slots == 0) {
+    return nullptr;  // bypassed table: nothing to claim
+  }
   const std::size_t slot = slot_index(p, row);
   if (p.keys[slot] == 0) {
     ++p.filled;

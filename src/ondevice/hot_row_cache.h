@@ -52,16 +52,21 @@ class HotRowCache {
  public:
   // One partition per embedding tensor of the execution plan;
   // `table_row_elems[t]` is the float width of table t's rows. The byte
-  // budget is split evenly across partitions (each gets at least one slot).
+  // budget is split evenly across partitions. A table whose single-slot
+  // cost exceeds its share gets ZERO slots and is bypassed — total slot
+  // capacity NEVER exceeds budget_bytes (the fixed-budget contract;
+  // tests/test_hot_row_cache.cpp asserts it).
   HotRowCache(std::size_t budget_bytes, std::vector<Index> table_row_elems);
 
   // Returns the cached row on a hit, nullptr on a miss (counted either
   // way). On a miss the caller dequantizes into fill() for the same key.
+  // Bypassed (zero-slot) tables return nullptr without counting a miss.
   const float* lookup(std::size_t table, Index row);
 
   // Claims the slot for (table, row) and returns its payload pointer; the
   // caller writes exactly row_elems(table) floats. Overwrites (evicts) any
-  // previous occupant of the slot.
+  // previous occupant of the slot. Returns nullptr for a bypassed table —
+  // the caller must serve the read directly from the mapping.
   float* fill(std::size_t table, Index row);
 
   Index row_elems(std::size_t table) const {

@@ -1,0 +1,367 @@
+#include "ondevice/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "core/check.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define MEMCOM_KERNELS_X86 1
+#endif
+
+namespace memcom {
+
+ByteSpan packed_byte_span(Index offset, Index count, int bits) {
+  // Cover bits [offset*bits, (offset+count)*bits) rounded OUT to bytes.
+  // Computing the length as ceil(count*bits/8) would drop the partial byte
+  // a mid-byte start adds (i4 offset=1 count=2 spans two bytes, not one).
+  const Index first_bit = offset * static_cast<Index>(bits);
+  const Index last_bit = (offset + count) * static_cast<Index>(bits);
+  ByteSpan span;
+  span.offset = first_bit / 8;
+  span.length = (last_bit + 7) / 8 - span.offset;
+  return span;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference family. These bodies ARE the contract: every other
+// family must reproduce them bit-for-bit (except the opt-in fused axpy).
+// ---------------------------------------------------------------------------
+namespace scalar {
+
+void dequant_span(const SpanSrc& src, Index offset, Index count, float* out) {
+  if (src.dtype == DType::kI4G) {
+    dequantize_span_i4g(src.group_scales, src.packed, src.group_size, offset,
+                        count, out);
+    return;
+  }
+  dequantize_span(src.dtype, src.scale, src.payload, offset, count, out);
+}
+
+void acc_add(float* acc, const float* row, Index n) {
+  for (Index i = 0; i < n; ++i) {
+    acc[i] += row[i];
+  }
+}
+
+void acc_scale_add(float* acc, const float* row, float m, Index n) {
+  for (Index i = 0; i < n; ++i) {
+    acc[i] += row[i] * m;
+  }
+}
+
+void acc_scale_bias_add(float* acc, const float* row, float m, float b,
+                        Index n) {
+  for (Index i = 0; i < n; ++i) {
+    acc[i] += row[i] * m + b;
+  }
+}
+
+void acc_mult_add(float* acc, const float* a, const float* b, Index n) {
+  for (Index i = 0; i < n; ++i) {
+    acc[i] += a[i] * b[i];
+  }
+}
+
+void axpy(float* y, float a, const float* x, Index n) {
+  for (Index i = 0; i < n; ++i) {
+    y[i] += a * x[i];
+  }
+}
+
+}  // namespace scalar
+
+namespace {
+
+const KernelSet kScalar = {
+    "scalar",           scalar::dequant_span,       scalar::acc_add,
+    scalar::acc_scale_add, scalar::acc_scale_bias_add, scalar::acc_mult_add,
+    scalar::axpy,
+};
+
+}  // namespace
+
+const KernelSet& scalar_kernels() { return kScalar; }
+
+// ---------------------------------------------------------------------------
+// AVX2 family (x86-64, runtime-dispatched via cpuid — nothing here assumes
+// -mavx2 at compile time; each function carries its own target attribute).
+// Element-wise kernels perform exactly the scalar per-element expression in
+// 8 lanes: mul and add stay separate instructions, so results are
+// bit-identical. Only axpy_fma fuses them, behind MEMCOM_ENABLE_FMA=1.
+// ---------------------------------------------------------------------------
+#if MEMCOM_KERNELS_X86
+namespace avx2 {
+
+__attribute__((target("avx2"))) void acc_add(float* acc, const float* row,
+                                             Index n) {
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_loadu_ps(acc + i);
+    const __m256 r = _mm256_loadu_ps(row + i);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(a, r));
+  }
+  for (; i < n; ++i) {
+    acc[i] += row[i];
+  }
+}
+
+__attribute__((target("avx2"))) void acc_scale_add(float* acc,
+                                                   const float* row, float m,
+                                                   Index n) {
+  const __m256 vm = _mm256_set1_ps(m);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_loadu_ps(acc + i);
+    const __m256 r = _mm256_loadu_ps(row + i);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(a, _mm256_mul_ps(r, vm)));
+  }
+  for (; i < n; ++i) {
+    acc[i] += row[i] * m;
+  }
+}
+
+__attribute__((target("avx2"))) void acc_scale_bias_add(float* acc,
+                                                        const float* row,
+                                                        float m, float b,
+                                                        Index n) {
+  const __m256 vm = _mm256_set1_ps(m);
+  const __m256 vb = _mm256_set1_ps(b);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_loadu_ps(acc + i);
+    const __m256 r = _mm256_loadu_ps(row + i);
+    const __m256 term = _mm256_add_ps(_mm256_mul_ps(r, vm), vb);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(a, term));
+  }
+  for (; i < n; ++i) {
+    acc[i] += row[i] * m + b;
+  }
+}
+
+__attribute__((target("avx2"))) void acc_mult_add(float* acc, const float* a,
+                                                  const float* b, Index n) {
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    const __m256 vy = _mm256_loadu_ps(acc + i);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(vy, _mm256_mul_ps(va, vb)));
+  }
+  for (; i < n; ++i) {
+    acc[i] += a[i] * b[i];
+  }
+}
+
+__attribute__((target("avx2"))) void axpy(float* y, float a, const float* x,
+                                          Index n) {
+  const __m256 va = _mm256_set1_ps(a);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+  }
+  for (; i < n; ++i) {
+    y[i] += a * x[i];
+  }
+}
+
+// Fused dense MAC: one rounding per element instead of two. NOT bit-exact
+// vs scalar — |diff| <= ulp(|a*x|)/2 per element — which is why it is
+// opt-in (MEMCOM_ENABLE_FMA=1) and documented in tests/test_kernels.cpp.
+__attribute__((target("avx2,fma"))) void axpy_fma(float* y, float a,
+                                                  const float* x, Index n) {
+  const __m256 va = _mm256_set1_ps(a);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, vx, vy));
+  }
+  for (; i < n; ++i) {
+    y[i] = std::fma(a, x[i], y[i]);
+  }
+}
+
+// 8 int8 lanes -> 8 floats * scale. cvtepi32_ps + mul rounds exactly like
+// `float(int8) * scale`, so this is bit-identical to the scalar path.
+__attribute__((target("avx2"))) inline __m256 dequant8_i8(
+    const std::int8_t* src, __m256 vscale) {
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src));
+  const __m256i ints = _mm256_cvtepi8_epi32(bytes);
+  return _mm256_mul_ps(_mm256_cvtepi32_ps(ints), vscale);
+}
+
+// 4 packed bytes -> 8 nibbles -> 8 floats * scale. The caller guarantees
+// the first of the 8 elements sits on a byte boundary (even element index).
+__attribute__((target("avx2"))) inline __m256 dequant8_i4(
+    const std::uint8_t* src, __m256 vscale) {
+  std::uint32_t word;
+  std::memcpy(&word, src, 4);
+  const __m128i bytes = _mm_cvtsi32_si128(static_cast<int>(word));
+  const __m128i lo_mask = _mm_set1_epi8(0x0F);
+  const __m128i lo = _mm_and_si128(bytes, lo_mask);
+  const __m128i hi =
+      _mm_and_si128(_mm_srli_epi16(bytes, 4), lo_mask);
+  // Interleave -> element order lo0,hi0,lo1,hi1,... then sign-extend the
+  // 4-bit two's complement via (x ^ 8) - 8 on the byte lanes.
+  __m128i nibbles = _mm_unpacklo_epi8(lo, hi);
+  const __m128i eight = _mm_set1_epi8(0x08);
+  nibbles = _mm_sub_epi8(_mm_xor_si128(nibbles, eight), eight);
+  const __m256i ints = _mm256_cvtepi8_epi32(nibbles);
+  return _mm256_mul_ps(_mm256_cvtepi32_ps(ints), vscale);
+}
+
+__attribute__((target("avx2,f16c"))) void dequant_span_impl(
+    const SpanSrc& src, Index offset, Index count, float* out) {
+  switch (src.dtype) {
+    case DType::kF32: {
+      std::memcpy(out, reinterpret_cast<const float*>(src.payload) + offset,
+                  static_cast<std::size_t>(count) * 4);
+      return;
+    }
+    case DType::kF16: {
+      const auto* half =
+          reinterpret_cast<const std::uint16_t*>(src.payload) + offset;
+      Index i = 0;
+      for (; i + 8 <= count; i += 8) {
+        __m128i h;
+        std::memcpy(&h, half + i, 16);
+        _mm256_storeu_ps(out + i, _mm256_cvtph_ps(h));
+      }
+      for (; i < count; ++i) {
+        out[i] = f16_to_f32(half[i]);
+      }
+      return;
+    }
+    case DType::kI8: {
+      const auto* bytes =
+          reinterpret_cast<const std::int8_t*>(src.payload) + offset;
+      const __m256 vscale = _mm256_set1_ps(src.scale);
+      Index i = 0;
+      for (; i + 8 <= count; i += 8) {
+        _mm256_storeu_ps(out + i, dequant8_i8(bytes + i, vscale));
+      }
+      for (; i < count; ++i) {
+        out[i] = static_cast<float>(bytes[i]) * src.scale;
+      }
+      return;
+    }
+    case DType::kI4: {
+      const __m256 vscale = _mm256_set1_ps(src.scale);
+      Index i = 0;
+      // Peel a mid-byte start so the vector body always begins on a byte
+      // boundary.
+      if ((offset & 1) != 0 && i < count) {
+        dequantize_span(DType::kI4, src.scale, src.payload, offset, 1, out);
+        ++i;
+      }
+      for (; i + 8 <= count; i += 8) {
+        _mm256_storeu_ps(out + i,
+                         dequant8_i4(src.payload + (offset + i) / 2, vscale));
+      }
+      if (i < count) {
+        dequantize_span(DType::kI4, src.scale, src.payload, offset + i,
+                        count - i, out + i);
+      }
+      return;
+    }
+    case DType::kI4G: {
+      const Index g = src.group_size;
+      Index i = 0;
+      // Peel until 8-aligned within the tensor; group_size is a multiple
+      // of 8, so aligned 8-blocks never straddle a group (one scale per
+      // block) and always start on a byte boundary.
+      const Index misalign = (offset + i) & 7;
+      if (misalign != 0) {
+        const Index peel = std::min<Index>(8 - misalign, count - i);
+        dequantize_span_i4g(src.group_scales, src.packed, g, offset + i,
+                            peel, out + i);
+        i += peel;
+      }
+      for (; i + 8 <= count; i += 8) {
+        const Index j = offset + i;
+        const __m256 vscale = _mm256_set1_ps(src.group_scales[j / g]);
+        _mm256_storeu_ps(out + i, dequant8_i4(src.packed + j / 2, vscale));
+      }
+      if (i < count) {
+        dequantize_span_i4g(src.group_scales, src.packed, g, offset + i,
+                            count - i, out + i);
+      }
+      return;
+    }
+  }
+  check(false, "avx2 dequant_span: unknown dtype");
+}
+
+}  // namespace avx2
+
+namespace {
+
+const KernelSet kAvx2 = {
+    "avx2",             avx2::dequant_span_impl,  avx2::acc_add,
+    avx2::acc_scale_add, avx2::acc_scale_bias_add, avx2::acc_mult_add,
+    avx2::axpy,
+};
+
+// Same set with the FUSED dense MAC swapped in (documented tolerance).
+const KernelSet kAvx2Fma = {
+    "avx2+fma",         avx2::dequant_span_impl,  avx2::acc_add,
+    avx2::acc_scale_add, avx2::acc_scale_bias_add, avx2::acc_mult_add,
+    avx2::axpy_fma,
+};
+
+}  // namespace
+#endif  // MEMCOM_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// NEON family (aarch64): a stub registered behind the same dispatch table.
+// Every entry currently forwards to the scalar reference — the selection
+// machinery, name reporting, and differential coverage run on ARM builds
+// today; tuned NEON bodies can replace the forwards without touching any
+// caller.
+// ---------------------------------------------------------------------------
+#if defined(__aarch64__)
+namespace {
+
+const KernelSet kNeonStub = {
+    "neon-stub",        scalar::dequant_span,       scalar::acc_add,
+    scalar::acc_scale_add, scalar::acc_scale_bias_add, scalar::acc_mult_add,
+    scalar::axpy,
+};
+
+}  // namespace
+#endif
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+}  // namespace
+
+const KernelSet& select_kernels() {
+  if (env_flag("MEMCOM_DISABLE_SIMD")) {
+    return kScalar;
+  }
+#if MEMCOM_KERNELS_X86
+  // f16c ships with every AVX2 part, but the dequant kernel uses it, so
+  // check rather than assume.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("f16c")) {
+    if (env_flag("MEMCOM_ENABLE_FMA") && __builtin_cpu_supports("fma")) {
+      return kAvx2Fma;
+    }
+    return kAvx2;
+  }
+#elif defined(__aarch64__)
+  return kNeonStub;
+#endif
+  return kScalar;
+}
+
+}  // namespace memcom

@@ -19,9 +19,13 @@ const char* dtype_name(DType dtype) {
       return "i8";
     case DType::kI4:
       return "i4";
+    case DType::kI4G:
+      return "i4g";
   }
   return "?";
 }
+
+bool dtype_is_grouped(DType dtype) { return dtype == DType::kI4G; }
 
 DType dtype_from_bits(int bits) {
   switch (bits) {
@@ -48,12 +52,36 @@ int dtype_bits(DType dtype) {
     case DType::kI8:
       return 8;
     case DType::kI4:
+    case DType::kI4G:
       return 4;
   }
   return 0;
 }
 
-std::size_t packed_byte_size(DType dtype, std::size_t count) {
+namespace {
+void check_group_size(DType dtype, Index group_size) {
+  if (dtype == DType::kI4G) {
+    check(group_size > 0 && group_size % 8 == 0,
+          "i4g group size must be a positive multiple of 8");
+  } else {
+    check(group_size == 0, "group size is only meaningful for i4g");
+  }
+}
+}  // namespace
+
+std::size_t i4g_group_count(std::size_t count, Index group_size) {
+  check_group_size(DType::kI4G, group_size);
+  const std::size_t g = static_cast<std::size_t>(group_size);
+  return (count + g - 1) / g;
+}
+
+std::size_t i4g_scales_bytes(std::size_t count, Index group_size) {
+  return i4g_group_count(count, group_size) * sizeof(float);
+}
+
+std::size_t packed_byte_size(DType dtype, std::size_t count,
+                             Index group_size) {
+  check_group_size(dtype, group_size);
   switch (dtype) {
     case DType::kF32:
       return count * 4;
@@ -63,6 +91,8 @@ std::size_t packed_byte_size(DType dtype, std::size_t count) {
       return count;
     case DType::kI4:
       return (count + 1) / 2;
+    case DType::kI4G:
+      return i4g_scales_bytes(count, group_size) + (count + 1) / 2;
   }
   return 0;
 }
@@ -141,12 +171,61 @@ std::int8_t quantize_value(float x, float inv_scale, int qmax) {
 }
 }  // namespace
 
-QuantizedTensor quantize(const Tensor& tensor, DType dtype) {
+namespace {
+// Packs `n` values as 4-bit two's-complement nibbles, low nibble first. An
+// odd count leaves the final byte's high nibble zero — the "phantom nibble"
+// tests/test_quantize.cpp pins, so packed_byte_size and round-trips agree
+// by contract rather than by accident.
+void pack_nibbles(const float* src, std::size_t n, float inv_scale,
+                  std::uint8_t* dst) {
+  for (std::size_t i = 0; i < n; i += 2) {
+    const std::uint8_t lo = static_cast<std::uint8_t>(
+        quantize_value(src[i], inv_scale, 7) & 0x0F);
+    std::uint8_t hi = 0;
+    if (i + 1 < n) {
+      hi = static_cast<std::uint8_t>(quantize_value(src[i + 1], inv_scale, 7) &
+                                     0x0F);
+    }
+    dst[i / 2] = static_cast<std::uint8_t>(lo | (hi << 4));
+  }
+}
+}  // namespace
+
+QuantizedTensor quantize(const Tensor& tensor, DType dtype,
+                         Index group_size) {
+  if (dtype == DType::kI4G && group_size == 0) {
+    group_size = kI4GroupDefault;
+  }
+  check_group_size(dtype, group_size);
   QuantizedTensor out;
   out.dtype = dtype;
   out.shape = tensor.shape();
+  out.group_size = group_size;
   const std::size_t n = static_cast<std::size_t>(tensor.numel());
-  out.payload.resize(packed_byte_size(dtype, n));
+  out.payload.resize(packed_byte_size(dtype, n, group_size));
+  if (dtype == DType::kI4G) {
+    // Per-group symmetric quantization: each group of `group_size` flat
+    // elements gets its own scale from its own abs-max, so one outlier no
+    // longer flattens the whole tensor to the same coarse grid.
+    const std::size_t groups = i4g_group_count(n, group_size);
+    auto* scales = reinterpret_cast<float*>(out.payload.data());
+    std::uint8_t* packed = out.payload.data() + groups * sizeof(float);
+    const std::size_t g_elems = static_cast<std::size_t>(group_size);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t begin = g * g_elems;
+      const std::size_t len = std::min(g_elems, n - begin);
+      float abs_max = 0.0f;
+      for (std::size_t i = begin; i < begin + len; ++i) {
+        abs_max = std::max(abs_max, std::fabs(tensor.data()[i]));
+      }
+      const float scale = abs_max > 0.0f ? abs_max / 7.0f : 1.0f;
+      scales[g] = scale;
+      // group_size is even, so every group starts on a byte boundary.
+      pack_nibbles(tensor.data() + begin, len, 1.0f / scale,
+                   packed + begin / 2);
+    }
+    return out;
+  }
   switch (dtype) {
     case DType::kF32: {
       std::memcpy(out.payload.data(), tensor.data(), n * 4);
@@ -171,20 +250,12 @@ QuantizedTensor quantize(const Tensor& tensor, DType dtype) {
           dst[i] = quantize_value(tensor.data()[i], inv_scale, qmax);
         }
       } else {
-        // Two 4-bit two's-complement nibbles per byte, low nibble first.
-        for (std::size_t i = 0; i < n; i += 2) {
-          const std::uint8_t lo = static_cast<std::uint8_t>(
-              quantize_value(tensor.data()[i], inv_scale, qmax) & 0x0F);
-          std::uint8_t hi = 0;
-          if (i + 1 < n) {
-            hi = static_cast<std::uint8_t>(
-                quantize_value(tensor.data()[i + 1], inv_scale, qmax) & 0x0F);
-          }
-          out.payload[i / 2] = static_cast<std::uint8_t>(lo | (hi << 4));
-        }
+        pack_nibbles(tensor.data(), n, inv_scale, out.payload.data());
       }
       break;
     }
+    case DType::kI4G:
+      break;  // handled above
   }
   return out;
 }
@@ -225,11 +296,39 @@ void dequantize_span(DType dtype, float scale, const std::uint8_t* payload,
       }
       break;
     }
+    case DType::kI4G:
+      check(false,
+            "dequantize_span: i4g needs the grouped overload "
+            "(dequantize_span_i4g)");
+      break;
+  }
+}
+
+void dequantize_span_i4g(const float* group_scales,
+                         const std::uint8_t* packed, Index group_size,
+                         Index offset, Index count, float* out) {
+  for (Index i = 0; i < count; ++i) {
+    const Index j = offset + i;
+    const std::uint8_t byte = packed[j / 2];
+    const std::uint8_t nibble =
+        (j % 2 == 0) ? (byte & 0x0F) : (byte >> 4);
+    const int value = (nibble & 0x8) != 0 ? static_cast<int>(nibble) - 16
+                                          : static_cast<int>(nibble);
+    out[i] = static_cast<float>(value) * group_scales[j / group_size];
   }
 }
 
 Tensor dequantize(const QuantizedTensor& quantized) {
   Tensor out(quantized.shape);
+  if (quantized.dtype == DType::kI4G) {
+    const std::size_t scales_bytes = i4g_scales_bytes(
+        static_cast<std::size_t>(out.numel()), quantized.group_size);
+    dequantize_span_i4g(
+        reinterpret_cast<const float*>(quantized.payload.data()),
+        quantized.payload.data() + scales_bytes, quantized.group_size, 0,
+        out.numel(), out.data());
+    return out;
+  }
   dequantize_span(quantized.dtype, quantized.scale, quantized.payload.data(),
                   0, out.numel(), out.data());
   return out;
@@ -244,6 +343,7 @@ float quantization_error_bound(DType dtype, float scale, float abs_max) {
       return abs_max * 0x1.0p-11f + 1e-8f;
     case DType::kI8:
     case DType::kI4:
+    case DType::kI4G:
       return scale * 0.5f + 1e-8f;
   }
   return 0.0f;

@@ -17,39 +17,70 @@ enum class DType : std::uint8_t {
   kF16 = 1,
   kI8 = 2,
   kI4 = 3,
+  // 4-bit GROUPWISE: per-group symmetric scales instead of one per-tensor
+  // scale (the sub-byte codec the Extreme-Compression line of work uses).
+  // Payload layout: [f32 scales, one per group][packed nibbles, two
+  // elements per byte, low nibble first]. Groups are `group_size` flat
+  // elements; group_size must be a positive multiple of 8 so every group
+  // starts on a byte boundary and SIMD blocks never straddle a group.
+  kI4G = 4,
 };
 
 const char* dtype_name(DType dtype);
 DType dtype_from_bits(int bits);  // 32/16/8/4
 int dtype_bits(DType dtype);
+bool dtype_is_grouped(DType dtype);
+
+// Default i4g group size: small enough that one outlier only poisons 32
+// weights' worth of scale, large enough that the f32 scale header stays
+// ~3% of the nibble payload.
+inline constexpr Index kI4GroupDefault = 32;
+
+// Number of scale groups / bytes of the scales header for an i4g tensor of
+// `count` elements (the last group may be partial).
+std::size_t i4g_group_count(std::size_t count, Index group_size);
+std::size_t i4g_scales_bytes(std::size_t count, Index group_size);
 
 // Bytes needed to store `count` elements of `dtype` (int4 packs two
-// elements per byte, rounded up).
-std::size_t packed_byte_size(DType dtype, std::size_t count);
+// elements per byte, rounded up; i4g additionally carries its per-group
+// scales header and requires `group_size` > 0).
+std::size_t packed_byte_size(DType dtype, std::size_t count,
+                             Index group_size = 0);
 
 struct QuantizedTensor {
   DType dtype = DType::kF32;
   Shape shape;
-  float scale = 1.0f;  // 1.0 for f32/f16
+  float scale = 1.0f;   // 1.0 for f32/f16/i4g
+  Index group_size = 0; // i4g only, 0 otherwise
   std::vector<std::uint8_t> payload;
 
   Index numel() const { return shape_numel(shape); }
 };
 
-QuantizedTensor quantize(const Tensor& tensor, DType dtype);
+// `group_size` is only meaningful for kI4G (0 picks kI4GroupDefault).
+QuantizedTensor quantize(const Tensor& tensor, DType dtype,
+                         Index group_size = 0);
 Tensor dequantize(const QuantizedTensor& quantized);
 
 // Dequantizes `count` elements starting at `offset` straight from a raw
 // payload pointer (the zero-copy path the mmap engine uses for row lookups).
+// Ungrouped dtypes only — i4g spans go through dequantize_span_i4g, which
+// takes the pre-split payload regions.
 void dequantize_span(DType dtype, float scale, const std::uint8_t* payload,
                      Index offset, Index count, float* out);
+
+// i4g span dequantize from the pre-split payload regions: `group_scales`
+// points at the f32 scales header, `packed` at the nibble region.
+void dequantize_span_i4g(const float* group_scales,
+                         const std::uint8_t* packed, Index group_size,
+                         Index offset, Index count, float* out);
 
 // IEEE 754 half-precision conversions (round-to-nearest-even).
 std::uint16_t f32_to_f16(float value);
 float f16_to_f32(std::uint16_t half);
 
 // Worst-case absolute rounding error for a tensor quantized at `scale`
-// (scale/2 for i8/i4); used by tests.
+// (scale/2 for i8/i4; for i4g pass the group's scale); used by tests.
 float quantization_error_bound(DType dtype, float scale, float abs_max);
 
 }  // namespace memcom

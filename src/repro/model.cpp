@@ -139,7 +139,7 @@ std::vector<std::pair<std::string, Tensor*>> RecModel::named_tensors() {
 
 void RecModel::export_mcm(const std::string& path, DType dtype,
                           const std::string& model_name,
-                          std::uint64_t model_version) {
+                          std::uint64_t model_version, Index group_size) {
   ModelWriter writer(path);
   if (!model_name.empty()) {
     writer.set_model_identity(model_name, model_version);
@@ -156,7 +156,7 @@ void RecModel::export_mcm(const std::string& path, DType dtype,
     writer.set_metadata_int("hidden_dim", dense1_->out_features());
   }
   for (const auto& [name, tensor] : named_tensors()) {
-    writer.add_tensor(name, *tensor, dtype);
+    writer.add_tensor(name, *tensor, dtype, group_size);
   }
   writer.finish();
 }

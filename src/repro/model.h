@@ -60,9 +60,10 @@ class RecModel {
   // (ModelWriter::set_model_identity) with `model_version`, which the
   // serving-side ModelRegistry enforces to be monotonically increasing
   // across hot swaps; the defaults write a legacy file with no identity.
+  // `group_size` only matters when `dtype` is kI4G (0 = kI4GroupDefault).
   void export_mcm(const std::string& path, DType dtype = DType::kF32,
                   const std::string& model_name = "",
-                  std::uint64_t model_version = 1);
+                  std::uint64_t model_version = 1, Index group_size = 0);
 
   // Loads (dequantized) weights back from an exported .mcm file. The model
   // must have been constructed with the same ModelConfig. Used by the A.2

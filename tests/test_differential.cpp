@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -285,6 +286,54 @@ TEST_P(DifferentialTest, AllPathsBitIdenticalQuantizedI8) {
   check_all_paths(model, corpus, expected,
                   std::string(technique_name(kind)) + "/i8", path,
                   swap_path);
+}
+
+// 4-bit groupwise rows through every serving path: the sub-byte codec this
+// PR adds must satisfy the same bit-identity contract as i8.
+TEST_P(DifferentialTest, AllPathsBitIdenticalQuantizedI4G) {
+  const TechniqueKind kind = GetParam();
+  const std::string path = export_model(kind, DType::kI4G);
+  const std::string swap_path = export_model(kind, DType::kI4G, 2);
+  const MmapModel model(path);
+  const auto corpus = edge_case_corpus();
+  const auto expected = reference_logits(model, corpus);
+  check_all_paths(model, corpus, expected,
+                  std::string(technique_name(kind)) + "/i4g", path,
+                  swap_path);
+}
+
+// Kernel-family differential: the SAME model compiled with the scalar
+// reference (MEMCOM_DISABLE_SIMD=1 at compile time) and with the dispatched
+// SIMD family must produce bit-identical logits on every technique × dtype.
+// This is the tentpole's bit-exactness contract at the whole-engine level;
+// the per-kernel version lives in tests/test_kernels.cpp.
+TEST_P(DifferentialTest, ScalarAndDispatchedKernelsBitIdentical) {
+  const TechniqueKind kind = GetParam();
+  const auto corpus = edge_case_corpus();
+  for (const DType dtype : {DType::kF32, DType::kF16, DType::kI8,
+                            DType::kI4G}) {
+    const std::string path = export_model(kind, dtype);
+    const MmapModel model(path);
+    ::setenv("MEMCOM_DISABLE_SIMD", "1", 1);
+    std::vector<Tensor> scalar_logits;
+    {
+      InferenceEngine engine(model, tflite_profile());
+      EXPECT_STREQ(engine.compiled().kernel_name(), "scalar");
+      for (const auto& history : corpus) {
+        scalar_logits.push_back(engine.run(history).logits);
+      }
+    }
+    ::unsetenv("MEMCOM_DISABLE_SIMD");
+    InferenceEngine dispatched(model, tflite_profile());
+    for (std::size_t r = 0; r < corpus.size(); ++r) {
+      const InferenceView view = dispatched.run_view(corpus[r]);
+      expect_bit_identical(view.logits, scalar_logits[r],
+                           std::string(technique_name(kind)) + "/" +
+                               dtype_name(dtype) + "/scalar_vs_" +
+                               dispatched.compiled().kernel_name(),
+                           r);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -4,6 +4,7 @@
 
 #include "test_util.h"
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -111,6 +112,53 @@ TEST_F(FormatTest, QuantizedTensorsRoundTripWithinBound) {
   EXPECT_GT(model.entry("w32").byte_size, model.entry("w16").byte_size);
   EXPECT_GT(model.entry("w16").byte_size, model.entry("w8").byte_size);
   EXPECT_GT(model.entry("w8").byte_size, model.entry("w4").byte_size);
+}
+
+TEST_F(FormatTest, GroupedTensorBumpsFormatToV2AndRoundTrips) {
+  const std::string path = temp_path();
+  Rng rng(164);
+  const Tensor t = Tensor::randn({32, 8}, rng, 0.2f);
+  ModelWriter writer(path);
+  writer.add_tensor("flat", t, DType::kI8);
+  writer.add_tensor("grouped", t, DType::kI4G, /*group_size=*/16);
+  writer.add_tensor("grouped_default", t, DType::kI4G);
+  writer.finish();
+
+  // A grouped tensor bumps the container version to 2.
+  {
+    std::ifstream in(path, std::ios::binary);
+    read_u32(in);  // magic
+    EXPECT_EQ(read_u32(in), 2u);
+  }
+  const MmapModel model(path);
+  const TensorEntry& grouped = model.entry("grouped");
+  EXPECT_EQ(grouped.dtype, DType::kI4G);
+  EXPECT_EQ(grouped.group_size, 16);
+  EXPECT_EQ(model.entry("grouped_default").group_size, kI4GroupDefault);
+  EXPECT_EQ(model.entry("flat").group_size, 0);
+  EXPECT_EQ(grouped.byte_size,
+            packed_byte_size(DType::kI4G, 32 * 8, 16));
+  // Groupwise 4-bit is tighter than i8 but looser than flat i4 in bytes
+  // (the scales header), and the per-group bound holds element-wise.
+  EXPECT_LT(grouped.byte_size, model.entry("flat").byte_size);
+  const Tensor back = model.load_tensor("grouped");
+  const auto* scales =
+      reinterpret_cast<const float*>(model.payload(grouped));
+  for (Index i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(back[i] - t[i]), scales[i / 16] * 0.5f + 1e-6f) << i;
+  }
+}
+
+TEST_F(FormatTest, UngroupedFilesStayVersion1) {
+  // Legacy tolerance is two-way: files without grouped tensors keep the v1
+  // layout byte-for-byte, so readers that predate v2 still open them.
+  const std::string path = temp_path();
+  ModelWriter writer(path);
+  writer.add_tensor("w", Tensor::full({4}, 1.0f), DType::kI4);
+  writer.finish();
+  std::ifstream in(path, std::ios::binary);
+  read_u32(in);  // magic
+  EXPECT_EQ(read_u32(in), 1u);
 }
 
 TEST_F(FormatTest, BlobsAreAligned) {

@@ -135,6 +135,108 @@ TEST(QuantizePrecisionLadder, ErrorGrowsAsBitsShrink) {
   }
 }
 
+TEST(QuantizeI4, OddLengthTrailingNibbleIsZero) {
+  // The packer writes a phantom ZERO high nibble for odd-length tensors.
+  // Groupwise i4 builds on the same packer, so this byte-level contract is
+  // pinned: 5 elements -> 3 bytes, last byte's high nibble must be 0.
+  const Tensor t =
+      Tensor::from_vector({5}, {0.7f, -0.7f, 0.1f, -0.1f, 0.7f});
+  const QuantizedTensor q = quantize(t, DType::kI4);
+  ASSERT_EQ(q.payload.size(), 3u);
+  EXPECT_EQ(q.payload[2] & 0xF0, 0);
+  // And the round trip neither reads nor invents a 6th element.
+  const Tensor back = dequantize(q);
+  ASSERT_EQ(back.numel(), 5);
+  EXPECT_NEAR(back[4], 0.7f, q.scale);
+  EXPECT_EQ(packed_byte_size(DType::kI4, 5), 3u);
+}
+
+TEST(QuantizeI4G, GroupMetadataAndPayloadLayout) {
+  EXPECT_STREQ(dtype_name(DType::kI4G), "i4g");
+  EXPECT_EQ(dtype_bits(DType::kI4G), 4);
+  EXPECT_TRUE(dtype_is_grouped(DType::kI4G));
+  EXPECT_FALSE(dtype_is_grouped(DType::kI4));
+  // 20 elements at group 8 -> 3 groups (last partial): 12 scale bytes +
+  // 10 nibble bytes.
+  EXPECT_EQ(i4g_group_count(20, 8), 3u);
+  EXPECT_EQ(i4g_scales_bytes(20, 8), 12u);
+  EXPECT_EQ(packed_byte_size(DType::kI4G, 20, 8), 22u);
+  // Invalid group sizes must throw: zero for ungrouped dtypes, positive
+  // multiple of 8 for i4g.
+  const Tensor t({16});
+  EXPECT_THROW(quantize(t, DType::kI4G, 7), std::runtime_error);
+  EXPECT_THROW(quantize(t, DType::kI8, 8), std::runtime_error);
+}
+
+TEST(QuantizeI4G, ErrorBoundedByPerGroupScale) {
+  Rng rng(158);
+  // Mixed magnitudes across groups: an outlier group must not poison the
+  // quiet groups' precision (the whole point of per-group scales).
+  Tensor t = Tensor::randn({8, 16}, rng, 0.05f);
+  for (Index i = 0; i < 16; ++i) {
+    t[i] *= 40.0f;  // first group (row 0) is the loud one
+  }
+  const QuantizedTensor q = quantize(t, DType::kI4G, /*group_size=*/16);
+  EXPECT_EQ(q.group_size, 16);
+  EXPECT_EQ(q.scale, 1.0f);  // per-tensor scale is meaningless for i4g
+  const Tensor back = dequantize(q);
+  const auto* scales = reinterpret_cast<const float*>(q.payload.data());
+  for (Index i = 0; i < t.numel(); ++i) {
+    const float bound = quantization_error_bound(
+        DType::kI4G, scales[i / 16], 0.0f);
+    EXPECT_LE(std::fabs(back[i] - t[i]), bound) << "element " << i;
+  }
+  // A per-tensor i4 quantization of the same tensor must be strictly worse
+  // on the quiet groups.
+  const Tensor flat = dequantize(quantize(t, DType::kI4));
+  double grouped_err = 0.0, flat_err = 0.0;
+  for (Index i = 16; i < t.numel(); ++i) {
+    grouped_err += std::fabs(back[i] - t[i]);
+    flat_err += std::fabs(flat[i] - t[i]);
+  }
+  EXPECT_LT(grouped_err, flat_err);
+}
+
+TEST(QuantizeI4G, OddLengthPartialGroupRoundTrips) {
+  Rng rng(159);
+  const Tensor t = Tensor::randn({21}, rng, 0.2f);  // 2 full groups + 5
+  const QuantizedTensor q = quantize(t, DType::kI4G, /*group_size=*/8);
+  EXPECT_EQ(q.payload.size(), packed_byte_size(DType::kI4G, 21, 8));
+  const Tensor back = dequantize(q);
+  ASSERT_EQ(back.numel(), 21);
+  const auto* scales = reinterpret_cast<const float*>(q.payload.data());
+  for (Index i = 0; i < 21; ++i) {
+    EXPECT_LE(std::fabs(back[i] - t[i]), scales[i / 8] * 0.5f + 1e-6f) << i;
+  }
+  // The trailing nibble of the odd-length packed region stays zero.
+  EXPECT_EQ(q.payload.back() & 0xF0, 0);
+}
+
+TEST(QuantizeI4G, DefaultGroupSizeApplied) {
+  Rng rng(160);
+  const Tensor t = Tensor::randn({64}, rng);
+  const QuantizedTensor q = quantize(t, DType::kI4G);
+  EXPECT_EQ(q.group_size, kI4GroupDefault);
+}
+
+TEST(QuantizeI4G, SpanReadsMatchFullDequantize) {
+  Rng rng(161);
+  const Tensor t = Tensor::randn({10, 6}, rng, 0.3f);  // rows straddle groups
+  const QuantizedTensor q = quantize(t, DType::kI4G, /*group_size=*/8);
+  const Tensor full = dequantize(q);
+  const auto* scales = reinterpret_cast<const float*>(q.payload.data());
+  const std::uint8_t* packed =
+      q.payload.data() + i4g_scales_bytes(60, 8);
+  std::vector<float> row(6);
+  for (Index r = 0; r < 10; ++r) {
+    dequantize_span_i4g(scales, packed, 8, r * 6, 6, row.data());
+    for (Index c = 0; c < 6; ++c) {
+      EXPECT_EQ(row[static_cast<std::size_t>(c)], full.at2(r, c))
+          << "row " << r;
+    }
+  }
+}
+
 TEST(QuantizedTensorStruct, ShapePreserved) {
   Rng rng(157);
   const Tensor t = Tensor::randn({3, 5, 2}, rng);

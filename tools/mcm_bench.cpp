@@ -146,7 +146,8 @@ int main(int argc, char** argv) {
                               std::to_string(compiled->model_version()) + ")")
                 << "\n";
     }
-    std::cout << "profile=" << profile.label()
+    std::cout << "profile=" << profile.label() << "  kernel dispatch="
+              << registry.acquire(ids.front())->kernel_name()
               << "  plan bytes (all models, compiled once): "
               << registry.plan_resident_bytes() << "\n\n";
 
@@ -270,6 +271,9 @@ int main(int argc, char** argv) {
 
   // Single-input latency (the paper's Table 3 metric).
   InferenceEngine engine(model, profile);
+  std::cout << "kernel dispatch: " << engine.compiled().kernel_name()
+            << " (set MEMCOM_DISABLE_SIMD=1 to force the scalar "
+               "reference)\n\n";
   const LatencyStats stats = engine.benchmark(requests.front(), runs);
   TextTable latency({"runs", "mean ms", "min ms", "p50 ms", "p95 ms",
                      "p99 ms", "max ms", "resident MB"});

@@ -36,7 +36,13 @@ int main(int argc, char** argv) {
   std::uint64_t total_bytes = 0;
   for (const std::string& name : model.tensor_names()) {
     const TensorEntry& entry = model.entry(name);
-    table.add_row({name, dtype_name(entry.dtype),
+    // Grouped dtypes print their group size inline ("i4g/32"): the group
+    // size changes the payload layout, so it belongs in the dtype column.
+    std::string dtype = dtype_name(entry.dtype);
+    if (dtype_is_grouped(entry.dtype)) {
+      dtype += "/" + std::to_string(entry.group_size);
+    }
+    table.add_row({name, dtype,
                    shape_to_string(entry.shape),
                    format_float(entry.scale, 6),
                    std::to_string(entry.offset),
