@@ -40,9 +40,10 @@ namespace {
 
 struct ResultRow {
   std::string technique;
-  std::string mode;  // "closed" | "async" | "multi" | "residency"
+  std::string mode;  // "closed" | "async" | "multi" | "residency" | "sched"
   std::string dtype = "f32";
   int threads = 0;
+  int shards = 0;            // scheduler shards (0 for closed-loop rows)
   Index max_batch = 1;       // micro-batch bound (1 for closed-loop)
   double offered_qps = 0;    // open-loop arrival rate (0 = unthrottled)
   double qps = 0;            // real wall-clock throughput
@@ -53,6 +54,11 @@ struct ResultRow {
   double mean_batch = 0;
   double cache_hit_rate = 0;
   double resident_mb = 0;
+  // Deadline / admission-control accounting (0 outside the async pipeline).
+  double shed_rate = 0;
+  double deadline_miss_rate = 0;
+  double goodput_qps = 0;  // deadline-met completions per wall second
+  std::uint64_t late_arrivals = 0;
 };
 
 ResultRow make_row(const std::string& technique, const std::string& mode,
@@ -62,10 +68,15 @@ ResultRow make_row(const std::string& technique, const std::string& mode,
   row.technique = technique;
   row.mode = mode;
   row.threads = report.threads;
+  row.shards = report.shards;
   row.max_batch = max_batch;
   row.offered_qps = offered_qps;
   row.qps = report.qps;
   row.modeled_qps = report.modeled_qps;
+  row.shed_rate = report.shed_rate;
+  row.deadline_miss_rate = report.deadline_miss_rate;
+  row.goodput_qps = report.goodput_qps;
+  row.late_arrivals = report.late_arrivals;
   row.p50_ms = report.latency.p50_ms;
   row.p95_ms = report.latency.p95_ms;
   row.p99_ms = report.latency.p99_ms;
@@ -91,6 +102,7 @@ void write_json(const std::string& path, unsigned hardware_threads,
         << "\"mode\": \"" << r.mode << "\", "
         << "\"dtype\": \"" << r.dtype << "\", "
         << "\"threads\": " << r.threads << ", "
+        << "\"shards\": " << r.shards << ", "
         << "\"max_batch\": " << r.max_batch << ", "
         << "\"offered_qps\": " << r.offered_qps << ", "
         << "\"qps\": " << r.qps << ", "
@@ -105,6 +117,10 @@ void write_json(const std::string& path, unsigned hardware_threads,
         << "\"service_p95_ms\": " << r.service_p95_ms << ", "
         << "\"mean_batch\": " << r.mean_batch << ", "
         << "\"cache_hit_rate\": " << r.cache_hit_rate << ", "
+        << "\"shed_rate\": " << r.shed_rate << ", "
+        << "\"deadline_miss_rate\": " << r.deadline_miss_rate << ", "
+        << "\"goodput_qps\": " << r.goodput_qps << ", "
+        << "\"late_arrivals\": " << r.late_arrivals << ", "
         << "\"resident_mb\": " << r.resident_mb << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -127,6 +143,8 @@ int main(int argc, char** argv) {
   const int repeat = static_cast<int>(flags.get_int("repeat", smoke ? 4 : 8));
   const double arrival_qps = flags.get_double("arrival-qps", 0.0);
   const double max_delay_us = flags.get_double("max-delay-us", 200.0);
+  // SLO for the scheduler shoot-out section (enqueue -> completion budget).
+  const double deadline_us = flags.get_double("deadline-us", 2000.0);
   const Index cache_kb = flags.get_int("cache-kb", smoke ? 64 : 256);
   const std::string json_path =
       flags.get_string("out", "BENCH_serving.json");
@@ -332,6 +350,112 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Scheduler shoot-out: single queue vs sharded vs sharded+SLO -------
+  // Four tenants with a SKEWED mix (half the traffic on one model) behind
+  // the same worker pool, all offered the SAME overload (1.5x the measured
+  // single-queue capacity, absolute-timestamp pacing). Three schedulers:
+  //   single       — shards=1, the PR-3 configuration (one global queue);
+  //   sharded      — shards=threads, work stealing, no deadlines;
+  //   sharded+slo  — sharded plus deadline_us + SLO flush + shedding.
+  // The story BENCH_serving.json tracks: sharding cuts queue wait at equal
+  // offered load, and admission control converts unbounded queueing into
+  // bounded-latency goodput (shed% up, wait p95 and miss% down).
+  TextTable sched_table({"scheduler", "shards", "offered", "qps", "goodput",
+                         "wait p50 ms", "wait p95 ms", "shed%", "miss%",
+                         "steals", "late"});
+  {
+    ModelRegistry registry;
+    std::vector<std::string> ids;
+    std::vector<std::string> model_paths;
+    const int tenant_count = std::max(2, std::min(4, max_threads));
+    for (int m = 0; m < tenant_count; ++m) {
+      ModelConfig config;
+      config.embedding = {TechniqueKind::kMemcom, vocab, embed_dim, hash};
+      config.arch = ModelArch::kClassification;
+      config.output_vocab = smoke ? 32 : 256;
+      config.seed = 500 + m;
+      RecModel model(config);
+      const std::string id = "tenant" + std::to_string(m);
+      const std::string path =
+          (std::filesystem::temp_directory_path() /
+           ("serving_sched_" + id + ".mcm"))
+              .string();
+      model.export_mcm(path, DType::kF32, "sched_" + id, 1);
+      registry.load(id, path);
+      ids.push_back(id);
+      model_paths.push_back(path);
+    }
+
+    // Skewed mix: tenant0 takes half of all requests, the rest split the
+    // other half — the shape that strands capacity without work stealing.
+    std::vector<RoutedRequest> routed;
+    routed.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const std::size_t tenant =
+          i % 2 == 0 ? 0 : 1 + (i / 2) % (ids.size() - 1);
+      routed.push_back(RoutedRequest{ids[tenant], requests[i]});
+    }
+
+    struct SchedVariant {
+      const char* label;
+      int shards;
+      double deadline_us;
+      bool shed;
+    };
+    const std::vector<SchedVariant> variants = {
+        {"single", 1, 0.0, false},
+        {"sharded", max_threads, 0.0, false},
+        {"sharded+slo", max_threads, deadline_us, true},
+    };
+    const auto make_server_config = [&](const SchedVariant& v) {
+      AsyncServerConfig server_config;
+      server_config.threads = max_threads;
+      server_config.shards = v.shards;
+      server_config.max_batch = 8;
+      server_config.max_delay_us = max_delay_us;
+      server_config.deadline_us = v.deadline_us;
+      server_config.shed = v.shed;
+      server_config.queue_capacity = 256;
+      server_config.cache_budget_bytes =
+          static_cast<std::size_t>(cache_kb) * 1024;
+      return server_config;
+    };
+
+    // Calibrate: an unthrottled single-queue drain measures capacity; every
+    // variant is then offered 1.5x of it so the comparison is overload at
+    // EQUAL offered load, not three different workloads.
+    double offered = arrival_qps;
+    if (offered <= 0.0) {
+      AsyncServer calib(registry, ids.front(), tflite_profile(),
+                        make_server_config(variants.front()));
+      calib.serve(routed, 1, 0.0);  // warm-up
+      const ServingReport base = calib.serve(routed, repeat, 0.0);
+      offered = base.qps * 1.5;
+    }
+
+    for (const SchedVariant& v : variants) {
+      AsyncServer server(registry, ids.front(), tflite_profile(),
+                         make_server_config(v));
+      server.serve(routed, 1, 0.0);  // warm-up
+      const ServingReport report = server.serve(routed, repeat, offered);
+      ResultRow row = make_row(v.label, "sched", 8, offered, report,
+                               server.max_resident_megabytes());
+      rows.push_back(row);
+      sched_table.add_row(
+          {v.label, std::to_string(report.shards), format_float(offered, 0),
+           format_float(row.qps, 0), format_float(row.goodput_qps, 0),
+           format_float(row.queue_wait_p50_ms, 4),
+           format_float(row.queue_wait_p95_ms, 4),
+           format_float(row.shed_rate * 100.0, 1),
+           format_float(row.deadline_miss_rate * 100.0, 1),
+           std::to_string(report.steals),
+           std::to_string(row.late_arrivals)});
+    }
+    for (const std::string& path : model_paths) {
+      std::filesystem::remove(path);
+    }
+  }
+
   // --- Quantized residency: i8 vs i4g on a movielens Table-3 model -------
   // Same memcom model exported at two embedding precisions; the closed-loop
   // drain meters exactly the bytes each forward touches, so with correct
@@ -400,6 +524,9 @@ int main(int argc, char** argv) {
   std::cout << "\nmulti-tenant (2 models, interleaved, batch<=8, "
             << max_threads << " threads):\n"
             << multi_table.to_string();
+  std::cout << "\nscheduler shoot-out (skewed tenants, equal offered "
+            << "overload, deadline " << deadline_us << " us):\n"
+            << sched_table.to_string();
   std::cout << "\nquantized residency (memcom, movielens table-3 dims, "
             << "closed-loop batch-1):\n"
             << residency_table.to_string();

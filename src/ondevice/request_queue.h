@@ -81,6 +81,20 @@ class RequestQueue {
     return true;
   }
 
+  // Non-blocking pop: false when the queue is currently empty (whether or
+  // not it is closed). This is the work-stealing probe — a worker scanning
+  // OTHER shards' dispatch queues must never park on them.
+  bool try_pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == 0) {
+      return false;
+    }
+    dequeue_locked(out);
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
   // Like pop(), but gives up at `deadline`. Returns false on timeout or on
   // closed-and-drained; `timed_out` (optional) distinguishes the two.
   template <typename TimePoint>

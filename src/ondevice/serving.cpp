@@ -186,9 +186,7 @@ AsyncServer::AsyncServer(const MmapModel& model, const DeviceProfile& profile,
       profile_(profile),
       owned_registry_(std::make_unique<ModelRegistry>()),
       registry_(owned_registry_.get()),
-      default_model_(kDefaultModelId),
-      queue_(config.queue_capacity),
-      dispatch_(static_cast<std::size_t>(std::max(1, config.threads)) * 2) {
+      default_model_(kDefaultModelId) {
   // The caller owns the mapping (it must outlive the server, as before);
   // the private registry only owns the compiled plan.
   owned_registry_->publish(default_model_,
@@ -203,27 +201,49 @@ AsyncServer::AsyncServer(ModelRegistry& registry,
     : config_(config),
       profile_(profile),
       registry_(&registry),
-      default_model_(std::move(default_model_id)),
-      queue_(config.queue_capacity),
-      // The dispatch queue only needs to keep every worker fed plus a small
-      // runway; bounding it makes scheduler -> worker backpressure propagate
-      // back to the admission queue (and from there to producers).
-      dispatch_(static_cast<std::size_t>(std::max(1, config.threads)) * 2) {
+      default_model_(std::move(default_model_id)) {
   start();
 }
 
 // Shared tail of both constructors: validate the configuration and the
-// default model, then bring the pipeline threads up. Checks run BEFORE any
-// thread spawns, so a failed construction never leaks a running thread.
+// default model, build the shards, then bring the pipeline threads up.
+// Checks run BEFORE any thread spawns, so a failed construction never leaks
+// a running thread.
 void AsyncServer::start() {
   check(config_.threads > 0, "AsyncServer: thread count must be positive");
+  check(config_.shards > 0, "AsyncServer: shard count must be positive");
+  check(config_.shards <= config_.threads,
+        "AsyncServer: shards must not exceed threads (every shard needs a "
+        "primary worker)");
   check(config_.max_batch > 0, "AsyncServer: max_batch must be positive");
   check(config_.max_delay_us >= 0.0,
         "AsyncServer: max_delay_us must be non-negative");
+  check(config_.deadline_us >= 0.0,
+        "AsyncServer: deadline_us must be non-negative");
+  check(config_.queue_capacity >= static_cast<std::size_t>(config_.shards),
+        "AsyncServer: queue_capacity must be at least the shard count");
   check(registry_->has_model(default_model_),
         "AsyncServer: default model not in registry: " + default_model_);
+
+  const std::size_t shards = static_cast<std::size_t>(config_.shards);
+  // queue_capacity is the TOTAL admission bound: split it across shards,
+  // first `remainder` shards take one extra slot. Each dispatch queue keeps
+  // the shard's share of the worker pool fed plus a small runway — bounding
+  // it propagates worker backpressure to admission (and on to producers).
+  const std::size_t per_shard = config_.queue_capacity / shards;
+  const std::size_t remainder = config_.queue_capacity % shards;
+  const std::size_t dispatch_cap = std::max<std::size_t>(
+      2, static_cast<std::size_t>(config_.threads) * 2 / shards);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(
+        per_shard + (s < remainder ? 1 : 0), dispatch_cap));
+  }
+
   worker_stats_.resize(static_cast<std::size_t>(config_.threads));
-  scheduler_ = std::thread(&AsyncServer::scheduler_loop, this);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_[s]->former = std::thread(&AsyncServer::former_loop, this, s);
+  }
   workers_.reserve(static_cast<std::size_t>(config_.threads));
   for (int w = 0; w < config_.threads; ++w) {
     workers_.emplace_back(&AsyncServer::worker_loop, this,
@@ -232,15 +252,38 @@ void AsyncServer::start() {
 }
 
 AsyncServer::~AsyncServer() {
-  queue_.close();  // pops drain what was accepted, then the scheduler exits
-  if (scheduler_.joinable()) {
-    scheduler_.join();
+  // Close every admission queue: pops drain what was accepted, then each
+  // former flushes its pending batches and closes its dispatch queue, and
+  // the workers exit once every dispatch queue is drained.
+  for (auto& shard : shards_) {
+    shard->queue.close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->former.joinable()) {
+      shard->former.join();
+    }
   }
   for (std::thread& t : workers_) {
     if (t.joinable()) {
       t.join();
     }
   }
+}
+
+std::size_t AsyncServer::shard_for(const std::string& model_id) const {
+  if (shards_.size() == 1) {
+    return 0;
+  }
+  // splitmix64 finisher over the string hash: std::hash on short strings
+  // can be weak in the low bits, and the low bits are all modulo sees.
+  std::uint64_t h = static_cast<std::uint64_t>(
+      std::hash<std::string>{}(model_id));
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h % shards_.size());
 }
 
 Index AsyncServer::output_dim() const {
@@ -251,12 +294,54 @@ Index AsyncServer::output_dim() const {
 }
 
 AsyncServer::QueuedRequest AsyncServer::make_request(
-    std::string model_id, std::vector<std::int32_t> history) const {
+    std::string model_id, std::vector<std::int32_t> history,
+    double deadline_us) const {
   QueuedRequest request;
   request.model_id = std::move(model_id);
   request.history = std::move(history);
   request.enqueue_tp = Clock::now();
+  const double effective =
+      deadline_us < 0.0 ? config_.deadline_us : deadline_us;
+  request.deadline_tp =
+      effective > 0.0
+          ? request.enqueue_tp +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::micro>(effective))
+          : Clock::time_point::max();
   return request;
+}
+
+bool AsyncServer::should_shed(const Shard& shard,
+                              Clock::time_point enqueue_tp,
+                              Clock::time_point deadline_tp) const {
+  if (!config_.shed || deadline_tp == Clock::time_point::max()) {
+    return false;
+  }
+  // Estimate alone is not enough: after a burst drains, the peak-decay
+  // estimator can stay above the deadline with an empty queue. Demand a
+  // real backlog (at least one full micro-batch queued) so admission
+  // always recovers once the shard catches up.
+  if (shard.queue.size() < static_cast<std::size_t>(config_.max_batch)) {
+    return false;
+  }
+  const auto slack_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            deadline_tp - enqueue_tp)
+                            .count();
+  return shard.wait_p99_est_us.load(std::memory_order_relaxed) > slack_us;
+}
+
+// Fail fast with the distinct shed status: the promise resolves NOW, on the
+// submitting thread — the request never occupies a queue slot.
+std::future<AsyncResult> AsyncServer::resolve_shed(QueuedRequest request,
+                                                   Shard& shard) {
+  shard.shed.fetch_add(1, std::memory_order_relaxed);
+  std::future<AsyncResult> future = request.promise.get_future();
+  AsyncResult result;
+  result.status = RequestStatus::kShed;
+  result.model_id = std::move(request.model_id);
+  request.promise.set_value(std::move(result));
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return future;
 }
 
 std::future<AsyncResult> AsyncServer::submit(
@@ -265,13 +350,18 @@ std::future<AsyncResult> AsyncServer::submit(
 }
 
 std::future<AsyncResult> AsyncServer::submit(
-    std::string model_id, std::vector<std::int32_t> history) {
+    std::string model_id, std::vector<std::int32_t> history,
+    double deadline_us) {
   check(registry_->has_model(model_id),
         "AsyncServer: submit to unknown model " + model_id);
+  Shard& shard = *shards_[shard_for(model_id)];
   QueuedRequest request = make_request(std::move(model_id),
-                                       std::move(history));
+                                       std::move(history), deadline_us);
+  if (should_shed(shard, request.enqueue_tp, request.deadline_tp)) {
+    return resolve_shed(std::move(request), shard);
+  }
   std::future<AsyncResult> future = request.promise.get_future();
-  check(queue_.push(std::move(request)),
+  check(shard.queue.push(std::move(request)),
         "AsyncServer: submit after shutdown");
   return future;
 }
@@ -283,14 +373,20 @@ bool AsyncServer::try_submit(std::vector<std::int32_t> history,
 
 bool AsyncServer::try_submit(std::string model_id,
                              std::vector<std::int32_t> history,
-                             std::future<AsyncResult>* out) {
+                             std::future<AsyncResult>* out,
+                             double deadline_us) {
   if (!registry_->has_model(model_id)) {
     return false;
   }
+  Shard& shard = *shards_[shard_for(model_id)];
   QueuedRequest request = make_request(std::move(model_id),
-                                       std::move(history));
+                                       std::move(history), deadline_us);
+  if (should_shed(shard, request.enqueue_tp, request.deadline_tp)) {
+    shard.shed.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   std::future<AsyncResult> future = request.promise.get_future();
-  if (!queue_.try_push(std::move(request))) {
+  if (!shard.queue.try_push(std::move(request))) {
     return false;
   }
   if (out != nullptr) {
@@ -299,14 +395,24 @@ bool AsyncServer::try_submit(std::string model_id,
   return true;
 }
 
-void AsyncServer::scheduler_loop() {
+// Per-shard batch former (the sharded replacement for the PR-3 single
+// scheduler thread). Forms one open micro-batch per model id; the batch
+// pins its model version at formation so a concurrent swap() never
+// retargets in-flight work. A batch flushes when the FIRST of these fires:
+//   * it reaches max_batch requests;
+//   * it has been open for max_delay_us (the classic upper bound);
+//   * SLO-driven: the oldest member's remaining deadline slack drops below
+//     the shard's projected batch service time — waiting any longer would
+//     convert an on-time request into a deadline miss for the sake of
+//     batching.
+void AsyncServer::former_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
   const auto delay = std::chrono::microseconds(
       static_cast<std::int64_t>(config_.max_delay_us));
-  // One open micro-batch per model id; the batch pins its model version at
-  // formation so a concurrent swap() never retargets in-flight work.
   struct Pending {
     std::vector<QueuedRequest> requests;
-    Clock::time_point deadline;
+    Clock::time_point delay_deadline;    // formation time + max_delay_us
+    Clock::time_point oldest_deadline;   // min request deadline (or ::max)
     std::shared_ptr<const CompiledModel> compiled;
     std::uint64_t version = 0;
   };
@@ -317,8 +423,22 @@ void AsyncServer::scheduler_loop() {
     task.model_id = model_id;
     task.compiled = std::move(p.compiled);
     task.version = p.version;
+    task.shard = shard_index;
     task.requests = std::move(p.requests);
-    dispatch_.push(std::move(task));  // only fails after dispatch_ close
+    shard.dispatch.push(std::move(task));  // only fails after close
+  };
+
+  // The moment this batch must flush to still have a chance of meeting its
+  // oldest member's deadline (given the current service-time projection),
+  // capped by the max_delay_us budget.
+  const auto flush_tp = [&](const Pending& p) {
+    auto tp = p.delay_deadline;
+    if (p.oldest_deadline != Clock::time_point::max()) {
+      const auto projected = std::chrono::microseconds(
+          shard.service_est_us.load(std::memory_order_relaxed));
+      tp = std::min(tp, p.oldest_deadline - projected);
+    }
+    return tp;
   };
 
   bool open = true;
@@ -326,17 +446,17 @@ void AsyncServer::scheduler_loop() {
     QueuedRequest next;
     bool got = false;
     if (pending.empty()) {
-      got = queue_.pop(next);
+      got = shard.queue.pop(next);
       if (!got) {
         open = false;  // closed and drained
       }
     } else {
-      auto deadline = Clock::time_point::max();
+      auto wake = Clock::time_point::max();
       for (const auto& [id, p] : pending) {
-        deadline = std::min(deadline, p.deadline);
+        wake = std::min(wake, flush_tp(p));
       }
       bool timed_out = false;
-      got = queue_.pop_wait_until(next, deadline, &timed_out);
+      got = shard.queue.pop_wait_until(next, wake, &timed_out);
       if (!got && !timed_out) {
         open = false;  // closed and drained: flush whatever is pending
       }
@@ -344,12 +464,15 @@ void AsyncServer::scheduler_loop() {
     if (got) {
       Pending& p = pending[next.model_id];
       if (p.requests.empty()) {
-        p.deadline = Clock::now() + delay;
+        p.delay_deadline = Clock::now() + delay;
+        p.oldest_deadline = next.deadline_tp;
         // Version pinned HERE: later requests joining this batch ride the
         // same plan even if a swap lands mid-formation. One atomic snapshot:
         // plan and version label must come from the same registry state.
         p.compiled = registry_->acquire(next.model_id, &p.version);
         p.requests.reserve(static_cast<std::size_t>(config_.max_batch));
+      } else {
+        p.oldest_deadline = std::min(p.oldest_deadline, next.deadline_tp);
       }
       const std::string model_id = next.model_id;
       p.requests.push_back(std::move(next));
@@ -358,11 +481,11 @@ void AsyncServer::scheduler_loop() {
         pending.erase(model_id);
       }
     }
-    // Flush every batch whose delay budget is spent (all of them on
-    // shutdown drain).
+    // Flush every batch whose budget is spent — delay or deadline slack —
+    // and all of them on shutdown drain.
     const auto now = Clock::now();
     for (auto it = pending.begin(); it != pending.end();) {
-      if (!open || now >= it->second.deadline) {
+      if (!open || now >= flush_tp(it->second)) {
         flush(it->first, it->second);
         it = pending.erase(it);
       } else {
@@ -370,17 +493,86 @@ void AsyncServer::scheduler_loop() {
       }
     }
   }
-  dispatch_.close();
+  shard.dispatch.close();
 }
 
 void AsyncServer::worker_loop(std::size_t worker) {
-  // One context per model id, owned by THIS thread (never shared): the
-  // scratch arena, meter, and row cache are private, and bind() re-targets
-  // a lane to a freshly swapped version (rebuilding its cache cold).
-  std::unordered_map<std::string, std::unique_ptr<ExecutionContext>> contexts;
-  std::vector<std::vector<std::int32_t>> histories;
+  WorkerState state;
+  const std::size_t nshards = shards_.size();
+  const std::size_t primary = worker % nshards;
   BatchTask task;
-  while (dispatch_.pop(task)) {
+  for (;;) {
+    bool got = false;
+    bool stolen = false;
+    // Fast path: the primary shard's dispatch queue; otherwise scan the
+    // other shards for a formed batch to steal (never parking on them).
+    if (shards_[primary]->dispatch.try_pop(task)) {
+      got = true;
+    } else {
+      for (std::size_t k = 1; k < nshards && !got; ++k) {
+        const std::size_t s = (primary + k) % nshards;
+        if (shards_[s]->dispatch.try_pop(task)) {
+          got = true;
+          stolen = true;
+        }
+      }
+    }
+    if (!got) {
+      // Nothing anywhere: park briefly on an OPEN shard, preferring the
+      // primary. The timeout bounds how stale a steal scan can get.
+      std::size_t park = primary;
+      if (shards_[park]->dispatch.closed()) {
+        park = nshards;  // sentinel: primary closed, find any open shard
+        for (std::size_t s = 0; s < nshards; ++s) {
+          if (!shards_[s]->dispatch.closed()) {
+            park = s;
+            break;
+          }
+        }
+      }
+      if (park == nshards) {
+        // Every dispatch queue is closed — no former will push again, so
+        // one more scan observes every remaining batch. Drain it, then
+        // exit.
+        for (std::size_t s = 0; s < nshards && !got; ++s) {
+          if (shards_[s]->dispatch.try_pop(task)) {
+            got = true;
+            stolen = s != primary;
+          }
+        }
+        if (!got) {
+          break;
+        }
+      } else {
+        bool timed_out = false;
+        got = shards_[park]->dispatch.pop_wait_until(
+            task, Clock::now() + std::chrono::milliseconds(1), &timed_out);
+        stolen = got && park != primary;
+        if (!got) {
+          continue;
+        }
+      }
+    }
+    if (stolen) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+    }
+    execute_batch(worker, task, state);
+    // Drop the plan reference (and the request buffers) NOW rather than at
+    // the next pop: a hot-swapped old version must drain as soon as its
+    // last batch completes, not when the worker happens to pick up new
+    // work.
+    task = BatchTask{};
+  }
+}
+
+void AsyncServer::execute_batch(std::size_t worker, BatchTask& task,
+                                WorkerState& state) {
+  // One context per model id, owned by the CALLING thread (never shared):
+  // the scratch arena, meter, and row cache are private, and bind()
+  // re-targets a lane to a freshly swapped version (cache rebuilt cold).
+  auto& contexts = state.contexts;
+  auto& histories = state.histories;
+  {
     if (task.compiled == nullptr) {
       // The model was retired between admission and batch formation; the
       // futures must still resolve — with the failure, not a hang.
@@ -391,8 +583,7 @@ void AsyncServer::worker_loop(std::size_t worker) {
       }
       completed_.fetch_add(task.requests.size(),
                            std::memory_order_relaxed);
-      task = BatchTask{};
-      continue;
+      return;
     }
     std::unique_ptr<ExecutionContext>& slot = contexts[task.model_id];
     if (slot == nullptr) {
@@ -421,6 +612,36 @@ void AsyncServer::worker_loop(std::size_t worker) {
     const double service_ms =
         std::chrono::duration<double, std::milli>(service_end - service_start)
             .count();
+
+    // Feed the origin shard's online estimators. Both are racy-lossy
+    // read-modify-writes on relaxed atomics by design: they steer flush
+    // timing and admission, never correctness.
+    {
+      Shard& origin = *shards_[task.shard];
+      const std::int64_t service_us =
+          static_cast<std::int64_t>(service_ms * 1000.0);
+      const std::int64_t old_service =
+          origin.service_est_us.load(std::memory_order_relaxed);
+      // EWMA (alpha 1/4): responsive to load shifts, stable across the
+      // batch-size mix.
+      origin.service_est_us.store(
+          old_service == 0 ? service_us
+                           : old_service + (service_us - old_service) / 4,
+          std::memory_order_relaxed);
+      std::int64_t wait_est =
+          origin.wait_p99_est_us.load(std::memory_order_relaxed);
+      for (const QueuedRequest& r : task.requests) {
+        const std::int64_t wait_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                service_start - r.enqueue_tp)
+                .count();
+        // Peak-decay high-quantile estimate: jump to any new maximum,
+        // decay 1/8 toward smaller samples.
+        wait_est = wait_us >= wait_est ? wait_us
+                                       : wait_est + (wait_us - wait_est) / 8;
+      }
+      origin.wait_p99_est_us.store(wait_est, std::memory_order_relaxed);
+    }
 
     // Record stats BEFORE resolving the promises: anyone who has observed
     // every future of a drain is guaranteed to see its samples.
@@ -473,6 +694,8 @@ void AsyncServer::worker_loop(std::size_t worker) {
       result.total_ms = std::chrono::duration<double, std::milli>(
                             service_end - r.enqueue_tp)
                             .count();
+      result.deadline_missed = r.deadline_tp != Clock::time_point::max() &&
+                               service_end > r.deadline_tp;
       const float* row = &batch.logits.at2(static_cast<Index>(i), 0);
       result.logits.assign(row, row + dim);
       r.promise.set_value(std::move(result));
@@ -490,11 +713,6 @@ void AsyncServer::worker_loop(std::size_t worker) {
         ++it;
       }
     }
-    // Drop the plan reference (and the request buffers) NOW rather than at
-    // the next pop: a hot-swapped old version must drain as soon as its
-    // last batch completes, not when the worker happens to pick up new
-    // work.
-    task = BatchTask{};
   }
 }
 
@@ -521,10 +739,19 @@ ServingReport AsyncServer::serve(
     // registry state: a concurrent swap()/retire() of the default model
     // after the drain must not invalidate (or abort) 100% successful
     // results. A mid-drain width change still fails the per-row check.
-    const Index dim =
-        rows.empty() ? 0 : static_cast<Index>(rows.front().size());
+    // Shed requests have no logits: their rows stay zero.
+    Index dim = 0;
+    for (const auto& row : rows) {
+      if (!row.empty()) {
+        dim = static_cast<Index>(row.size());
+        break;
+      }
+    }
     *logits_out = Tensor({static_cast<Index>(requests.size()), dim});
     for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].empty()) {
+        continue;  // shed
+      }
       check_eq(dim, static_cast<long long>(rows[r].size()),
                "AsyncServer: logit row width");
       std::memcpy(&logits_out->at2(static_cast<Index>(r), 0), rows[r].data(),
@@ -567,26 +794,61 @@ ServingReport AsyncServer::drive(
   // Open-loop arrivals: with a nonzero rate, request i is released at
   // i/arrival_qps seconds regardless of completions (only admission-queue
   // backpressure can stall the producer). rate 0 = as fast as admitted.
+  //
+  // The schedule is ABSOLUTE (wall_start + i * inter_arrival), never
+  // per-gap: a slow submit must not silently stretch every later arrival
+  // (coordinated omission — offered load would sag exactly when the server
+  // struggles). An arrival more than one period behind its slot is counted
+  // in late_arrivals so the report is honest about the load it delivered.
+  // sleep_until alone caps the pacer at OS timer granularity (~ms), far
+  // below the offered rates the sharded path must absorb — so sleep covers
+  // the bulk of a long gap and a spin loop lands the final stretch.
   const auto inter_arrival =
       arrival_qps > 0.0
           ? std::chrono::duration_cast<Clock::duration>(
                 std::chrono::duration<double>(1.0 / arrival_qps))
           : Clock::duration::zero();
+  constexpr std::chrono::microseconds kSpinWindow{200};
 
+  const std::uint64_t steals_before = steals_.load(std::memory_order_relaxed);
+  std::uint64_t late = 0;
   std::vector<std::future<AsyncResult>> futures;
   futures.reserve(static_cast<std::size_t>(total));
   const auto wall_start = Clock::now();
   for (std::uint64_t i = 0; i < total; ++i) {
     if (inter_arrival.count() > 0) {
-      std::this_thread::sleep_until(
-          wall_start + inter_arrival * static_cast<std::int64_t>(i));
+      const auto scheduled =
+          wall_start + inter_arrival * static_cast<std::int64_t>(i);
+      auto now = Clock::now();
+      if (now < scheduled) {
+        if (scheduled - now > kSpinWindow) {
+          std::this_thread::sleep_until(scheduled - kSpinWindow);
+        }
+        while (Clock::now() < scheduled) {
+          // spin the last stretch
+        }
+      } else if (now - scheduled > inter_arrival) {
+        ++late;  // a full period behind schedule: true offered load sagged
+      }
     }
     const RequestRef& r = requests[static_cast<std::size_t>(i % unique)];
     futures.push_back(submit(*r.model_id, *r.history));
   }
+
+  std::uint64_t shed_count = 0;
+  std::uint64_t miss_count = 0;
+  std::uint64_t ok_in_slo = 0;
   for (std::uint64_t i = 0; i < total; ++i) {
     AsyncResult result = futures[static_cast<std::size_t>(i)].get();
-    if (logits_out != nullptr && i < unique) {
+    if (result.status == RequestStatus::kShed) {
+      ++shed_count;
+    } else if (result.deadline_missed) {
+      ++miss_count;
+    } else {
+      ++ok_in_slo;  // no deadline configured counts as within SLO
+    }
+    if (logits_out != nullptr && i < unique &&
+        result.status == RequestStatus::kOk) {
       (*logits_out)[static_cast<std::size_t>(i)] = std::move(result.logits);
     }
   }
@@ -594,6 +856,23 @@ ServingReport AsyncServer::drive(
   report.qps = report.wall_ms > 0.0
                    ? static_cast<double>(total) / (report.wall_ms / 1000.0)
                    : 0.0;
+  report.shards = static_cast<int>(shards_.size());
+  report.steals = steals_.load(std::memory_order_relaxed) - steals_before;
+  report.late_arrivals = late;
+  report.shed = shed_count;
+  report.shed_rate =
+      total > 0 ? static_cast<double>(shed_count) / static_cast<double>(total)
+                : 0.0;
+  const std::uint64_t executed = total - shed_count;
+  report.deadline_misses = miss_count;
+  report.deadline_miss_rate =
+      executed > 0
+          ? static_cast<double>(miss_count) / static_cast<double>(executed)
+          : 0.0;
+  report.goodput_qps =
+      report.wall_ms > 0.0
+          ? static_cast<double>(ok_in_slo) / (report.wall_ms / 1000.0)
+          : 0.0;
 
   std::vector<double> waits, services, totals;
   waits.reserve(static_cast<std::size_t>(total));
@@ -671,6 +950,38 @@ ServingReport AsyncServer::drive(
     report.per_model.push_back(std::move(model));
   }
   return report;
+}
+
+std::size_t AsyncServer::queue_capacity() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->queue.capacity();
+  }
+  return total;
+}
+
+std::size_t AsyncServer::queue_high_water() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->queue.high_water();
+  }
+  return total;
+}
+
+std::uint64_t AsyncServer::rejected() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->queue.rejected();
+  }
+  return total;
+}
+
+std::uint64_t AsyncServer::shed_total() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->shed.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 RowCacheStats AsyncServer::cache_stats() const {

@@ -11,12 +11,29 @@
 //     requests off a lock-free atomic cursor as fast as they complete them.
 //     Measures the peak batch-1 throughput of the fast path.
 //
-//   * AsyncServer — OPEN-LOOP multi-tenant pipeline: producers enqueue
-//     requests (each optionally routed to a `model_id`) into a bounded
-//     RequestQueue, a scheduler thread forms PER-MODEL dynamic
-//     micro-batches (flushed at `max_batch` or after `max_delay_us`), and
-//     worker threads execute each micro-batch through the fused run_batch
-//     path. Models live in a ModelRegistry; a `swap()` there is
+//   * AsyncServer — OPEN-LOOP multi-tenant pipeline, SHARDED: producers
+//     enqueue requests (each optionally routed to a `model_id`) into one of
+//     `shards` bounded RequestQueues (shard = hash(model_id), so a model's
+//     traffic forms dense micro-batches on one shard), a per-shard batch
+//     former turns them into PER-MODEL dynamic micro-batches, and worker
+//     threads execute each micro-batch through the fused run_batch path.
+//     A worker is pinned to a primary shard but STEALS formed batches from
+//     other shards whenever its own dispatch queue is empty, so a skewed
+//     model mix cannot strand capacity on an idle shard.
+//
+//     Deadline awareness runs end to end: every request carries a deadline
+//     (default `deadline_us` after enqueue; 0 = none). A shard flushes a
+//     micro-batch EARLY once the oldest member's remaining slack drops
+//     below the shard's projected service time (SLO-driven flush — the
+//     fixed `max_delay_us` stays as an upper bound), and completions past
+//     their deadline are counted as misses. With `shed` enabled the front
+//     door applies admission control: once a shard's queue-wait p99
+//     estimate exceeds a request's deadline (and real backlog confirms
+//     it), `try_submit` rejects and `submit` fails fast with a future that
+//     resolves to RequestStatus::kShed — bounded-latency goodput instead
+//     of unbounded queueing.
+//
+//     Models live in a ModelRegistry; a `swap()` there is
 //     zero-downtime: micro-batches pin their model version at formation,
 //     in-flight work finishes on the old version, new batches pick up the
 //     new one, and the old plan (plus its mmap) is destroyed when its
@@ -43,6 +60,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/tensor.h"
@@ -88,6 +106,24 @@ struct ServingReport {
   LatencyStats service;     // micro-batch execution wall time
   std::uint64_t batches = 0;   // micro-batches dispatched
   double mean_batch = 0;       // requests / batches
+  int shards = 0;              // scheduler shards the drain ran with
+  std::uint64_t steals = 0;    // batches executed by a non-primary worker
+
+  // Deadline / admission-control accounting (async pipeline only).
+  // `requests` counts everything submitted; shed requests never execute,
+  // so executed = requests - shed and the latency stats cover executed
+  // requests only.
+  std::uint64_t shed = 0;             // rejected at the front door
+  double shed_rate = 0;               // shed / requests
+  std::uint64_t deadline_misses = 0;  // executed but completed past deadline
+  double deadline_miss_rate = 0;      // misses / executed
+  // Goodput under the SLO: completions that met their deadline per wall
+  // second. With no deadline configured this equals `qps`.
+  double goodput_qps = 0;
+  // Open-loop pacer honesty: arrivals the driver released more than one
+  // inter-arrival period behind their absolute schedule (a slow/blocked
+  // submit lowers TRUE offered load; this counts by how many).
+  std::uint64_t late_arrivals = 0;
 
   // Hot-row cache totals across workers (enabled=false when no cache).
   RowCacheStats cache;
@@ -146,14 +182,34 @@ class ServingHarness {
 
 struct AsyncServerConfig {
   int threads = 2;
+  // Scheduler shards: per-shard admission queue + batch former + dispatch
+  // queue. Requests route by hash(model_id); workers steal formed batches
+  // across shards. Must satisfy 1 <= shards <= threads (every shard needs
+  // a primary worker or a loaded shard could starve between steal scans).
+  int shards = 1;
   Index max_batch = 8;          // flush a micro-batch at this size...
   double max_delay_us = 200.0;  // ...or this long after its first request
-  std::size_t queue_capacity = 1024;  // admission bound (backpressure)
+  // Default per-request deadline, measured from enqueue. 0 disables
+  // deadline handling (no SLO flush, no miss accounting, no shedding).
+  double deadline_us = 0.0;
+  // Admission control: shed at submit()/try_submit() once the target
+  // shard's queue-wait p99 estimate exceeds the request's deadline AND the
+  // shard has a real backlog (>= max_batch queued). Requires deadline_us
+  // (or a per-request deadline) to have any effect.
+  bool shed = false;
+  std::size_t queue_capacity = 1024;  // admission bound, TOTAL across shards
   std::size_t cache_budget_bytes = 0;  // per-context hot-row cache; 0 = off
+};
+
+// How a submitted request left the server.
+enum class RequestStatus {
+  kOk = 0,    // executed; logits valid
+  kShed = 1,  // rejected by admission control; logits empty, never executed
 };
 
 // What a request's future resolves to.
 struct AsyncResult {
+  RequestStatus status = RequestStatus::kOk;
   std::vector<float> logits;  // [output_dim of the serving model]
   std::string model_id;       // which registry entry served the request
   std::uint64_t model_version = 0;  // which version of it (swap audit trail)
@@ -161,6 +217,9 @@ struct AsyncResult {
   double service_ms = 0;      // fused micro-batch execution (wall)
   double total_ms = 0;        // enqueue -> completion
   Index batch = 0;            // size of the micro-batch this request rode in
+  // True when the request carried a deadline and completed after it (only
+  // meaningful for kOk — shed requests never execute).
+  bool deadline_missed = false;
 };
 
 // A request explicitly routed to a registry model (the serve() overload
@@ -193,20 +252,28 @@ class AsyncServer {
   AsyncServer(const AsyncServer&) = delete;
   AsyncServer& operator=(const AsyncServer&) = delete;
 
-  // Enqueues a request; BLOCKS while the queue is at capacity
+  // Enqueues a request; BLOCKS while its shard's queue is at capacity
   // (backpressure). The future resolves once a worker completed the
   // request's micro-batch. The routed overload fails (check) for a model id
   // the registry does not currently hold.
+  //
+  // `deadline_us` overrides the config default for THIS request (< 0 = use
+  // the config; 0 = explicitly no deadline). When shedding is enabled and
+  // the target shard's queue-wait p99 estimate exceeds the deadline,
+  // submit() does NOT block: it fails fast with a future already resolved
+  // to RequestStatus::kShed.
   std::future<AsyncResult> submit(std::vector<std::int32_t> history);
   std::future<AsyncResult> submit(std::string model_id,
-                                  std::vector<std::int32_t> history);
+                                  std::vector<std::int32_t> history,
+                                  double deadline_us = -1.0);
 
-  // Non-blocking admission: false (and no future) when the queue is full,
+  // Non-blocking admission: false (and no future) when the shard queue is
+  // full, the request was shed (counted separately — see shed_total()),
   // the server is shutting down, or the model id is unknown.
   bool try_submit(std::vector<std::int32_t> history,
                   std::future<AsyncResult>* out);
   bool try_submit(std::string model_id, std::vector<std::int32_t> history,
-                  std::future<AsyncResult>* out);
+                  std::future<AsyncResult>* out, double deadline_us = -1.0);
 
   // Convenience driver: submits `requests` (repeated `repeat` times) from
   // this thread — paced at `arrival_qps` when nonzero (open-loop arrivals),
@@ -239,10 +306,22 @@ class AsyncServer {
     return completed_.load(std::memory_order_relaxed);
   }
 
-  // Backpressure observability (lifetime totals of the admission queue).
-  std::size_t queue_capacity() const { return queue_.capacity(); }
-  std::size_t queue_high_water() const { return queue_.high_water(); }
-  std::uint64_t rejected() const { return queue_.rejected(); }
+  // Backpressure / admission observability (lifetime totals, summed over
+  // shards). high_water sums per-shard peaks — they need not have been
+  // simultaneous, but each shard's peak is bounded by its slice of
+  // queue_capacity, so the sum never exceeds queue_capacity().
+  std::size_t queue_capacity() const;
+  std::size_t queue_high_water() const;
+  std::uint64_t rejected() const;
+  // Requests rejected by admission control (distinct from full-queue
+  // rejections above): the estimated queue wait exceeded their deadline.
+  std::uint64_t shed_total() const;
+  // Formed batches executed by a worker whose primary shard is not the
+  // batch's origin shard (lifetime).
+  std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  int shards() const { return static_cast<int>(shards_.size()); }
 
   // Aggregated hot-row cache counters across worker contexts since the
   // last serve() began (all counters flow through the stats mutex, so this
@@ -256,6 +335,8 @@ class AsyncServer {
     std::vector<std::int32_t> history;
     std::promise<AsyncResult> promise;
     SteadyClock::time_point enqueue_tp;
+    // time_point::max() when the request carries no deadline.
+    SteadyClock::time_point deadline_tp;
   };
   struct BatchTask {
     std::string model_id;
@@ -263,7 +344,29 @@ class AsyncServer {
     // an in-flight batch.
     std::shared_ptr<const CompiledModel> compiled;
     std::uint64_t version = 0;
+    std::size_t shard = 0;  // origin shard (estimator feedback + stealing)
     std::vector<QueuedRequest> requests;
+  };
+  // One scheduler shard: its own admission queue, batch-former thread, and
+  // dispatch queue of formed micro-batches, plus the two online estimators
+  // the deadline machinery feeds on. The estimators are plain atomics
+  // updated by workers with racy read-modify-write — a lost update skews an
+  // ESTIMATE, never correctness.
+  struct Shard {
+    Shard(std::size_t queue_cap, std::size_t dispatch_cap)
+        : queue(queue_cap), dispatch(dispatch_cap) {}
+    RequestQueue<QueuedRequest> queue;
+    RequestQueue<BatchTask> dispatch;
+    // Peak-decay queue-wait p99 estimate (µs): jumps to any new maximum,
+    // decays 1/8 toward each smaller sample. Admission control compares
+    // this against a request's deadline.
+    std::atomic<std::int64_t> wait_p99_est_us{0};
+    // EWMA of micro-batch service wall time (µs): the projected cost of
+    // flushing a batch now — the SLO-driven flush triggers once a batch's
+    // oldest deadline is closer than this.
+    std::atomic<std::int64_t> service_est_us{0};
+    std::atomic<std::uint64_t> shed{0};  // admission-control rejections
+    std::thread former;
   };
   // Per-(worker, model) slice of the per-batch accounting below.
   struct ModelLane {
@@ -293,12 +396,31 @@ class AsyncServer {
   };
 
   QueuedRequest make_request(std::string model_id,
-                             std::vector<std::int32_t> history) const;
+                             std::vector<std::int32_t> history,
+                             double deadline_us) const;
   // Validates config + default model and spawns the pipeline threads; the
   // shared tail of both constructors.
   void start();
-  void scheduler_loop();
+  // Model-affine shard routing: one model's requests land on one shard so
+  // its micro-batches stay dense; stealing rebalances execution.
+  std::size_t shard_for(const std::string& model_id) const;
+  // True when admission control should reject a request with this deadline
+  // on this shard right now.
+  bool should_shed(const Shard& shard,
+                   SteadyClock::time_point enqueue_tp,
+                   SteadyClock::time_point deadline_tp) const;
+  std::future<AsyncResult> resolve_shed(QueuedRequest request, Shard& shard);
+  void former_loop(std::size_t shard_index);
   void worker_loop(std::size_t worker);
+  // Thread-local state a worker threads through execute_batch: one
+  // ExecutionContext per model id (re-bound on version swap) plus a reused
+  // history scratch buffer.
+  struct WorkerState {
+    std::unordered_map<std::string, std::unique_ptr<ExecutionContext>>
+        contexts;
+    std::vector<std::vector<std::int32_t>> histories;
+  };
+  void execute_batch(std::size_t worker, BatchTask& task, WorkerState& state);
   void reset_stats();
   // Non-owning view of one request of a serve() corpus: both serve()
   // overloads flatten to these so the un-routed one does not have to copy
@@ -319,12 +441,14 @@ class AsyncServer {
   std::unique_ptr<ModelRegistry> owned_registry_;
   ModelRegistry* registry_ = nullptr;
   std::string default_model_;
-  RequestQueue<QueuedRequest> queue_;     // producers -> scheduler
-  RequestQueue<BatchTask> dispatch_;      // scheduler -> workers
+  // One entry per scheduler shard (producers -> former -> workers).
+  // unique_ptr: Shard holds queues with const members and a thread, so the
+  // vector needs stable, non-movable storage.
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<WorkerStats> worker_stats_;
   mutable std::mutex stats_mutex_;
   std::atomic<std::uint64_t> completed_{0};
-  std::thread scheduler_;
+  std::atomic<std::uint64_t> steals_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -187,6 +187,26 @@ void check_all_paths(const MmapModel& model,
                            tag + "/async", r);
     }
   }
+  // --- AsyncServer, SHARDED scheduler (work-stealing path) ----------------
+  // Same corpus through shards=threads with deadlines + SLO flush armed:
+  // batch composition and execution placement differ completely from the
+  // single-queue drain above, yet every logit must stay bit-identical.
+  {
+    AsyncServerConfig config;
+    config.threads = 3;
+    config.shards = 3;
+    config.max_batch = 4;
+    config.max_delay_us = 100.0;
+    config.deadline_us = 1e6;  // generous: exercises the deadline plumbing
+    config.queue_capacity = 9;
+    AsyncServer server(model, tflite_profile(), config);
+    Tensor served;
+    server.serve(corpus, 1, 0.0, &served);
+    for (std::size_t r = 0; r < corpus.size(); ++r) {
+      expect_bit_identical(&served.at2(static_cast<Index>(r), 0), expected[r],
+                           tag + "/async_sharded", r);
+    }
+  }
   // --- Hot-row cache: cold pass then warm pass ----------------------------
   {
     InferenceEngine engine(model, tflite_profile());

@@ -133,6 +133,44 @@ TEST_F(McmBenchTest, MultiModelModeReportsPerModelAndHotSwaps) {
   EXPECT_NE(result.output.find("to v2"), std::string::npos);
 }
 
+TEST_F(McmBenchTest, ShardedAsyncModeReportsSchedulerColumns) {
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, 300, 16, 32};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = 24;
+  config.seed = 11;
+  RecModel model(config);
+  model.export_mcm(path_);
+
+  const ToolResult result = run_tool(
+      "\"" + path_ +
+      "\" --runs 10 --threads 2 --requests 16 --repeat 2 --async "
+      "--shards 2 --max-batch 4 --deadline-us 500000 --shed");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("async micro-batching pipeline"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("shards"), std::string::npos);
+  EXPECT_NE(result.output.find("goodput"), std::string::npos);
+  EXPECT_NE(result.output.find("shed%"), std::string::npos);
+  EXPECT_NE(result.output.find("miss%"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, InvalidShardCountFailsCleanly) {
+  const ToolResult zero = run_tool("model.mcm --shards 0");
+  EXPECT_EQ(zero.exit_code, 2);
+  EXPECT_NE(zero.output.find("--shards"), std::string::npos);
+  // More shards than workers is rejected too (every shard needs a primary).
+  const ToolResult over = run_tool("model.mcm --threads 2 --shards 4");
+  EXPECT_EQ(over.exit_code, 2);
+  EXPECT_NE(over.output.find("--shards"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, ShedWithoutDeadlineFailsCleanly) {
+  const ToolResult result = run_tool("model.mcm --shed");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--deadline-us"), std::string::npos);
+}
+
 TEST_F(McmBenchTest, MissingArgumentFailsWithUsage) {
   const ToolResult result = run_tool("");
   EXPECT_EQ(result.exit_code, 2);

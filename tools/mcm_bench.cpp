@@ -5,6 +5,7 @@
 //               [--repeat 8] [--seq-len 32] [--profile coreml|tflite]
 //               [--async] [--max-batch 8] [--max-delay-us 200]
 //               [--queue-cap 256] [--cache-kb 0] [--arrival-qps 0]
+//               [--shards 1] [--deadline-us 0] [--shed]
 //   ./mcm_bench --models a.mcm,b.mcm [--swap-after N] [serving flags above]
 //
 // Prints the single-input latency distribution (mean/min/p50/p95/p99/max,
@@ -19,6 +20,13 @@
 // re-published as a new version) once N requests have completed — a live
 // demonstration of zero-downtime swap under traffic. Files that declare
 // identity metadata must declare a higher model_version to be accepted.
+//
+// Scheduler knobs (both async modes): --shards N runs the sharded
+// scheduler (per-shard queue + batch former, work-stealing workers;
+// requires N <= threads), --deadline-us D attaches a completion deadline
+// to every request (SLO-driven early flush + miss accounting), and --shed
+// enables admission control (requests are refused with a shed status once
+// a shard's queue-wait estimate exceeds the deadline).
 #include <atomic>
 #include <filesystem>
 #include <iostream>
@@ -75,7 +83,8 @@ int main(int argc, char** argv) {
                  "[--requests N] [--repeat N] [--seq-len L] "
                  "[--profile coreml|tflite] [--async] [--max-batch N] "
                  "[--max-delay-us U] [--queue-cap N] [--cache-kb K] "
-                 "[--arrival-qps Q]\n"
+                 "[--arrival-qps Q] [--shards N] [--deadline-us D] "
+                 "[--shed]\n"
                  "       mcm_bench --models a.mcm,b.mcm [--swap-after N] "
                  "[serving flags]\n";
     return 2;
@@ -91,6 +100,9 @@ int main(int argc, char** argv) {
   const Index queue_cap = flags.get_int("queue-cap", 256);
   const Index cache_kb = flags.get_int("cache-kb", 0);
   const double arrival_qps = flags.get_double("arrival-qps", 0.0);
+  const int shards = static_cast<int>(flags.get_int("shards", 1));
+  const double deadline_us = flags.get_double("deadline-us", 0.0);
+  const bool shed = flags.get_bool("shed", false);
   if (runs < 1 || threads < 1 || request_count < 1 || repeat < 1 ||
       seq_len < 1) {
     std::cerr << "mcm_bench: --runs/--threads/--requests/--repeat/--seq-len "
@@ -101,6 +113,24 @@ int main(int argc, char** argv) {
       arrival_qps < 0.0) {
     std::cerr << "mcm_bench: --max-batch/--queue-cap must be positive; "
                  "--max-delay-us/--cache-kb/--arrival-qps non-negative\n";
+    return 2;
+  }
+  if (shards < 1 || shards > threads) {
+    std::cerr << "mcm_bench: --shards must satisfy 1 <= shards <= threads\n";
+    return 2;
+  }
+  if (queue_cap < shards) {
+    std::cerr << "mcm_bench: --queue-cap must be at least --shards (it is "
+                 "the TOTAL admission bound, split across shards)\n";
+    return 2;
+  }
+  if (deadline_us < 0.0) {
+    std::cerr << "mcm_bench: --deadline-us must be non-negative\n";
+    return 2;
+  }
+  if (shed && deadline_us <= 0.0) {
+    std::cerr << "mcm_bench: --shed needs --deadline-us > 0 (admission "
+                 "control sheds against a deadline)\n";
     return 2;
   }
   const std::string profile_name = flags.get_string("profile", "tflite");
@@ -170,8 +200,11 @@ int main(int argc, char** argv) {
 
     AsyncServerConfig config;
     config.threads = threads;
+    config.shards = shards;
     config.max_batch = max_batch;
     config.max_delay_us = max_delay_us;
+    config.deadline_us = deadline_us;
+    config.shed = shed;
     config.queue_capacity = static_cast<std::size_t>(queue_cap);
     config.cache_budget_bytes = static_cast<std::size_t>(cache_kb) * 1024;
     AsyncServer server(registry, ids.front(), profile, config);
@@ -217,14 +250,19 @@ int main(int argc, char** argv) {
       std::cout << swap_note << "\n\n";
     }
 
-    TextTable overall({"threads", "models", "requests", "qps", "modeled qps",
-                       "p50 ms", "mean batch", "hit%"});
+    TextTable overall({"threads", "shards", "models", "requests", "qps",
+                       "goodput", "modeled qps", "p50 ms", "mean batch",
+                       "shed%", "miss%", "steals", "hit%"});
     overall.add_row(
-        {std::to_string(report.threads), std::to_string(ids.size()),
-         std::to_string(report.requests), format_float(report.qps, 0),
+        {std::to_string(report.threads), std::to_string(report.shards),
+         std::to_string(ids.size()), std::to_string(report.requests),
+         format_float(report.qps, 0), format_float(report.goodput_qps, 0),
          format_float(report.modeled_qps, 0),
          format_float(report.latency.p50_ms, 4),
          format_float(report.mean_batch, 1),
+         format_float(report.shed_rate * 100.0, 1),
+         format_float(report.deadline_miss_rate * 100.0, 1),
+         std::to_string(report.steals),
          report.cache.enabled
              ? format_float(report.cache.hit_rate() * 100.0, 1)
              : "off"});
@@ -311,25 +349,33 @@ int main(int argc, char** argv) {
   if (async) {
     AsyncServerConfig config;
     config.threads = threads;
+    config.shards = shards;
     config.max_batch = max_batch;
     config.max_delay_us = max_delay_us;
+    config.deadline_us = deadline_us;
+    config.shed = shed;
     config.queue_capacity = static_cast<std::size_t>(queue_cap);
     config.cache_budget_bytes = static_cast<std::size_t>(cache_kb) * 1024;
     AsyncServer server(model, profile, config);
     server.serve(requests, 1);  // warm-up (also warms the row cache)
     const ServingReport report = server.serve(requests, repeat, arrival_qps);
-    TextTable table({"threads", "batch<=", "offered", "qps", "modeled qps",
-                     "p50 ms", "wait p50 ms", "wait p95 ms", "svc p50 ms",
-                     "mean batch", "hit%"});
+    TextTable table({"threads", "shards", "batch<=", "offered", "qps",
+                     "goodput", "modeled qps", "p50 ms", "wait p50 ms",
+                     "wait p95 ms", "svc p50 ms", "mean batch", "shed%",
+                     "miss%", "hit%"});
     table.add_row(
-        {std::to_string(report.threads), std::to_string(max_batch),
+        {std::to_string(report.threads), std::to_string(report.shards),
+         std::to_string(max_batch),
          arrival_qps > 0 ? format_float(arrival_qps, 0) : "max",
-         format_float(report.qps, 0), format_float(report.modeled_qps, 0),
+         format_float(report.qps, 0), format_float(report.goodput_qps, 0),
+         format_float(report.modeled_qps, 0),
          format_float(report.latency.p50_ms, 4),
          format_float(report.queue_wait.p50_ms, 4),
          format_float(report.queue_wait.p95_ms, 4),
          format_float(report.service.p50_ms, 4),
          format_float(report.mean_batch, 1),
+         format_float(report.shed_rate * 100.0, 1),
+         format_float(report.deadline_miss_rate * 100.0, 1),
          report.cache.enabled
              ? format_float(report.cache.hit_rate() * 100.0, 1)
              : "off"});
