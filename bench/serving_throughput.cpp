@@ -28,6 +28,7 @@
 
 #include "core/flags.h"
 #include "core/rng.h"
+#include "core/sampling.h"
 #include "core/table.h"
 #include "ondevice/quantize.h"
 #include "ondevice/registry.h"
@@ -59,6 +60,10 @@ struct ResultRow {
   double deadline_miss_rate = 0;
   double goodput_qps = 0;  // deadline-met completions per wall second
   std::uint64_t late_arrivals = 0;
+  // Session serving slice (0 outside "session" rows).
+  Index top_k = 0;
+  Index active_sessions = 0;
+  std::uint64_t session_evictions = 0;
 };
 
 ResultRow make_row(const std::string& technique, const std::string& mode,
@@ -121,6 +126,9 @@ void write_json(const std::string& path, unsigned hardware_threads,
         << "\"deadline_miss_rate\": " << r.deadline_miss_rate << ", "
         << "\"goodput_qps\": " << r.goodput_qps << ", "
         << "\"late_arrivals\": " << r.late_arrivals << ", "
+        << "\"top_k\": " << r.top_k << ", "
+        << "\"active_sessions\": " << r.active_sessions << ", "
+        << "\"session_evictions\": " << r.session_evictions << ", "
         << "\"resident_mb\": " << r.resident_mb << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -516,6 +524,87 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Session-based next-item serving -----------------------------------
+  // Stateful traffic through submit_next_item: each event appends one item
+  // to its session's bounded history ring and gets back the top-k item ids
+  // ranked over the model's full output catalog (the compressed-catalog
+  // scan). Zipf-skewed session popularity over a store sized BELOW the
+  // distinct-session count, so the rows also track LRU eviction pressure.
+  // One row per shard shape — session-affine routing means shard count may
+  // shift latency but never a single returned id (test_differential pins
+  // that; this section tracks the cost).
+  TextTable session_table({"scheduler", "shards", "k", "qps", "p50 ms",
+                           "p95 ms", "p99 ms", "active", "evictions"});
+  {
+    ModelConfig config;
+    config.embedding = {TechniqueKind::kMemcom, vocab, embed_dim, hash};
+    config.arch = ModelArch::kClassification;
+    config.output_vocab = smoke ? 32 : 256;
+    config.seed = 808;
+    RecModel model(config);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "serving_session.mcm")
+            .string();
+    model.export_mcm(path, DType::kF32);
+    const MmapModel mapped(path);
+
+    const Index distinct_sessions = smoke ? 48 : 192;
+    const Index session_capacity = distinct_sessions / 2;  // force eviction
+    const int event_count = request_count * 4;
+    Rng session_rng(29);
+    const AliasSampler session_popularity(
+        zipf_weights(distinct_sessions, 1.05));
+    std::vector<SessionEvent> events;
+    events.reserve(static_cast<std::size_t>(event_count));
+    for (int i = 0; i < event_count; ++i) {
+      events.push_back(
+          {static_cast<std::uint64_t>(session_popularity.sample(session_rng)),
+           static_cast<std::int32_t>(1 +
+                                     session_rng.uniform_index(vocab - 1))});
+    }
+    const Index k = 10;
+
+    struct SessionVariant {
+      const char* label;
+      int shards;
+    };
+    for (const SessionVariant v :
+         {SessionVariant{"session/single", 1},
+          SessionVariant{"session/sharded", max_threads}}) {
+      AsyncServerConfig server_config;
+      server_config.threads = max_threads;
+      server_config.shards = v.shards;
+      server_config.max_batch = 8;
+      server_config.max_delay_us = max_delay_us;
+      server_config.queue_capacity = 256;
+      server_config.session_capacity = session_capacity;
+      server_config.session_history = seq_len;
+      AsyncServer server(mapped, tflite_profile(), server_config);
+      server.serve_sessions(events, k);  // warm-up (also fills the store)
+      const ServingReport report = server.serve_sessions(events, k);
+      ResultRow row = make_row(v.label, "session", 8, 0.0, report,
+                               server.max_resident_megabytes());
+      // Session rows report the SESSION latency distribution, not the
+      // all-traffic one (identical here, but explicit keeps trend tooling
+      // honest if mixed traffic is ever added).
+      row.p50_ms = report.session_latency.p50_ms;
+      row.p95_ms = report.session_latency.p95_ms;
+      row.p99_ms = report.session_latency.p99_ms;
+      row.mean_ms = report.session_latency.mean_ms;
+      row.top_k = k;
+      row.active_sessions = report.active_sessions;
+      row.session_evictions = report.session_evictions;
+      rows.push_back(row);
+      session_table.add_row(
+          {v.label, std::to_string(report.shards), std::to_string(k),
+           format_float(row.qps, 0), format_float(row.p50_ms, 4),
+           format_float(row.p95_ms, 4), format_float(row.p99_ms, 4),
+           std::to_string(row.active_sessions),
+           std::to_string(row.session_evictions)});
+    }
+    std::filesystem::remove(path);
+  }
+
   std::cout << "\nclosed-loop (batch-1, no cache):\n"
             << closed_table.to_string();
   std::cout << "\nasync micro-batching (open-loop, hot-row cache "
@@ -530,6 +619,9 @@ int main(int argc, char** argv) {
   std::cout << "\nquantized residency (memcom, movielens table-3 dims, "
             << "closed-loop batch-1):\n"
             << residency_table.to_string();
+  std::cout << "\nsession-based next-item serving (Zipf sessions, top-"
+            << 10 << " over the full catalog, store below session count):\n"
+            << session_table.to_string();
   write_json(json_path, hw_threads, rows);
   std::cout << "\nwrote " << json_path << "\n";
   return 0;

@@ -1,0 +1,177 @@
+// Session top-k catalog-scan benchmark: the full-catalog scoring step of
+// session-based next-item serving, isolated from the serving pipeline.
+//
+// An item-major [items, dim] catalog is exported at each precision rung
+// (f32 / f16 / i8 / i4 / i4g) and scanned IN COMPRESSED FORM by
+// CatalogScorer through the dispatched dot_span kernel. Per rung the bench
+// records, against the f32 full-sort reference:
+//   * recall@k        — fraction of the reference top-k ids the compressed
+//                       scan recovers (ranking loss from quantization; the
+//                       scan itself is deterministic);
+//   * scan latency    — per-query wall time of score-all + bounded-heap
+//                       top-k (p50/p95/mean over the query set);
+//   * catalog bytes   — the compressed payload the scan touches per query
+//                       (the "catalog residency" compression target).
+//
+//   ./bench_session_topk                 # default scale
+//   ./bench_session_topk --smoke         # tiny catalog, few queries
+//   ./bench_session_topk --items 100000 --dim 64 --queries 256 --topk 20
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "core/flags.h"
+#include "core/rng.h"
+#include "core/table.h"
+#include "ondevice/engine.h"
+#include "ondevice/kernels.h"
+#include "ondevice/quantize.h"
+#include "ondevice/topk.h"
+
+using namespace memcom;
+
+namespace {
+
+struct RungResult {
+  std::string dtype;
+  double recall_at_k = 0;
+  LatencyStats scan;
+  std::size_t resident_bytes = 0;
+  double bytes_ratio_vs_f32 = 0;
+};
+
+double intersection_recall(const std::vector<ScoredId>& got,
+                           const std::vector<ScoredId>& want) {
+  if (want.empty()) {
+    return 1.0;
+  }
+  std::size_t hits = 0;
+  for (const ScoredId& w : want) {
+    for (const ScoredId& g : got) {
+      if (g.id == w.id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(want.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+  const Index items = flags.get_int("items", smoke ? 2000 : 50000);
+  const Index dim = flags.get_int("dim", smoke ? 16 : 64);
+  const int queries = static_cast<int>(flags.get_int("queries", smoke ? 32 : 128));
+  const Index k = flags.get_int("topk", 10);
+  const std::string json_path =
+      flags.get_string("out", "BENCH_session_topk.json");
+
+  std::cout << "session top-k catalog scan: items=" << items << " dim=" << dim
+            << " queries=" << queries << " k=" << k << " kernels="
+            << select_kernels().name << "\n\n";
+
+  Rng rng(4242);
+  const Tensor catalog_f32 = Tensor::randn({items, dim}, rng, 0.5f);
+  std::vector<std::vector<float>> query_vecs;
+  query_vecs.reserve(static_cast<std::size_t>(queries));
+  for (int q = 0; q < queries; ++q) {
+    std::vector<float> v(static_cast<std::size_t>(dim));
+    for (float& x : v) {
+      x = rng.uniform(-1.0f, 1.0f);
+    }
+    query_vecs.push_back(std::move(v));
+  }
+
+  // f32 reference rankings (scalar kernels: the contract family).
+  const QuantizedTensor ref_catalog = quantize(catalog_f32, DType::kF32);
+  const CatalogScorer reference(ref_catalog, scalar_kernels());
+  std::vector<std::vector<ScoredId>> ref_topk;
+  ref_topk.reserve(query_vecs.size());
+  for (const auto& q : query_vecs) {
+    ref_topk.push_back(reference.top_k(q.data(), k));
+  }
+
+  struct Rung {
+    const char* label;
+    DType dtype;
+    Index group_size;
+  };
+  const std::vector<Rung> rungs = {
+      {"f32", DType::kF32, 0},  {"f16", DType::kF16, 0},
+      {"i8", DType::kI8, 0},    {"i4", DType::kI4, 0},
+      {"i4g", DType::kI4G, kI4GroupDefault},
+  };
+
+  TextTable table({"dtype", "recall@k", "scan p50 ms", "scan p95 ms",
+                   "mean ms", "catalog MB", "vs f32"});
+  std::vector<RungResult> results;
+  std::size_t f32_bytes = 0;
+  for (const Rung& rung : rungs) {
+    const QuantizedTensor q = quantize(catalog_f32, rung.dtype,
+                                       rung.group_size);
+    const CatalogScorer scorer(q, select_kernels());
+    RungResult result;
+    result.dtype = rung.label;
+    result.resident_bytes = scorer.resident_bytes();
+    if (rung.dtype == DType::kF32) {
+      f32_bytes = result.resident_bytes;
+    }
+    result.bytes_ratio_vs_f32 =
+        f32_bytes > 0 ? static_cast<double>(result.resident_bytes) /
+                            static_cast<double>(f32_bytes)
+                      : 1.0;
+
+    // Warm pass (page the catalog in), then the measured per-query scans.
+    (void)scorer.top_k(query_vecs.front().data(), k);
+    std::vector<double> samples;
+    samples.reserve(query_vecs.size());
+    double recall_sum = 0;
+    for (std::size_t i = 0; i < query_vecs.size(); ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      const std::vector<ScoredId> top = scorer.top_k(query_vecs[i].data(), k);
+      samples.push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      recall_sum += intersection_recall(top, ref_topk[i]);
+    }
+    result.scan = latency_stats_from_samples(std::move(samples));
+    result.recall_at_k = recall_sum / static_cast<double>(query_vecs.size());
+    results.push_back(result);
+
+    table.add_row({result.dtype, format_float(result.recall_at_k, 4),
+                   format_float(result.scan.p50_ms, 4),
+                   format_float(result.scan.p95_ms, 4),
+                   format_float(result.scan.mean_ms, 4),
+                   format_float(static_cast<double>(result.resident_bytes) /
+                                    (1024.0 * 1024.0),
+                                3),
+                   format_float(result.bytes_ratio_vs_f32, 3)});
+  }
+
+  std::cout << table.to_string();
+
+  std::ofstream out(json_path, std::ios::trunc);
+  out << "{\n  \"items\": " << items << ",\n  \"dim\": " << dim
+      << ",\n  \"queries\": " << queries << ",\n  \"k\": " << k
+      << ",\n  \"kernels\": \"" << select_kernels().name
+      << "\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RungResult& r = results[i];
+    out << "    {\"dtype\": \"" << r.dtype << "\", "
+        << "\"recall_at_k\": " << r.recall_at_k << ", "
+        << "\"scan_p50_ms\": " << r.scan.p50_ms << ", "
+        << "\"scan_p95_ms\": " << r.scan.p95_ms << ", "
+        << "\"scan_mean_ms\": " << r.scan.mean_ms << ", "
+        << "\"catalog_bytes\": " << r.resident_bytes << ", "
+        << "\"bytes_ratio_vs_f32\": " << r.bytes_ratio_vs_f32 << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

@@ -104,8 +104,15 @@ std::vector<Index> gumbel_top_k(const std::vector<float>& scores, Index k,
     keyed[static_cast<std::size_t>(i)] = {
         scores[static_cast<std::size_t>(i)] + gumbel, i};
   }
+  // Deterministic tie-break: higher key first, LOWER INDEX wins on equal
+  // keys (including -0.0 == 0.0). This is the same ordering contract as
+  // topk_select in ondevice/topk.h — partial_sort alone is tie-unstable,
+  // which made repeated runs with colliding keys emit different id orders.
   std::partial_sort(keyed.begin(), keyed.begin() + k, keyed.end(),
-                    [](const auto& a, const auto& b) { return a.first > b.first; });
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first ||
+                             (a.first == b.first && a.second < b.second);
+                    });
   std::vector<Index> out(static_cast<std::size_t>(k));
   for (Index i = 0; i < k; ++i) {
     out[static_cast<std::size_t>(i)] = keyed[static_cast<std::size_t>(i)].second;

@@ -41,7 +41,9 @@ std::vector<double> zipf_weights(Index n, double alpha);
 
 // Samples k distinct indices from `scores` via Gumbel-top-k, i.e. a weighted
 // sample without replacement proportional to exp(scores). Returns indices in
-// sampled order.
+// sampled order. Equal perturbed keys break deterministically toward the
+// lower index (same contract as ondevice topk_select), so a fixed Rng seed
+// yields a fixed output even when keys collide.
 std::vector<Index> gumbel_top_k(const std::vector<float>& scores, Index k,
                                 Rng& rng);
 

@@ -26,7 +26,13 @@ Index rank_of_label(const Tensor& scores, Index row, Index label) {
     if (c == label) {
       continue;
     }
-    if (s[c] > target || (s[c] == target && c < label)) {
+    // Pessimistic ranking: EVERY column tying the label outranks it, not
+    // just lower-indexed ones. Quantized catalogs tie constantly, and the
+    // old column-order tie-break made topk_accuracy / ndcg@k depend on how
+    // a scorer happened to order equal scores — irreproducible across
+    // kernel families. Pessimistic ranks are a worst-case lower bound on
+    // the metric and are invariant to tie ordering.
+    if (s[c] >= target) {
       ++rank;
     }
   }

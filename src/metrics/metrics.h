@@ -36,8 +36,12 @@ double mrr(const Tensor& scores, const std::vector<Index>& labels);
 // (positive = worse than baseline).
 double relative_loss_percent(double baseline, double value);
 
-// Rank of `label` within scores[row,:] (0 = highest score). Ties broken by
-// column order.
+// Rank of `label` within scores[row,:] (0 = highest score), with PESSIMISTIC
+// tie handling: every other column whose score ties the label's counts as
+// ranked above it. This makes accuracy / topk_accuracy / ndcg@k / mrr
+// invariant to how a scorer orders equal scores (quantized catalogs tie
+// constantly, and different kernel families may emit ties in different
+// orders); the reported metric is a worst-case lower bound under ties.
 Index rank_of_label(const Tensor& scores, Index row, Index label);
 
 }  // namespace memcom

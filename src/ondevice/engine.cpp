@@ -9,15 +9,19 @@
 namespace memcom {
 
 namespace {
-double percentile(const std::vector<double>& sorted, double p) {
+double percentile(const std::vector<double>& sorted, std::size_t percent) {
   if (sorted.empty()) {
     return 0.0;
   }
-  // Nearest-rank: the smallest sample with at least p% of samples <= it.
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  // Nearest-rank: the smallest sample with at least percent% of samples
+  // <= it. Computed in exact integer arithmetic — the float version
+  // (ceil(p/100.0 * n)) rounds 0.95*20 up to 19.000000000000004, whose
+  // ceil is 20, silently returning the max instead of the 19th sample
+  // whenever p*n lands on an inexact double (test_engine pins this).
+  const std::size_t n = sorted.size();
+  const std::size_t rank = (percent * n + 99) / 100;  // ceil(percent*n/100)
   const std::size_t idx = rank > 0 ? rank - 1 : 0;
-  return sorted[std::min(idx, sorted.size() - 1)];
+  return sorted[std::min(idx, n - 1)];
 }
 }  // namespace
 
@@ -35,9 +39,9 @@ LatencyStats latency_stats_from_samples(std::vector<double> samples_ms) {
     total += s;
   }
   stats.mean_ms = total / static_cast<double>(samples_ms.size());
-  stats.p50_ms = percentile(samples_ms, 50.0);
-  stats.p95_ms = percentile(samples_ms, 95.0);
-  stats.p99_ms = percentile(samples_ms, 99.0);
+  stats.p50_ms = percentile(samples_ms, 50);
+  stats.p95_ms = percentile(samples_ms, 95);
+  stats.p99_ms = percentile(samples_ms, 99);
   return stats;
 }
 

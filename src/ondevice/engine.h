@@ -67,7 +67,10 @@ struct LatencyStats {
 };
 
 // Nearest-rank percentiles + min/mean/max over per-run samples. Consumes the
-// sample vector (sorts in place).
+// sample vector (sorts in place). The rank is computed with exact integer
+// math (ceil(p*n/100) as (p*n+99)/100), so p95 of exactly 20 samples is the
+// 19th sample — not the max, which the naive double ceil() produces. Empty
+// input yields all-zero stats with runs == 0.
 LatencyStats latency_stats_from_samples(std::vector<double> samples_ms);
 
 class InferenceEngine {

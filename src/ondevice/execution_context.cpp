@@ -454,6 +454,12 @@ InferenceView ExecutionContext::run_view(const std::int32_t* ids,
 
 BatchResult ExecutionContext::run_batch(
     const std::vector<std::vector<std::int32_t>>& histories) {
+  return run_batch(histories, 0, nullptr);
+}
+
+BatchResult ExecutionContext::run_batch(
+    const std::vector<std::vector<std::int32_t>>& histories, Index top_k,
+    std::vector<std::vector<ScoredId>>* topk_out) {
   const RowCacheStats before = row_cache_stats();
   BatchResult result;
   result.batch = static_cast<Index>(histories.size());
@@ -464,12 +470,20 @@ BatchResult ExecutionContext::run_batch(
   double onehot_extra = 0.0;
   Index embed_ops = 0;
   Index ops = 0;
+  if (top_k > 0) {
+    check(topk_out != nullptr, "run_batch: top_k > 0 needs topk_out");
+    topk_out->resize(static_cast<std::size_t>(result.batch));
+  }
   for (Index b = 0; b < result.batch; ++b) {
     const auto& history = histories[static_cast<std::size_t>(b)];
     const RawForward raw =
         forward_scratch(history.data(), static_cast<Index>(history.size()));
     std::memcpy(&result.logits.at2(b, 0), logits_.data(),
                 static_cast<std::size_t>(dim) * sizeof(float));
+    if (top_k > 0) {
+      (*topk_out)[static_cast<std::size_t>(b)] =
+          topk_select(logits_.data(), dim, top_k);
+    }
     compute += raw.compute_ms;
     embed_compute += raw.embed_compute_ms;
     onehot_extra += raw.onehot_extra_ms;

@@ -27,6 +27,7 @@
 #include "ondevice/device_profile.h"
 #include "ondevice/hot_row_cache.h"
 #include "ondevice/memory_meter.h"
+#include "ondevice/topk.h"
 
 namespace memcom {
 
@@ -79,6 +80,17 @@ class ExecutionContext {
     return run_view(history.data(), static_cast<Index>(history.size()));
   }
   BatchResult run_batch(const std::vector<std::vector<std::int32_t>>& histories);
+  // Batched forward + per-row top-k over the logits — the session
+  // workload's full-catalog ranking (the output dense layer IS the
+  // compressed catalog scan; see ondevice/topk.h for the deterministic
+  // ordering contract). When `top_k` > 0, `topk_out` is resized to [batch]
+  // and row b receives the best min(top_k, output_dim) ids of request b,
+  // selected straight off the logits scratch before the next row
+  // overwrites it. Ranking lives here so every serving path — worker
+  // micro-batches, harness, bench — breaks ties identically.
+  BatchResult run_batch(const std::vector<std::vector<std::int32_t>>& histories,
+                        Index top_k,
+                        std::vector<std::vector<ScoredId>>* topk_out);
 
   const MemoryMeter& meter() const { return meter_; }
   void reset_meter() { meter_.reset(); }

@@ -1,5 +1,6 @@
 #include "ondevice/kernels.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -23,6 +24,22 @@ ByteSpan packed_byte_span(Index offset, Index count, int bits) {
   span.length = (last_bit + 7) / 8 - span.offset;
   return span;
 }
+
+namespace {
+
+// Dequant chunk for dot_span: both families stream a compressed row through
+// this many floats of stack at a time. Must be a multiple of 8 so every
+// chunk boundary is lane-aligned (element (done+i) mod 8 == i mod 8).
+constexpr Index kDotChunk = 256;
+
+// The pinned reduction of the dot kernels' 8 striped lanes. Shared by the
+// scalar and AVX2 bodies so the final sum order can never drift apart.
+inline float reduce8(const float lane[8]) {
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Scalar reference family. These bodies ARE the contract: every other
@@ -70,6 +87,33 @@ void axpy(float* y, float a, const float* x, Index n) {
   }
 }
 
+// 8-lane striped accumulation (see the KernelSet contract): element i lands
+// in lane i&7, which is exactly the lane an 8-wide vector accumulator would
+// give it, so the AVX2 body below is bit-identical by construction.
+float dot(const float* a, const float* b, Index n) {
+  float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (Index i = 0; i < n; ++i) {
+    lane[i & 7] += a[i] * b[i];
+  }
+  return reduce8(lane);
+}
+
+float dot_span(const SpanSrc& src, Index offset, Index count,
+               const float* vec) {
+  float buf[kDotChunk];
+  float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  Index done = 0;
+  while (done < count) {
+    const Index chunk = std::min<Index>(kDotChunk, count - done);
+    dequant_span(src, offset + done, chunk, buf);
+    for (Index i = 0; i < chunk; ++i) {
+      lane[(done + i) & 7] += buf[i] * vec[done + i];
+    }
+    done += chunk;
+  }
+  return reduce8(lane);
+}
+
 }  // namespace scalar
 
 namespace {
@@ -77,7 +121,7 @@ namespace {
 const KernelSet kScalar = {
     "scalar",           scalar::dequant_span,       scalar::acc_add,
     scalar::acc_scale_add, scalar::acc_scale_bias_add, scalar::acc_mult_add,
-    scalar::axpy,
+    scalar::axpy,       scalar::dot,                scalar::dot_span,
 };
 
 }  // namespace
@@ -297,6 +341,61 @@ __attribute__((target("avx2,f16c"))) void dequant_span_impl(
   check(false, "avx2 dequant_span: unknown dtype");
 }
 
+// The vector accumulator IS the 8 striped lanes of the contract: lane j of
+// vacc collects elements with index ≡ j (mod 8) in increasing order, the
+// tail continues scalar into the extracted lanes (the vector body leaves i
+// 8-aligned, so i&7 is the right lane), and reduce8 pins the final sum
+// order. mul and add stay separate — no FMA — so this matches scalar::dot
+// bit-for-bit.
+__attribute__((target("avx2"))) float dot(const float* a, const float* b,
+                                          Index n) {
+  __m256 vacc = _mm256_setzero_ps();
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    vacc = _mm256_add_ps(vacc, _mm256_mul_ps(va, vb));
+  }
+  float lane[8];
+  _mm256_storeu_ps(lane, vacc);
+  for (; i < n; ++i) {
+    lane[i & 7] += a[i] * b[i];
+  }
+  return reduce8(lane);
+}
+
+__attribute__((target("avx2,f16c"))) float dot_span(const SpanSrc& src,
+                                                    Index offset, Index count,
+                                                    const float* vec) {
+  float buf[kDotChunk];
+  __m256 vacc = _mm256_setzero_ps();
+  Index done = 0;
+  // Full 8-blocks through the vector accumulator; chunks are multiples of
+  // 8, so lanes stay aligned across chunk boundaries. The dequant is this
+  // family's own bit-identical dequant_span_impl, so every per-element
+  // product equals the scalar one.
+  while (done + 8 <= count) {
+    const Index chunk =
+        std::min<Index>(kDotChunk, (count - done) & ~Index{7});
+    dequant_span_impl(src, offset + done, chunk, buf);
+    for (Index i = 0; i < chunk; i += 8) {
+      const __m256 vr = _mm256_loadu_ps(buf + i);
+      const __m256 vq = _mm256_loadu_ps(vec + done + i);
+      vacc = _mm256_add_ps(vacc, _mm256_mul_ps(vr, vq));
+    }
+    done += chunk;
+  }
+  float lane[8];
+  _mm256_storeu_ps(lane, vacc);
+  if (done < count) {
+    dequant_span_impl(src, offset + done, count - done, buf);
+    for (Index i = 0; done + i < count; ++i) {
+      lane[(done + i) & 7] += buf[i] * vec[done + i];
+    }
+  }
+  return reduce8(lane);
+}
+
 }  // namespace avx2
 
 namespace {
@@ -304,14 +403,14 @@ namespace {
 const KernelSet kAvx2 = {
     "avx2",             avx2::dequant_span_impl,  avx2::acc_add,
     avx2::acc_scale_add, avx2::acc_scale_bias_add, avx2::acc_mult_add,
-    avx2::axpy,
+    avx2::axpy,         avx2::dot,                avx2::dot_span,
 };
 
 // Same set with the FUSED dense MAC swapped in (documented tolerance).
 const KernelSet kAvx2Fma = {
     "avx2+fma",         avx2::dequant_span_impl,  avx2::acc_add,
     avx2::acc_scale_add, avx2::acc_scale_bias_add, avx2::acc_mult_add,
-    avx2::axpy_fma,
+    avx2::axpy_fma,     avx2::dot,                avx2::dot_span,
 };
 
 }  // namespace
@@ -330,7 +429,7 @@ namespace {
 const KernelSet kNeonStub = {
     "neon-stub",        scalar::dequant_span,       scalar::acc_add,
     scalar::acc_scale_add, scalar::acc_scale_bias_add, scalar::acc_mult_add,
-    scalar::axpy,
+    scalar::axpy,       scalar::dot,                scalar::dot_span,
 };
 
 }  // namespace

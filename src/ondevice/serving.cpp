@@ -222,6 +222,13 @@ void AsyncServer::start() {
         "AsyncServer: deadline_us must be non-negative");
   check(config_.queue_capacity >= static_cast<std::size_t>(config_.shards),
         "AsyncServer: queue_capacity must be at least the shard count");
+  check(config_.session_capacity >= 0,
+        "AsyncServer: session_capacity must be non-negative");
+  check(config_.session_capacity == 0 ||
+            config_.session_capacity >= static_cast<Index>(config_.shards),
+        "AsyncServer: session_capacity must be at least the shard count");
+  check(config_.session_history > 0,
+        "AsyncServer: session_history must be positive");
   check(registry_->has_model(default_model_),
         "AsyncServer: default model not in registry: " + default_model_);
 
@@ -235,9 +242,21 @@ void AsyncServer::start() {
   const std::size_t dispatch_cap = std::max<std::size_t>(
       2, static_cast<std::size_t>(config_.threads) * 2 / shards);
   shards_.reserve(shards);
+  // session_capacity is TOTAL too, split the same way (first shards take
+  // the remainder). Stores are built up front so the session path never
+  // allocates after start().
+  const std::size_t sess_per_shard =
+      static_cast<std::size_t>(config_.session_capacity) / shards;
+  const std::size_t sess_remainder =
+      static_cast<std::size_t>(config_.session_capacity) % shards;
   for (std::size_t s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(
         per_shard + (s < remainder ? 1 : 0), dispatch_cap));
+    if (config_.session_capacity > 0) {
+      shards_.back()->sessions = std::make_unique<SessionStore>(
+          static_cast<Index>(sess_per_shard + (s < sess_remainder ? 1 : 0)),
+          config_.session_history);
+    }
   }
 
   worker_stats_.resize(static_cast<std::size_t>(config_.threads));
@@ -278,6 +297,21 @@ std::size_t AsyncServer::shard_for(const std::string& model_id) const {
   // can be weak in the low bits, and the low bits are all modulo sees.
   std::uint64_t h = static_cast<std::uint64_t>(
       std::hash<std::string>{}(model_id));
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h % shards_.size());
+}
+
+std::size_t AsyncServer::shard_for_session(std::uint64_t session_id) const {
+  if (shards_.size() == 1) {
+    return 0;
+  }
+  // Same splitmix64 finisher as shard_for: sequential session ids must not
+  // pile onto one shard.
+  std::uint64_t h = session_id;
   h ^= h >> 30;
   h *= 0xbf58476d1ce4e5b9ULL;
   h ^= h >> 27;
@@ -358,6 +392,36 @@ std::future<AsyncResult> AsyncServer::submit(
   QueuedRequest request = make_request(std::move(model_id),
                                        std::move(history), deadline_us);
   if (should_shed(shard, request.enqueue_tp, request.deadline_tp)) {
+    return resolve_shed(std::move(request), shard);
+  }
+  std::future<AsyncResult> future = request.promise.get_future();
+  check(shard.queue.push(std::move(request)),
+        "AsyncServer: submit after shutdown");
+  return future;
+}
+
+std::future<AsyncResult> AsyncServer::submit_next_item(std::string model_id,
+                                                       std::uint64_t session_id,
+                                                       std::int32_t new_item,
+                                                       Index k,
+                                                       double deadline_us) {
+  check(config_.session_capacity > 0,
+        "AsyncServer: submit_next_item needs session_capacity > 0");
+  check(k >= 0, "AsyncServer: negative top-k");
+  check(registry_->has_model(model_id),
+        "AsyncServer: submit to unknown model " + model_id);
+  // SESSION-affine routing: the shard owning this session's history ring,
+  // not the model's home shard. Admission FIFO + single former thread per
+  // shard give the ordered-updates guarantee.
+  Shard& shard = *shards_[shard_for_session(session_id)];
+  QueuedRequest request = make_request(std::move(model_id), {}, deadline_us);
+  request.is_session = true;
+  request.session_id = session_id;
+  request.new_item = new_item;
+  request.top_k = k;
+  if (should_shed(shard, request.enqueue_tp, request.deadline_tp)) {
+    // Shed BEFORE the append: a rejected interaction must not mutate the
+    // session (the caller is expected to retry it).
     return resolve_shed(std::move(request), shard);
   }
   std::future<AsyncResult> future = request.promise.get_future();
@@ -462,6 +526,14 @@ void AsyncServer::former_loop(std::size_t shard_index) {
       }
     }
     if (got) {
+      if (next.is_session) {
+        // The append happens HERE, on the shard's single former thread:
+        // session-affine routing delivered every update of this session to
+        // this queue in submission order, so the store needs no lock and
+        // the history snapshot each request rides with is well-defined.
+        shard.sessions->append_and_snapshot(next.session_id, next.new_item,
+                                            next.history);
+      }
       Pending& p = pending[next.model_id];
       if (p.requests.empty()) {
         p.delay_deadline = Clock::now() + delay;
@@ -599,12 +671,18 @@ void AsyncServer::execute_batch(std::size_t worker, BatchTask& task,
     const auto service_start = Clock::now();
     histories.clear();
     histories.reserve(task.requests.size());
+    Index top_k = 0;
     for (QueuedRequest& r : task.requests) {
       // The history is not read again after execution (only the promise
       // and timestamps are), so hand the buffer over instead of copying.
       histories.push_back(std::move(r.history));
+      top_k = std::max(top_k, r.top_k);
     }
-    BatchResult batch = context.run_batch(histories);
+    // A micro-batch may mix plain and session requests (same model id):
+    // rank every row at the largest k and truncate per request below.
+    std::vector<std::vector<ScoredId>> ranked;
+    BatchResult batch = context.run_batch(histories, top_k,
+                                          top_k > 0 ? &ranked : nullptr);
     const auto service_end = Clock::now();
     // Derive service_ms from the SAME end timestamp the per-request totals
     // use: a second Clock::now() here could land after a preemption and
@@ -675,6 +753,10 @@ void AsyncServer::execute_batch(std::size_t worker, BatchTask& task,
         stats.service_ms.push_back(service_ms);
         stats.total_ms.push_back(total_ms);
         ++stats.requests;
+        if (r.is_session) {
+          ++stats.session_requests;
+          stats.session_total_ms.push_back(total_ms);
+        }
         lane.total_ms.push_back(total_ms);
         ++lane.requests;
       }
@@ -698,6 +780,20 @@ void AsyncServer::execute_batch(std::size_t worker, BatchTask& task,
                                service_end > r.deadline_tp;
       const float* row = &batch.logits.at2(static_cast<Index>(i), 0);
       result.logits.assign(row, row + dim);
+      if (r.top_k > 0) {
+        // The batch was ranked at the largest requested k; this request
+        // keeps its own prefix (the ordering is total, so a prefix of a
+        // larger ranking IS the smaller ranking).
+        const auto& ids = ranked[i];
+        const std::size_t keep = std::min(static_cast<std::size_t>(r.top_k),
+                                          ids.size());
+        result.top_ids.reserve(keep);
+        result.top_scores.reserve(keep);
+        for (std::size_t j = 0; j < keep; ++j) {
+          result.top_ids.push_back(ids[j].id);
+          result.top_scores.push_back(ids[j].score);
+        }
+      }
       r.promise.set_value(std::move(result));
     }
     completed_.fetch_add(task.requests.size(), std::memory_order_relaxed);
@@ -873,8 +969,77 @@ ServingReport AsyncServer::drive(
       report.wall_ms > 0.0
           ? static_cast<double>(ok_in_slo) / (report.wall_ms / 1000.0)
           : 0.0;
+  collect_stats(report, total);
+  return report;
+}
 
-  std::vector<double> waits, services, totals;
+ServingReport AsyncServer::serve_sessions(
+    const std::vector<SessionEvent>& events, Index k,
+    std::vector<std::vector<Index>>* topk_out) {
+  check(config_.session_capacity > 0,
+        "AsyncServer: serve_sessions needs session_capacity > 0");
+  const std::uint64_t total = events.size();
+  if (topk_out != nullptr) {
+    topk_out->assign(events.size(), {});
+  }
+  ServingReport report;
+  report.threads = threads();
+  report.requests = total;
+  report.shards = static_cast<int>(shards_.size());
+  if (total == 0) {
+    report.active_sessions = active_sessions();
+    report.session_evictions = evicted_sessions();
+    return report;
+  }
+  reset_stats();
+
+  const std::uint64_t steals_before = steals_.load(std::memory_order_relaxed);
+  std::vector<std::future<AsyncResult>> futures;
+  futures.reserve(events.size());
+  const auto wall_start = Clock::now();
+  for (const SessionEvent& e : events) {
+    futures.push_back(
+        submit_next_item(default_model_, e.session_id, e.item, k));
+  }
+  std::uint64_t shed_count = 0;
+  std::uint64_t miss_count = 0;
+  std::uint64_t ok_in_slo = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    AsyncResult result = futures[i].get();
+    if (result.status == RequestStatus::kShed) {
+      ++shed_count;
+    } else if (result.deadline_missed) {
+      ++miss_count;
+    } else {
+      ++ok_in_slo;
+    }
+    if (topk_out != nullptr && result.status == RequestStatus::kOk) {
+      (*topk_out)[i] = std::move(result.top_ids);
+    }
+  }
+  report.wall_ms = elapsed_ms(wall_start);
+  report.qps = report.wall_ms > 0.0
+                   ? static_cast<double>(total) / (report.wall_ms / 1000.0)
+                   : 0.0;
+  report.steals = steals_.load(std::memory_order_relaxed) - steals_before;
+  report.shed = shed_count;
+  report.shed_rate = static_cast<double>(shed_count) / static_cast<double>(total);
+  const std::uint64_t executed = total - shed_count;
+  report.deadline_misses = miss_count;
+  report.deadline_miss_rate =
+      executed > 0
+          ? static_cast<double>(miss_count) / static_cast<double>(executed)
+          : 0.0;
+  report.goodput_qps =
+      report.wall_ms > 0.0
+          ? static_cast<double>(ok_in_slo) / (report.wall_ms / 1000.0)
+          : 0.0;
+  collect_stats(report, total);
+  return report;
+}
+
+void AsyncServer::collect_stats(ServingReport& report, std::uint64_t total) {
+  std::vector<double> waits, services, totals, session_totals;
   waits.reserve(static_cast<std::size_t>(total));
   services.reserve(static_cast<std::size_t>(total));
   totals.reserve(static_cast<std::size_t>(total));
@@ -889,6 +1054,10 @@ ServingReport AsyncServer::drive(
                       stats.service_ms.end());
       totals.insert(totals.end(), stats.total_ms.begin(),
                     stats.total_ms.end());
+      report.session_requests += stats.session_requests;
+      session_totals.insert(session_totals.end(),
+                            stats.session_total_ms.begin(),
+                            stats.session_total_ms.end());
       report.batches += stats.batches;
       report.modeled_busy_ms =
           std::max(report.modeled_busy_ms, stats.modeled_busy_ms);
@@ -922,6 +1091,10 @@ ServingReport AsyncServer::drive(
   report.latency = latency_stats_from_samples(std::move(totals));
   report.queue_wait = latency_stats_from_samples(std::move(waits));
   report.service = latency_stats_from_samples(std::move(services));
+  report.session_latency =
+      latency_stats_from_samples(std::move(session_totals));
+  report.active_sessions = active_sessions();
+  report.session_evictions = evicted_sessions();
   report.mean_batch =
       report.batches > 0
           ? static_cast<double>(total) / static_cast<double>(report.batches)
@@ -949,7 +1122,6 @@ ServingReport AsyncServer::drive(
     report.cache.capacity_bytes += model.cache.capacity_bytes;
     report.per_model.push_back(std::move(model));
   }
-  return report;
 }
 
 std::size_t AsyncServer::queue_capacity() const {
@@ -972,6 +1144,26 @@ std::uint64_t AsyncServer::rejected() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->queue.rejected();
+  }
+  return total;
+}
+
+Index AsyncServer::active_sessions() const {
+  Index total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->sessions != nullptr) {
+      total += shard->sessions->active_sessions();
+    }
+  }
+  return total;
+}
+
+std::uint64_t AsyncServer::evicted_sessions() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->sessions != nullptr) {
+      total += shard->sessions->evicted_sessions();
+    }
   }
   return total;
 }

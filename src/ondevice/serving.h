@@ -68,6 +68,7 @@
 #include "ondevice/engine.h"
 #include "ondevice/registry.h"
 #include "ondevice/request_queue.h"
+#include "ondevice/session.h"
 
 namespace memcom {
 
@@ -124,6 +125,14 @@ struct ServingReport {
   // inter-arrival period behind their absolute schedule (a slow/blocked
   // submit lowers TRUE offered load; this counts by how many).
   std::uint64_t late_arrivals = 0;
+
+  // Session workload slice (submit_next_item traffic; all zero when the
+  // drain carried none). session_latency reuses the same nearest-rank
+  // percentile math as `latency` — see latency_stats_from_samples.
+  std::uint64_t session_requests = 0;
+  LatencyStats session_latency;        // end-to-end wall latency (ms)
+  Index active_sessions = 0;           // live sessions at report assembly
+  std::uint64_t session_evictions = 0; // lifetime LRU evictions, all shards
 
   // Hot-row cache totals across workers (enabled=false when no cache).
   RowCacheStats cache;
@@ -199,6 +208,14 @@ struct AsyncServerConfig {
   bool shed = false;
   std::size_t queue_capacity = 1024;  // admission bound, TOTAL across shards
   std::size_t cache_budget_bytes = 0;  // per-context hot-row cache; 0 = off
+  // Session workload (submit_next_item). `session_capacity` is the TOTAL
+  // number of live sessions, split across shards like queue_capacity
+  // (remainder to the first shards); beyond it the least-recently-used
+  // session on the arriving shard is evicted. Each session keeps its last
+  // `session_history` item ids. Both knobs only size the per-shard
+  // SessionStores — plain submit() traffic never touches them.
+  Index session_capacity = 1024;
+  Index session_history = 32;
 };
 
 // How a submitted request left the server.
@@ -220,6 +237,13 @@ struct AsyncResult {
   // True when the request carried a deadline and completed after it (only
   // meaningful for kOk — shed requests never execute).
   bool deadline_missed = false;
+  // Top-k ranking over the logits row, filled only for submit_next_item
+  // requests with k > 0: item ids best-first with the deterministic
+  // tie-break of ondevice/topk.h (equal scores -> lower id), plus their
+  // scores. Bit-identical across kernel families and shard counts
+  // (tests/test_differential.cpp enforces it).
+  std::vector<Index> top_ids;
+  std::vector<float> top_scores;
 };
 
 // A request explicitly routed to a registry model (the serve() overload
@@ -227,6 +251,13 @@ struct AsyncResult {
 struct RoutedRequest {
   std::string model_id;
   std::vector<std::int32_t> history;
+};
+
+// One session interaction for the serve_sessions() driver: "session
+// `session_id` just touched item `item`".
+struct SessionEvent {
+  std::uint64_t session_id = 0;
+  std::int32_t item = 0;
 };
 
 class AsyncServer {
@@ -275,6 +306,23 @@ class AsyncServer {
   bool try_submit(std::string model_id, std::vector<std::int32_t> history,
                   std::future<AsyncResult>* out, double deadline_us = -1.0);
 
+  // Session-based next-item serving: appends `new_item` to the session's
+  // bounded history ring (evicting the LRU session if the store is full),
+  // runs `model_id` on the post-append history, and resolves the future
+  // with the request's logits PLUS the top-`k` item ids/scores over them —
+  // the full-catalog scan, executed against the model's compressed output
+  // table by the normal dense path.
+  //
+  // Routing is SESSION-affine, not model-affine: hash(session_id) picks
+  // the shard, so one session's updates all land on one former thread in
+  // submission order — the history append needs no lock and two updates of
+  // a session can never reorder. Deadlines and admission control behave
+  // exactly like submit() (a shed request does NOT append its item).
+  std::future<AsyncResult> submit_next_item(std::string model_id,
+                                            std::uint64_t session_id,
+                                            std::int32_t new_item, Index k,
+                                            double deadline_us = -1.0);
+
   // Convenience driver: submits `requests` (repeated `repeat` times) from
   // this thread — paced at `arrival_qps` when nonzero (open-loop arrivals),
   // as fast as backpressure admits otherwise — waits for every completion,
@@ -291,6 +339,16 @@ class AsyncServer {
   ServingReport serve(const std::vector<RoutedRequest>& requests,
                       int repeat = 1, double arrival_qps = 0.0,
                       std::vector<std::vector<float>>* logits_out = nullptr);
+
+  // Session-traffic driver: submits `events` in order through
+  // submit_next_item (default model, top-`k` per request), waits for every
+  // completion, and aggregates the report — including its session slice
+  // (session_requests, session_latency, active_sessions,
+  // session_evictions). When `topk_out` is non-null it is filled with each
+  // event's ranked item ids (empty for shed events).
+  ServingReport serve_sessions(
+      const std::vector<SessionEvent>& events, Index k,
+      std::vector<std::vector<Index>>* topk_out = nullptr);
 
   const AsyncServerConfig& config() const { return config_; }
   int threads() const { return config_.threads; }
@@ -323,6 +381,11 @@ class AsyncServer {
   }
   int shards() const { return static_cast<int>(shards_.size()); }
 
+  // Session-store observability, summed over shards (atomic counters — safe
+  // to read while the pipeline runs).
+  Index active_sessions() const;
+  std::uint64_t evicted_sessions() const;
+
   // Aggregated hot-row cache counters across worker contexts since the
   // last serve() began (all counters flow through the stats mutex, so this
   // is safe to call whenever the caller holds no in-flight futures).
@@ -337,6 +400,12 @@ class AsyncServer {
     SteadyClock::time_point enqueue_tp;
     // time_point::max() when the request carries no deadline.
     SteadyClock::time_point deadline_tp;
+    // Session workload (submit_next_item): `history` starts empty and is
+    // filled by the owning shard's former from its SessionStore.
+    bool is_session = false;
+    std::uint64_t session_id = 0;
+    std::int32_t new_item = 0;
+    Index top_k = 0;  // rank the logits when > 0
   };
   struct BatchTask {
     std::string model_id;
@@ -366,6 +435,10 @@ class AsyncServer {
     // oldest deadline is closer than this.
     std::atomic<std::int64_t> service_est_us{0};
     std::atomic<std::uint64_t> shed{0};  // admission-control rejections
+    // Per-shard session state, owned and written ONLY by this shard's
+    // former thread (session-affine routing makes that single-writer by
+    // construction); its counters are atomics for cross-thread observers.
+    std::unique_ptr<SessionStore> sessions;
     std::thread former;
   };
   // Per-(worker, model) slice of the per-batch accounting below.
@@ -392,6 +465,10 @@ class AsyncServer {
     double modeled_busy_ms = 0;
     std::uint64_t batches = 0;
     std::uint64_t requests = 0;
+    // Session slice: submit_next_item requests this worker completed and
+    // their end-to-end latencies (feeds ServingReport::session_latency).
+    std::uint64_t session_requests = 0;
+    std::vector<double> session_total_ms;
     std::map<std::string, ModelLane> models;
   };
 
@@ -404,6 +481,9 @@ class AsyncServer {
   // Model-affine shard routing: one model's requests land on one shard so
   // its micro-batches stay dense; stealing rebalances execution.
   std::size_t shard_for(const std::string& model_id) const;
+  // Session-affine routing for submit_next_item: a session's updates must
+  // all reach the shard that owns its history ring, in order.
+  std::size_t shard_for_session(std::uint64_t session_id) const;
   // True when admission control should reject a request with this deadline
   // on this shard right now.
   bool should_shed(const Shard& shard,
@@ -433,6 +513,10 @@ class AsyncServer {
   ServingReport drive(const std::vector<RequestRef>& requests, int repeat,
                       double arrival_qps,
                       std::vector<std::vector<float>>* logits_out);
+  // Shared report-assembly tail of drive()/serve_sessions(): folds the
+  // worker stats accumulated since the last reset_stats() into `report`
+  // (latency/batch/per-model/cache columns plus the session slice).
+  void collect_stats(ServingReport& report, std::uint64_t total);
 
   AsyncServerConfig config_;
   DeviceProfile profile_;

@@ -1,0 +1,200 @@
+#include "ondevice/session.h"
+
+#include <limits>
+
+#include "core/check.h"
+
+namespace memcom {
+
+namespace {
+
+// splitmix64 — same finalizer AsyncServer's shard router uses, so probe
+// sequences are well-scattered even for sequential session ids.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::size_t kAbsent = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+SessionStore::SessionStore(Index max_sessions, Index history_capacity)
+    : max_sessions_(max_sessions), history_capacity_(history_capacity) {
+  check(max_sessions > 0, "SessionStore: max_sessions must be positive");
+  check(history_capacity > 0,
+        "SessionStore: history_capacity must be positive");
+  std::size_t buckets = 8;
+  while (buckets < static_cast<std::size_t>(max_sessions) * 2) {
+    buckets <<= 1;
+  }
+  mask_ = buckets - 1;
+  bucket_used_.assign(buckets, 0);
+  bucket_key_.assign(buckets, 0);
+  bucket_slot_.assign(buckets, 0);
+
+  const std::size_t slots = static_cast<std::size_t>(max_sessions);
+  ring_.assign(slots * static_cast<std::size_t>(history_capacity), 0);
+  slot_id_.assign(slots, 0);
+  len_.assign(slots, 0);
+  head_.assign(slots, 0);
+  lru_prev_.assign(slots, -1);
+  lru_next_.assign(slots, -1);
+  free_slots_.reserve(slots);
+  for (Index s = max_sessions - 1; s >= 0; --s) {
+    free_slots_.push_back(s);
+  }
+}
+
+std::size_t SessionStore::probe_start(std::uint64_t session_id) const {
+  return static_cast<std::size_t>(mix64(session_id)) & mask_;
+}
+
+std::size_t SessionStore::find_bucket(std::uint64_t session_id) const {
+  std::size_t b = probe_start(session_id);
+  while (bucket_used_[b] != 0) {
+    if (bucket_key_[b] == session_id) {
+      return b;
+    }
+    b = (b + 1) & mask_;
+  }
+  return kAbsent;
+}
+
+void SessionStore::hash_insert(std::uint64_t session_id, Index slot) {
+  std::size_t b = probe_start(session_id);
+  while (bucket_used_[b] != 0) {
+    b = (b + 1) & mask_;
+  }
+  bucket_used_[b] = 1;
+  bucket_key_[b] = session_id;
+  bucket_slot_[b] = slot;
+}
+
+void SessionStore::hash_erase(std::uint64_t session_id) {
+  std::size_t hole = find_bucket(session_id);
+  check(hole != kAbsent, "SessionStore: erasing unknown session");
+  bucket_used_[hole] = 0;
+  // Backward-shift deletion: walk the probe chain and pull every entry
+  // whose home bucket lies at or before the hole back into it, so lookups
+  // never need tombstones.
+  std::size_t b = (hole + 1) & mask_;
+  while (bucket_used_[b] != 0) {
+    const std::size_t home = probe_start(bucket_key_[b]);
+    // `b` can move into `hole` iff hole is within [home, b) cyclically.
+    if (((b - home) & mask_) >= ((b - hole) & mask_)) {
+      bucket_used_[hole] = 1;
+      bucket_key_[hole] = bucket_key_[b];
+      bucket_slot_[hole] = bucket_slot_[b];
+      bucket_used_[b] = 0;
+      hole = b;
+    }
+    b = (b + 1) & mask_;
+  }
+}
+
+void SessionStore::lru_unlink(Index slot) {
+  const Index p = lru_prev_[static_cast<std::size_t>(slot)];
+  const Index n = lru_next_[static_cast<std::size_t>(slot)];
+  if (p >= 0) {
+    lru_next_[static_cast<std::size_t>(p)] = n;
+  } else {
+    lru_head_ = n;
+  }
+  if (n >= 0) {
+    lru_prev_[static_cast<std::size_t>(n)] = p;
+  } else {
+    lru_tail_ = p;
+  }
+  lru_prev_[static_cast<std::size_t>(slot)] = -1;
+  lru_next_[static_cast<std::size_t>(slot)] = -1;
+}
+
+void SessionStore::lru_push_front(Index slot) {
+  lru_prev_[static_cast<std::size_t>(slot)] = -1;
+  lru_next_[static_cast<std::size_t>(slot)] = lru_head_;
+  if (lru_head_ >= 0) {
+    lru_prev_[static_cast<std::size_t>(lru_head_)] = slot;
+  }
+  lru_head_ = slot;
+  if (lru_tail_ < 0) {
+    lru_tail_ = slot;
+  }
+}
+
+Index SessionStore::append_and_snapshot(std::uint64_t session_id,
+                                        std::int32_t item,
+                                        std::vector<std::int32_t>& out) {
+  Index slot;
+  const std::size_t bucket = find_bucket(session_id);
+  if (bucket != kAbsent) {
+    slot = bucket_slot_[bucket];
+    lru_unlink(slot);
+    lru_push_front(slot);
+  } else {
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      active_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Evict the least-recently-used session and scrub its slot so the
+      // new session can never observe the victim's items.
+      slot = lru_tail_;
+      lru_unlink(slot);
+      hash_erase(slot_id_[static_cast<std::size_t>(slot)]);
+      evicted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    len_[static_cast<std::size_t>(slot)] = 0;
+    head_[static_cast<std::size_t>(slot)] = 0;
+    slot_id_[static_cast<std::size_t>(slot)] = session_id;
+    hash_insert(session_id, slot);
+    lru_push_front(slot);
+  }
+
+  std::int32_t* ring =
+      ring_.data() + static_cast<std::size_t>(slot) *
+                         static_cast<std::size_t>(history_capacity_);
+  Index& len = len_[static_cast<std::size_t>(slot)];
+  Index& head = head_[static_cast<std::size_t>(slot)];
+  if (len < history_capacity_) {
+    ring[(head + len) % history_capacity_] = item;
+    ++len;
+  } else {
+    ring[head] = item;
+    head = (head + 1) % history_capacity_;
+  }
+
+  out.resize(static_cast<std::size_t>(len));
+  for (Index i = 0; i < len; ++i) {
+    out[static_cast<std::size_t>(i)] = ring[(head + i) % history_capacity_];
+  }
+  return len;
+}
+
+Index SessionStore::history(std::uint64_t session_id,
+                            std::vector<std::int32_t>& out) const {
+  const std::size_t bucket = find_bucket(session_id);
+  if (bucket == kAbsent) {
+    out.clear();
+    return 0;
+  }
+  const Index slot = bucket_slot_[bucket];
+  const std::int32_t* ring =
+      ring_.data() + static_cast<std::size_t>(slot) *
+                         static_cast<std::size_t>(history_capacity_);
+  const Index len = len_[static_cast<std::size_t>(slot)];
+  const Index head = head_[static_cast<std::size_t>(slot)];
+  out.resize(static_cast<std::size_t>(len));
+  for (Index i = 0; i < len; ++i) {
+    out[static_cast<std::size_t>(i)] = ring[(head + i) % history_capacity_];
+  }
+  return len;
+}
+
+bool SessionStore::contains(std::uint64_t session_id) const {
+  return find_bucket(session_id) != kAbsent;
+}
+
+}  // namespace memcom

@@ -20,6 +20,7 @@
 #include "core/sampling.h"
 #include "ondevice/registry.h"
 #include "ondevice/serving.h"
+#include "ondevice/topk.h"
 #include "repro/model.h"
 #include "test_util.h"
 
@@ -356,12 +357,155 @@ TEST_P(DifferentialTest, ScalarAndDispatchedKernelsBitIdentical) {
   }
 }
 
+// Session/top-k differential: the SAME interleaved session trace served
+// with the scalar reference kernels and with the dispatched family, through
+// a 1-shard and a 3-shard scheduler, must produce IDENTICAL top-k id lists
+// for every event. The session capacity is ample, so no eviction occurs and
+// shard placement (which differs completely between the configs) cannot be
+// visible in the results — any divergence means either a kernel broke the
+// dot bit-identity contract or session affinity let two updates reorder.
+TEST_P(DifferentialTest, SessionTopKInvariantAcrossKernelsAndShards) {
+  const TechniqueKind kind = GetParam();
+  std::vector<SessionEvent> events;
+  Rng rng(31337);
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      events.push_back(
+          {s, static_cast<std::int32_t>(1 + rng.uniform_index(kVocab - 1))});
+    }
+  }
+  const Index k = 6;
+  struct ServerShape {
+    const char* tag;
+    bool scalar;
+    int threads;
+    int shards;
+  };
+  for (const DType dtype : {DType::kF32, DType::kI8, DType::kI4G}) {
+    const std::string path = export_model(kind, dtype);
+    const MmapModel model(path);
+    std::vector<std::vector<Index>> reference;
+    for (const ServerShape shape :
+         {ServerShape{"scalar/1shard", true, 1, 1},
+          ServerShape{"dispatched/1shard", false, 1, 1},
+          ServerShape{"scalar/3shard", true, 3, 3},
+          ServerShape{"dispatched/3shard", false, 3, 3}}) {
+      if (shape.scalar) {
+        ::setenv("MEMCOM_DISABLE_SIMD", "1", 1);
+      }
+      std::vector<std::vector<Index>> topk;
+      {
+        AsyncServerConfig config;
+        config.threads = shape.threads;
+        config.shards = shape.shards;
+        config.max_batch = 4;
+        config.max_delay_us = 100.0;
+        config.session_capacity = 64;  // ample: zero evictions
+        config.session_history = 16;
+        AsyncServer server(model, tflite_profile(), config);
+        const ServingReport report = server.serve_sessions(events, k, &topk);
+        EXPECT_EQ(report.shed, 0u) << shape.tag;
+        EXPECT_EQ(report.session_evictions, 0u) << shape.tag;
+      }
+      if (shape.scalar) {
+        ::unsetenv("MEMCOM_DISABLE_SIMD");
+      }
+      if (reference.empty()) {
+        reference = std::move(topk);
+        for (const auto& ids : reference) {
+          EXPECT_EQ(ids.size(), static_cast<std::size_t>(k));
+        }
+        continue;
+      }
+      ASSERT_EQ(topk.size(), reference.size()) << shape.tag;
+      for (std::size_t i = 0; i < topk.size(); ++i) {
+        EXPECT_EQ(topk[i], reference[i])
+            << technique_name(kind) << "/" << dtype_name(dtype) << "/"
+            << shape.tag << " event " << i;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllTechniques, DifferentialTest,
     ::testing::ValuesIn(kAllEngineTechniques),
     [](const ::testing::TestParamInfo<TechniqueKind>& info) {
       return std::string(technique_name(info.param));
     });
+
+// Eviction churn isolation at the serving layer: one "pinned" session is
+// touched every round (never the LRU victim) while a stream of throwaway
+// sessions churns a tiny store. After the storm, the pinned session's next
+// top-k must equal a sequential engine run over its exact in-order history
+// — on both the 1-shard and the 3-shard scheduler.
+TEST(DifferentialSession, EvictionChurnNeverCorruptsASurvivor) {
+  ModelConfig mc;
+  mc.embedding.kind = TechniqueKind::kMemcom;
+  mc.embedding.vocab = kVocab;
+  mc.embedding.embed_dim = kEmbedDim;
+  mc.embedding.knob = 24;
+  mc.arch = ModelArch::kClassification;
+  mc.output_vocab = 24;
+  mc.seed = 7744;
+  RecModel rec(mc);
+  const auto p = std::filesystem::temp_directory_path() /
+                 "memcom_diff_session_churn.mcm";
+  rec.export_mcm(p.string(), DType::kI4G, "churn");
+  {
+    const MmapModel model(p.string());
+    InferenceEngine reference(model, tflite_profile());
+    for (const int shards : {1, 3}) {
+      AsyncServerConfig config;
+      config.threads = shards;
+      config.shards = shards;
+      // 6 slots per shard; 4 one-shot noise sessions per round keep the
+      // pinned session (re-touched every round) at worst 5th of 6 in its
+      // shard's LRU order — churned constantly, never the victim.
+      config.session_capacity = static_cast<Index>(6 * shards);
+      config.session_history = 8;
+      AsyncServer server(model, tflite_profile(), config);
+      const std::uint64_t pinned = 1000;
+      std::vector<std::int32_t> pinned_history;
+      std::future<AsyncResult> last;
+      for (int round = 0; round < 10; ++round) {
+        const std::int32_t item = static_cast<std::int32_t>(1 + round * 11);
+        pinned_history.push_back(item);
+        last = server.submit_next_item(AsyncServer::kDefaultModelId, pinned,
+                                       item, /*k=*/5);
+        // Flood with one-shot sessions to force evictions around the
+        // pinned one.
+        std::vector<std::future<AsyncResult>> noise;
+        for (std::uint64_t j = 0; j < 4; ++j) {
+          noise.push_back(server.submit_next_item(
+              AsyncServer::kDefaultModelId,
+              static_cast<std::uint64_t>(round) * 100 + j,
+              static_cast<std::int32_t>(1 + j), /*k=*/2));
+        }
+        for (auto& f : noise) {
+          ASSERT_EQ(f.get().status, RequestStatus::kOk);
+        }
+      }
+      const AsyncResult result = last.get();
+      ASSERT_EQ(result.status, RequestStatus::kOk);
+      EXPECT_GT(server.evicted_sessions(), 0u) << shards << " shard(s)";
+      if (pinned_history.size() > 8) {
+        pinned_history.erase(
+            pinned_history.begin(),
+            pinned_history.end() - 8);  // ring keeps the newest 8
+      }
+      const Tensor logits = reference.run(pinned_history).logits;
+      const std::vector<ScoredId> expect =
+          topk_select(logits.data(), logits.numel(), 5);
+      ASSERT_EQ(result.top_ids.size(), expect.size()) << shards << " shard(s)";
+      for (std::size_t j = 0; j < expect.size(); ++j) {
+        EXPECT_EQ(result.top_ids[j], expect[j].id)
+            << shards << " shard(s) pos " << j;
+      }
+    }
+  }
+  std::filesystem::remove(p);
+}
 
 // The memory metering of the UNCACHED path must be unaffected by the cache
 // machinery existing at all: byte-identical to an engine that never had the

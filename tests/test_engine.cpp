@@ -251,6 +251,54 @@ TEST_F(EngineTest, BenchmarkStatsAreConsistent) {
   EXPECT_GE(stats.max_ms, stats.mean_ms);
 }
 
+TEST(LatencyStats, NearestRankPercentileIsExact) {
+  // 20 samples 1..20: p95 must be the 19th sample. The old float rank math
+  // computed ceil(0.95 * 20) over 19.000000000000004 -> 20 and silently
+  // returned the max. (p99 of 100 samples was coincidentally fine.)
+  std::vector<double> samples;
+  for (int i = 1; i <= 20; ++i) {
+    samples.push_back(static_cast<double>(i));
+  }
+  const LatencyStats stats = latency_stats_from_samples(std::move(samples));
+  EXPECT_EQ(stats.runs, 20);
+  EXPECT_DOUBLE_EQ(stats.p50_ms, 10.0);
+  EXPECT_DOUBLE_EQ(stats.p95_ms, 19.0);
+  EXPECT_DOUBLE_EQ(stats.p99_ms, 20.0);
+  EXPECT_DOUBLE_EQ(stats.max_ms, 20.0);
+}
+
+TEST(LatencyStats, TinyAndEmptySampleSets) {
+  // Empty: all-zero, runs 0 (the session report path hits this whenever a
+  // drain carried no session traffic).
+  const LatencyStats empty = latency_stats_from_samples({});
+  EXPECT_EQ(empty.runs, 0);
+  EXPECT_DOUBLE_EQ(empty.p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p95_ms, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99_ms, 0.0);
+
+  // n = 1: every percentile is the single sample.
+  const LatencyStats one = latency_stats_from_samples({7.5});
+  EXPECT_DOUBLE_EQ(one.p50_ms, 7.5);
+  EXPECT_DOUBLE_EQ(one.p95_ms, 7.5);
+  EXPECT_DOUBLE_EQ(one.p99_ms, 7.5);
+
+  // n = 2 (n < 1/(1-p) for p95/p99): nearest-rank gives the max, p50 the
+  // first sample — never an out-of-range index.
+  const LatencyStats two = latency_stats_from_samples({3.0, 9.0});
+  EXPECT_DOUBLE_EQ(two.p50_ms, 3.0);
+  EXPECT_DOUBLE_EQ(two.p95_ms, 9.0);
+  EXPECT_DOUBLE_EQ(two.p99_ms, 9.0);
+
+  // Exact-boundary n for p50: 10 samples -> rank 5 (the 5th), not the 6th.
+  std::vector<double> ten;
+  for (int i = 1; i <= 10; ++i) {
+    ten.push_back(static_cast<double>(i));
+  }
+  const LatencyStats stats10 = latency_stats_from_samples(std::move(ten));
+  EXPECT_DOUBLE_EQ(stats10.p50_ms, 5.0);
+  EXPECT_DOUBLE_EQ(stats10.p95_ms, 10.0);
+}
+
 TEST_F(EngineTest, DeviceProfilesExposeTable3Columns) {
   const auto profiles = table3_profiles();
   ASSERT_EQ(profiles.size(), 4u);

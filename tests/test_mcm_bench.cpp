@@ -155,6 +155,45 @@ TEST_F(McmBenchTest, ShardedAsyncModeReportsSchedulerColumns) {
   EXPECT_NE(result.output.find("miss%"), std::string::npos);
 }
 
+TEST_F(McmBenchTest, SessionModeReportsTopKTable) {
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, 300, 16, 32};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = 24;
+  config.seed = 13;
+  RecModel model(config);
+  model.export_mcm(path_);
+
+  const ToolResult result = run_tool(
+      "\"" + path_ +
+      "\" --runs 10 --threads 2 --requests 16 --repeat 2 --session --topk 5");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("session next-item serving"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("full-catalog top-5"), std::string::npos);
+  EXPECT_NE(result.output.find("top-k"), std::string::npos);
+  EXPECT_NE(result.output.find("active"), std::string::npos);
+  EXPECT_NE(result.output.find("evicted"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, TopkWithoutSessionFailsCleanly) {
+  const ToolResult result = run_tool("model.mcm --topk 5");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--session"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, NonPositiveTopkFailsCleanly) {
+  const ToolResult result = run_tool("model.mcm --session --topk 0");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--topk"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, SessionWithModelsModeFailsCleanly) {
+  const ToolResult result = run_tool("--models a.mcm,b.mcm --session");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--session"), std::string::npos);
+}
+
 TEST_F(McmBenchTest, InvalidShardCountFailsCleanly) {
   const ToolResult zero = run_tool("model.mcm --shards 0");
   EXPECT_EQ(zero.exit_code, 2);

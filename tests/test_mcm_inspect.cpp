@@ -136,6 +136,37 @@ TEST_F(McmInspectTest, StatsFlagPrintsDequantizedStatistics) {
   EXPECT_TENSOR_NEAR(model.load_tensor("bias"), bias, 0.0f);
 }
 
+TEST_F(McmInspectTest, SummarizesOutputCatalogDims) {
+  ModelWriter writer(path_);
+  writer.set_metadata("technique", "memcom");
+  // Dense head layout is [in, items]: 16-dim item vectors, 24-item catalog.
+  writer.add_tensor("out.weight", Tensor::randn({16, 24}, rng_), DType::kI8);
+  writer.add_tensor("out.bias", Tensor::full({24}, 0.0f));
+  writer.finish();
+
+  const ToolResult result = run_tool("\"" + path_ + "\"");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("output catalog (out.weight): 24 items x 16 "
+                               "dims"),
+            std::string::npos);
+  // The advertised compressed footprint is the directory entry's byte size.
+  const MmapModel model(path_);
+  EXPECT_NE(result.output.find(
+                std::to_string(model.entry("out.weight").byte_size) +
+                " bytes compressed"),
+            std::string::npos);
+}
+
+TEST_F(McmInspectTest, NoCatalogLineWithoutOutputHead) {
+  ModelWriter writer(path_);
+  writer.add_tensor("bias", Tensor::full({4}, 0.5f));
+  writer.finish();
+
+  const ToolResult result = run_tool("\"" + path_ + "\"");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_EQ(result.output.find("output catalog"), std::string::npos);
+}
+
 TEST_F(McmInspectTest, MissingArgumentFailsWithUsage) {
   const ToolResult result = run_tool("");
   EXPECT_EQ(result.exit_code, 2);

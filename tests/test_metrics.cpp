@@ -16,12 +16,39 @@ TEST(Accuracy, PerfectAndZero) {
   EXPECT_DOUBLE_EQ(accuracy(scores, {1, 0}), 0.5);
 }
 
-TEST(RankOfLabel, CountsStrictlyBetterWithTieBreaking) {
+TEST(RankOfLabel, PessimisticTies) {
   const Tensor scores = Tensor::from_vector({1, 4}, {0.9f, 0.5f, 0.9f, 0.1f});
-  EXPECT_EQ(rank_of_label(scores, 0, 0), 0);  // ties broken by column order
+  // EVERY tie counts against the label — both tying columns rank 1, so the
+  // metric cannot depend on which column a scorer emitted first.
+  EXPECT_EQ(rank_of_label(scores, 0, 0), 1);
   EXPECT_EQ(rank_of_label(scores, 0, 2), 1);
   EXPECT_EQ(rank_of_label(scores, 0, 1), 2);
   EXPECT_EQ(rank_of_label(scores, 0, 3), 3);
+}
+
+TEST(RankOfLabel, TieHeavyRegression) {
+  // Quantized catalogs collapse many scores onto the same value. Pin the
+  // pessimistic contract on an adversarial all-ties row and on a column
+  // permutation of it: the ranks must be permutation-invariant.
+  const Index cols = 8;
+  Tensor scores({2, cols});
+  for (Index c = 0; c < cols; ++c) {
+    scores.at2(0, c) = 0.25f;  // all equal
+    scores.at2(1, c) = c < 4 ? 1.0f : 0.25f;  // 4-way tie above a 4-way tie
+  }
+  for (Index c = 0; c < cols; ++c) {
+    // All-equal row: every label sees the other cols-1 as ties -> rank 7.
+    EXPECT_EQ(rank_of_label(scores, 0, c), cols - 1);
+    // Two-level row: top-group labels rank 3 (3 ties), bottom-group labels
+    // rank 7 (4 strictly better + 3 ties) — regardless of column position.
+    EXPECT_EQ(rank_of_label(scores, 1, c), c < 4 ? 3 : 7);
+  }
+  // topk_accuracy under total ties: a label is "in the top k" only when
+  // even the worst tie ordering puts it there.
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, {0, 0}, cols), 1.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, {0, 0}, 4), 0.5);
+  // ndcg/mrr stay deterministic too (no tie-order dependence).
+  EXPECT_DOUBLE_EQ(mrr(scores, {0, 4}), 0.5 * (1.0 / 8.0 + 1.0 / 8.0));
 }
 
 TEST(TopK, MonotoneInK) {

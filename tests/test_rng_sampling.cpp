@@ -193,6 +193,25 @@ TEST(GumbelTopK, PrefersHighScores) {
   EXPECT_GT(hits, 190);
 }
 
+TEST(GumbelTopK, TiedKeysBreakTowardLowerIndex) {
+  // Force EXACT perturbed-key ties: 1e30f absorbs any Gumbel noise in
+  // float, so every key is identical and only the comparator's explicit
+  // lower-index-wins tie-break (the ondevice/topk.h contract) orders the
+  // output. An unstable partial_sort would emit an arbitrary permutation.
+  Rng rng(77);
+  const std::vector<float> scores(16, 1e30f);
+  const std::vector<Index> picks = gumbel_top_k(scores, 5, rng);
+  EXPECT_EQ(picks, (std::vector<Index>{0, 1, 2, 3, 4}));
+  // Still deterministic when only a suffix ties: the finite entry loses to
+  // the absorbed ones, and the tied block keeps index order.
+  std::vector<float> mixed(8, 1e30f);
+  mixed[2] = 0.0f;  // key stays ~O(1) — strictly below the absorbed keys
+  Rng rng2(78);
+  const std::vector<Index> mixed_picks = gumbel_top_k(mixed, 8, rng2);
+  EXPECT_EQ(mixed_picks,
+            (std::vector<Index>{0, 1, 3, 4, 5, 6, 7, 2}));
+}
+
 TEST(GumbelTopK, KEqualsNReturnsAll) {
   Rng rng(15);
   const std::vector<float> scores = {1.0f, 2.0f, 3.0f};

@@ -29,6 +29,7 @@
 
 #include "ondevice/registry.h"
 #include "ondevice/serving.h"
+#include "ondevice/topk.h"
 #include "repro/model.h"
 #include "test_util.h"
 
@@ -369,6 +370,162 @@ TEST_F(SchedulerTest, ShardedCapacitySplitsAcrossShardsWithRemainder) {
   AsyncServer server(model, tflite_profile(), config);
   // The TOTAL admission bound is preserved exactly, not rounded away.
   EXPECT_EQ(server.queue_capacity(), 8u);
+}
+
+// --- Session-based next-item serving --------------------------------------
+
+TEST_F(SchedulerTest, SessionHistoryAccumulatesAndRanksAgainstEngine) {
+  const std::string path = export_model(TechniqueKind::kMemcom, "session");
+  const MmapModel model(path);
+  AsyncServerConfig config;
+  config.threads = 1;
+  config.session_capacity = 8;
+  config.session_history = 4;
+  AsyncServer server(model, tflite_profile(), config);
+  InferenceEngine reference(model, tflite_profile());
+
+  // Four interactions of one session: request t must be served on the
+  // history [items 0..t] (capped at session_history), and the returned
+  // top-k must equal ranking the sequential engine's logits for that exact
+  // history — including the lower-id tie-break.
+  const std::vector<std::int32_t> items = {3, 17, 42, 101, 7};
+  std::vector<std::int32_t> window;
+  for (std::size_t t = 0; t < items.size(); ++t) {
+    AsyncResult result =
+        server
+            .submit_next_item(AsyncServer::kDefaultModelId, /*session_id=*/9,
+                              items[t], /*k=*/5)
+            .get();
+    ASSERT_EQ(result.status, RequestStatus::kOk);
+    window.push_back(items[t]);
+    if (window.size() > 4) {
+      window.erase(window.begin());
+    }
+    const Tensor logits = reference.run(window).logits;
+    ASSERT_EQ(result.logits.size(),
+              static_cast<std::size_t>(logits.numel()));
+    for (Index c = 0; c < logits.numel(); ++c) {
+      EXPECT_EQ(result.logits[static_cast<std::size_t>(c)], logits[c])
+          << "t=" << t << " logit " << c;
+    }
+    const std::vector<ScoredId> expect =
+        topk_select(logits.data(), logits.numel(), 5);
+    ASSERT_EQ(result.top_ids.size(), expect.size()) << "t=" << t;
+    for (std::size_t j = 0; j < expect.size(); ++j) {
+      EXPECT_EQ(result.top_ids[j], expect[j].id) << "t=" << t << " pos " << j;
+      EXPECT_EQ(result.top_scores[j], expect[j].score)
+          << "t=" << t << " pos " << j;
+    }
+  }
+  EXPECT_EQ(server.active_sessions(), 1);
+  EXPECT_EQ(server.evicted_sessions(), 0u);
+}
+
+TEST_F(SchedulerTest, SessionEvictionCountsAndReportSliceFills) {
+  const std::string path = export_model(TechniqueKind::kMemcom, "sess_evict");
+  const MmapModel model(path);
+  AsyncServerConfig config;
+  config.threads = 1;
+  config.session_capacity = 4;
+  config.session_history = 3;
+  AsyncServer server(model, tflite_profile(), config);
+
+  // 12 distinct sessions through a 4-slot store: at least 8 evictions.
+  std::vector<SessionEvent> events;
+  for (std::uint64_t s = 0; s < 12; ++s) {
+    events.push_back({s, static_cast<std::int32_t>(1 + s)});
+    events.push_back({s, static_cast<std::int32_t>(2 + s)});
+  }
+  std::vector<std::vector<Index>> topk;
+  const ServingReport report = server.serve_sessions(events, 3, &topk);
+  EXPECT_EQ(report.requests, events.size());
+  EXPECT_EQ(report.session_requests, events.size());
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_GT(report.session_latency.p50_ms, 0.0);
+  EXPECT_GE(report.session_latency.p99_ms, report.session_latency.p50_ms);
+  EXPECT_EQ(report.active_sessions, 4);
+  EXPECT_GE(report.session_evictions, 8u);
+  EXPECT_EQ(server.active_sessions(), report.active_sessions);
+  ASSERT_EQ(topk.size(), events.size());
+  for (const auto& ids : topk) {
+    EXPECT_EQ(ids.size(), 3u);
+  }
+  // Mixed plain serve() after session traffic: report still carries the
+  // store counters but no new session requests.
+  const ServingReport plain = server.serve({{1, 2, 3}}, 1);
+  EXPECT_EQ(plain.session_requests, 0u);
+  EXPECT_EQ(plain.active_sessions, 4);
+}
+
+TEST_F(SchedulerTest, SessionAffinityKeepsUpdatesOrderedAcrossShards) {
+  const std::string path = export_model(TechniqueKind::kMemcom, "sess_shard");
+  const MmapModel model(path);
+  AsyncServerConfig config;
+  config.threads = 3;
+  config.shards = 3;
+  config.session_capacity = 64;
+  config.session_history = 16;
+  AsyncServer server(model, tflite_profile(), config);
+  InferenceEngine reference(model, tflite_profile());
+
+  // Interleave many sessions' updates; every session's FINAL top-k must
+  // match the engine run on that session's full in-order history, which
+  // can only hold if per-session updates never reorder across formers.
+  const int sessions = 12;
+  const int rounds = 6;
+  std::vector<std::vector<std::future<AsyncResult>>> futures(
+      static_cast<std::size_t>(sessions));
+  for (int r = 0; r < rounds; ++r) {
+    for (int s = 0; s < sessions; ++s) {
+      futures[static_cast<std::size_t>(s)].push_back(server.submit_next_item(
+          AsyncServer::kDefaultModelId, static_cast<std::uint64_t>(s),
+          static_cast<std::int32_t>(1 + s * 7 + r), /*k=*/4));
+    }
+  }
+  for (int s = 0; s < sessions; ++s) {
+    std::vector<std::int32_t> history;
+    AsyncResult last;
+    for (int r = 0; r < rounds; ++r) {
+      history.push_back(static_cast<std::int32_t>(1 + s * 7 + r));
+      last = futures[static_cast<std::size_t>(s)][static_cast<std::size_t>(r)]
+                 .get();
+      ASSERT_EQ(last.status, RequestStatus::kOk);
+    }
+    const Tensor logits = reference.run(history).logits;
+    const std::vector<ScoredId> expect =
+        topk_select(logits.data(), logits.numel(), 4);
+    ASSERT_EQ(last.top_ids.size(), expect.size()) << "session " << s;
+    for (std::size_t j = 0; j < expect.size(); ++j) {
+      EXPECT_EQ(last.top_ids[j], expect[j].id) << "session " << s;
+    }
+  }
+  EXPECT_EQ(server.active_sessions(), sessions);
+}
+
+TEST_F(SchedulerTest, SessionConfigValidated) {
+  const std::string path = export_model(TechniqueKind::kMemcom, "sess_cfg");
+  const MmapModel model(path);
+  AsyncServerConfig config;
+  config.threads = 2;
+  config.shards = 2;
+  config.session_capacity = 1;  // cannot split one session slot two ways
+  EXPECT_THROW(AsyncServer(model, tflite_profile(), config),
+               std::runtime_error);
+  config.session_capacity = 0;  // legal: session serving disabled...
+  AsyncServer disabled(model, tflite_profile(), config);
+  EXPECT_THROW(  // ...but then submit_next_item must refuse, not crash
+      disabled.submit_next_item(AsyncServer::kDefaultModelId, 1, 2, 3),
+      std::runtime_error);
+  config.session_capacity = 5;  // 3+2 split with remainder
+  config.session_history = 4;
+  AsyncServer server(model, tflite_profile(), config);
+  EXPECT_EQ(server.active_sessions(), 0);
+  EXPECT_EQ(server
+                .submit_next_item(AsyncServer::kDefaultModelId, 1, 2,
+                                  /*k=*/0)
+                .get()
+                .status,
+            RequestStatus::kOk);
 }
 
 }  // namespace

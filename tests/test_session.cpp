@@ -1,0 +1,203 @@
+// SessionStore contract (src/ondevice/session.h):
+//   * bounded ring per session — appends past history_capacity overwrite the
+//     oldest item, snapshots come back oldest-first;
+//   * capacity max_sessions with LRU eviction, counted in
+//     evicted_sessions(); eviction scrubs the recycled slot so churn can
+//     never leak one session's items into another;
+//   * open-addressing map with backward-shift deletion stays correct under
+//     collision-heavy id patterns;
+//   * zero steady-state allocation: append_and_snapshot never grows `out`
+//     beyond history_capacity.
+#include "ondevice/session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace memcom {
+namespace {
+
+std::vector<std::int32_t> snap(SessionStore& store, std::uint64_t id) {
+  std::vector<std::int32_t> out;
+  store.history(id, out);
+  return out;
+}
+
+TEST(SessionStore, AppendBuildsHistoryOldestFirst) {
+  SessionStore store(/*max_sessions=*/4, /*history_capacity=*/8);
+  std::vector<std::int32_t> out;
+  EXPECT_EQ(store.append_and_snapshot(42, 10, out), 1);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{10}));
+  EXPECT_EQ(store.append_and_snapshot(42, 11, out), 2);
+  EXPECT_EQ(store.append_and_snapshot(42, 12, out), 3);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{10, 11, 12}));
+  EXPECT_TRUE(store.contains(42));
+  EXPECT_FALSE(store.contains(43));
+  EXPECT_EQ(store.active_sessions(), 1);
+  EXPECT_EQ(store.evicted_sessions(), 0u);
+}
+
+TEST(SessionStore, RingOverwritesOldestAtCapacity) {
+  SessionStore store(2, /*history_capacity=*/3);
+  std::vector<std::int32_t> out;
+  for (std::int32_t item = 0; item < 7; ++item) {
+    store.append_and_snapshot(1, item, out);
+  }
+  // Items 0..6 through a 3-ring: only the newest 3 survive, oldest first.
+  EXPECT_EQ(out, (std::vector<std::int32_t>{4, 5, 6}));
+  EXPECT_EQ(snap(store, 1), (std::vector<std::int32_t>{4, 5, 6}));
+  // Another wrap keeps sliding.
+  store.append_and_snapshot(1, 7, out);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{5, 6, 7}));
+}
+
+TEST(SessionStore, HistoryOfUnknownSessionIsEmpty) {
+  SessionStore store(2, 4);
+  std::vector<std::int32_t> out = {1, 2, 3};
+  EXPECT_EQ(store.history(99, out), 0);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SessionStore, LruEvictsLeastRecentlyTouched) {
+  SessionStore store(/*max_sessions=*/3, 4);
+  std::vector<std::int32_t> out;
+  store.append_and_snapshot(1, 100, out);
+  store.append_and_snapshot(2, 200, out);
+  store.append_and_snapshot(3, 300, out);
+  // Touch 1 so 2 becomes the LRU victim.
+  store.append_and_snapshot(1, 101, out);
+  store.append_and_snapshot(4, 400, out);  // evicts 2
+  EXPECT_FALSE(store.contains(2));
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_TRUE(store.contains(3));
+  EXPECT_TRUE(store.contains(4));
+  EXPECT_EQ(store.active_sessions(), 3);
+  EXPECT_EQ(store.evicted_sessions(), 1u);
+  // Survivors keep their exact histories.
+  EXPECT_EQ(snap(store, 1), (std::vector<std::int32_t>{100, 101}));
+  EXPECT_EQ(snap(store, 3), (std::vector<std::int32_t>{300}));
+}
+
+TEST(SessionStore, EvictedSlotIsScrubbedBeforeReuse) {
+  SessionStore store(/*max_sessions=*/1, /*history_capacity=*/4);
+  std::vector<std::int32_t> out;
+  for (std::int32_t item = 0; item < 4; ++item) {
+    store.append_and_snapshot(7, item, out);
+  }
+  // Session 8 evicts 7 and recycles its (full) slot. The first snapshot
+  // must contain ONLY session 8's item — any leftover of 7's ring or
+  // length would leak here.
+  store.append_and_snapshot(8, 55, out);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{55}));
+  EXPECT_FALSE(store.contains(7));
+  EXPECT_EQ(store.evicted_sessions(), 1u);
+  // Re-creating 7 starts from scratch too.
+  store.append_and_snapshot(7, 66, out);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{66}));
+  EXPECT_EQ(store.evicted_sessions(), 2u);
+}
+
+TEST(SessionStore, ChurnNeverCorruptsSurvivors) {
+  // Shadow-model fuzz: a plain map mirrors what each session's ring should
+  // hold; heavy eviction churn (capacity 8, 64 distinct ids) must keep
+  // every still-resident session's history exactly equal to the shadow.
+  const Index cap = 8;
+  const Index hist = 5;
+  SessionStore store(cap, hist);
+  std::map<std::uint64_t, std::vector<std::int32_t>> shadow;
+  std::vector<std::int32_t> out;
+  std::uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t id = next() % 64;
+    const std::int32_t item = static_cast<std::int32_t>(next() % 1000);
+    store.append_and_snapshot(id, item, out);
+    std::vector<std::int32_t>& ring = shadow[id];
+    ring.push_back(item);
+    if (ring.size() > static_cast<std::size_t>(hist)) {
+      ring.erase(ring.begin());
+    }
+    // The snapshot we just got must match the shadow — if this session was
+    // previously evicted, the store restarted it, so restart the shadow
+    // when the lengths disagree.
+    if (out.size() != ring.size() ||
+        !std::equal(out.begin(), out.end(), ring.end() - out.size())) {
+      ring.assign(out.begin(), out.end());
+    }
+    EXPECT_LE(out.size(), static_cast<std::size_t>(hist));
+    EXPECT_EQ(out.back(), item);
+    // Spot-check every resident session against the shadow.
+    if (step % 97 == 0) {
+      for (const auto& [sid, expect] : shadow) {
+        if (store.contains(sid)) {
+          const std::vector<std::int32_t> got = snap(store, sid);
+          ASSERT_EQ(got.size(), expect.size()) << "session " << sid;
+          EXPECT_EQ(got, expect) << "session " << sid;
+        }
+      }
+    }
+    EXPECT_LE(store.active_sessions(), cap);
+  }
+  EXPECT_EQ(store.active_sessions(), cap);
+  EXPECT_GT(store.evicted_sessions(), 0u);
+}
+
+TEST(SessionStore, CollisionHeavyIdsSurviveBackwardShiftDeletion) {
+  // Ids chosen as multiples of a large power of two stress the probe
+  // sequence (identical low bits pre-mix); constant churn exercises
+  // backward-shift deletion with long collision runs.
+  SessionStore store(/*max_sessions=*/4, 3);
+  std::vector<std::int32_t> out;
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t j = 0; j < 8; ++j) {
+      const std::uint64_t id = (j + 1) << 32;
+      store.append_and_snapshot(id, static_cast<std::int32_t>(round), out);
+      EXPECT_EQ(out.back(), round);
+    }
+  }
+  // Exactly 4 of the 8 ids resident; each resident history is consistent
+  // (a suffix of the rounds it saw while resident).
+  int resident = 0;
+  for (std::uint64_t j = 0; j < 8; ++j) {
+    const std::uint64_t id = (j + 1) << 32;
+    if (store.contains(id)) {
+      ++resident;
+      const std::vector<std::int32_t> h = snap(store, id);
+      ASSERT_FALSE(h.empty());
+      EXPECT_EQ(h.back(), 49);
+      EXPECT_TRUE(std::is_sorted(h.begin(), h.end()));
+    }
+  }
+  EXPECT_EQ(resident, 4);
+  EXPECT_EQ(store.active_sessions(), 4);
+}
+
+TEST(SessionStore, SnapshotNeverGrowsBeyondHistoryCapacity) {
+  // Zero steady-state allocation: a caller that reserves history_capacity
+  // once must never see `out` reallocate.
+  SessionStore store(4, /*history_capacity=*/6);
+  std::vector<std::int32_t> out;
+  out.reserve(6);
+  const std::size_t reserved = out.capacity();
+  std::uint64_t state = 7;
+  for (int step = 0; step < 500; ++step) {
+    state = state * 2862933555777941757ull + 3037000493ull;
+    store.append_and_snapshot(state % 9, static_cast<std::int32_t>(step), out);
+    EXPECT_LE(out.size(), 6u);
+    EXPECT_EQ(out.capacity(), reserved) << "snapshot reallocated at " << step;
+  }
+}
+
+TEST(SessionStore, RejectsInvalidConstruction) {
+  EXPECT_THROW(SessionStore(0, 4), std::runtime_error);
+  EXPECT_THROW(SessionStore(4, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace memcom

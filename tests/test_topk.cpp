@@ -1,0 +1,263 @@
+// The top-k ordering contract (src/ondevice/topk.h):
+//   * topk_better is a TOTAL order — higher score first, ties (including
+//     -0.0 vs +0.0) broken toward the lower id;
+//   * topk_select (bounded heap) is element-for-element identical to the
+//     full-sort reference for every k, including adversarial all-equal and
+//     signed-zero score vectors;
+//   * CatalogScorer produces the same ids/scores whether the catalog scan
+//     runs through the scalar or the dispatched kernel family, for every
+//     catalog dtype.
+#include "ondevice/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace memcom {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) {
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+void expect_same_ranking(const std::vector<ScoredId>& a,
+                         const std::vector<ScoredId>& b, const char* tag) {
+  ASSERT_EQ(a.size(), b.size()) << tag;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << tag << " position " << i;
+    EXPECT_EQ(std::memcmp(&a[i].score, &b[i].score, sizeof(float)), 0)
+        << tag << " position " << i;
+  }
+}
+
+// --- the comparator itself -------------------------------------------------
+
+TEST(TopkBetter, TotalOrderWithLowerIdTieBreak) {
+  EXPECT_TRUE(topk_better({2.0f, 5}, {1.0f, 0}));
+  EXPECT_FALSE(topk_better({1.0f, 0}, {2.0f, 5}));
+  // Equal scores: lower id wins, and the relation is asymmetric.
+  EXPECT_TRUE(topk_better({1.0f, 3}, {1.0f, 7}));
+  EXPECT_FALSE(topk_better({1.0f, 7}, {1.0f, 3}));
+  // Irreflexive.
+  EXPECT_FALSE(topk_better({1.0f, 3}, {1.0f, 3}));
+  // -0.0 == 0.0 under float ==, so signed zeros tie and resolve by id.
+  EXPECT_TRUE(topk_better({-0.0f, 1}, {0.0f, 2}));
+  EXPECT_TRUE(topk_better({0.0f, 1}, {-0.0f, 2}));
+}
+
+// --- heap vs full sort -----------------------------------------------------
+
+TEST(TopkSelect, MatchesFullSortOnRandomScores) {
+  Rng rng(701);
+  for (const Index n : {1, 2, 5, 16, 100, 257}) {
+    std::vector<float> scores(static_cast<std::size_t>(n));
+    for (float& s : scores) {
+      s = rng.uniform(-3.0f, 3.0f);
+    }
+    for (const Index k : {Index{1}, Index{2}, Index{7}, n / 2, n, n + 3}) {
+      if (k <= 0) {
+        continue;
+      }
+      expect_same_ranking(topk_select(scores.data(), n, k),
+                          topk_full_sort(scores.data(), n, k), "random");
+    }
+  }
+}
+
+TEST(TopkSelect, AdversarialAllEqualAndSignedZeroVectors) {
+  // Every score identical: the ranking must be 0, 1, 2, ... by id alone.
+  for (const float fill : {0.25f, 0.0f, -0.0f}) {
+    const Index n = 33;
+    std::vector<float> scores(static_cast<std::size_t>(n), fill);
+    for (const Index k : {Index{1}, Index{8}, n}) {
+      const std::vector<ScoredId> got = topk_select(scores.data(), n, k);
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(std::min(k, n)));
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, static_cast<Index>(i)) << "fill=" << fill;
+      }
+      expect_same_ranking(got, topk_full_sort(scores.data(), n, k),
+                          "all-equal");
+    }
+  }
+  // Alternating ±0.0: all tie; ids must come back in increasing order and
+  // the returned score bit patterns must match the full sort's.
+  std::vector<float> mixed(16);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    mixed[i] = (i % 2 == 0) ? 0.0f : -0.0f;
+  }
+  const Index n = static_cast<Index>(mixed.size());
+  const std::vector<ScoredId> got = topk_select(mixed.data(), n, 5);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, static_cast<Index>(i));
+  }
+  expect_same_ranking(got, topk_full_sort(mixed.data(), n, 5), "signed-zero");
+}
+
+TEST(TopkSelect, EdgeCases) {
+  const float scores[] = {1.0f, 3.0f, 2.0f};
+  // k = 0: empty.
+  EXPECT_TRUE(topk_select(scores, 3, 0).empty());
+  // k = 1: the max.
+  std::vector<ScoredId> one = topk_select(scores, 3, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].id, 1);
+  EXPECT_EQ(one[0].score, 3.0f);
+  // k >= n: full descending ranking.
+  for (const Index k : {Index{3}, Index{10}}) {
+    const std::vector<ScoredId> all = topk_select(scores, 3, k);
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0].id, 1);
+    EXPECT_EQ(all[1].id, 2);
+    EXPECT_EQ(all[2].id, 0);
+  }
+  // n = 0: empty regardless of k.
+  EXPECT_TRUE(topk_select(scores, 0, 5).empty());
+}
+
+TEST(TopkSelect, SmallerKIsPrefixOfLargerK) {
+  // The mixed-k batching in AsyncServer ranks once at the batch max and
+  // truncates per request — only valid because the ordering is total.
+  Rng rng(702);
+  std::vector<float> scores(64);
+  for (float& s : scores) {
+    s = rng.uniform(-1.0f, 1.0f);
+  }
+  scores[10] = scores[20];  // plant a tie
+  const Index n = static_cast<Index>(scores.size());
+  const std::vector<ScoredId> big = topk_select(scores.data(), n, 32);
+  for (const Index k : {Index{1}, Index{4}, Index{17}}) {
+    const std::vector<ScoredId> small = topk_select(scores.data(), n, k);
+    ASSERT_EQ(small.size(), static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < small.size(); ++i) {
+      EXPECT_EQ(small[i].id, big[i].id) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+// --- CatalogScorer ---------------------------------------------------------
+
+QuantizedTensor make_catalog(Index items, Index dim, DType dtype,
+                             Index group_size, Rng& rng) {
+  const Tensor t = Tensor::randn({items, dim}, rng, 0.4f);
+  return quantize(t, dtype, group_size);
+}
+
+TEST(CatalogScorer, ScoreAllMatchesDotSpanReference) {
+  Rng rng(703);
+  const Index items = 40;
+  const Index dim = 24;
+  const QuantizedTensor q = make_catalog(items, dim, DType::kI8, 0, rng);
+  const KernelSet& ref = scalar_kernels();
+  const CatalogScorer scorer(q, ref);
+  EXPECT_EQ(scorer.items(), items);
+  EXPECT_EQ(scorer.dim(), dim);
+  EXPECT_EQ(scorer.resident_bytes(), q.payload.size());
+
+  std::vector<float> query(static_cast<std::size_t>(dim));
+  for (float& x : query) {
+    x = rng.uniform(-1.0f, 1.0f);
+  }
+  std::vector<float> out(static_cast<std::size_t>(items), -99.0f);
+  scorer.score_all(query.data(), out.data());
+  const SpanSrc src = make_span_src(q);
+  for (Index i = 0; i < items; ++i) {
+    const float want = ref.dot_span(src, i * dim, dim, query.data());
+    EXPECT_EQ(std::memcmp(&out[static_cast<std::size_t>(i)], &want,
+                          sizeof(float)),
+              0)
+        << "row " << i;
+  }
+}
+
+TEST(CatalogScorer, TopKMatchesScoreAllPlusFullSort) {
+  Rng rng(704);
+  const QuantizedTensor q = make_catalog(64, 16, DType::kI4G, 8, rng);
+  const CatalogScorer scorer(q, scalar_kernels());
+  std::vector<float> query(16);
+  for (float& x : query) {
+    x = rng.uniform(-1.0f, 1.0f);
+  }
+  std::vector<float> all(64);
+  scorer.score_all(query.data(), all.data());
+  for (const Index k : {Index{1}, Index{5}, Index{64}, Index{100}}) {
+    expect_same_ranking(scorer.top_k(query.data(), k),
+                        topk_full_sort(all.data(), 64, k), "catalog");
+  }
+}
+
+TEST(CatalogScorer, ScalarAndDispatchedFamiliesAgreeForEveryDtype) {
+  ScopedEnv disable("MEMCOM_DISABLE_SIMD", nullptr);
+  ScopedEnv fma("MEMCOM_ENABLE_FMA", nullptr);
+  const KernelSet& simd = select_kernels();
+  const KernelSet& ref = scalar_kernels();
+  Rng rng(705);
+  struct Case {
+    DType dtype;
+    Index group_size;
+  };
+  for (const Case c : {Case{DType::kF32, 0}, Case{DType::kF16, 0},
+                       Case{DType::kI8, 0}, Case{DType::kI4, 0},
+                       Case{DType::kI4G, 8}, Case{DType::kI4G, 32}}) {
+    const QuantizedTensor q = make_catalog(50, 32, c.dtype, c.group_size, rng);
+    const CatalogScorer a(q, ref);
+    const CatalogScorer b(q, simd);
+    std::vector<float> query(32);
+    for (float& x : query) {
+      x = rng.uniform(-1.0f, 1.0f);
+    }
+    expect_same_ranking(a.top_k(query.data(), 10), b.top_k(query.data(), 10),
+                        dtype_name(c.dtype));
+  }
+}
+
+TEST(CatalogScorer, QuantizedTiesStillRankById) {
+  // A constant catalog makes every item score identical — exactly the
+  // degenerate case heavy quantization produces. Ids must come back
+  // 0, 1, 2, ... on every family.
+  Rng rng(706);
+  Tensor t({20, 8});
+  for (Index i = 0; i < t.numel(); ++i) {
+    t.data()[i] = 0.5f;
+  }
+  const QuantizedTensor q = quantize(t, DType::kI4);
+  const CatalogScorer scorer(q, scalar_kernels());
+  std::vector<float> query(8, 1.0f);
+  const std::vector<ScoredId> top = scorer.top_k(query.data(), 6);
+  ASSERT_EQ(top.size(), 6u);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].id, static_cast<Index>(i));
+  }
+}
+
+}  // namespace
+}  // namespace memcom

@@ -6,6 +6,7 @@
 //               [--async] [--max-batch 8] [--max-delay-us 200]
 //               [--queue-cap 256] [--cache-kb 0] [--arrival-qps 0]
 //               [--shards 1] [--deadline-us 0] [--shed]
+//               [--session] [--topk K]
 //   ./mcm_bench --models a.mcm,b.mcm [--swap-after N] [serving flags above]
 //
 // Prints the single-input latency distribution (mean/min/p50/p95/p99/max,
@@ -27,6 +28,12 @@
 // to every request (SLO-driven early flush + miss accounting), and --shed
 // enables admission control (requests are refused with a shed status once
 // a shard's queue-wait estimate exceeds the deadline).
+//
+// --session drives the session-based next-item workload instead of replayed
+// histories: events touch Zipf-less round-robin sessions through
+// submit_next_item, each response carrying the top --topk item ids ranked
+// over the full output catalog (single-model mode only).
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <iostream>
@@ -84,7 +91,7 @@ int main(int argc, char** argv) {
                  "[--profile coreml|tflite] [--async] [--max-batch N] "
                  "[--max-delay-us U] [--queue-cap N] [--cache-kb K] "
                  "[--arrival-qps Q] [--shards N] [--deadline-us D] "
-                 "[--shed]\n"
+                 "[--shed] [--session] [--topk K]\n"
                  "       mcm_bench --models a.mcm,b.mcm [--swap-after N] "
                  "[serving flags]\n";
     return 2;
@@ -103,6 +110,8 @@ int main(int argc, char** argv) {
   const int shards = static_cast<int>(flags.get_int("shards", 1));
   const double deadline_us = flags.get_double("deadline-us", 0.0);
   const bool shed = flags.get_bool("shed", false);
+  const bool session = flags.get_bool("session", false);
+  const Index top_k = flags.get_int("topk", 10);
   if (runs < 1 || threads < 1 || request_count < 1 || repeat < 1 ||
       seq_len < 1) {
     std::cerr << "mcm_bench: --runs/--threads/--requests/--repeat/--seq-len "
@@ -131,6 +140,19 @@ int main(int argc, char** argv) {
   if (shed && deadline_us <= 0.0) {
     std::cerr << "mcm_bench: --shed needs --deadline-us > 0 (admission "
                  "control sheds against a deadline)\n";
+    return 2;
+  }
+  if (top_k < 1) {
+    std::cerr << "mcm_bench: --topk must be positive\n";
+    return 2;
+  }
+  if (flags.has("topk") && !session) {
+    std::cerr << "mcm_bench: --topk only ranks the --session workload\n";
+    return 2;
+  }
+  if (session && !models_flag.empty()) {
+    std::cerr << "mcm_bench: --session drives the single-model mode, not "
+                 "--models\n";
     return 2;
   }
   const std::string profile_name = flags.get_string("profile", "tflite");
@@ -380,6 +402,61 @@ int main(int argc, char** argv) {
              ? format_float(report.cache.hit_rate() * 100.0, 1)
              : "off"});
     std::cout << "\nasync micro-batching pipeline:\n" << table.to_string();
+  }
+
+  if (session) {
+    AsyncServerConfig config;
+    config.threads = threads;
+    config.shards = shards;
+    config.max_batch = max_batch;
+    config.max_delay_us = max_delay_us;
+    config.deadline_us = deadline_us;
+    config.shed = shed;
+    config.queue_capacity = static_cast<std::size_t>(queue_cap);
+    config.cache_budget_bytes = static_cast<std::size_t>(cache_kb) * 1024;
+    // Half as many session slots as distinct sessions: the tool always
+    // demonstrates LRU eviction under churn, not just the hot path.
+    const Index distinct_sessions =
+        std::max<Index>(4, static_cast<Index>(request_count) / 2);
+    config.session_capacity = std::max<Index>(shards, distinct_sessions / 2);
+    AsyncServer server(model, profile, config);
+
+    // request_count * repeat events round-robin over the session pool, each
+    // touching a fresh random item.
+    Rng session_rng(29);
+    std::vector<SessionEvent> events;
+    events.reserve(static_cast<std::size_t>(request_count) *
+                   static_cast<std::size_t>(repeat));
+    for (int r = 0; r < repeat; ++r) {
+      for (int i = 0; i < request_count; ++i) {
+        SessionEvent event;
+        event.session_id =
+            static_cast<std::uint64_t>(i % distinct_sessions) + 1;
+        event.item = static_cast<std::int32_t>(
+            1 + session_rng.uniform_index(vocab - 1));
+        events.push_back(event);
+      }
+    }
+
+    server.serve_sessions(events, top_k);  // warm-up
+    const ServingReport report = server.serve_sessions(events, top_k);
+    TextTable table({"threads", "shards", "top-k", "events", "qps", "p50 ms",
+                     "p95 ms", "active", "evicted", "shed%", "miss%"});
+    table.add_row(
+        {std::to_string(report.threads), std::to_string(report.shards),
+         std::to_string(top_k), std::to_string(report.session_requests),
+         format_float(report.qps, 0),
+         format_float(report.session_latency.p50_ms, 4),
+         format_float(report.session_latency.p95_ms, 4),
+         std::to_string(report.active_sessions),
+         std::to_string(report.session_evictions),
+         format_float(report.shed_rate * 100.0, 1),
+         format_float(report.deadline_miss_rate * 100.0, 1)});
+    std::cout << "\nsession next-item serving (" << distinct_sessions
+              << " sessions, capacity " << config.session_capacity
+              << ", history " << config.session_history
+              << ", full-catalog top-" << top_k << "):\n"
+              << table.to_string();
   }
   return 0;
 }

@@ -55,6 +55,18 @@ int main(int argc, char** argv) {
                             2)
             << " MB)\n";
 
+  // Output-table summary: the dense head "out.weight" ([in, items], each
+  // column one catalog item) is what session-based next-item serving scans
+  // for its full-catalog top-k — surface its dims and compressed footprint.
+  if (model.has_tensor("out.weight")) {
+    const TensorEntry& head = model.entry("out.weight");
+    if (head.shape.size() == 2) {
+      std::cout << "output catalog (out.weight): " << head.shape[1]
+                << " items x " << head.shape[0] << " dims, "
+                << head.byte_size << " bytes compressed\n";
+    }
+  }
+
   if (flags.get_bool("stats", false)) {
     std::cout << "\nper-tensor statistics (dequantized):\n";
     TextTable stats({"tensor", "min", "max", "mean", "l2"});
