@@ -1,118 +1,52 @@
 #include "ondevice/compiled_model.h"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "core/check.h"
-#include "embedding/factory.h"
+#include "ondevice/clock.h"
 
 namespace memcom {
 
-namespace {
-// The engine supports the lookup/one-hot subset of the technique registry;
-// going through embedding/factory's TechniqueKind keeps the metadata-string
-// mapping in one place, and this exhaustive switch forces an explicit
-// supported/unsupported decision whenever the registry grows.
-Technique compile_technique(const std::string& name) {
-  switch (technique_from_string(name)) {
-    case TechniqueKind::kFull: return Technique::kUncompressed;
-    case TechniqueKind::kReduceDim: return Technique::kReduceDim;
-    case TechniqueKind::kTruncateRare: return Technique::kTruncateRare;
-    case TechniqueKind::kNaiveHash: return Technique::kNaiveHash;
-    case TechniqueKind::kWeinberger: return Technique::kWeinberger;
-    case TechniqueKind::kMemcom: return Technique::kMemcom;
-    case TechniqueKind::kMemcomBias: return Technique::kMemcomBias;
-    case TechniqueKind::kQrMult: return Technique::kQrMult;
-    case TechniqueKind::kQrConcat: return Technique::kQrConcat;
-    case TechniqueKind::kDoubleHash: return Technique::kDoubleHash;
-    case TechniqueKind::kFactorized: return Technique::kFactorized;
-    case TechniqueKind::kHashedNets:
-    case TechniqueKind::kMixedDim:
-    case TechniqueKind::kTtRec:
-      break;
-  }
-  check(false, "engine: unsupported technique " + name);
-  return Technique::kUncompressed;
+CompiledModel::CompiledModel(const MmapModel& model, PlanPolicy policy)
+    : model_(model) {
+  compile(policy);
 }
 
-std::size_t float_bytes(const std::vector<float>& v) {
-  return v.size() * sizeof(float);
-}
-}  // namespace
-
-CompiledModel::CompiledModel(const MmapModel& model) : model_(model) {
-  compile();
-}
-
-CompiledModel::CompiledModel(std::shared_ptr<const MmapModel> model)
+CompiledModel::CompiledModel(std::shared_ptr<const MmapModel> model,
+                             PlanPolicy policy)
     : owned_(std::move(model)), model_(*owned_) {
-  compile();
+  compile(policy);
 }
 
-void CompiledModel::compile() {
+void CompiledModel::compile(PlanPolicy policy) {
+  const SteadyClock::time_point start = SteadyClock::now();
   kernels_ = &select_kernels();
-  arch_ = model_.metadata_value("arch");
-  technique_ = model_.metadata_value("technique");
-  vocab_ = model_.metadata_int("vocab");
-  embed_dim_ = model_.metadata_int("embed_dim");
-  hash_size_ = model_.metadata_int("knob");
-  output_dim_ = model_.metadata_int("output_dim");
-  hidden_dim_ =
-      model_.has_metadata("hidden_dim") ? model_.metadata_int("hidden_dim") : 0;
-  model_name_ = model_.model_name();
-  model_version_ = model_.model_version();
-  check(arch_ == "classification" || arch_ == "ranking",
-        "engine: unknown architecture " + arch_);
-  kind_ = compile_technique(technique_);
-  embed_ops_ = count_embedding_stage_ops();
-  has_hidden_ = arch_ == "classification";
-
-  // Resolve every tensor name once — the forward pass only ever sees the
-  // handles below.
-  switch (kind_) {
-    case Technique::kUncompressed:
-    case Technique::kReduceDim:
-    case Technique::kTruncateRare:
-    case Technique::kNaiveHash:
-    case Technique::kWeinberger:
-      emb_a_ = resolve("emb.table");
-      break;
-    case Technique::kMemcom:
-    case Technique::kMemcomBias:
-      emb_a_ = resolve("emb.shared");
-      emb_b_ = resolve("emb.multiplier");
-      if (kind_ == Technique::kMemcomBias) {
-        emb_c_ = resolve("emb.bias");
-      }
-      break;
-    case Technique::kQrMult:
-    case Technique::kQrConcat:
-      emb_a_ = resolve("emb.remainder");
-      emb_b_ = resolve("emb.quotient");
-      break;
-    case Technique::kDoubleHash:
-      emb_a_ = resolve("emb.table_a");
-      emb_b_ = resolve("emb.table_b");
-      break;
-    case Technique::kFactorized:
-      emb_a_ = resolve("emb.factors");
-      emb_b_ = resolve("emb.projection");
-      factor_dim_ = emb_a_.entry->shape[1];
-      predequantize(emb_b_, projection_);
-      break;
+  if (policy == PlanPolicy::kAdoptIfPresent) {
+    PlanDecodeResult decoded = decode_plan(model_);
+    if (decoded.status == PlanStatus::kValid) {
+      plan_adopted_ = true;
+      adopt(std::move(decoded.plan));
+    } else {
+      // Absent or stale: fall back to the full compile. build_plan() is
+      // the function the writer serialized the section with, so the
+      // fallback's buffers are bit-identical to a healthy plan's.
+      plan_fallback_reason_ = decoded.status == PlanStatus::kStale
+                                  ? decoded.reason
+                                  : "no plan section";
+      adopt(build_plan(model_));
+    }
+  } else {
+    plan_fallback_reason_ = "plan adoption disabled";
+    adopt(build_plan(model_));
   }
-
-  bn1_ = resolve_batchnorm("bn1", embed_dim_);
-  if (has_hidden_) {
-    dense1_ = resolve_dense("dense1", embed_dim_, hidden_dim_);
-    bn2_ = resolve_batchnorm("bn2", hidden_dim_);
-  }
-  out_ = resolve_dense("out", has_hidden_ ? hidden_dim_ : embed_dim_,
-                       output_dim_);
+  compile_ms_ = elapsed_ms(start);
 }
 
-TensorRef CompiledModel::resolve(const std::string& name) const {
-  const TensorEntry& entry = model_.entry(name);
+TensorRef CompiledModel::resolve_handle(const PlanHandle& handle) const {
+  const TensorEntry& entry =
+      model_.entry_at(static_cast<std::size_t>(handle.index));
+  check(entry.name == handle.name,
+        "plan: handle name mismatch for " + handle.name);
   TensorRef ref;
   ref.entry = &entry;
   ref.payload = model_.payload(entry);
@@ -123,92 +57,104 @@ TensorRef CompiledModel::resolve(const std::string& name) const {
   if (entry.dtype == DType::kF32) {
     ref.f32 = reinterpret_cast<const float*>(ref.payload);
   }
-  ref.src.dtype = entry.dtype;
-  ref.src.scale = entry.scale;
-  ref.src.payload = ref.payload;
-  if (entry.dtype == DType::kI4G) {
-    // Split the blob once: [f32 scales header][packed nibbles].
-    ref.src.group_scales = reinterpret_cast<const float*>(ref.payload);
-    ref.src.packed =
-        ref.payload + i4g_scales_bytes(static_cast<std::size_t>(entry.numel()),
-                                       entry.group_size);
-    ref.src.group_size = entry.group_size;
-  }
+  ref.src = make_span_src(entry, ref.payload);
   return ref;
 }
 
-void CompiledModel::predequantize(const TensorRef& ref,
-                                  std::vector<float>& out) {
-  const Index n = ref.entry->numel();
-  out.resize(static_cast<std::size_t>(n));
-  // Always the scalar reference: pre-dequantized buffers feed every kernel
-  // family, so their contents must not depend on the dispatch decision.
-  scalar_kernels().dequant_span(ref.src, 0, n, out.data());
-}
+void CompiledModel::adopt(CompiledPlan plan) {
+  model_name_ = std::move(plan.model_name);
+  model_version_ = plan.model_version;
+  arch_ = std::move(plan.arch);
+  technique_ = std::move(plan.technique);
+  kind_ = plan.kind;
+  has_hidden_ = plan.has_hidden;
+  vocab_ = plan.vocab;
+  embed_dim_ = plan.embed_dim;
+  hash_size_ = plan.hash_size;
+  hidden_dim_ = plan.hidden_dim;
+  output_dim_ = plan.output_dim;
+  factor_dim_ = plan.factor_dim;
+  // Qualified: the accessor of the same name shadows the free function.
+  embed_ops_ = ::memcom::embedding_stage_ops(kind_);
 
-BatchNormPlan CompiledModel::resolve_batchnorm(const std::string& prefix,
-                                               Index width) {
-  BatchNormPlan plan;
-  plan.gamma = resolve(prefix + ".gamma");
-  plan.beta = resolve(prefix + ".beta");
-  plan.mean = resolve(prefix + ".mean");
-  plan.var = resolve(prefix + ".var");
-  plan.width = width;
-  std::vector<float> gamma, beta, mean, var;
-  predequantize(plan.gamma, gamma);
-  predequantize(plan.beta, beta);
-  predequantize(plan.mean, mean);
-  predequantize(plan.var, var);
-  plan.scale.resize(static_cast<std::size_t>(width));
-  plan.shift.resize(static_cast<std::size_t>(width));
-  for (Index i = 0; i < width; ++i) {
-    const std::size_t s = static_cast<std::size_t>(i);
-    plan.scale[s] = gamma[s] / std::sqrt(var[s] + 1e-5f);
-    plan.shift[s] = beta[s] - mean[s] * plan.scale[s];
-  }
-  return plan;
-}
-
-DensePlan CompiledModel::resolve_dense(const std::string& prefix,
-                                       Index expect_in, Index expect_out) {
-  DensePlan plan;
-  plan.weight = resolve(prefix + ".weight");
-  plan.bias_ref = resolve(prefix + ".bias");
-  plan.in = plan.weight.entry->shape[0];
-  plan.out = plan.weight.entry->shape[1];
-  // The scratch buffers the forward pass reads/writes are sized from
-  // metadata, so an inconsistent file must fail here, not overflow the
-  // arena at run time.
-  check_eq(expect_in, plan.in, prefix + " input width");
-  check_eq(expect_out, plan.out, prefix + " output width");
-  predequantize(plan.bias_ref, plan.bias);
-  return plan;
-}
-
-Index CompiledModel::count_embedding_stage_ops() const {
-  // The frameworks execute the WHOLE batch-1 embedding stage as a handful
-  // of fused graph ops (gather per table + the composition op), not one op
-  // per token — dispatch overhead must be charged accordingly.
+  // The handle table rides in plan_tensor_roles() order (embedding
+  // tensors, bn1, [dense1, bn2], out); fixing it up is a cursor walk —
+  // no string lookups on the adopt path.
+  std::size_t next = 0;
+  auto take = [&]() {
+    check(next < plan.handles.size(), "plan: handle table underrun");
+    return resolve_handle(plan.handles[next++]);
+  };
   switch (kind_) {
     case Technique::kUncompressed:
     case Technique::kReduceDim:
-    case Technique::kNaiveHash:
     case Technique::kTruncateRare:
-      return 1;  // gather
+    case Technique::kNaiveHash:
+    case Technique::kWeinberger:
+      emb_a_ = take();
+      break;
     case Technique::kMemcom:
-      return 3;  // gather U, gather V, broadcast multiply
     case Technique::kMemcomBias:
-      return 5;  // + gather W, broadcast add
+      emb_a_ = take();  // emb.shared
+      emb_b_ = take();  // emb.multiplier
+      if (kind_ == Technique::kMemcomBias) {
+        emb_c_ = take();  // emb.bias
+      }
+      break;
     case Technique::kQrMult:
     case Technique::kQrConcat:
+      emb_a_ = take();  // emb.remainder
+      emb_b_ = take();  // emb.quotient
+      break;
     case Technique::kDoubleHash:
-      return 3;  // two gathers + compose
+      emb_a_ = take();  // emb.table_a
+      emb_b_ = take();  // emb.table_b
+      break;
     case Technique::kFactorized:
-      return 2;  // gather + projection matmul
-    case Technique::kWeinberger:
-      return 3;  // one_hot + matmul + reduce_sum (the un-fused §5.3 path)
+      emb_a_ = take();  // emb.factors
+      emb_b_ = take();  // emb.projection
+      check_eq(factor_dim_, emb_a_.entry->shape[1], "factorized h");
+      break;
   }
-  return 1;
+
+  auto adopt_batchnorm = [&](BatchNormPlan& bn, Index width,
+                             PlanBuffer scale, PlanBuffer shift) {
+    bn.gamma = take();
+    bn.beta = take();
+    bn.mean = take();
+    bn.var = take();
+    bn.width = width;
+    check_eq(width, static_cast<Index>(scale.size()), "batchnorm width");
+    bn.scale = std::move(scale);
+    bn.shift = std::move(shift);
+  };
+  auto adopt_dense = [&](DensePlan& dense, Index expect_in, Index expect_out,
+                         PlanBuffer bias) {
+    dense.weight = take();
+    dense.bias_ref = take();
+    dense.in = dense.weight.entry->shape[0];
+    dense.out = dense.weight.entry->shape[1];
+    // The scratch buffers the forward pass reads/writes are sized from
+    // metadata, so an inconsistent file must fail here, not overflow the
+    // arena at run time.
+    check_eq(expect_in, dense.in, "dense input width");
+    check_eq(expect_out, dense.out, "dense output width");
+    check_eq(expect_out, static_cast<Index>(bias.size()), "dense bias width");
+    dense.bias = std::move(bias);
+  };
+
+  adopt_batchnorm(bn1_, embed_dim_, std::move(plan.bn1_scale),
+                  std::move(plan.bn1_shift));
+  if (has_hidden_) {
+    adopt_dense(dense1_, embed_dim_, hidden_dim_,
+                std::move(plan.dense1_bias));
+    adopt_batchnorm(bn2_, hidden_dim_, std::move(plan.bn2_scale),
+                    std::move(plan.bn2_shift));
+  }
+  adopt_dense(out_, has_hidden_ ? hidden_dim_ : embed_dim_, output_dim_,
+              std::move(plan.out_bias));
+  projection_ = std::move(plan.projection);
+  check(next == plan.handles.size(), "plan: unused handle table entries");
 }
 
 std::vector<Index> CompiledModel::cache_row_widths() const {
@@ -241,10 +187,12 @@ std::vector<Index> CompiledModel::cache_row_widths() const {
 }
 
 std::size_t CompiledModel::plan_resident_bytes() const {
-  std::size_t bytes = float_bytes(projection_);
-  bytes += float_bytes(bn1_.scale) + float_bytes(bn1_.shift);
-  bytes += float_bytes(bn2_.scale) + float_bytes(bn2_.shift);
-  bytes += float_bytes(dense1_.bias) + float_bytes(out_.bias);
+  // Zero-copy adopted buffers still count: the plan section's pages are
+  // resident while the plan is referenced, same as a heap copy would be.
+  std::size_t bytes = projection_.byte_size();
+  bytes += bn1_.scale.byte_size() + bn1_.shift.byte_size();
+  bytes += bn2_.scale.byte_size() + bn2_.shift.byte_size();
+  bytes += dense1_.bias.byte_size() + out_.bias.byte_size();
   return bytes;
 }
 

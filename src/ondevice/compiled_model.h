@@ -9,6 +9,13 @@
 // concurrently — per-thread mutable state (scratch arena, memory meter,
 // hot-row cache) lives in ExecutionContext, NOT here.
 //
+// Since the v3 plan section landed, "compile" is adopt-or-build: when the
+// file carries a valid serialized plan (ondevice/plan.h), construction is
+// mmap + validate + pointer fixup and the pre-dequantized buffers are
+// ZERO-COPY views into the mapping; on any defect (stale identity,
+// truncation, bad checksum) it falls back to build_plan() — bit-identical,
+// because the writer emitted the section with that same function.
+//
 // This split is what makes multi-tenant serving cheap: N workers serving
 // one model share one CompiledModel by reference (the plan's pre-dequantized
 // buffers are paid for once, see plan_resident_bytes()), and the
@@ -26,24 +33,9 @@
 #include "core/tensor.h"
 #include "ondevice/format.h"
 #include "ondevice/kernels.h"
+#include "ondevice/plan.h"
 
 namespace memcom {
-
-// Compiled form of the "technique" metadata string; resolved once at plan
-// compilation so the forward pass never compares strings.
-enum class Technique : std::uint8_t {
-  kUncompressed,
-  kReduceDim,
-  kTruncateRare,
-  kNaiveHash,
-  kWeinberger,
-  kMemcom,
-  kMemcomBias,
-  kQrMult,
-  kQrConcat,
-  kDoubleHash,
-  kFactorized,
-};
 
 // A pre-resolved tensor handle: directory entry + raw payload pointer; for
 // fp32 blobs also a direct float view that bypasses dequantize_span.
@@ -65,26 +57,34 @@ struct TensorRef {
 // handles are kept so the per-run metering matches the unfused reads.
 struct BatchNormPlan {
   TensorRef gamma, beta, mean, var;
-  std::vector<float> scale, shift;
+  PlanBuffer scale, shift;
   Index width = 0;
 };
 
 struct DensePlan {
   TensorRef weight;    // [in, out] row-major
   TensorRef bias_ref;  // metered per run; values pre-dequantized below
-  std::vector<float> bias;
+  PlanBuffer bias;
   Index in = 0;
   Index out = 0;
 };
 
+// Whether construction may take the v3 plan-section fast path. kNeverAdopt
+// forces a full build_plan() compile even on a plan-bearing file — the
+// cold-start benchmark's baseline leg and the differential harness's
+// fallback leg.
+enum class PlanPolicy : std::uint8_t { kAdoptIfPresent, kNeverAdopt };
+
 class CompiledModel {
  public:
   // Compiles against a caller-owned mapping; `model` must outlive the plan.
-  explicit CompiledModel(const MmapModel& model);
+  explicit CompiledModel(const MmapModel& model,
+                         PlanPolicy policy = PlanPolicy::kAdoptIfPresent);
   // Compiles against a shared mapping and keeps it alive: the mmap is
   // released only when the last plan reference drains (the ModelRegistry's
   // hot-swap retirement path).
-  explicit CompiledModel(std::shared_ptr<const MmapModel> model);
+  explicit CompiledModel(std::shared_ptr<const MmapModel> model,
+                         PlanPolicy policy = PlanPolicy::kAdoptIfPresent);
 
   CompiledModel(const CompiledModel&) = delete;
   CompiledModel& operator=(const CompiledModel&) = delete;
@@ -117,7 +117,18 @@ class CompiledModel {
   const BatchNormPlan& bn2() const { return bn2_; }
   const DensePlan& dense1() const { return dense1_; }
   const DensePlan& out() const { return out_; }
-  const std::vector<float>& projection() const { return projection_; }
+  const PlanBuffer& projection() const { return projection_; }
+
+  // Cold-start accounting: whether this plan was ADOPTED from the file's
+  // serialized plan section (fast path) or built by a full compile; why
+  // adoption was skipped (empty when adopted); and the wall time of the
+  // adopt-or-build step. ServingReport and the cold-start bench surface
+  // these fleet-wide.
+  bool plan_adopted() const { return plan_adopted_; }
+  const std::string& plan_fallback_reason() const {
+    return plan_fallback_reason_;
+  }
+  double compile_ms() const { return compile_ms_; }
 
   // The kernel family this plan dispatches to, chosen ONCE at compile time
   // (select_kernels() honors MEMCOM_DISABLE_SIMD / MEMCOM_ENABLE_FMA at the
@@ -138,15 +149,12 @@ class CompiledModel {
   std::size_t plan_resident_bytes() const;
 
  private:
-  void compile();
+  void compile(PlanPolicy policy);
+  // Pointer fixup: binds a position-independent CompiledPlan (built OR
+  // decoded from the file's plan section) to this mapping.
+  void adopt(CompiledPlan plan);
 
-  TensorRef resolve(const std::string& name) const;
-  BatchNormPlan resolve_batchnorm(const std::string& prefix, Index width);
-  DensePlan resolve_dense(const std::string& prefix, Index expect_in,
-                          Index expect_out);
-  // Dequantizes the whole tensor behind `ref` into `out` (compile only).
-  void predequantize(const TensorRef& ref, std::vector<float>& out);
-  Index count_embedding_stage_ops() const;
+  TensorRef resolve_handle(const PlanHandle& handle) const;
 
   // Keepalive for registry-owned mappings (null when the caller owns it).
   std::shared_ptr<const MmapModel> owned_;
@@ -166,11 +174,15 @@ class CompiledModel {
   Index factor_dim_ = 0; // factorized h
   bool has_hidden_ = false;
 
+  bool plan_adopted_ = false;
+  std::string plan_fallback_reason_;
+  double compile_ms_ = 0;
+
   const KernelSet* kernels_ = nullptr;
   TensorRef emb_a_;  // table / shared / remainder / table_a / factors
   TensorRef emb_b_;  // multiplier / quotient / table_b / projection
   TensorRef emb_c_;  // memcom_bias bias
-  std::vector<float> projection_;  // factorized: pre-dequantized [h, e]
+  PlanBuffer projection_;  // factorized: pre-dequantized [h, e]
   BatchNormPlan bn1_, bn2_;
   DensePlan dense1_, out_;
 };

@@ -13,6 +13,7 @@
 
 #include "core/check.h"
 #include "core/serialize.h"
+#include "ondevice/plan.h"
 
 namespace memcom {
 
@@ -58,24 +59,45 @@ std::uint64_t ModelWriter::finish() {
   check(!finished_, "ModelWriter: finish called twice");
   finished_ = true;
 
-  // First pass: serialize header + directory to a buffer to learn its size,
-  // with blob offsets filled in afterwards. We do this by computing the
-  // directory size analytically: serialize once with zero offsets, then
-  // rewrite with real offsets (the directory size does not depend on offset
-  // values because they are fixed-width u64).
   // Grouped tensors need a per-entry group_size field; that is format
   // version 2. Files without any stay at version 1 so pre-v2 readers keep
-  // opening them.
+  // opening them. The version only ever bumps to 3 when a plan section is
+  // actually emitted below.
   bool any_grouped = false;
   for (const auto& [unused, qt] : tensors_) {
     any_grouped = any_grouped || dtype_is_grouped(qt.dtype);
   }
-  const std::uint32_t version = any_grouped ? 2 : 1;
+  std::uint64_t total = write_file(any_grouped ? 2 : 1, {});
+  if (emit_plan_) {
+    // Two-pass emit: stage the plan-less file, build the plan from it with
+    // the very function the load-time fallback runs (so a cold compile of
+    // this file reproduces the serialized buffers bit-for-bit), then
+    // rewrite as v3 with the section appended.
+    std::vector<std::uint8_t> plan_bytes;
+    {
+      const MmapModel staged(path_);
+      plan_bytes = serialize_plan(build_plan(staged));
+    }
+    total = write_file(3, plan_bytes);
+  }
+  return total;
+}
 
+std::uint64_t ModelWriter::write_file(
+    std::uint32_t version, const std::vector<std::uint8_t>& plan_bytes) {
+  // First pass: serialize header + directory to a buffer to learn its size,
+  // with blob offsets filled in afterwards. We do this by computing the
+  // directory size analytically: serialize once with zero offsets, then
+  // rewrite with real offsets (the directory size does not depend on offset
+  // values because offsets and the v3 plan locator are fixed-width u64).
   auto serialize_front = [&](const std::vector<std::uint64_t>& offsets,
-                             std::ostream& os) {
+                             std::uint64_t plan_offset, std::ostream& os) {
     write_u32(os, kMagic);
     write_u32(os, version);
+    if (version >= 3) {
+      write_u64(os, plan_offset);
+      write_u64(os, plan_bytes.size());
+    }
     write_u64(os, metadata_.size());
     for (const auto& [key, value] : metadata_) {
       write_string(os, key);
@@ -100,7 +122,7 @@ std::uint64_t ModelWriter::finish() {
   };
 
   std::ostringstream probe;
-  serialize_front(std::vector<std::uint64_t>(tensors_.size(), 0), probe);
+  serialize_front(std::vector<std::uint64_t>(tensors_.size(), 0), 0, probe);
   const std::uint64_t front_size = static_cast<std::uint64_t>(probe.str().size());
 
   std::vector<std::uint64_t> offsets(tensors_.size());
@@ -110,10 +132,13 @@ std::uint64_t ModelWriter::finish() {
     cursor = align_up(cursor + tensors_[i].second.payload.size(),
                       kBlobAlignment);
   }
+  // The plan section (when present) trails the last blob, 64-byte aligned
+  // like every blob so its float regions stay aligned in the mapping.
+  const std::uint64_t plan_offset = cursor;
 
   std::ofstream out(path_, std::ios::binary | std::ios::trunc);
   check(out.good(), "ModelWriter: cannot open " + path_);
-  serialize_front(offsets, out);
+  serialize_front(offsets, plan_offset, out);
   for (std::size_t i = 0; i < tensors_.size(); ++i) {
     const std::uint64_t pos = static_cast<std::uint64_t>(out.tellp());
     check(pos <= offsets[i], "ModelWriter: offset bookkeeping error");
@@ -123,6 +148,14 @@ std::uint64_t ModelWriter::finish() {
     const auto& payload = tensors_[i].second.payload;
     out.write(reinterpret_cast<const char*>(payload.data()),
               static_cast<std::streamsize>(payload.size()));
+  }
+  if (version >= 3) {
+    for (std::uint64_t p = static_cast<std::uint64_t>(out.tellp());
+         p < plan_offset; ++p) {
+      out.put('\0');
+    }
+    out.write(reinterpret_cast<const char*>(plan_bytes.data()),
+              static_cast<std::streamsize>(plan_bytes.size()));
   }
   const std::uint64_t total = static_cast<std::uint64_t>(out.tellp());
   out.close();
@@ -149,10 +182,28 @@ MmapModel::MmapModel(const std::string& path) {
   check_eq(static_cast<long long>(kMagic),
            static_cast<long long>(read_u32(is)), "MmapModel magic");
   // Version 1: original directory. Version 2: adds a u64 group_size per
-  // entry (grouped sub-byte dtypes). Both stay readable forever.
+  // entry (grouped sub-byte dtypes). Version 3: adds a trailing compiled
+  // plan section located by two header u64s. All stay readable forever.
   const std::uint32_t version = read_u32(is);
-  check(version == 1 || version == 2, "MmapModel: unsupported version " +
+  check(version >= 1 && version <= 3, "MmapModel: unsupported version " +
                                           std::to_string(version));
+  format_version_ = version;
+  if (version >= 3) {
+    plan_offset_ = read_u64(is);
+    plan_size_ = read_u64(is);
+    plan_declared_ = plan_size_ > 0;
+    // Lenient bounds: a corrupt locator makes the plan unreachable (the
+    // loader falls back to a full compile), it does not fail the open —
+    // the tensor payloads this header describes are still intact.
+    if (plan_declared_) {
+      if (plan_size_ > file_size_ ||
+          plan_offset_ > file_size_ - plan_size_) {
+        plan_bounds_error_ = "plan section out of file bounds";
+      } else if (plan_offset_ % kBlobAlignment != 0) {
+        plan_bounds_error_ = "plan section misaligned";
+      }
+    }
+  }
   const std::uint64_t metadata_count = read_u64(is);
   for (std::uint64_t i = 0; i < metadata_count; ++i) {
     std::string key = read_string(is);
@@ -219,7 +270,12 @@ MmapModel::MmapModel(const std::string& path) {
     check(entry.byte_size <= file_size_ &&
               entry.offset <= file_size_ - entry.byte_size,
           "MmapModel: blob out of bounds for " + entry.name);
-    entries_.emplace(entry.name, std::move(entry));
+    const std::string name = entry.name;
+    const auto [it, inserted] = entries_.emplace(name, std::move(entry));
+    check(inserted, "MmapModel: duplicate tensor name " + name);
+    // Positional view in FILE order (map nodes are pointer-stable): plan
+    // handles index into this.
+    ordered_.push_back(&it->second);
   }
 }
 
@@ -279,6 +335,29 @@ const TensorEntry& MmapModel::entry(const std::string& name) const {
   const auto it = entries_.find(name);
   check(it != entries_.end(), "MmapModel: missing tensor " + name);
   return it->second;
+}
+
+const TensorEntry& MmapModel::entry_at(std::size_t index) const {
+  check(index < ordered_.size(),
+        "MmapModel: directory index out of range " + std::to_string(index));
+  return *ordered_[index];
+}
+
+std::size_t MmapModel::entry_index(const std::string& name) const {
+  for (std::size_t i = 0; i < ordered_.size(); ++i) {
+    if (ordered_[i]->name == name) {
+      return i;
+    }
+  }
+  check(false, "MmapModel: missing tensor " + name);
+  return 0;  // unreachable
+}
+
+const std::uint8_t* MmapModel::plan_data() const {
+  if (!plan_declared_ || !plan_bounds_error_.empty()) {
+    return nullptr;
+  }
+  return mapping_ + plan_offset_;
 }
 
 std::vector<std::string> MmapModel::tensor_names() const {

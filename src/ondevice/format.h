@@ -1,15 +1,22 @@
 // The .mcm on-device model format: a flat, mmap-friendly container.
 //
 // Layout:
-//   [header]   magic "MCM1", tensor count, metadata count
+//   [header]   magic "MCM1", version, (v3: plan offset+size), counts
 //   [metadata] key/value string pairs (architecture, technique, dims, ...)
 //   [directory] per tensor: name, dtype, shape, scale, blob offset+size
 //   [blobs]    raw tensor payloads, each aligned to 64 bytes
+//   [plan]     v3 only: serialized compiled plan (see ondevice/plan.h)
 //
 // The reader maps the file with mmap(2) (read-only, MAP_PRIVATE) and hands
 // out zero-copy views, exactly like CoreML / TF-Lite weight files (§3 of
 // the paper). Blob offsets are relative to the file start so the memory
 // meter can attribute page touches.
+//
+// Versioning discipline: v2 added per-entry group_size for grouped dtypes;
+// v3 adds an OPTIONAL trailing plan section and two u64 header fields
+// locating it. A file is only ever written as v3 when a plan section is
+// present, so plan-less exports stay byte-identical to what pre-v3 writers
+// produced and remain readable by pre-v3 readers.
 #pragma once
 
 #include <atomic>
@@ -58,13 +65,25 @@ class ModelWriter {
   void add_tensor(const std::string& name, const Tensor& tensor,
                   DType dtype = DType::kF32, Index group_size = 0);
 
+  // Appends an ahead-of-time compiled plan section, bumping the container
+  // to v3. finish() stages the plan-less file, builds the plan from it
+  // with the SAME build_plan() the load-time fallback uses (bit-identity
+  // by construction), and rewrites the file with the section appended.
+  // Requires full engine metadata (arch/technique/dims) — finish() throws
+  // on a file build_plan() cannot compile.
+  void set_emit_plan(bool emit = true) { emit_plan_ = emit; }
+
   // Writes the file; returns total bytes written. The writer is single-use.
   std::uint64_t finish();
 
  private:
+  std::uint64_t write_file(std::uint32_t version,
+                           const std::vector<std::uint8_t>& plan_bytes);
+
   std::string path_;
   std::map<std::string, std::string> metadata_;
   std::vector<std::pair<std::string, QuantizedTensor>> tensors_;
+  bool emit_plan_ = false;
   bool finished_ = false;
 };
 
@@ -96,6 +115,14 @@ class MmapModel {
   const TensorEntry& entry(const std::string& name) const;
   std::vector<std::string> tensor_names() const;
 
+  // Positional directory access, in FILE ORDER. Plan sections record tensor
+  // handles as these stable indices; adopting a plan re-resolves them here
+  // and verifies the recorded name still lives at the recorded slot.
+  std::size_t entry_count() const { return ordered_.size(); }
+  const TensorEntry& entry_at(std::size_t index) const;
+  // Directory index of `name` (throws when missing). Compile-time only.
+  std::size_t entry_index(const std::string& name) const;
+
   // Number of string-keyed directory lookups served since the model was
   // opened. The inference fast path resolves all handles at engine
   // construction, so this must stay flat across steady-state run() calls —
@@ -111,12 +138,30 @@ class MmapModel {
   Tensor load_tensor(const std::string& name) const;
 
   std::uint64_t file_size() const { return file_size_; }
+  std::uint32_t format_version() const { return format_version_; }
+
+  // v3 plan section. Bounds are validated LENIENTLY: a header that declares
+  // a section falling outside the file (or misaligned) marks the plan
+  // unreachable (plan_data() == nullptr, reason in plan_bounds_error())
+  // instead of failing the open — the tensors themselves are intact and
+  // the loader must be able to fall back to a full compile.
+  bool has_plan_section() const { return plan_declared_; }
+  const std::uint8_t* plan_data() const;  // nullptr when absent/unreachable
+  std::uint64_t plan_offset() const { return plan_offset_; }
+  std::uint64_t plan_size() const { return plan_size_; }
+  const std::string& plan_bounds_error() const { return plan_bounds_error_; }
 
  private:
   std::map<std::string, std::string> metadata_;
   std::map<std::string, TensorEntry> entries_;
+  std::vector<const TensorEntry*> ordered_;  // directory in file order
   const std::uint8_t* mapping_ = nullptr;
   std::uint64_t file_size_ = 0;
+  std::uint32_t format_version_ = 1;
+  bool plan_declared_ = false;
+  std::uint64_t plan_offset_ = 0;
+  std::uint64_t plan_size_ = 0;
+  std::string plan_bounds_error_;
   // Mutable: counting lookups does not change the logical model. Atomic so
   // concurrent serving engines sharing one model stay race-free.
   mutable std::atomic<std::uint64_t> entry_lookups_{0};

@@ -108,6 +108,12 @@ std::uint64_t ModelRegistry::version(const std::string& model_id) const {
   return it != entries_.end() ? it->second.version : 0;
 }
 
+bool ModelRegistry::plan_adopted(const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(model_id);
+  return it != entries_.end() && it->second.compiled->plan_adopted();
+}
+
 bool ModelRegistry::has_model(const std::string& model_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.count(model_id) > 0;

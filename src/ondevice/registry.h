@@ -73,6 +73,12 @@ class ModelRegistry {
   // Current registry version of `model_id` (0 when unknown).
   std::uint64_t version(const std::string& model_id) const;
 
+  // Whether the CURRENT version of `model_id` took the v3 plan-section
+  // fast path at load/swap (false when unknown, retired, or the file was
+  // plan-less/stale — load() and swap() fall back to a full compile in
+  // those cases, never fail).
+  bool plan_adopted(const std::string& model_id) const;
+
   bool has_model(const std::string& model_id) const;
   std::vector<std::string> model_ids() const;
   std::size_t size() const;

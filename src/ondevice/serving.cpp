@@ -86,6 +86,9 @@ ServingReport ServingHarness::serve(
   ServingReport report;
   report.threads = threads();
   report.requests = total;
+  report.plan_adopted = compiled_->plan_adopted();
+  report.plan_compile_ms = compiled_->compile_ms();
+  report.plan_fallback_reason = compiled_->plan_fallback_reason();
   if (total == 0) {
     return report;
   }
@@ -882,6 +885,13 @@ ServingReport AsyncServer::drive(
   ServingReport report;
   report.threads = threads();
   report.requests = total;
+  // Cold-start slice: the default model's CURRENT plan (may legitimately
+  // be gone mid-drain if a test retires it; report then stays zeroed).
+  if (const auto compiled = registry_->acquire(default_model_)) {
+    report.plan_adopted = compiled->plan_adopted();
+    report.plan_compile_ms = compiled->compile_ms();
+    report.plan_fallback_reason = compiled->plan_fallback_reason();
+  }
   if (total == 0) {
     return report;
   }
@@ -986,6 +996,11 @@ ServingReport AsyncServer::serve_sessions(
   report.threads = threads();
   report.requests = total;
   report.shards = static_cast<int>(shards_.size());
+  if (const auto compiled = registry_->acquire(default_model_)) {
+    report.plan_adopted = compiled->plan_adopted();
+    report.plan_compile_ms = compiled->compile_ms();
+    report.plan_fallback_reason = compiled->plan_fallback_reason();
+  }
   if (total == 0) {
     report.active_sessions = active_sessions();
     report.session_evictions = evicted_sessions();

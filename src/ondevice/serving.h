@@ -137,6 +137,15 @@ struct ServingReport {
   // Hot-row cache totals across workers (enabled=false when no cache).
   RowCacheStats cache;
 
+  // Cold-start accounting for the plan the drain served (the default model
+  // in the async pipeline): whether load took the v3 plan-section fast
+  // path, the wall time of that adopt-or-compile step, and — when adoption
+  // was skipped — why (empty when adopted). Fleet story: this is the
+  // per-device boot tax the serialized plan removes.
+  bool plan_adopted = false;
+  double plan_compile_ms = 0;
+  std::string plan_fallback_reason;
+
   // Per-model breakdown, sorted by model id (async pipeline only; empty for
   // the single-model closed-loop harness).
   std::vector<ModelReport> per_model;

@@ -61,9 +61,13 @@ class RecModel {
   // serving-side ModelRegistry enforces to be monotonically increasing
   // across hot swaps; the defaults write a legacy file with no identity.
   // `group_size` only matters when `dtype` is kI4G (0 = kI4GroupDefault).
+  // `emit_plan` appends the ahead-of-time compiled plan section (container
+  // v3, see ondevice/plan.h) so fleet cold start is adopt instead of
+  // compile; plan-less exports stay v1/v2 byte-identical.
   void export_mcm(const std::string& path, DType dtype = DType::kF32,
                   const std::string& model_name = "",
-                  std::uint64_t model_version = 1, Index group_size = 0);
+                  std::uint64_t model_version = 1, Index group_size = 0,
+                  bool emit_plan = false);
 
   // Loads (dequantized) weights back from an exported .mcm file. The model
   // must have been constructed with the same ModelConfig. Used by the A.2

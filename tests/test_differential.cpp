@@ -14,10 +14,13 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/sampling.h"
+#include "ondevice/plan.h"
 #include "ondevice/registry.h"
 #include "ondevice/serving.h"
 #include "ondevice/topk.h"
@@ -85,7 +88,8 @@ class DifferentialTest : public ::testing::TestWithParam<TechniqueKind> {
   }
 
   std::string export_model(TechniqueKind kind, DType dtype,
-                           std::uint64_t version = 1) {
+                           std::uint64_t version = 1,
+                           bool emit_plan = false) {
     ModelConfig config;
     config.embedding.kind = kind;
     config.embedding.vocab = kVocab;
@@ -107,12 +111,14 @@ class DifferentialTest : public ::testing::TestWithParam<TechniqueKind> {
     RecModel model(config);
     auto p = std::filesystem::temp_directory_path() /
              ("memcom_diff_" + std::string(technique_name(kind)) + "_" +
-              dtype_name(dtype) + "_v" + std::to_string(version) + ".mcm");
+              dtype_name(dtype) + "_v" + std::to_string(version) +
+              (emit_plan ? "_plan" : "") + ".mcm");
     paths_.push_back(p);
     // Same seed each version: the weights are bit-identical, so the
     // post-swap path below can demand bit-identical logits; the version
     // stamp is what changes.
-    model.export_mcm(p.string(), dtype, "diff", version);
+    model.export_mcm(p.string(), dtype, "diff", version, /*group_size=*/0,
+                     emit_plan);
     return p.string();
   }
 
@@ -354,6 +360,127 @@ TEST_P(DifferentialTest, ScalarAndDispatchedKernelsBitIdentical) {
                                dispatched.compiled().kernel_name(),
                            r);
     }
+  }
+}
+
+// Plan-adoption differential: a v3 plan-bearing export served through
+// {adopted plan, forced full compile, fallback after mid-section corruption}
+// must produce BIT-IDENTICAL logits for every technique and dtype. This is
+// the tentpole contract of the ahead-of-time plan work: adoption is a pure
+// cold-start optimization, invisible in every logit bit, and a damaged plan
+// degrades to the compile path rather than to wrong answers.
+TEST_P(DifferentialTest, PlanAdoptedAndFallbackBitIdentical) {
+  const TechniqueKind kind = GetParam();
+  const auto corpus = edge_case_corpus();
+  for (const DType dtype : {DType::kF32, DType::kI8, DType::kI4G}) {
+    const std::string path =
+        export_model(kind, dtype, /*version=*/1, /*emit_plan=*/true);
+    const std::string tag =
+        std::string(technique_name(kind)) + "/" + dtype_name(dtype);
+    auto mapped = std::make_shared<const MmapModel>(path);
+    ASSERT_TRUE(mapped->has_plan_section()) << tag;
+
+    // Reference: forced full compile of the same mapping.
+    auto forced = std::make_shared<const CompiledModel>(
+        mapped, PlanPolicy::kNeverAdopt);
+    EXPECT_FALSE(forced->plan_adopted()) << tag;
+    std::vector<Tensor> expected;
+    {
+      InferenceEngine engine(forced, tflite_profile());
+      for (const auto& history : corpus) {
+        expected.push_back(engine.run(history).logits);
+      }
+    }
+
+    // Leg 1: the plan actually adopts, and serves identically.
+    {
+      auto adopted = std::make_shared<const CompiledModel>(mapped);
+      EXPECT_TRUE(adopted->plan_adopted()) << tag << ": "
+          << adopted->plan_fallback_reason();
+      InferenceEngine engine(adopted, tflite_profile());
+      for (std::size_t r = 0; r < corpus.size(); ++r) {
+        const InferenceView view = engine.run_view(corpus[r]);
+        expect_bit_identical(view.logits, expected[r], tag + "/plan_adopt",
+                             r);
+      }
+    }
+
+    // Leg 2: flip one byte mid-plan — adoption must refuse (checksum) and
+    // the fallback compile must serve the same bits as the reference.
+    {
+      const std::string corrupt = path + ".corrupt";
+      paths_.push_back(corrupt);
+      std::filesystem::copy_file(
+          path, corrupt, std::filesystem::copy_options::overwrite_existing);
+      const std::uint64_t flip_at =
+          mapped->plan_offset() + mapped->plan_size() / 2;
+      std::fstream f(corrupt,
+                     std::ios::binary | std::ios::in | std::ios::out);
+      f.seekg(static_cast<std::streamoff>(flip_at));
+      char byte = 0;
+      f.get(byte);
+      f.seekp(static_cast<std::streamoff>(flip_at));
+      f.put(static_cast<char>(byte ^ 0x01));
+      f.close();
+      auto fallback = std::make_shared<const CompiledModel>(
+          std::make_shared<const MmapModel>(corrupt));
+      EXPECT_FALSE(fallback->plan_adopted()) << tag;
+      EXPECT_NE(fallback->plan_fallback_reason().find("checksum"),
+                std::string::npos)
+          << tag << ": " << fallback->plan_fallback_reason();
+      InferenceEngine engine(fallback, tflite_profile());
+      for (std::size_t r = 0; r < corpus.size(); ++r) {
+        const InferenceView view = engine.run_view(corpus[r]);
+        expect_bit_identical(view.logits, expected[r],
+                             tag + "/plan_fallback", r);
+      }
+    }
+  }
+}
+
+// Kernel-independence of the serialized plan: EMIT the file while the
+// scalar family is forced, then ADOPT it with dispatch enabled. The plan's
+// pre-dequantized buffers came from the scalar reference, so the dispatched
+// adopter must reproduce the scalar-compiled logits bit-for-bit — one fleet
+// artifact serves every device's kernel family. (The CI sanitizer matrix
+// runs this whole suite under both MEMCOM_DISABLE_SIMD settings, covering
+// the emit-under-one-leg / adopt-under-the-other pairing both ways.)
+TEST_P(DifferentialTest, PlanEmittedUnderScalarAdoptsUnderDispatch) {
+  const TechniqueKind kind = GetParam();
+  const auto corpus = edge_case_corpus();
+  // Save/restore rather than blind unsetenv: the sanitizer CI legs run the
+  // suite with MEMCOM_DISABLE_SIMD pre-set, and must stay that way after.
+  const char* saved = std::getenv("MEMCOM_DISABLE_SIMD");
+  ::setenv("MEMCOM_DISABLE_SIMD", "1", 1);
+  const std::string path =
+      export_model(kind, DType::kI8, /*version=*/1, /*emit_plan=*/true);
+  std::vector<Tensor> scalar_logits;
+  {
+    const MmapModel model(path);
+    InferenceEngine engine(model, tflite_profile());
+    EXPECT_STREQ(engine.compiled().kernel_name(), "scalar");
+    EXPECT_TRUE(engine.compiled().plan_adopted());
+    for (const auto& history : corpus) {
+      scalar_logits.push_back(engine.run(history).logits);
+    }
+  }
+  if (saved == nullptr) {
+    ::unsetenv("MEMCOM_DISABLE_SIMD");
+  } else {
+    ::setenv("MEMCOM_DISABLE_SIMD", saved, 1);
+  }
+  auto adopted = std::make_shared<const CompiledModel>(
+      std::make_shared<const MmapModel>(path));
+  EXPECT_TRUE(adopted->plan_adopted())
+      << adopted->plan_fallback_reason();
+  InferenceEngine dispatched(adopted, tflite_profile());
+  for (std::size_t r = 0; r < corpus.size(); ++r) {
+    const InferenceView view = dispatched.run_view(corpus[r]);
+    expect_bit_identical(view.logits, scalar_logits[r],
+                         std::string(technique_name(kind)) +
+                             "/plan_scalar_emit_vs_" +
+                             dispatched.compiled().kernel_name(),
+                         r);
   }
 }
 

@@ -161,6 +161,105 @@ TEST_F(FormatTest, UngroupedFilesStayVersion1) {
   EXPECT_EQ(read_u32(in), 1u);
 }
 
+// --- v3 plan section (container-level; plan semantics in test_plan.cpp) ----
+
+namespace {
+// A minimal model build_plan() can compile: ranking trunk, uncompressed
+// embedding — enough for ModelWriter::set_emit_plan to stage a v3 file.
+void add_plannable_model(ModelWriter& writer) {
+  writer.set_metadata("arch", "ranking");
+  writer.set_metadata("technique", "uncompressed");
+  writer.set_metadata_int("vocab", 16);
+  writer.set_metadata_int("embed_dim", 4);
+  writer.set_metadata_int("knob", 0);
+  writer.set_metadata_int("output_dim", 2);
+  writer.add_tensor("emb.table", Tensor::full({16, 4}, 0.5f));
+  writer.add_tensor("bn1.gamma", Tensor::full({4}, 1.0f));
+  writer.add_tensor("bn1.beta", Tensor::full({4}, 0.0f));
+  writer.add_tensor("bn1.mean", Tensor::full({4}, 0.0f));
+  writer.add_tensor("bn1.var", Tensor::full({4}, 1.0f));
+  writer.add_tensor("out.weight", Tensor::full({4, 2}, 0.25f));
+  writer.add_tensor("out.bias", Tensor::full({2}, 0.0f));
+}
+}  // namespace
+
+TEST_F(FormatTest, EmitPlanBumpsFormatToV3) {
+  const std::string path = temp_path();
+  ModelWriter writer(path);
+  add_plannable_model(writer);
+  writer.set_emit_plan();
+  const std::uint64_t written = writer.finish();
+  {
+    std::ifstream in(path, std::ios::binary);
+    read_u32(in);  // magic
+    EXPECT_EQ(read_u32(in), 3u);
+  }
+  const MmapModel model(path);
+  EXPECT_EQ(model.format_version(), 3u);
+  ASSERT_TRUE(model.has_plan_section());
+  EXPECT_GT(model.plan_size(), 0u);
+  EXPECT_EQ(model.plan_offset() % 64, 0u);
+  EXPECT_EQ(model.plan_offset() + model.plan_size(), written);
+  EXPECT_NE(model.plan_data(), nullptr);
+  // The tensors read back exactly as in a plan-less file.
+  EXPECT_TRUE(model.load_tensor("emb.table").equals(
+      Tensor::full({16, 4}, 0.5f)));
+}
+
+TEST_F(FormatTest, PlanlessWriterStaysV1WithNoPlanHeaderFields) {
+  // v3 is opt-in per file: without set_emit_plan the container must stay
+  // byte-compatible with pre-v3 readers (no plan offset/size fields).
+  const std::string path = temp_path();
+  ModelWriter writer(path);
+  add_plannable_model(writer);
+  writer.finish();
+  std::ifstream in(path, std::ios::binary);
+  read_u32(in);  // magic
+  EXPECT_EQ(read_u32(in), 1u);
+  const MmapModel model(path);
+  EXPECT_FALSE(model.has_plan_section());
+  EXPECT_EQ(model.plan_data(), nullptr);
+}
+
+TEST_F(FormatTest, PlanSectionPastEofToleratedAtOpen) {
+  // A v3 header whose plan section reaches past EOF (truncated in transit)
+  // must not fail the open: the tensors are intact and the loader falls
+  // back to a compile. The plan is flagged unreachable with a reason.
+  const std::string path = temp_path();
+  {
+    ModelWriter writer(path);
+    add_plannable_model(writer);
+    writer.set_emit_plan();
+    writer.finish();
+  }
+  const std::uint64_t plan_offset = MmapModel(path).plan_offset();
+  std::filesystem::resize_file(path, plan_offset + 8);
+  const MmapModel model(path);
+  EXPECT_TRUE(model.has_plan_section());
+  EXPECT_EQ(model.plan_data(), nullptr);
+  EXPECT_FALSE(model.plan_bounds_error().empty());
+  EXPECT_TRUE(model.load_tensor("out.bias").equals(Tensor::full({2}, 0.0f)));
+}
+
+TEST_F(FormatTest, DirectoryEntriesKeepFileOrderForStableIndices) {
+  // Plan handles serialize directory positions: entry_at/entry_index must
+  // reflect WRITE order (file order), not the map's sorted order.
+  const std::string path = temp_path();
+  ModelWriter writer(path);
+  writer.add_tensor("zeta", Tensor::full({2}, 1.0f));
+  writer.add_tensor("alpha", Tensor::full({2}, 2.0f));
+  writer.add_tensor("mid", Tensor::full({2}, 3.0f));
+  writer.finish();
+  const MmapModel model(path);
+  ASSERT_EQ(model.entry_count(), 3u);
+  EXPECT_EQ(model.entry_at(0).name, "zeta");
+  EXPECT_EQ(model.entry_at(1).name, "alpha");
+  EXPECT_EQ(model.entry_at(2).name, "mid");
+  EXPECT_EQ(model.entry_index("mid"), 2u);
+  EXPECT_THROW(model.entry_index("nope"), std::runtime_error);
+  EXPECT_THROW(model.entry_at(3), std::runtime_error);
+}
+
 TEST_F(FormatTest, BlobsAreAligned) {
   const std::string path = temp_path();
   Rng rng(163);

@@ -210,6 +210,62 @@ TEST_F(McmBenchTest, ShedWithoutDeadlineFailsCleanly) {
   EXPECT_NE(result.output.find("--deadline-us"), std::string::npos);
 }
 
+TEST_F(McmBenchTest, ColdStartReportsBothLegsForPlanBearingFile) {
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, 300, 16, 32};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = 24;
+  config.seed = 17;
+  RecModel model(config);
+  model.export_mcm(path_, DType::kI8, "cold", 1, /*group_size=*/0,
+                   /*emit_plan=*/true);
+
+  const ToolResult result = run_tool("\"" + path_ + "\" --cold-start 5");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("cold start (5 iterations): plan section "
+                               "present and valid"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("load -> first-inference phases"),
+            std::string::npos);
+  // Phase split columns plus one row per leg with its plan verdict.
+  EXPECT_NE(result.output.find("adopt-or-compile p50"), std::string::npos);
+  EXPECT_NE(result.output.find("first-infer p50"), std::string::npos);
+  EXPECT_NE(result.output.find("plan-adopt"), std::string::npos);
+  EXPECT_NE(result.output.find("full-compile"), std::string::npos);
+  EXPECT_NE(result.output.find("adopted"), std::string::npos);
+  EXPECT_NE(result.output.find("plan adoption disabled"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, ColdStartReportsSingleLegForPlanlessFile) {
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, 300, 16, 32};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = 24;
+  config.seed = 19;
+  RecModel model(config);
+  model.export_mcm(path_);
+
+  const ToolResult result = run_tool("\"" + path_ + "\" --cold-start 3");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("cold start (3 iterations): no plan section"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("full-compile"), std::string::npos);
+  // No adoption leg to report without a plan.
+  EXPECT_EQ(result.output.find("plan-adopt"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, NonPositiveColdStartFailsCleanly) {
+  const ToolResult result = run_tool("model.mcm --cold-start 0");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--cold-start"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, ColdStartWithModelsModeFailsCleanly) {
+  const ToolResult result = run_tool("--models a.mcm,b.mcm --cold-start 3");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--cold-start"), std::string::npos);
+}
+
 TEST_F(McmBenchTest, MissingArgumentFailsWithUsage) {
   const ToolResult result = run_tool("");
   EXPECT_EQ(result.exit_code, 2);

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "test_util.h"
@@ -165,6 +166,84 @@ TEST_F(McmInspectTest, NoCatalogLineWithoutOutputHead) {
   const ToolResult result = run_tool("\"" + path_ + "\"");
   ASSERT_EQ(result.exit_code, 0) << result.output;
   EXPECT_EQ(result.output.find("output catalog"), std::string::npos);
+}
+
+namespace {
+// A minimal model build_plan() can compile, so set_emit_plan can stage the
+// v3 plan section the inspector reports on.
+void add_plannable_model(ModelWriter& writer) {
+  writer.set_metadata("arch", "ranking");
+  writer.set_metadata("technique", "uncompressed");
+  writer.set_metadata_int("vocab", 16);
+  writer.set_metadata_int("embed_dim", 4);
+  writer.set_metadata_int("knob", 0);
+  writer.set_metadata_int("output_dim", 2);
+  writer.add_tensor("emb.table", Tensor::full({16, 4}, 0.5f));
+  writer.add_tensor("bn1.gamma", Tensor::full({4}, 1.0f));
+  writer.add_tensor("bn1.beta", Tensor::full({4}, 0.0f));
+  writer.add_tensor("bn1.mean", Tensor::full({4}, 0.0f));
+  writer.add_tensor("bn1.var", Tensor::full({4}, 1.0f));
+  writer.add_tensor("out.weight", Tensor::full({4, 2}, 0.25f));
+  writer.add_tensor("out.bias", Tensor::full({2}, 0.0f));
+}
+}  // namespace
+
+TEST_F(McmInspectTest, ReportsSectionsAndValidPlanVerdict) {
+  ModelWriter writer(path_);
+  add_plannable_model(writer);
+  writer.set_emit_plan();
+  writer.finish();
+
+  const ToolResult result = run_tool("\"" + path_ + "\"");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("sections (format v3):"), std::string::npos);
+  const MmapModel model(path_);
+  EXPECT_NE(result.output.find("compiled plan: " +
+                               std::to_string(model.plan_size()) + " bytes"),
+            std::string::npos);
+  EXPECT_NE(result.output.find(
+                "plan: present (valid — loader adopts, skipping compile)"),
+            std::string::npos);
+}
+
+TEST_F(McmInspectTest, ReportsAbsentPlanForPlanlessFile) {
+  ModelWriter writer(path_);
+  add_plannable_model(writer);
+  writer.finish();
+
+  const ToolResult result = run_tool("\"" + path_ + "\"");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("sections (format v1):"), std::string::npos);
+  EXPECT_NE(result.output.find("compiled plan: 0 bytes"), std::string::npos);
+  EXPECT_NE(result.output.find("plan: absent (loader runs a full compile)"),
+            std::string::npos);
+}
+
+TEST_F(McmInspectTest, ReportsStalePlanWithReason) {
+  {
+    ModelWriter writer(path_);
+    add_plannable_model(writer);
+    writer.set_emit_plan();
+    writer.finish();
+  }
+  // Flip one byte mid-section: the verdict must name the defect and say the
+  // loader falls back, while the tool still prints the full report.
+  const MmapModel model(path_);
+  const std::uint64_t flip_at = model.plan_offset() + model.plan_size() / 2;
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(flip_at));
+  char byte = 0;
+  f.get(byte);
+  f.seekp(static_cast<std::streamoff>(flip_at));
+  f.put(static_cast<char>(byte ^ 0x01));
+  f.close();
+
+  const ToolResult result = run_tool("\"" + path_ + "\"");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("plan: stale"), std::string::npos);
+  EXPECT_NE(result.output.find("checksum mismatch"), std::string::npos);
+  EXPECT_NE(result.output.find("falls back to a full compile"),
+            std::string::npos);
 }
 
 TEST_F(McmInspectTest, MissingArgumentFailsWithUsage) {

@@ -37,7 +37,8 @@ class RegistryTest : public ::testing::Test {
   std::string export_model(const std::string& tag, std::uint64_t seed,
                            const std::string& model_name = "",
                            std::uint64_t model_version = 1,
-                           TechniqueKind kind = TechniqueKind::kMemcom) {
+                           TechniqueKind kind = TechniqueKind::kMemcom,
+                           bool emit_plan = false) {
     ModelConfig config;
     config.embedding.kind = kind;
     config.embedding.vocab = 120;
@@ -50,7 +51,8 @@ class RegistryTest : public ::testing::Test {
     auto p = std::filesystem::temp_directory_path() /
              ("memcom_registry_" + tag + ".mcm");
     paths_.push_back(p);
-    model.export_mcm(p.string(), DType::kF32, model_name, model_version);
+    model.export_mcm(p.string(), DType::kF32, model_name, model_version,
+                     /*group_size=*/0, emit_plan);
     return p.string();
   }
 
@@ -211,6 +213,47 @@ TEST_F(RegistryTest, EnginesShareOnePlanWithoutDuplication) {
     EXPECT_EQ(&engine->compiled(), plan.get());
     EXPECT_EQ(engine->plan_resident_bytes(), plan_bytes);
   }
+}
+
+TEST_F(RegistryTest, LoadTakesPlanFastPathAndServesIdentically) {
+  // The same weights exported with and without a v3 plan section: load()
+  // must adopt the plan when present (registry-visible via plan_adopted)
+  // and both registrations must serve bit-identical logits.
+  ModelRegistry registry;
+  const std::string with_plan =
+      export_model("aot_plan", 81, "aot", 2, TechniqueKind::kMemcom,
+                   /*emit_plan=*/true);
+  const std::string without_plan =
+      export_model("aot_noplan", 81, "aot", 2, TechniqueKind::kMemcom,
+                   /*emit_plan=*/false);
+  registry.load("fast", with_plan);
+  registry.load("slow", without_plan);
+  EXPECT_TRUE(registry.plan_adopted("fast"));
+  EXPECT_FALSE(registry.plan_adopted("slow"));
+  EXPECT_FALSE(registry.plan_adopted("unknown"));
+
+  InferenceEngine fast(registry.acquire("fast"), tflite_profile());
+  InferenceEngine slow(registry.acquire("slow"), tflite_profile());
+  for (const std::vector<std::int32_t>& history :
+       {std::vector<std::int32_t>{}, {1}, {3, 17, 42, 0, 0}, {9, 9, 9}}) {
+    const Tensor a = fast.run(history).logits;
+    const Tensor b = slow.run(history).logits;
+    EXPECT_TENSOR_NEAR(a, b, 0.0f);
+  }
+}
+
+TEST_F(RegistryTest, SwapFromPlanlessToPlanBearingAdopts) {
+  // A fleet rollout in miniature: v1 ships plan-less, v2 ships with a plan;
+  // the hot swap lands on the fast path without the callers changing.
+  ModelRegistry registry;
+  const std::string v1 = export_model("roll_v1", 91, "roll", 1);
+  const std::string v2 = export_model("roll_v2", 92, "roll", 2,
+                                      TechniqueKind::kMemcom,
+                                      /*emit_plan=*/true);
+  registry.load("m", v1);
+  EXPECT_FALSE(registry.plan_adopted("m"));
+  registry.swap("m", v2);
+  EXPECT_TRUE(registry.plan_adopted("m"));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 //               [--queue-cap 256] [--cache-kb 0] [--arrival-qps 0]
 //               [--shards 1] [--deadline-us 0] [--shed]
 //               [--session] [--topk K]
+//   ./mcm_bench model.mcm --cold-start N
 //   ./mcm_bench --models a.mcm,b.mcm [--swap-after N] [serving flags above]
 //
 // Prints the single-input latency distribution (mean/min/p50/p95/p99/max,
@@ -33,10 +34,19 @@
 // histories: events touch Zipf-less round-robin sessions through
 // submit_next_item, each response carrying the top --topk item ids ranked
 // over the full output catalog (single-model mode only).
+//
+// --cold-start N replaces the benchmark with the fleet boot path: N times,
+// load the file from scratch through to the first inference and report the
+// p50/p95 split into mmap / validate / adopt-or-compile / first-inference
+// phases. Plan-bearing (v3) files get two legs — the plan-adoption fast
+// path and a forced full compile (PlanPolicy::kNeverAdopt) — so the table
+// shows exactly what the serialized plan saves; plan-less files report the
+// compile leg alone.
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -44,6 +54,8 @@
 #include "core/flags.h"
 #include "core/rng.h"
 #include "core/table.h"
+#include "ondevice/clock.h"
+#include "ondevice/plan.h"
 #include "ondevice/registry.h"
 #include "ondevice/serving.h"
 
@@ -91,7 +103,7 @@ int main(int argc, char** argv) {
                  "[--profile coreml|tflite] [--async] [--max-batch N] "
                  "[--max-delay-us U] [--queue-cap N] [--cache-kb K] "
                  "[--arrival-qps Q] [--shards N] [--deadline-us D] "
-                 "[--shed] [--session] [--topk K]\n"
+                 "[--shed] [--session] [--topk K] [--cold-start N]\n"
                  "       mcm_bench --models a.mcm,b.mcm [--swap-after N] "
                  "[serving flags]\n";
     return 2;
@@ -152,6 +164,16 @@ int main(int argc, char** argv) {
   }
   if (session && !models_flag.empty()) {
     std::cerr << "mcm_bench: --session drives the single-model mode, not "
+                 "--models\n";
+    return 2;
+  }
+  const std::int64_t cold_start = flags.get_int("cold-start", 0);
+  if (flags.has("cold-start") && cold_start < 1) {
+    std::cerr << "mcm_bench: --cold-start must be positive\n";
+    return 2;
+  }
+  if (cold_start > 0 && !models_flag.empty()) {
+    std::cerr << "mcm_bench: --cold-start drives the single-model mode, not "
                  "--models\n";
     return 2;
   }
@@ -317,6 +339,93 @@ int main(int argc, char** argv) {
             << " arch=" << model.metadata_value("arch") << " vocab=" << vocab
             << " e=" << model.metadata_int("embed_dim")
             << "  profile=" << profile.label() << "\n\n";
+
+  // ---- Cold-start mode: load -> first inference, phase by phase --------
+  if (cold_start > 0) {
+    // One fixed request: the first inference a freshly booted process runs.
+    Rng cold_rng(17);
+    std::vector<std::int32_t> first_request(
+        static_cast<std::size_t>(seq_len));
+    for (auto& id : first_request) {
+      id = static_cast<std::int32_t>(1 + cold_rng.uniform_index(vocab - 1));
+    }
+
+    struct ColdLeg {
+      const char* label;
+      PlanPolicy policy;
+      std::vector<double> mmap_ms, validate_ms, build_ms, infer_ms, total_ms;
+      std::string verdict;
+    };
+    std::vector<ColdLeg> legs;
+    {
+      const PlanDecodeResult probe = decode_plan(model);
+      if (probe.status == PlanStatus::kValid) {
+        legs.push_back({"plan-adopt", PlanPolicy::kAdoptIfPresent,
+                        {}, {}, {}, {}, {}, ""});
+        legs.push_back({"full-compile", PlanPolicy::kNeverAdopt,
+                        {}, {}, {}, {}, {}, ""});
+        std::cout << "cold start (" << cold_start
+                  << " iterations): plan section present and valid\n";
+      } else {
+        legs.push_back({"full-compile", PlanPolicy::kAdoptIfPresent,
+                        {}, {}, {}, {}, {}, ""});
+        std::cout << "cold start (" << cold_start << " iterations): "
+                  << (probe.status == PlanStatus::kAbsent
+                          ? std::string("no plan section")
+                          : "plan stale — " + probe.reason)
+                  << "\n";
+      }
+    }
+    for (ColdLeg& leg : legs) {
+      for (std::int64_t i = 0; i < cold_start; ++i) {
+        const SteadyClock::time_point t_total = SteadyClock::now();
+        const MmapModel cold(path);
+        leg.mmap_ms.push_back(elapsed_ms(t_total));
+        // Standalone validation timing; the CompiledModel constructor
+        // repeats it internally on the adopt leg, so "adopt-or-compile"
+        // below includes its own validate pass (what a loader pays).
+        const SteadyClock::time_point t_validate = SteadyClock::now();
+        const PlanDecodeResult decoded = decode_plan(cold);
+        (void)decoded;
+        leg.validate_ms.push_back(elapsed_ms(t_validate));
+        const SteadyClock::time_point t_build = SteadyClock::now();
+        const auto compiled =
+            std::make_shared<const CompiledModel>(cold, leg.policy);
+        leg.build_ms.push_back(elapsed_ms(t_build));
+        const SteadyClock::time_point t_infer = SteadyClock::now();
+        InferenceEngine engine(compiled, profile);
+        engine.run_view(first_request);
+        leg.infer_ms.push_back(elapsed_ms(t_infer));
+        leg.total_ms.push_back(elapsed_ms(t_total));
+        leg.verdict = compiled->plan_adopted()
+                          ? "adopted"
+                          : compiled->plan_fallback_reason();
+      }
+    }
+
+    TextTable cold_table({"leg", "runs", "mmap p50", "validate p50",
+                          "adopt-or-compile p50", "p95", "first-infer p50",
+                          "total p50", "total p95", "plan"});
+    for (ColdLeg& leg : legs) {
+      const LatencyStats mmap = latency_stats_from_samples(leg.mmap_ms);
+      const LatencyStats validate =
+          latency_stats_from_samples(leg.validate_ms);
+      const LatencyStats build = latency_stats_from_samples(leg.build_ms);
+      const LatencyStats infer = latency_stats_from_samples(leg.infer_ms);
+      const LatencyStats total = latency_stats_from_samples(leg.total_ms);
+      cold_table.add_row({leg.label, std::to_string(cold_start),
+                          format_float(mmap.p50_ms, 4),
+                          format_float(validate.p50_ms, 4),
+                          format_float(build.p50_ms, 4),
+                          format_float(build.p95_ms, 4),
+                          format_float(infer.p50_ms, 4),
+                          format_float(total.p50_ms, 4),
+                          format_float(total.p95_ms, 4), leg.verdict});
+    }
+    std::cout << "load -> first-inference phases (ms):\n"
+              << cold_table.to_string();
+    return 0;
+  }
 
   Rng rng(17);
   std::vector<std::vector<std::int32_t>> requests;

@@ -1,13 +1,17 @@
 // mcm_inspect — print the contents of an exported .mcm on-device model:
 // metadata, tensor directory (name / dtype / shape / quantization scale /
-// blob offset / size), and summary statistics per tensor.
+// blob offset / size), per-section byte accounting, the v3 compiled-plan
+// verdict (present / absent / stale-with-reason), and summary statistics
+// per tensor.
 //
 //   ./mcm_inspect model.mcm [--stats]
+#include <algorithm>
 #include <iostream>
 
 #include "core/flags.h"
 #include "core/table.h"
 #include "ondevice/format.h"
+#include "ondevice/plan.h"
 
 using namespace memcom;
 
@@ -54,6 +58,46 @@ int main(int argc, char** argv) {
             << format_float(static_cast<double>(total_bytes) / 1024.0 / 1024.0,
                             2)
             << " MB)\n";
+
+  // Per-section byte accounting. The front section runs up to the first
+  // blob (or the plan section / end of file when there are no tensors);
+  // whatever the named sections don't cover is inter-blob alignment pad.
+  std::uint64_t first_blob = model.file_size();
+  for (const std::string& name : model.tensor_names()) {
+    first_blob = std::min(first_blob, model.entry(name).offset);
+  }
+  const std::uint64_t plan_bytes =
+      model.has_plan_section() ? model.plan_size() : 0;
+  if (model.has_plan_section()) {
+    first_blob = std::min(first_blob, model.plan_offset());
+  }
+  // Saturate: a stale v3 header may declare a plan size larger than the
+  // file, and the inspector must keep printing, not wrap.
+  const std::uint64_t covered = first_blob + total_bytes + plan_bytes;
+  const std::uint64_t padding =
+      covered <= model.file_size() ? model.file_size() - covered : 0;
+  std::cout << "\nsections (format v" << model.format_version() << "):\n";
+  std::cout << "  header + metadata + directory: " << first_blob
+            << " bytes\n";
+  std::cout << "  tensor payload: " << total_bytes << " bytes (+ " << padding
+            << " alignment)\n";
+  std::cout << "  compiled plan: " << plan_bytes << " bytes\n";
+
+  // Plan verdict: what a loader on this file would do.
+  const PlanDecodeResult plan = decode_plan(model);
+  switch (plan.status) {
+    case PlanStatus::kValid:
+      std::cout << "plan: present (valid — loader adopts, skipping compile)"
+                << "\n";
+      break;
+    case PlanStatus::kAbsent:
+      std::cout << "plan: absent (loader runs a full compile)\n";
+      break;
+    case PlanStatus::kStale:
+      std::cout << "plan: stale — " << plan.reason
+                << " (loader falls back to a full compile)\n";
+      break;
+  }
 
   // Output-table summary: the dense head "out.weight" ([in, items], each
   // column one catalog item) is what session-based next-item serving scans
