@@ -30,6 +30,7 @@
 #include "core/rng.h"
 #include "core/sampling.h"
 #include "core/table.h"
+#include "ondevice/catalog_index.h"
 #include "ondevice/clock.h"
 #include "ondevice/engine.h"
 #include "ondevice/plan.h"
@@ -67,6 +68,10 @@ struct ResultRow {
   Index top_k = 0;
   Index active_sessions = 0;
   std::uint64_t session_evictions = 0;
+  // Clustered pruned-scan slice (0 when ranking scans the full catalog).
+  Index nprobe = 0;
+  double pruned_fraction = 0;
+  std::uint64_t scanned_bytes = 0;
   // Cold-start slice (0 outside "cold" rows): load -> first-inference
   // phases, p50/p95 over repeated boots.
   bool plan_adopted = false;
@@ -142,6 +147,9 @@ void write_json(const std::string& path, unsigned hardware_threads,
         << "\"top_k\": " << r.top_k << ", "
         << "\"active_sessions\": " << r.active_sessions << ", "
         << "\"session_evictions\": " << r.session_evictions << ", "
+        << "\"nprobe\": " << r.nprobe << ", "
+        << "\"pruned_fraction\": " << r.pruned_fraction << ", "
+        << "\"scanned_bytes\": " << r.scanned_bytes << ", "
         << "\"plan_adopted\": " << (r.plan_adopted ? "true" : "false") << ", "
         << "\"mmap_p50_ms\": " << r.mmap_p50_ms << ", "
         << "\"validate_p50_ms\": " << r.validate_p50_ms << ", "
@@ -556,8 +564,9 @@ int main(int argc, char** argv) {
   // One row per shard shape — session-affine routing means shard count may
   // shift latency but never a single returned id (test_differential pins
   // that; this section tracks the cost).
-  TextTable session_table({"scheduler", "shards", "k", "qps", "p50 ms",
-                           "p95 ms", "p99 ms", "active", "evictions"});
+  TextTable session_table({"scheduler", "shards", "k", "nprobe", "qps",
+                           "p50 ms", "p95 ms", "p99 ms", "pruned%", "active",
+                           "evictions"});
   {
     ModelConfig config;
     config.embedding = {TechniqueKind::kMemcom, vocab, embed_dim, hash};
@@ -568,7 +577,12 @@ int main(int argc, char** argv) {
     const std::string path =
         (std::filesystem::temp_directory_path() / "serving_session.mcm")
             .string();
-    model.export_mcm(path, DType::kF32);
+    // Export WITH the v4 catalog index (default ~sqrt(items) clusters) so
+    // the pruned variant below rides the file-adoption path; the exact
+    // variants ignore the section entirely (nprobe 0).
+    model.export_mcm(path, DType::kF32, /*model_name=*/"", /*model_version=*/1,
+                     /*group_size=*/0, /*emit_plan=*/false,
+                     /*emit_index=*/true);
     const MmapModel mapped(path);
 
     const Index distinct_sessions = smoke ? 48 : 192;
@@ -587,13 +601,20 @@ int main(int argc, char** argv) {
     }
     const Index k = 10;
 
+    // The pruned variant probes a quarter of the file-adopted index's
+    // cells — the frontier knee BENCH_session_topk.json maps in detail.
+    const Index catalog_clusters =
+        default_catalog_clusters(config.output_vocab);
+    const Index pruned_nprobe = std::max<Index>(1, catalog_clusters / 4);
     struct SessionVariant {
       const char* label;
       int shards;
+      Index nprobe;
     };
     for (const SessionVariant v :
-         {SessionVariant{"session/single", 1},
-          SessionVariant{"session/sharded", max_threads}}) {
+         {SessionVariant{"session/single", 1, 0},
+          SessionVariant{"session/sharded", max_threads, 0},
+          SessionVariant{"session/pruned", max_threads, pruned_nprobe}}) {
       AsyncServerConfig server_config;
       server_config.threads = max_threads;
       server_config.shards = v.shards;
@@ -602,6 +623,7 @@ int main(int argc, char** argv) {
       server_config.queue_capacity = 256;
       server_config.session_capacity = session_capacity;
       server_config.session_history = seq_len;
+      server_config.nprobe = v.nprobe;
       AsyncServer server(mapped, tflite_profile(), server_config);
       server.serve_sessions(events, k);  // warm-up (also fills the store)
       const ServingReport report = server.serve_sessions(events, k);
@@ -617,11 +639,16 @@ int main(int argc, char** argv) {
       row.top_k = k;
       row.active_sessions = report.active_sessions;
       row.session_evictions = report.session_evictions;
+      row.nprobe = v.nprobe;
+      row.pruned_fraction = report.pruned_fraction;
+      row.scanned_bytes = report.scanned_bytes;
       rows.push_back(row);
       session_table.add_row(
           {v.label, std::to_string(report.shards), std::to_string(k),
+           v.nprobe > 0 ? std::to_string(v.nprobe) : "exact",
            format_float(row.qps, 0), format_float(row.p50_ms, 4),
            format_float(row.p95_ms, 4), format_float(row.p99_ms, 4),
+           format_float(row.pruned_fraction * 100.0, 1),
            std::to_string(row.active_sessions),
            std::to_string(row.session_evictions)});
     }

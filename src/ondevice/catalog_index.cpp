@@ -1,0 +1,583 @@
+#include "ondevice/catalog_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "core/serialize.h"
+
+namespace memcom {
+
+namespace {
+
+// Section prefix constants — the v4 analogue of the plan section's.
+constexpr std::uint32_t kIndexMagic = 0x58444943;  // "CIDX" little-endian
+constexpr std::uint32_t kIndexFormatVersion = 1;
+constexpr std::uint32_t kIndexEndianCheck = 0x01020304;
+// Centroids were built from scalar-dequantized rows, so one serialized
+// index serves every kernel dispatch family.
+constexpr std::uint32_t kIndexFlagScalarBuilt = 1u << 0;
+constexpr std::size_t kIndexAlignment = 64;
+// Smallest decodable section: 16-byte prefix + trailing checksum.
+constexpr std::size_t kIndexMinBytes = 4 * sizeof(std::uint32_t) + 8;
+// Structural header fields all live well under this; regions may lie
+// beyond (they are addressed by offset, not parsed from the stream).
+constexpr std::size_t kIndexHeaderCap = std::size_t{1} << 16;
+// k-means trains on at most clusters * kTrainRowsPerCluster sampled rows
+// (the final assignment pass still covers every item) so build time stays
+// bounded at bench scale.
+constexpr Index kTrainRowsPerCluster = 32;
+
+std::size_t align_up(std::size_t value, std::size_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+void write_u32_array(std::ostream& os, const std::uint32_t* data,
+                     std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    write_u32(os, data[i]);
+  }
+}
+
+const TensorEntry* find_entry(const MmapModel& model, const std::string& name) {
+  for (std::size_t i = 0; i < model.entry_count(); ++i) {
+    const TensorEntry& e = model.entry_at(i);
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+IdBuffer IdBuffer::owned(std::vector<std::uint32_t> values) {
+  IdBuffer b;
+  b.storage_ = std::move(values);
+  b.data_ = b.storage_.data();
+  b.size_ = b.storage_.size();
+  return b;
+}
+
+IdBuffer IdBuffer::view(const std::uint32_t* data, std::size_t count) {
+  IdBuffer b;
+  b.data_ = data;
+  b.size_ = count;
+  return b;
+}
+
+Index default_catalog_clusters(Index items) {
+  check(items > 0, "default_catalog_clusters: empty catalog");
+  const Index c = static_cast<Index>(
+      std::lround(std::sqrt(static_cast<double>(items))));
+  return std::max<Index>(1, std::min(items, c));
+}
+
+std::vector<float> dequantize_catalog_rows(const SpanSrc& src, Index items,
+                                           Index dim) {
+  check(items > 0 && dim > 0, "dequantize_catalog_rows: empty catalog");
+  std::vector<float> rows(static_cast<std::size_t>(items) *
+                          static_cast<std::size_t>(dim));
+  // Elementwise, so one whole-range call equals per-row calls bit-for-bit.
+  scalar_kernels().dequant_span(src, 0, items * dim, rows.data());
+  return rows;
+}
+
+std::vector<ScoredId> CatalogIndex::probe(const KernelSet& kernels,
+                                          const float* query,
+                                          Index nprobe) const {
+  const Index kept = std::min(std::max<Index>(nprobe, 0), clusters);
+  std::vector<ScoredId> heap;
+  heap.reserve(static_cast<std::size_t>(kept));
+  if (kept == 0) {
+    return heap;
+  }
+  for (Index c = 0; c < clusters; ++c) {
+    topk_offer(heap, kept, ScoredId{kernels.dot(query, centroid(c), dim), c});
+  }
+  std::sort(heap.begin(), heap.end(), topk_better);
+  return heap;
+}
+
+CatalogIndex build_catalog_index(const float* rows, Index items, Index dim,
+                                 const CatalogIndexConfig& config) {
+  check(rows != nullptr && items > 0 && dim > 0,
+        "build_catalog_index: empty catalog");
+  check(config.iterations >= 0, "build_catalog_index: negative iterations");
+  const Index clusters =
+      config.clusters > 0 ? std::min(config.clusters, items)
+                          : default_catalog_clusters(items);
+
+  // Seeded training sample, ascending ids so iteration order (and hence the
+  // double accumulation order) is deterministic.
+  const Index cap = std::min(items, clusters * kTrainRowsPerCluster);
+  Rng rng(config.seed);
+  std::vector<Index> sample;
+  sample.reserve(static_cast<std::size_t>(cap));
+  if (cap == items) {
+    for (Index i = 0; i < items; ++i) {
+      sample.push_back(i);
+    }
+  } else {
+    std::vector<char> used(static_cast<std::size_t>(items), 0);
+    while (static_cast<Index>(sample.size()) < cap) {
+      const Index id = rng.uniform_index(items);
+      if (!used[static_cast<std::size_t>(id)]) {
+        used[static_cast<std::size_t>(id)] = 1;
+        sample.push_back(id);
+      }
+    }
+    std::sort(sample.begin(), sample.end());
+  }
+
+  // Init: centroids evenly spaced over the sorted sample — distinct ids by
+  // construction (cap >= clusters).
+  std::vector<float> cent(static_cast<std::size_t>(clusters) *
+                          static_cast<std::size_t>(dim));
+  for (Index c = 0; c < clusters; ++c) {
+    const Index id = sample[static_cast<std::size_t>(c * cap / clusters)];
+    std::memcpy(cent.data() + c * dim, rows + id * dim,
+                static_cast<std::size_t>(dim) * sizeof(float));
+  }
+
+  // Nearest centroid by squared L2 via the expansion argmax(<x,c> - |c|²/2),
+  // all in double; strict > keeps the LOWER cluster id on ties.
+  std::vector<double> half_norm(static_cast<std::size_t>(clusters));
+  auto refresh_norms = [&]() {
+    for (Index c = 0; c < clusters; ++c) {
+      double s = 0.0;
+      const float* cc = cent.data() + c * dim;
+      for (Index k = 0; k < dim; ++k) {
+        s += static_cast<double>(cc[k]) * static_cast<double>(cc[k]);
+      }
+      half_norm[static_cast<std::size_t>(c)] = 0.5 * s;
+    }
+  };
+  auto assign_one = [&](const float* x) {
+    Index best_c = 0;
+    double best = -std::numeric_limits<double>::infinity();
+    for (Index c = 0; c < clusters; ++c) {
+      const float* cc = cent.data() + c * dim;
+      double s = 0.0;
+      for (Index k = 0; k < dim; ++k) {
+        s += static_cast<double>(x[k]) * static_cast<double>(cc[k]);
+      }
+      s -= half_norm[static_cast<std::size_t>(c)];
+      if (s > best) {
+        best = s;
+        best_c = c;
+      }
+    }
+    return best_c;
+  };
+
+  std::vector<double> sums(cent.size());
+  std::vector<Index> counts(static_cast<std::size_t>(clusters));
+  for (Index it = 0; it < config.iterations; ++it) {
+    refresh_norms();
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), Index{0});
+    for (const Index id : sample) {
+      const float* x = rows + id * dim;
+      const Index c = assign_one(x);
+      double* acc = sums.data() + c * dim;
+      for (Index k = 0; k < dim; ++k) {
+        acc[k] += static_cast<double>(x[k]);
+      }
+      ++counts[static_cast<std::size_t>(c)];
+    }
+    for (Index c = 0; c < clusters; ++c) {
+      const Index n = counts[static_cast<std::size_t>(c)];
+      if (n == 0) {
+        continue;  // empty cluster keeps its previous centroid
+      }
+      float* cc = cent.data() + c * dim;
+      const double* acc = sums.data() + c * dim;
+      for (Index k = 0; k < dim; ++k) {
+        cc[k] = static_cast<float>(acc[k] / static_cast<double>(n));
+      }
+    }
+  }
+
+  // Final assignment covers EVERY item against the final centroids.
+  refresh_norms();
+  std::vector<Index> assign(static_cast<std::size_t>(items));
+  for (Index i = 0; i < items; ++i) {
+    assign[static_cast<std::size_t>(i)] = assign_one(rows + i * dim);
+  }
+
+  std::vector<std::uint32_t> offsets(static_cast<std::size_t>(clusters) + 1, 0);
+  for (Index i = 0; i < items; ++i) {
+    ++offsets[static_cast<std::size_t>(assign[static_cast<std::size_t>(i)]) + 1];
+  }
+  for (std::size_t c = 1; c < offsets.size(); ++c) {
+    offsets[c] += offsets[c - 1];
+  }
+  std::vector<std::uint32_t> perm(static_cast<std::size_t>(items));
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (Index i = 0; i < items; ++i) {
+    const std::size_t c =
+        static_cast<std::size_t>(assign[static_cast<std::size_t>(i)]);
+    perm[cursor[c]++] = static_cast<std::uint32_t>(i);
+  }
+
+  CatalogIndex index;
+  index.items = items;
+  index.dim = dim;
+  index.clusters = clusters;
+  index.seed = config.seed;
+  index.iterations = config.iterations;
+  index.centroids = PlanBuffer::owned(std::move(cent));
+  index.perm = IdBuffer::owned(std::move(perm));
+  index.offsets = IdBuffer::owned(std::move(offsets));
+  return index;
+}
+
+CatalogIndex build_catalog_index(const QuantizedTensor& catalog,
+                                 const CatalogIndexConfig& config) {
+  check(catalog.shape.size() == 2, "build_catalog_index: catalog must be 2-D");
+  const Index items = catalog.shape[0];
+  const Index dim = catalog.shape[1];
+  const std::vector<float> rows =
+      dequantize_catalog_rows(make_span_src(catalog), items, dim);
+  return build_catalog_index(rows.data(), items, dim, config);
+}
+
+CatalogIndex build_catalog_index_for_model(const MmapModel& model,
+                                           const CatalogIndexConfig& config) {
+  const TensorEntry* weight = find_entry(model, "out.weight");
+  const TensorEntry* bias = find_entry(model, "out.bias");
+  check(weight != nullptr && bias != nullptr,
+        "build_catalog_index_for_model: model has no output catalog");
+  check(weight->shape.size() == 2 && bias->shape.size() == 1 &&
+            bias->shape[0] == weight->shape[1],
+        "build_catalog_index_for_model: malformed output catalog");
+  const Index in = weight->shape[0];
+  const Index items = weight->shape[1];
+
+  // out.weight is [in, items] — each COLUMN is an item. Scalar-dequantize
+  // the whole table once, then gather rows [W[:, j]; bias_j].
+  const std::vector<float> dense = dequantize_catalog_rows(
+      make_span_src(*weight, model.payload(*weight)), in, items);
+  std::vector<float> bias_f(static_cast<std::size_t>(items));
+  scalar_kernels().dequant_span(make_span_src(*bias, model.payload(*bias)), 0,
+                                items, bias_f.data());
+
+  const Index dim = in + 1;
+  std::vector<float> rows(static_cast<std::size_t>(items) *
+                          static_cast<std::size_t>(dim));
+  for (Index j = 0; j < items; ++j) {
+    float* r = rows.data() + j * dim;
+    for (Index k = 0; k < in; ++k) {
+      r[k] = dense[static_cast<std::size_t>(k) * items + j];
+    }
+    r[in] = bias_f[static_cast<std::size_t>(j)];
+  }
+
+  CatalogIndex index = build_catalog_index(rows.data(), items, dim, config);
+  index.model_name = model.has_model_identity() ? model.model_name() : "";
+  index.model_version = model.has_model_identity() ? model.model_version() : 0;
+  return index;
+}
+
+std::uint64_t span_scan_bytes(const SpanSrc& src, Index offset, Index count) {
+  if (count <= 0) {
+    return 0;
+  }
+  if (src.dtype == DType::kI4G) {
+    const Index g = src.group_size;
+    const Index g0 = offset / g;
+    const Index g1 = (offset + count - 1) / g;
+    const ByteSpan nibbles = packed_byte_span(offset, count, 4);
+    return static_cast<std::uint64_t>(g1 - g0 + 1) * sizeof(float) +
+           static_cast<std::uint64_t>(nibbles.length);
+  }
+  const ByteSpan span = packed_byte_span(offset, count, dtype_bits(src.dtype));
+  return static_cast<std::uint64_t>(span.length);
+}
+
+PrunedCatalogScorer::PrunedCatalogScorer(const CatalogScorer& exact,
+                                         const CatalogIndex& index)
+    : exact_(&exact), index_(&index) {
+  check(exact.items() == index.items && exact.dim() == index.dim,
+        "PrunedCatalogScorer: index does not match catalog");
+}
+
+std::vector<ScoredId> PrunedCatalogScorer::top_k(const float* query, Index k,
+                                                 Index nprobe,
+                                                 ScanStats* stats) const {
+  check(k >= 0, "PrunedCatalogScorer::top_k: negative k");
+  const Index clusters = index_->clusters;
+  const Index probes = std::min(std::max<Index>(nprobe, 1), clusters);
+  const KernelSet& ker = exact_->kernels();
+  const SpanSrc& src = exact_->src();
+  const Index dim = exact_->dim();
+
+  const std::vector<ScoredId> probed = index_->probe(ker, query, probes);
+
+  const Index kept = std::min(k, exact_->items());
+  std::vector<ScoredId> heap;
+  heap.reserve(static_cast<std::size_t>(kept));
+  Index scanned_rows = 0;
+  std::uint64_t scanned_bytes = index_->centroid_bytes();
+  for (const ScoredId& cluster : probed) {
+    const std::size_t begin = index_->offsets[static_cast<std::size_t>(cluster.id)];
+    const std::size_t end =
+        index_->offsets[static_cast<std::size_t>(cluster.id) + 1];
+    for (std::size_t pos = begin; pos < end; ++pos) {
+      const Index id = static_cast<Index>(index_->perm[pos]);
+      if (kept > 0) {
+        topk_offer(heap, kept,
+                   ScoredId{ker.dot_span(src, id * dim, dim, query), id});
+      }
+      scanned_bytes += span_scan_bytes(src, id * dim, dim);
+    }
+    scanned_rows += static_cast<Index>(end - begin);
+  }
+  std::sort(heap.begin(), heap.end(), topk_better);
+  if (stats != nullptr) {
+    stats->probed_clusters = probes;
+    stats->scanned_rows = scanned_rows;
+    stats->scanned_bytes = scanned_bytes;
+  }
+  return heap;
+}
+
+std::vector<std::uint8_t> serialize_catalog_index(const CatalogIndex& index) {
+  check(index.items > 0 && index.dim > 0 && index.clusters > 0,
+        "serialize_catalog_index: empty index");
+  const std::size_t cent_count = index.centroids.size();
+  const std::size_t perm_count = index.perm.size();
+  const std::size_t offs_count = index.offsets.size();
+  check(cent_count == static_cast<std::size_t>(index.clusters) *
+                          static_cast<std::size_t>(index.dim) &&
+            perm_count == static_cast<std::size_t>(index.items) &&
+            offs_count == static_cast<std::size_t>(index.clusters) + 1,
+        "serialize_catalog_index: inconsistent buffers");
+
+  auto emit_header = [&](std::ostream& os, std::uint64_t cent_off,
+                         std::uint64_t perm_off, std::uint64_t offs_off) {
+    write_u32(os, kIndexMagic);
+    write_u32(os, kIndexFormatVersion);
+    write_u32(os, kIndexEndianCheck);
+    write_u32(os, kIndexFlagScalarBuilt);
+    write_string(os, index.model_name);
+    write_u64(os, index.model_version);
+    write_i64(os, index.items);
+    write_i64(os, index.dim);
+    write_i64(os, index.clusters);
+    write_u64(os, index.seed);
+    write_i64(os, index.iterations);
+    write_u64(os, cent_count);
+    write_u64(os, cent_off);
+    write_u64(os, perm_count);
+    write_u64(os, perm_off);
+    write_u64(os, offs_count);
+    write_u64(os, offs_off);
+  };
+
+  // Pass 1: probe the header size with zeroed offsets (same length — all
+  // offset fields are fixed-width u64).
+  std::ostringstream probe;
+  emit_header(probe, 0, 0, 0);
+  const std::size_t header_size = probe.str().size();
+
+  std::size_t cursor = align_up(header_size, kIndexAlignment);
+  const std::uint64_t cent_off = cursor;
+  cursor = align_up(cursor + cent_count * sizeof(float), kIndexAlignment);
+  const std::uint64_t perm_off = cursor;
+  cursor = align_up(cursor + perm_count * sizeof(std::uint32_t),
+                    kIndexAlignment);
+  const std::uint64_t offs_off = cursor;
+  cursor += offs_count * sizeof(std::uint32_t);
+
+  std::ostringstream body;
+  emit_header(body, cent_off, perm_off, offs_off);
+  auto pad_to = [&](std::uint64_t target) {
+    std::string s = body.str();
+    check(s.size() <= target, "serialize_catalog_index: layout overflow");
+    body.write(std::string(static_cast<std::size_t>(target) - s.size(), '\0')
+                   .data(),
+               static_cast<std::streamsize>(target - s.size()));
+  };
+  pad_to(cent_off);
+  write_f32_array(body, index.centroids.data(), cent_count);
+  pad_to(perm_off);
+  write_u32_array(body, index.perm.data(), perm_count);
+  pad_to(offs_off);
+  write_u32_array(body, index.offsets.data(), offs_count);
+
+  const std::string payload = body.str();
+  std::vector<std::uint8_t> bytes(payload.begin(), payload.end());
+  const std::uint64_t checksum = plan_checksum(bytes.data(), bytes.size());
+  std::ostringstream tail;
+  write_u64(tail, checksum);
+  const std::string tail_s = tail.str();
+  bytes.insert(bytes.end(), tail_s.begin(), tail_s.end());
+  return bytes;
+}
+
+CatalogIndexDecodeResult decode_catalog_index(const MmapModel& model) {
+  CatalogIndexDecodeResult out;
+  auto stale = [&out](std::string reason) -> CatalogIndexDecodeResult {
+    out.status = PlanStatus::kStale;
+    out.reason = std::move(reason);
+    return std::move(out);
+  };
+
+  if (!model.has_index_section()) {
+    return out;  // kAbsent
+  }
+  const std::uint8_t* data = model.index_data();
+  if (data == nullptr) {
+    return stale(model.index_bounds_error());
+  }
+  const std::size_t size = static_cast<std::size_t>(model.index_size());
+  if (size < kIndexMinBytes) {
+    return stale("catalog index section truncated (" + std::to_string(size) +
+                 " bytes)");
+  }
+  std::uint32_t prefix[4];
+  std::memcpy(prefix, data, sizeof(prefix));
+  if (prefix[0] != kIndexMagic) {
+    return stale("bad catalog index magic");
+  }
+  if (prefix[1] != kIndexFormatVersion) {
+    return stale("unsupported catalog index format version " +
+                 std::to_string(prefix[1]));
+  }
+  if (prefix[2] != kIndexEndianCheck) {
+    return stale("catalog index endianness mismatch");
+  }
+  if ((prefix[3] & kIndexFlagScalarBuilt) == 0) {
+    return stale("catalog index not built from scalar dequantization");
+  }
+  std::uint64_t declared = 0;
+  std::memcpy(&declared, data + size - 8, sizeof(declared));
+  if (plan_checksum(data, size - 8) != declared) {
+    return stale("catalog index checksum mismatch");
+  }
+  const std::size_t payload_limit = size - 8;
+
+  try {
+    std::istringstream is(std::string(
+        reinterpret_cast<const char*>(data), std::min(size, kIndexHeaderCap)));
+    is.exceptions(std::ios::failbit | std::ios::badbit | std::ios::eofbit);
+    is.ignore(16);
+
+    CatalogIndex& index = out.index;
+    index.model_name = read_string(is);
+    index.model_version = read_u64(is);
+    index.items = read_i64(is);
+    index.dim = read_i64(is);
+    index.clusters = read_i64(is);
+    index.seed = read_u64(is);
+    index.iterations = read_i64(is);
+    const std::uint64_t cent_count = read_u64(is);
+    const std::uint64_t cent_off = read_u64(is);
+    const std::uint64_t perm_count = read_u64(is);
+    const std::uint64_t perm_off = read_u64(is);
+    const std::uint64_t offs_count = read_u64(is);
+    const std::uint64_t offs_off = read_u64(is);
+
+    // Identity first: a section from a different model refresh is stale no
+    // matter how well-formed it is.
+    const std::string file_name =
+        model.has_model_identity() ? model.model_name() : "";
+    const std::uint64_t file_version =
+        model.has_model_identity() ? model.model_version() : 0;
+    if (index.model_name != file_name) {
+      return stale("catalog index model_name skew (index '" +
+                   index.model_name + "' vs file '" + file_name + "')");
+    }
+    if (index.model_version != file_version) {
+      return stale("catalog index model_version skew (index " +
+                   std::to_string(index.model_version) + " vs file " +
+                   std::to_string(file_version) + ")");
+    }
+
+    // Geometry must agree with the file's own output catalog.
+    const TensorEntry* weight = find_entry(model, "out.weight");
+    const TensorEntry* bias = find_entry(model, "out.bias");
+    if (weight == nullptr || bias == nullptr || weight->shape.size() != 2) {
+      return stale("catalog index for a model without an output catalog");
+    }
+    if (index.items != weight->shape[1] ||
+        index.dim != weight->shape[0] + 1) {
+      return stale("catalog index catalog shape skew");
+    }
+    // Hostile declared cluster count: bound it BEFORE any arithmetic that
+    // could overflow or size an allocation from it.
+    if (index.clusters < 1 || index.clusters > index.items) {
+      return stale("catalog index cluster count out of range");
+    }
+    if (index.iterations < 0) {
+      return stale("catalog index header fields out of range");
+    }
+    if (cent_count != static_cast<std::uint64_t>(index.clusters) *
+                          static_cast<std::uint64_t>(index.dim) ||
+        perm_count != static_cast<std::uint64_t>(index.items) ||
+        offs_count != static_cast<std::uint64_t>(index.clusters) + 1) {
+      return stale("catalog index region counts inconsistent");
+    }
+    auto region_ok = [&](std::uint64_t count, std::uint64_t offset,
+                         std::size_t elem) {
+      return count <= payload_limit / elem &&
+             offset <= payload_limit - count * elem;
+    };
+    if (!region_ok(cent_count, cent_off, sizeof(float)) ||
+        !region_ok(perm_count, perm_off, sizeof(std::uint32_t)) ||
+        !region_ok(offs_count, offs_off, sizeof(std::uint32_t))) {
+      return stale("catalog index region out of section bounds");
+    }
+    if (cent_off % kIndexAlignment != 0 || perm_off % kIndexAlignment != 0 ||
+        offs_off % kIndexAlignment != 0) {
+      return stale("catalog index region misaligned");
+    }
+
+    index.centroids = PlanBuffer::view(
+        reinterpret_cast<const float*>(data + cent_off),
+        static_cast<std::size_t>(cent_count));
+    index.perm =
+        IdBuffer::view(reinterpret_cast<const std::uint32_t*>(data + perm_off),
+                       static_cast<std::size_t>(perm_count));
+    index.offsets =
+        IdBuffer::view(reinterpret_cast<const std::uint32_t*>(data + offs_off),
+                       static_cast<std::size_t>(offs_count));
+
+    // Offsets must be a non-decreasing prefix chain covering [0, items].
+    if (index.offsets[0] != 0 ||
+        index.offsets[static_cast<std::size_t>(index.clusters)] !=
+            static_cast<std::uint32_t>(index.items)) {
+      return stale("catalog index cluster offsets malformed");
+    }
+    for (Index c = 0; c < index.clusters; ++c) {
+      if (index.offsets[static_cast<std::size_t>(c)] >
+          index.offsets[static_cast<std::size_t>(c) + 1]) {
+        return stale("catalog index cluster offsets malformed");
+      }
+    }
+    // The id table must be an exact permutation of [0, items): a pruned
+    // scan over anything else would silently drop or double-score items.
+    std::vector<char> seen(static_cast<std::size_t>(index.items), 0);
+    for (std::size_t i = 0; i < index.perm.size(); ++i) {
+      const std::uint32_t id = index.perm[i];
+      if (id >= static_cast<std::uint32_t>(index.items) || seen[id]) {
+        return stale("catalog index id table is not a permutation");
+      }
+      seen[id] = 1;
+    }
+    index.zero_copy = true;
+  } catch (const std::exception& e) {
+    return stale(std::string("catalog index section unreadable: ") + e.what());
+  }
+
+  out.status = PlanStatus::kValid;
+  return out;
+}
+
+}  // namespace memcom

@@ -1,0 +1,201 @@
+// Clustered pruned top-k catalog scan — an inverted-file (IVF) index over
+// the COMPRESSED item catalog.
+//
+// PR 8's session workload ranks a query vector against every compressed
+// catalog row: O(items·dim) per request. This module makes that sweep a
+// recall-controlled fraction: a deterministic k-means partitions the
+// catalog into `clusters` cells, the query is first scored against the
+// small f32 centroid table, and only the `nprobe` best cells' rows are
+// streamed through the SAME KernelSet dot_span path the exact scan uses.
+//
+// Exactness contract (the differential anchor): every probed row's score
+// is produced by the identical dot_span call the exact scan would make, so
+// per-row scores are bit-identical; ranking uses the same topk_better
+// strict total order, whose bounded-heap result is independent of offer
+// order. Therefore `nprobe == num_clusters` — where every item is offered
+// exactly once — is PROVABLY bit-identical to CatalogScorer::top_k, across
+// kernel families and shard counts. Smaller nprobe trades recall for
+// scanned bytes; it never changes a returned item's score.
+//
+// Determinism contract (what makes the index reproducible and the .mcm
+// section stable): k-means runs from a fixed seed for a fixed iteration
+// count, reads rows through the SCALAR reference dequantizer, iterates
+// items in ascending id order, accumulates in double, resolves assignment
+// ties to the LOWER cluster id, and keeps an empty cluster's previous
+// centroid. Two builds from the same catalog + config are byte-identical.
+//
+// Persistence: serialize_catalog_index() emits the index as the optional
+// .mcm v4 section (same self-validating shape as the v3 plan section —
+// prefix magic/format/endianness/flags, 64-byte-aligned regions, trailing
+// length-bound FNV-1a checksum). decode_catalog_index() NEVER throws for a
+// bad section: any defect — truncation, checksum mismatch, hostile
+// declared cluster count, non-permutation id table, identity/dim skew —
+// comes back as kStale with a reason, and every consumer falls back to the
+// exact full scan. Index-less files stay byte-identical v1–v3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "ondevice/format.h"
+#include "ondevice/kernels.h"
+#include "ondevice/plan.h"
+#include "ondevice/topk.h"
+
+namespace memcom {
+
+// An id table that either OWNS its storage (built in-process) or VIEWS the
+// serialized index section inside the file mapping (adopted, zero-copy) —
+// the u32 analogue of PlanBuffer. Move-only for the same dangling-view
+// reason.
+class IdBuffer {
+ public:
+  IdBuffer() = default;
+  IdBuffer(IdBuffer&&) = default;
+  IdBuffer& operator=(IdBuffer&&) = default;
+  IdBuffer(const IdBuffer&) = delete;
+  IdBuffer& operator=(const IdBuffer&) = delete;
+
+  static IdBuffer owned(std::vector<std::uint32_t> values);
+  // `data` must stay mapped for the buffer's lifetime.
+  static IdBuffer view(const std::uint32_t* data, std::size_t count);
+
+  const std::uint32_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint32_t operator[](std::size_t i) const { return data_[i]; }
+  bool zero_copy() const { return data_ != nullptr && storage_.empty(); }
+
+ private:
+  std::vector<std::uint32_t> storage_;
+  const std::uint32_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+struct CatalogIndexConfig {
+  Index clusters = 0;    // 0 → ~sqrt(items), clamped to [1, items]
+  Index iterations = 6;  // fixed k-means refinement passes
+  std::uint64_t seed = 0xC1D5EEDULL;
+};
+
+// The index itself: centroid table + cluster-major permutation of item
+// ids. Like CompiledPlan, this is position-independent data with a few
+// convenience members; buffers are owned (built) or zero-copy views
+// (adopted from a v4 section).
+struct CatalogIndex {
+  // Identity of the model the index was built for (empty/0 for standalone
+  // catalog indices that never hit disk, e.g. the bench's).
+  std::string model_name;
+  std::uint64_t model_version = 0;
+
+  Index items = 0;
+  Index dim = 0;       // centroid width — for a model index this is
+                       // out.weight rows + 1 (bias folded as last lane)
+  Index clusters = 0;
+  std::uint64_t seed = 0;
+  Index iterations = 0;
+
+  PlanBuffer centroids;  // [clusters, dim] f32, 64-byte-aligned on disk
+  IdBuffer perm;         // [items] item ids, cluster-major, ascending
+                         // within each cluster
+  IdBuffer offsets;      // [clusters + 1] prefix offsets into perm
+  bool zero_copy = false;
+
+  const float* centroid(Index c) const { return centroids.data() + c * dim; }
+  Index cluster_size(Index c) const {
+    return static_cast<Index>(offsets[static_cast<std::size_t>(c) + 1]) -
+           static_cast<Index>(offsets[static_cast<std::size_t>(c)]);
+  }
+  // Bytes the centroid sweep reads per query (the pruning overhead).
+  std::uint64_t centroid_bytes() const {
+    return static_cast<std::uint64_t>(clusters) *
+           static_cast<std::uint64_t>(dim) * sizeof(float);
+  }
+
+  // The `nprobe` best clusters for `query`, best-first under topk_better
+  // on (centroid dot, cluster id) — deterministic across kernel families
+  // because KernelSet::dot is bit-identical scalar vs AVX2.
+  std::vector<ScoredId> probe(const KernelSet& kernels, const float* query,
+                              Index nprobe) const;
+};
+
+// Default cell count: ~sqrt(items), the classic IVF heuristic.
+Index default_catalog_clusters(Index items);
+
+// Materializes an item-major [items, dim] compressed catalog as f32 rows
+// via the SCALAR reference dequantizer (build-time only; the serving path
+// never does this).
+std::vector<float> dequantize_catalog_rows(const SpanSrc& src, Index items,
+                                           Index dim);
+
+// Deterministic k-means over f32 rows [items, dim]. Training runs on a
+// seeded sample (capped at clusters·32 rows) with centroids initialized
+// evenly over the sorted sample; the final assignment pass covers every
+// item. See the determinism contract above.
+CatalogIndex build_catalog_index(const float* rows, Index items, Index dim,
+                                 const CatalogIndexConfig& config = {});
+
+// Convenience over an item-major compressed catalog (bench/test path).
+CatalogIndex build_catalog_index(const QuantizedTensor& catalog,
+                                 const CatalogIndexConfig& config = {});
+
+// Builds the index a .mcm model embeds: rows are the output catalog's
+// COLUMNS with the bias folded in — row j = [out.weight[:, j]; out.bias[j]],
+// dim = in + 1 — so serving can probe with [trunk; 1.0] and the centroid
+// ordering sees exactly the logit geometry. Throws on a model without an
+// output catalog.
+CatalogIndex build_catalog_index_for_model(const MmapModel& model,
+                                           const CatalogIndexConfig& config = {});
+
+// Scans centroids first, then scores only the probed clusters' rows
+// through the wrapped CatalogScorer's dot_span path. Borrows both; they
+// must outlive the scorer.
+struct ScanStats {
+  Index probed_clusters = 0;
+  Index scanned_rows = 0;
+  // Analytic compressed bytes read: probed rows' stored payload (i4g
+  // includes the touched scale groups) + the centroid table.
+  std::uint64_t scanned_bytes = 0;
+};
+
+class PrunedCatalogScorer {
+ public:
+  PrunedCatalogScorer(const CatalogScorer& exact, const CatalogIndex& index);
+
+  Index items() const { return exact_->items(); }
+  Index dim() const { return exact_->dim(); }
+  const CatalogIndex& index() const { return *index_; }
+
+  // nprobe is clamped to [1, clusters]; nprobe == clusters is bit-identical
+  // to exact.top_k(query, k).
+  std::vector<ScoredId> top_k(const float* query, Index k, Index nprobe,
+                              ScanStats* stats = nullptr) const;
+
+ private:
+  const CatalogScorer* exact_;
+  const CatalogIndex* index_;
+};
+
+// Stored bytes dot_span reads for one row [offset, offset+count) of `src`
+// — packed payload plus, for i4g, the overlapped scale groups. Shared by
+// ScanStats and the serving counters.
+std::uint64_t span_scan_bytes(const SpanSrc& src, Index offset, Index count);
+
+// Serializes `index` into the byte section ModelWriter appends for v4
+// files (regions 64-byte-aligned, trailing plan_checksum).
+std::vector<std::uint8_t> serialize_catalog_index(const CatalogIndex& index);
+
+struct CatalogIndexDecodeResult {
+  PlanStatus status = PlanStatus::kAbsent;
+  std::string reason;  // non-empty exactly when status == kStale
+  CatalogIndex index;  // populated exactly when status == kValid
+};
+
+// Validates and decodes `model`'s catalog-index section. NEVER throws for
+// a bad section: every defect comes back as kStale with a reason, and the
+// caller falls back to the exact full scan.
+CatalogIndexDecodeResult decode_catalog_index(const MmapModel& model);
+
+}  // namespace memcom

@@ -39,6 +39,15 @@ void CompiledModel::compile(PlanPolicy policy) {
     plan_fallback_reason_ = "plan adoption disabled";
     adopt(build_plan(model_));
   }
+  CatalogIndexDecodeResult index = decode_catalog_index(model_);
+  if (index.status == PlanStatus::kValid) {
+    index_adopted_ = true;
+    catalog_index_ = std::move(index.index);
+  } else {
+    index_fallback_reason_ = index.status == PlanStatus::kStale
+                                 ? index.reason
+                                 : "no catalog index section";
+  }
   compile_ms_ = elapsed_ms(start);
 }
 

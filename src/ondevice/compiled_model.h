@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/tensor.h"
+#include "ondevice/catalog_index.h"
 #include "ondevice/format.h"
 #include "ondevice/kernels.h"
 #include "ondevice/plan.h"
@@ -130,6 +131,27 @@ class CompiledModel {
   }
   double compile_ms() const { return compile_ms_; }
 
+  // v4 clustered catalog index, adopted ZERO-COPY when the file carries a
+  // valid section (independent of PlanPolicy — there is no in-process
+  // rebuild fallback at load time, pruning is simply unavailable without
+  // it). On ANY section defect has_catalog_index() is false, the reason is
+  // recorded here, and every nprobe request falls back to the exact full
+  // scan — pruning is an optimization, never a correctness dependency.
+  bool has_catalog_index() const { return index_adopted_; }
+  const CatalogIndex& catalog_index() const { return catalog_index_; }
+  const std::string& index_fallback_reason() const {
+    return index_fallback_reason_;
+  }
+  // Attaches (or replaces) an in-process-built index — the tooling path
+  // for pruned-scan benchmarks over files without a v4 section. Must be
+  // called before the plan is shared across threads; serving adoption
+  // normally happens inside compile().
+  void attach_catalog_index(CatalogIndex index) {
+    index_adopted_ = true;
+    index_fallback_reason_.clear();
+    catalog_index_ = std::move(index);
+  }
+
   // The kernel family this plan dispatches to, chosen ONCE at compile time
   // (select_kernels() honors MEMCOM_DISABLE_SIMD / MEMCOM_ENABLE_FMA at the
   // moment of compilation). Every ExecutionContext running this plan uses
@@ -177,6 +199,10 @@ class CompiledModel {
   bool plan_adopted_ = false;
   std::string plan_fallback_reason_;
   double compile_ms_ = 0;
+
+  bool index_adopted_ = false;
+  CatalogIndex catalog_index_;
+  std::string index_fallback_reason_;
 
   const KernelSet* kernels_ = nullptr;
   TensorRef emb_a_;  // table / shared / remainder / table_a / factors

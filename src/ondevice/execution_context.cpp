@@ -62,6 +62,10 @@ void ExecutionContext::resize_scratch() {
                      ? static_cast<std::size_t>(plan.hash_size())
                      : 0,
                  0.0f);
+  query_.resize(plan.has_catalog_index()
+                    ? static_cast<std::size_t>(plan.out().in) + 1
+                    : 0,
+                0.0f);
 }
 
 bool ExecutionContext::attach_row_cache() {
@@ -371,14 +375,13 @@ void ExecutionContext::apply_dense(const DensePlan& dense, const float* x,
   ++op_count_;
 }
 
-ExecutionContext::RawForward ExecutionContext::forward_scratch(
-    const std::int32_t* ids, Index length) {
+const float* ExecutionContext::forward_trunk(const std::int32_t* ids,
+                                             Index length, RawForward& raw) {
   const CompiledModel& plan = *compiled_;
   op_count_ = 0;
   activation_bytes_ = 0;
   const Index e = plan.embed_dim();
 
-  RawForward raw;
   const auto start = Clock::now();
 
   // --- Embedding stage + masked average pooling ---
@@ -421,11 +424,135 @@ ExecutionContext::RawForward ExecutionContext::forward_scratch(
     trunk = hidden_.data();
     activation_bytes_ += plan.hidden_dim() * 4;
   }
-  apply_dense(plan.out(), trunk, logits_.data());
-  activation_bytes_ += plan.output_dim() * 4 + e * 4;
-  meter_.note_activation_bytes(activation_bytes_);
-
   raw.compute_ms = elapsed_ms(start);
+  return trunk;
+}
+
+ExecutionContext::RawForward ExecutionContext::forward_scratch(
+    const std::int32_t* ids, Index length) {
+  const CompiledModel& plan = *compiled_;
+  RawForward raw;
+  const float* trunk = forward_trunk(ids, length, raw);
+  const auto out_start = Clock::now();
+  apply_dense(plan.out(), trunk, logits_.data());
+  raw.compute_ms += elapsed_ms(out_start);
+  activation_bytes_ += plan.output_dim() * 4 + plan.embed_dim() * 4;
+  meter_.note_activation_bytes(activation_bytes_);
+  raw.op_count = op_count_;
+  return raw;
+}
+
+ExecutionContext::RawForward ExecutionContext::forward_pruned(
+    const std::int32_t* ids, Index length, Index nprobe, Index top_k,
+    std::vector<ScoredId>* ranked, std::uint64_t* scanned_rows,
+    std::uint64_t* scanned_bytes) {
+  const CompiledModel& plan = *compiled_;
+  const CatalogIndex& index = plan.catalog_index();
+  const DensePlan& dense = plan.out();
+  const Index in = dense.in;
+  const Index out = dense.out;
+
+  RawForward raw;
+  const float* trunk = forward_trunk(ids, length, raw);
+  const auto out_start = Clock::now();
+
+  // Metering: the SAME full-range touches as the exact scan. out.weight is
+  // [in, items] row-major, so a probed COLUMN strides the whole blob one
+  // element per page-sized row region — page-granular residency is the
+  // full table either way. The pruning win lives in the analytic
+  // scanned_bytes counters and the measured scan time, not in pages.
+  touch(dense.weight, 0, in * out);
+  touch(dense.bias_ref, 0, out);
+
+  // Probe query [trunk; 1.0] against centroids built over [W[:,j]; b_j].
+  const KernelSet& ker = plan.kernels();
+  std::copy(trunk, trunk + in, query_.begin());
+  query_[static_cast<std::size_t>(in)] = 1.0f;
+  const std::vector<ScoredId> probed = index.probe(ker, query_.data(), nprobe);
+
+  // Unprobed logits stay 0 — pruned consumers read the ranked list.
+  std::fill(logits_.begin(), logits_.end(), 0.0f);
+
+  // Per-column replay of apply_dense for probed items only. Bit-exactness
+  // vs the exact path: axpy (scalar AND AVX2, the non-fused contract) does
+  // y[j] += x[k] * w[k,j] per element with no horizontal reduction, so
+  // accumulating column j in the same increasing-k order reproduces y[j]
+  // exactly; the f32 path MACs every k unconditionally while the quantized
+  // path skips x[k] == 0 rows — both mirrored below — and the bias lands
+  // last, matching acc_add. When the family's axpy is the opt-in FUSED MAC
+  // ("fma" in the kernel-set name) the replay fuses with std::fma too.
+  const bool fused = std::strstr(ker.name, "fma") != nullptr;
+  const DType wt = dense.weight.dtype;
+  const std::uint64_t elem_bytes = wt == DType::kF32 ? 4
+                                   : wt == DType::kF16 ? 2
+                                                       : 1;
+  const DType bt = dense.bias_ref.dtype;
+  const std::uint64_t bias_elem_bytes = bt == DType::kF32 ? 4
+                                        : bt == DType::kF16 ? 2
+                                                            : 1;
+  const Index group = dense.weight.src.group_size;
+
+  const Index kept = std::min(top_k, out);
+  std::vector<ScoredId> heap;
+  heap.reserve(static_cast<std::size_t>(kept));
+  std::uint64_t rows = 0;
+  std::uint64_t bytes = index.centroid_bytes();
+  for (const ScoredId& cluster : probed) {
+    const std::size_t begin =
+        index.offsets[static_cast<std::size_t>(cluster.id)];
+    const std::size_t end =
+        index.offsets[static_cast<std::size_t>(cluster.id) + 1];
+    for (std::size_t pos = begin; pos < end; ++pos) {
+      const Index j = static_cast<Index>(index.perm[pos]);
+      float acc = 0.0f;
+      if (dense.weight.f32 != nullptr) {
+        const float* w = dense.weight.f32;
+        if (fused) {
+          for (Index k = 0; k < in; ++k) {
+            acc = std::fma(trunk[k], w[k * out + j], acc);
+          }
+        } else {
+          for (Index k = 0; k < in; ++k) {
+            acc += trunk[k] * w[k * out + j];
+          }
+        }
+      } else {
+        for (Index k = 0; k < in; ++k) {
+          const float xv = trunk[k];
+          if (xv == 0.0f) {
+            continue;
+          }
+          float wv = 0.0f;
+          ker.dequant_span(dense.weight.src, k * out + j, 1, &wv);
+          acc = fused ? std::fma(xv, wv, acc) : acc + xv * wv;
+        }
+      }
+      acc += dense.bias[static_cast<std::size_t>(j)];
+      logits_[static_cast<std::size_t>(j)] = acc;
+      if (kept > 0) {
+        topk_offer(heap, kept, ScoredId{acc, j});
+      }
+      // Analytic column bytes: one stored element per weight row, plus the
+      // distinct i4g scale groups the strided walk crosses, plus the bias
+      // element.
+      bytes += static_cast<std::uint64_t>(in) * elem_bytes + bias_elem_bytes;
+      if (wt == DType::kI4G) {
+        const Index span_groups =
+            (j + (in - 1) * out) / group - j / group + 1;
+        bytes += static_cast<std::uint64_t>(std::min(in, span_groups)) * 4;
+      }
+    }
+    rows += static_cast<std::uint64_t>(end - begin);
+  }
+  std::sort(heap.begin(), heap.end(), topk_better);
+  *ranked = std::move(heap);
+  *scanned_rows += rows;
+  *scanned_bytes += bytes;
+
+  op_count_ += 2;  // centroid probe + pruned gather-scan
+  activation_bytes_ += plan.output_dim() * 4 + plan.embed_dim() * 4;
+  meter_.note_activation_bytes(activation_bytes_);
+  raw.compute_ms += elapsed_ms(out_start);
   raw.op_count = op_count_;
   return raw;
 }
@@ -459,7 +586,8 @@ BatchResult ExecutionContext::run_batch(
 
 BatchResult ExecutionContext::run_batch(
     const std::vector<std::vector<std::int32_t>>& histories, Index top_k,
-    std::vector<std::vector<ScoredId>>* topk_out) {
+    std::vector<std::vector<ScoredId>>* topk_out,
+    const std::vector<Index>* nprobes) {
   const RowCacheStats before = row_cache_stats();
   BatchResult result;
   result.batch = static_cast<Index>(histories.size());
@@ -474,16 +602,42 @@ BatchResult ExecutionContext::run_batch(
     check(topk_out != nullptr, "run_batch: top_k > 0 needs topk_out");
     topk_out->resize(static_cast<std::size_t>(result.batch));
   }
+  check(nprobes == nullptr ||
+            static_cast<Index>(nprobes->size()) == result.batch,
+        "run_batch: nprobes size mismatch");
+  // Exact ranked rows scan the whole stored catalog (weight + bias blobs);
+  // computed once, charged per exact ranked row below.
+  const std::uint64_t exact_scan_bytes =
+      compiled_->out().weight.entry->byte_size +
+      compiled_->out().bias_ref.entry->byte_size;
   for (Index b = 0; b < result.batch; ++b) {
     const auto& history = histories[static_cast<std::size_t>(b)];
-    const RawForward raw =
-        forward_scratch(history.data(), static_cast<Index>(history.size()));
+    const Index nprobe =
+        nprobes != nullptr ? (*nprobes)[static_cast<std::size_t>(b)] : 0;
+    const bool pruned =
+        top_k > 0 && nprobe > 0 && compiled_->has_catalog_index();
+    RawForward raw;
+    if (pruned) {
+      raw = forward_pruned(history.data(), static_cast<Index>(history.size()),
+                           nprobe, top_k,
+                           &(*topk_out)[static_cast<std::size_t>(b)],
+                           &result.scanned_rows, &result.scanned_bytes);
+    } else {
+      raw =
+          forward_scratch(history.data(), static_cast<Index>(history.size()));
+      if (top_k > 0) {
+        (*topk_out)[static_cast<std::size_t>(b)] =
+            topk_select(logits_.data(), dim, top_k);
+        result.scanned_rows += static_cast<std::uint64_t>(dim);
+        result.scanned_bytes += exact_scan_bytes;
+      }
+    }
+    if (top_k > 0) {
+      ++result.ranked_rows;
+      result.catalog_rows += static_cast<std::uint64_t>(dim);
+    }
     std::memcpy(&result.logits.at2(b, 0), logits_.data(),
                 static_cast<std::size_t>(dim) * sizeof(float));
-    if (top_k > 0) {
-      (*topk_out)[static_cast<std::size_t>(b)] =
-          topk_select(logits_.data(), dim, top_k);
-    }
     compute += raw.compute_ms;
     embed_compute += raw.embed_compute_ms;
     onehot_extra += raw.onehot_extra_ms;

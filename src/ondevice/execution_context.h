@@ -56,6 +56,15 @@ struct BatchResult {
   // Hot-row cache traffic of THIS batch (zero without an attached cache).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  // Catalog-scan accounting, populated only for RANKED rows (top_k > 0).
+  // An exact scan scores every catalog item; a pruned scan (nprobe > 0
+  // with an adopted index) scores only the probed clusters' items, and
+  // scanned_bytes is the ANALYTIC compressed payload of those columns plus
+  // the centroid table. pruned fraction = 1 - scanned_rows/catalog_rows.
+  std::uint64_t ranked_rows = 0;    // rows that went through top-k ranking
+  std::uint64_t catalog_rows = 0;   // ranked_rows * catalog items
+  std::uint64_t scanned_rows = 0;   // catalog items actually scored
+  std::uint64_t scanned_bytes = 0;  // analytic compressed bytes read
 };
 
 class ExecutionContext {
@@ -88,9 +97,21 @@ class ExecutionContext {
   // selected straight off the logits scratch before the next row
   // overwrites it. Ranking lives here so every serving path — worker
   // micro-batches, harness, bench — breaks ties identically.
+  //
+  // `nprobes` (optional, per row, parallel to `histories`) turns a row's
+  // ranking into the CLUSTERED PRUNED scan when its value is > 0 AND the
+  // bound plan carries an adopted catalog index: the trunk vector probes
+  // the nprobe best centroids and only those clusters' catalog columns are
+  // scored — every score it does produce is bit-identical to the exact
+  // row's logit (see forward_pruned), so nprobe == clusters reproduces the
+  // exact ranking exactly. 0 (or a missing/defective index) is the exact
+  // full scan. Pruned rows fill result.logits with the probed entries only
+  // (unprobed positions are 0): consumers of pruned rankings read
+  // topk_out, not dense logits.
   BatchResult run_batch(const std::vector<std::vector<std::int32_t>>& histories,
                         Index top_k,
-                        std::vector<std::vector<ScoredId>>* topk_out);
+                        std::vector<std::vector<ScoredId>>* topk_out,
+                        const std::vector<Index>* nprobes = nullptr);
 
   const MemoryMeter& meter() const { return meter_; }
   void reset_meter() { meter_.reset(); }
@@ -133,9 +154,24 @@ class ExecutionContext {
   const float* fetch_uncached(const TensorRef& ref, Index offset, Index count,
                               float* scratch);
 
-  // Computes logits into logits_; returns raw timings. The only code path
-  // behind run_view() and run_batch().
+  // Shared trunk (embedding → pooling → ReLU → bn1 [→ dense1 → ReLU →
+  // bn2]); fills `raw`'s embed timings and compute-so-far, returns the
+  // trunk activation both output stages score against.
+  const float* forward_trunk(const std::int32_t* ids, Index length,
+                             RawForward& raw);
+  // Computes logits into logits_; returns raw timings. The code path
+  // behind run_view() and exact run_batch() rows.
   RawForward forward_scratch(const std::int32_t* ids, Index length);
+  // Pruned ranked forward: trunk → centroid probe → per-column replay of
+  // only the probed clusters' catalog columns, each bit-identical to the
+  // logit apply_dense would produce (same accumulation order, same
+  // FMA-ness as the bound kernel family's axpy). Ranked result into
+  // `ranked`; analytic scan counters accumulate into the two totals.
+  RawForward forward_pruned(const std::int32_t* ids, Index length,
+                            Index nprobe, Index top_k,
+                            std::vector<ScoredId>* ranked,
+                            std::uint64_t* scanned_rows,
+                            std::uint64_t* scanned_bytes);
   // Pooled embedding into pooled_ (lookup path). Returns #real tokens.
   Index embed_pooled(const std::int32_t* ids, Index length);
   // Pooled embedding via the one-hot path (whole-table stream).
@@ -165,6 +201,7 @@ class ExecutionContext {
   std::vector<float> hidden_;
   std::vector<float> logits_;
   std::vector<float> onehot_;   // weinberger bag-of-words, size m
+  std::vector<float> query_;    // pruned probe query [trunk; 1.0], in+1
 };
 
 }  // namespace memcom

@@ -13,6 +13,7 @@
 
 #include "core/check.h"
 #include "core/serialize.h"
+#include "ondevice/catalog_index.h"
 #include "ondevice/plan.h"
 
 namespace memcom {
@@ -67,36 +68,54 @@ std::uint64_t ModelWriter::finish() {
   for (const auto& [unused, qt] : tensors_) {
     any_grouped = any_grouped || dtype_is_grouped(qt.dtype);
   }
-  std::uint64_t total = write_file(any_grouped ? 2 : 1, {});
-  if (emit_plan_) {
-    // Two-pass emit: stage the plan-less file, build the plan from it with
-    // the very function the load-time fallback runs (so a cold compile of
-    // this file reproduces the serialized buffers bit-for-bit), then
-    // rewrite as v3 with the section appended.
+  std::uint64_t total = write_file(any_grouped ? 2 : 1, {}, {});
+  if (emit_plan_ || emit_index_) {
+    // Two-pass emit: stage the section-less file, build the sections from
+    // it with the very functions the load-time fallbacks run (so a cold
+    // compile / in-process index build of this file reproduces the
+    // serialized buffers bit-for-bit), then rewrite with the sections
+    // appended. The version is the lowest the contents need: an index
+    // forces v4, a plan alone v3.
     std::vector<std::uint8_t> plan_bytes;
+    std::vector<std::uint8_t> index_bytes;
     {
       const MmapModel staged(path_);
-      plan_bytes = serialize_plan(build_plan(staged));
+      if (emit_plan_) {
+        plan_bytes = serialize_plan(build_plan(staged));
+      }
+      if (emit_index_) {
+        CatalogIndexConfig config;
+        config.clusters = index_clusters_;
+        index_bytes =
+            serialize_catalog_index(build_catalog_index_for_model(staged,
+                                                                  config));
+      }
     }
-    total = write_file(3, plan_bytes);
+    total = write_file(emit_index_ ? 4 : 3, plan_bytes, index_bytes);
   }
   return total;
 }
 
 std::uint64_t ModelWriter::write_file(
-    std::uint32_t version, const std::vector<std::uint8_t>& plan_bytes) {
+    std::uint32_t version, const std::vector<std::uint8_t>& plan_bytes,
+    const std::vector<std::uint8_t>& index_bytes) {
   // First pass: serialize header + directory to a buffer to learn its size,
   // with blob offsets filled in afterwards. We do this by computing the
   // directory size analytically: serialize once with zero offsets, then
   // rewrite with real offsets (the directory size does not depend on offset
   // values because offsets and the v3 plan locator are fixed-width u64).
   auto serialize_front = [&](const std::vector<std::uint64_t>& offsets,
-                             std::uint64_t plan_offset, std::ostream& os) {
+                             std::uint64_t plan_offset,
+                             std::uint64_t index_offset, std::ostream& os) {
     write_u32(os, kMagic);
     write_u32(os, version);
     if (version >= 3) {
       write_u64(os, plan_offset);
       write_u64(os, plan_bytes.size());
+    }
+    if (version >= 4) {
+      write_u64(os, index_offset);
+      write_u64(os, index_bytes.size());
     }
     write_u64(os, metadata_.size());
     for (const auto& [key, value] : metadata_) {
@@ -122,7 +141,7 @@ std::uint64_t ModelWriter::write_file(
   };
 
   std::ostringstream probe;
-  serialize_front(std::vector<std::uint64_t>(tensors_.size(), 0), 0, probe);
+  serialize_front(std::vector<std::uint64_t>(tensors_.size(), 0), 0, 0, probe);
   const std::uint64_t front_size = static_cast<std::uint64_t>(probe.str().size());
 
   std::vector<std::uint64_t> offsets(tensors_.size());
@@ -133,12 +152,15 @@ std::uint64_t ModelWriter::write_file(
                       kBlobAlignment);
   }
   // The plan section (when present) trails the last blob, 64-byte aligned
-  // like every blob so its float regions stay aligned in the mapping.
+  // like every blob so its float regions stay aligned in the mapping; the
+  // catalog-index section trails the plan with the same alignment.
   const std::uint64_t plan_offset = cursor;
+  const std::uint64_t index_offset =
+      align_up(plan_offset + plan_bytes.size(), kBlobAlignment);
 
   std::ofstream out(path_, std::ios::binary | std::ios::trunc);
   check(out.good(), "ModelWriter: cannot open " + path_);
-  serialize_front(offsets, plan_offset, out);
+  serialize_front(offsets, plan_offset, index_offset, out);
   for (std::size_t i = 0; i < tensors_.size(); ++i) {
     const std::uint64_t pos = static_cast<std::uint64_t>(out.tellp());
     check(pos <= offsets[i], "ModelWriter: offset bookkeeping error");
@@ -156,6 +178,14 @@ std::uint64_t ModelWriter::write_file(
     }
     out.write(reinterpret_cast<const char*>(plan_bytes.data()),
               static_cast<std::streamsize>(plan_bytes.size()));
+  }
+  if (version >= 4) {
+    for (std::uint64_t p = static_cast<std::uint64_t>(out.tellp());
+         p < index_offset; ++p) {
+      out.put('\0');
+    }
+    out.write(reinterpret_cast<const char*>(index_bytes.data()),
+              static_cast<std::streamsize>(index_bytes.size()));
   }
   const std::uint64_t total = static_cast<std::uint64_t>(out.tellp());
   out.close();
@@ -183,9 +213,11 @@ MmapModel::MmapModel(const std::string& path) {
            static_cast<long long>(read_u32(is)), "MmapModel magic");
   // Version 1: original directory. Version 2: adds a u64 group_size per
   // entry (grouped sub-byte dtypes). Version 3: adds a trailing compiled
-  // plan section located by two header u64s. All stay readable forever.
+  // plan section located by two header u64s. Version 4: adds a trailing
+  // catalog-index section and two more locator u64s. All stay readable
+  // forever.
   const std::uint32_t version = read_u32(is);
-  check(version >= 1 && version <= 3, "MmapModel: unsupported version " +
+  check(version >= 1 && version <= 4, "MmapModel: unsupported version " +
                                           std::to_string(version));
   format_version_ = version;
   if (version >= 3) {
@@ -201,6 +233,21 @@ MmapModel::MmapModel(const std::string& path) {
         plan_bounds_error_ = "plan section out of file bounds";
       } else if (plan_offset_ % kBlobAlignment != 0) {
         plan_bounds_error_ = "plan section misaligned";
+      }
+    }
+  }
+  if (version >= 4) {
+    index_offset_ = read_u64(is);
+    index_size_ = read_u64(is);
+    index_declared_ = index_size_ > 0;
+    // Same lenient contract as the plan: an unreachable index only costs
+    // the pruned scan, never the open.
+    if (index_declared_) {
+      if (index_size_ > file_size_ ||
+          index_offset_ > file_size_ - index_size_) {
+        index_bounds_error_ = "catalog index section out of file bounds";
+      } else if (index_offset_ % kBlobAlignment != 0) {
+        index_bounds_error_ = "catalog index section misaligned";
       }
     }
   }
@@ -358,6 +405,13 @@ const std::uint8_t* MmapModel::plan_data() const {
     return nullptr;
   }
   return mapping_ + plan_offset_;
+}
+
+const std::uint8_t* MmapModel::index_data() const {
+  if (!index_declared_ || !index_bounds_error_.empty()) {
+    return nullptr;
+  }
+  return mapping_ + index_offset_;
 }
 
 std::vector<std::string> MmapModel::tensor_names() const {

@@ -1,11 +1,13 @@
 // The .mcm on-device model format: a flat, mmap-friendly container.
 //
 // Layout:
-//   [header]   magic "MCM1", version, (v3: plan offset+size), counts
+//   [header]   magic "MCM1", version, (v3+: plan offset+size),
+//              (v4: catalog-index offset+size), counts
 //   [metadata] key/value string pairs (architecture, technique, dims, ...)
 //   [directory] per tensor: name, dtype, shape, scale, blob offset+size
 //   [blobs]    raw tensor payloads, each aligned to 64 bytes
-//   [plan]     v3 only: serialized compiled plan (see ondevice/plan.h)
+//   [plan]     v3+ only: serialized compiled plan (see ondevice/plan.h)
+//   [index]    v4 only: serialized catalog index (ondevice/catalog_index.h)
 //
 // The reader maps the file with mmap(2) (read-only, MAP_PRIVATE) and hands
 // out zero-copy views, exactly like CoreML / TF-Lite weight files (§3 of
@@ -14,9 +16,10 @@
 //
 // Versioning discipline: v2 added per-entry group_size for grouped dtypes;
 // v3 adds an OPTIONAL trailing plan section and two u64 header fields
-// locating it. A file is only ever written as v3 when a plan section is
-// present, so plan-less exports stay byte-identical to what pre-v3 writers
-// produced and remain readable by pre-v3 readers.
+// locating it; v4 adds an OPTIONAL clustered catalog-index section and two
+// more locator u64s. A file is only ever written at the lowest version its
+// contents need, so plan-less/index-less exports stay byte-identical to
+// what pre-v3/pre-v4 writers produced and remain readable by old readers.
 #pragma once
 
 #include <atomic>
@@ -73,17 +76,31 @@ class ModelWriter {
   // on a file build_plan() cannot compile.
   void set_emit_plan(bool emit = true) { emit_plan_ = emit; }
 
+  // Appends a clustered catalog-index section (ondevice/catalog_index.h),
+  // bumping the container to v4. Like the plan, finish() stages the
+  // section-less file first and builds the index from it with the SAME
+  // build_catalog_index_for_model() an in-process builder would use.
+  // `clusters` == 0 picks the ~sqrt(items) default. Requires an output
+  // catalog (out.weight/out.bias) — finish() throws without one.
+  void set_emit_catalog_index(bool emit = true, Index clusters = 0) {
+    emit_index_ = emit;
+    index_clusters_ = clusters;
+  }
+
   // Writes the file; returns total bytes written. The writer is single-use.
   std::uint64_t finish();
 
  private:
   std::uint64_t write_file(std::uint32_t version,
-                           const std::vector<std::uint8_t>& plan_bytes);
+                           const std::vector<std::uint8_t>& plan_bytes,
+                           const std::vector<std::uint8_t>& index_bytes);
 
   std::string path_;
   std::map<std::string, std::string> metadata_;
   std::vector<std::pair<std::string, QuantizedTensor>> tensors_;
   bool emit_plan_ = false;
+  bool emit_index_ = false;
+  Index index_clusters_ = 0;
   bool finished_ = false;
 };
 
@@ -151,6 +168,15 @@ class MmapModel {
   std::uint64_t plan_size() const { return plan_size_; }
   const std::string& plan_bounds_error() const { return plan_bounds_error_; }
 
+  // v4 catalog-index section, with the same lenient bounds contract as the
+  // plan: a hostile locator makes the index unreachable (the scan falls
+  // back to exact), it never fails the open.
+  bool has_index_section() const { return index_declared_; }
+  const std::uint8_t* index_data() const;  // nullptr when absent/unreachable
+  std::uint64_t index_offset() const { return index_offset_; }
+  std::uint64_t index_size() const { return index_size_; }
+  const std::string& index_bounds_error() const { return index_bounds_error_; }
+
  private:
   std::map<std::string, std::string> metadata_;
   std::map<std::string, TensorEntry> entries_;
@@ -162,6 +188,10 @@ class MmapModel {
   std::uint64_t plan_offset_ = 0;
   std::uint64_t plan_size_ = 0;
   std::string plan_bounds_error_;
+  bool index_declared_ = false;
+  std::uint64_t index_offset_ = 0;
+  std::uint64_t index_size_ = 0;
+  std::string index_bounds_error_;
   // Mutable: counting lookups does not change the logical model. Atomic so
   // concurrent serving engines sharing one model stay race-free.
   mutable std::atomic<std::uint64_t> entry_lookups_{0};

@@ -232,6 +232,7 @@ void AsyncServer::start() {
         "AsyncServer: session_capacity must be at least the shard count");
   check(config_.session_history > 0,
         "AsyncServer: session_history must be positive");
+  check(config_.nprobe >= 0, "AsyncServer: nprobe must be non-negative");
   check(registry_->has_model(default_model_),
         "AsyncServer: default model not in registry: " + default_model_);
 
@@ -407,7 +408,8 @@ std::future<AsyncResult> AsyncServer::submit_next_item(std::string model_id,
                                                        std::uint64_t session_id,
                                                        std::int32_t new_item,
                                                        Index k,
-                                                       double deadline_us) {
+                                                       double deadline_us,
+                                                       Index nprobe) {
   check(config_.session_capacity > 0,
         "AsyncServer: submit_next_item needs session_capacity > 0");
   check(k >= 0, "AsyncServer: negative top-k");
@@ -422,6 +424,7 @@ std::future<AsyncResult> AsyncServer::submit_next_item(std::string model_id,
   request.session_id = session_id;
   request.new_item = new_item;
   request.top_k = k;
+  request.nprobe = nprobe < 0 ? config_.nprobe : nprobe;
   if (should_shed(shard, request.enqueue_tp, request.deadline_tp)) {
     // Shed BEFORE the append: a rejected interaction must not mutate the
     // session (the caller is expected to retry it).
@@ -675,17 +678,29 @@ void AsyncServer::execute_batch(std::size_t worker, BatchTask& task,
     histories.clear();
     histories.reserve(task.requests.size());
     Index top_k = 0;
+    bool any_pruned = false;
     for (QueuedRequest& r : task.requests) {
       // The history is not read again after execution (only the promise
       // and timestamps are), so hand the buffer over instead of copying.
       histories.push_back(std::move(r.history));
       top_k = std::max(top_k, r.top_k);
+      any_pruned = any_pruned || (r.nprobe > 0 && r.top_k > 0);
     }
     // A micro-batch may mix plain and session requests (same model id):
-    // rank every row at the largest k and truncate per request below.
+    // rank every row at the largest k and truncate per request below (safe
+    // on the pruned path too — nprobe is per ROW, so ranking row b at a
+    // larger k scans the same probed clusters and yields a superset).
     std::vector<std::vector<ScoredId>> ranked;
-    BatchResult batch = context.run_batch(histories, top_k,
-                                          top_k > 0 ? &ranked : nullptr);
+    std::vector<Index> nprobes;
+    if (any_pruned) {
+      nprobes.reserve(task.requests.size());
+      for (const QueuedRequest& r : task.requests) {
+        nprobes.push_back(r.top_k > 0 ? r.nprobe : 0);
+      }
+    }
+    BatchResult batch =
+        context.run_batch(histories, top_k, top_k > 0 ? &ranked : nullptr,
+                          any_pruned ? &nprobes : nullptr);
     const auto service_end = Clock::now();
     // Derive service_ms from the SAME end timestamp the per-request totals
     // use: a second Clock::now() here could land after a preemption and
@@ -731,6 +746,10 @@ void AsyncServer::execute_batch(std::size_t worker, BatchTask& task,
       WorkerStats& stats = worker_stats_[worker];
       stats.modeled_busy_ms += batch.total_ms;
       ++stats.batches;
+      stats.ranked_rows += batch.ranked_rows;
+      stats.catalog_rows += batch.catalog_rows;
+      stats.scanned_rows += batch.scanned_rows;
+      stats.scanned_bytes += batch.scanned_bytes;
       ModelLane& lane = stats.models[task.model_id];
       lane.version = task.version;
       ++lane.batches;
@@ -1073,6 +1092,9 @@ void AsyncServer::collect_stats(ServingReport& report, std::uint64_t total) {
       session_totals.insert(session_totals.end(),
                             stats.session_total_ms.begin(),
                             stats.session_total_ms.end());
+      report.catalog_rows += stats.catalog_rows;
+      report.scanned_rows += stats.scanned_rows;
+      report.scanned_bytes += stats.scanned_bytes;
       report.batches += stats.batches;
       report.modeled_busy_ms =
           std::max(report.modeled_busy_ms, stats.modeled_busy_ms);
@@ -1110,6 +1132,11 @@ void AsyncServer::collect_stats(ServingReport& report, std::uint64_t total) {
       latency_stats_from_samples(std::move(session_totals));
   report.active_sessions = active_sessions();
   report.session_evictions = evicted_sessions();
+  report.pruned_fraction =
+      report.catalog_rows > 0
+          ? 1.0 - static_cast<double>(report.scanned_rows) /
+                      static_cast<double>(report.catalog_rows)
+          : 0.0;
   report.mean_batch =
       report.batches > 0
           ? static_cast<double>(total) / static_cast<double>(report.batches)

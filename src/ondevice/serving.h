@@ -134,6 +134,19 @@ struct ServingReport {
   Index active_sessions = 0;           // live sessions at report assembly
   std::uint64_t session_evictions = 0; // lifetime LRU evictions, all shards
 
+  // Catalog-scan accounting over the drain's RANKED rows (top_k > 0; all
+  // zero when the drain carried none). scanned_rows counts catalog items
+  // actually scored; catalog_rows counts what an exact scan would have
+  // scored (ranked rows x catalog size); scanned_bytes is the analytic
+  // compressed payload read (probed columns + centroid table on the pruned
+  // path, the full weight/bias blobs per row on the exact path).
+  // pruned_fraction = 1 - scanned_rows / catalog_rows (0 when every ranked
+  // row scanned exact).
+  std::uint64_t catalog_rows = 0;
+  std::uint64_t scanned_rows = 0;
+  std::uint64_t scanned_bytes = 0;
+  double pruned_fraction = 0;
+
   // Hot-row cache totals across workers (enabled=false when no cache).
   RowCacheStats cache;
 
@@ -225,6 +238,12 @@ struct AsyncServerConfig {
   // SessionStores — plain submit() traffic never touches them.
   Index session_capacity = 1024;
   Index session_history = 32;
+  // Default clusters-to-probe for session ranking (submit_next_item): 0 =
+  // exact full-catalog scan; > 0 = pruned scan through the model's adopted
+  // catalog index (see ondevice/catalog_index.h). A model without a valid
+  // index serves exact regardless — the pruned path is an optimization,
+  // never an availability risk. Per-request override on submit_next_item.
+  Index nprobe = 0;
 };
 
 // How a submitted request left the server.
@@ -327,10 +346,14 @@ class AsyncServer {
   // submission order — the history append needs no lock and two updates of
   // a session can never reorder. Deadlines and admission control behave
   // exactly like submit() (a shed request does NOT append its item).
+  // `nprobe` < 0 uses the config default; 0 forces the exact full scan;
+  // > 0 probes that many clusters through the model's catalog index (exact
+  // scan when the model carries no valid index).
   std::future<AsyncResult> submit_next_item(std::string model_id,
                                             std::uint64_t session_id,
                                             std::int32_t new_item, Index k,
-                                            double deadline_us = -1.0);
+                                            double deadline_us = -1.0,
+                                            Index nprobe = -1);
 
   // Convenience driver: submits `requests` (repeated `repeat` times) from
   // this thread — paced at `arrival_qps` when nonzero (open-loop arrivals),
@@ -415,6 +438,7 @@ class AsyncServer {
     std::uint64_t session_id = 0;
     std::int32_t new_item = 0;
     Index top_k = 0;  // rank the logits when > 0
+    Index nprobe = 0;  // pruned scan when > 0 and the model has an index
   };
   struct BatchTask {
     std::string model_id;
@@ -478,6 +502,11 @@ class AsyncServer {
     // their end-to-end latencies (feeds ServingReport::session_latency).
     std::uint64_t session_requests = 0;
     std::vector<double> session_total_ms;
+    // Catalog-scan slice (ranked rows only; see ServingReport).
+    std::uint64_t ranked_rows = 0;
+    std::uint64_t catalog_rows = 0;
+    std::uint64_t scanned_rows = 0;
+    std::uint64_t scanned_bytes = 0;
     std::map<std::string, ModelLane> models;
   };
 

@@ -6,25 +6,6 @@
 
 namespace memcom {
 
-namespace {
-
-// Shared by topk_select and CatalogScorer::top_k: push one candidate into a
-// bounded heap whose top is the WORST kept entry (std::push_heap builds a
-// max-heap under its comparator, and under topk_better the "maximum" is the
-// element that beats nobody).
-inline void heap_offer(std::vector<ScoredId>& heap, Index k, ScoredId cand) {
-  if (static_cast<Index>(heap.size()) < k) {
-    heap.push_back(cand);
-    std::push_heap(heap.begin(), heap.end(), topk_better);
-  } else if (topk_better(cand, heap.front())) {
-    std::pop_heap(heap.begin(), heap.end(), topk_better);
-    heap.back() = cand;
-    std::push_heap(heap.begin(), heap.end(), topk_better);
-  }
-}
-
-}  // namespace
-
 std::vector<ScoredId> topk_select(const float* scores, Index n, Index k) {
   check(k >= 0, "topk_select: negative k");
   const Index kept = std::min(k, n);
@@ -34,7 +15,7 @@ std::vector<ScoredId> topk_select(const float* scores, Index n, Index k) {
     return heap;
   }
   for (Index i = 0; i < n; ++i) {
-    heap_offer(heap, kept, ScoredId{scores[i], i});
+    topk_offer(heap, kept, ScoredId{scores[i], i});
   }
   std::sort(heap.begin(), heap.end(), topk_better);
   return heap;
@@ -103,7 +84,7 @@ std::vector<ScoredId> CatalogScorer::top_k(const float* query, Index k) const {
     return heap;
   }
   for (Index i = 0; i < items_; ++i) {
-    heap_offer(heap, kept,
+    topk_offer(heap, kept,
                ScoredId{kernels_->dot_span(src_, i * dim_, dim_, query), i});
   }
   std::sort(heap.begin(), heap.end(), topk_better);

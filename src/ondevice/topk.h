@@ -19,6 +19,7 @@
 // counts.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "core/tensor.h"
@@ -36,6 +37,24 @@ struct ScoredId {
 // `a` ranks strictly ahead of `b`.
 inline bool topk_better(const ScoredId& a, const ScoredId& b) {
   return a.score > b.score || (a.score == b.score && a.id < b.id);
+}
+
+// One candidate into a bounded heap whose top is the WORST kept entry
+// (std::push_heap builds a max-heap under its comparator, and under
+// topk_better the "maximum" is the element that beats nobody). Because
+// topk_better is a strict TOTAL order, the final heap contents — and hence
+// the sorted result — are independent of offer order: this is what makes
+// the pruned catalog scan's nprobe == num_clusters leg provably identical
+// to the exact full scan (see ondevice/catalog_index.h).
+inline void topk_offer(std::vector<ScoredId>& heap, Index k, ScoredId cand) {
+  if (static_cast<Index>(heap.size()) < k) {
+    heap.push_back(cand);
+    std::push_heap(heap.begin(), heap.end(), topk_better);
+  } else if (topk_better(cand, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), topk_better);
+    heap.back() = cand;
+    std::push_heap(heap.begin(), heap.end(), topk_better);
+  }
 }
 
 // Bounded-heap selection: O(n log k), no allocation beyond the k-element
@@ -69,6 +88,10 @@ class CatalogScorer {
   // payload (every row is read once per query). This is the "catalog
   // residency" column of the session bench.
   std::size_t resident_bytes() const { return resident_bytes_; }
+  // Codec view + kernel family, shared with PrunedCatalogScorer so the
+  // pruned scan scores rows through the exact same dot_span path.
+  const SpanSrc& src() const { return src_; }
+  const KernelSet& kernels() const { return *kernels_; }
 
   // out[i] = <row i, query> for all items.
   void score_all(const float* query, float* out) const;

@@ -140,9 +140,11 @@ std::vector<std::pair<std::string, Tensor*>> RecModel::named_tensors() {
 void RecModel::export_mcm(const std::string& path, DType dtype,
                           const std::string& model_name,
                           std::uint64_t model_version, Index group_size,
-                          bool emit_plan) {
+                          bool emit_plan, bool emit_index,
+                          Index index_clusters) {
   ModelWriter writer(path);
   writer.set_emit_plan(emit_plan);
+  writer.set_emit_catalog_index(emit_index, index_clusters);
   if (!model_name.empty()) {
     writer.set_model_identity(model_name, model_version);
   }

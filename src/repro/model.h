@@ -63,11 +63,15 @@ class RecModel {
   // `group_size` only matters when `dtype` is kI4G (0 = kI4GroupDefault).
   // `emit_plan` appends the ahead-of-time compiled plan section (container
   // v3, see ondevice/plan.h) so fleet cold start is adopt instead of
-  // compile; plan-less exports stay v1/v2 byte-identical.
+  // compile; plan-less exports stay v1/v2 byte-identical. `emit_index`
+  // appends the clustered catalog-index section (container v4, see
+  // ondevice/catalog_index.h) enabling the pruned top-k scan;
+  // `index_clusters` == 0 picks the ~sqrt(items) default.
   void export_mcm(const std::string& path, DType dtype = DType::kF32,
                   const std::string& model_name = "",
                   std::uint64_t model_version = 1, Index group_size = 0,
-                  bool emit_plan = false);
+                  bool emit_plan = false, bool emit_index = false,
+                  Index index_clusters = 0);
 
   // Loads (dequantized) weights back from an exported .mcm file. The model
   // must have been constructed with the same ModelConfig. Used by the A.2

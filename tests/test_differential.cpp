@@ -88,8 +88,8 @@ class DifferentialTest : public ::testing::TestWithParam<TechniqueKind> {
   }
 
   std::string export_model(TechniqueKind kind, DType dtype,
-                           std::uint64_t version = 1,
-                           bool emit_plan = false) {
+                           std::uint64_t version = 1, bool emit_plan = false,
+                           bool emit_index = false, Index index_clusters = 0) {
     ModelConfig config;
     config.embedding.kind = kind;
     config.embedding.vocab = kVocab;
@@ -112,13 +112,13 @@ class DifferentialTest : public ::testing::TestWithParam<TechniqueKind> {
     auto p = std::filesystem::temp_directory_path() /
              ("memcom_diff_" + std::string(technique_name(kind)) + "_" +
               dtype_name(dtype) + "_v" + std::to_string(version) +
-              (emit_plan ? "_plan" : "") + ".mcm");
+              (emit_plan ? "_plan" : "") + (emit_index ? "_idx" : "") + ".mcm");
     paths_.push_back(p);
     // Same seed each version: the weights are bit-identical, so the
     // post-swap path below can demand bit-identical logits; the version
     // stamp is what changes.
     model.export_mcm(p.string(), dtype, "diff", version, /*group_size=*/0,
-                     emit_plan);
+                     emit_plan, emit_index, index_clusters);
     return p.string();
   }
 
@@ -549,6 +549,106 @@ TEST_P(DifferentialTest, SessionTopKInvariantAcrossKernelsAndShards) {
         EXPECT_EQ(topk[i], reference[i])
             << technique_name(kind) << "/" << dtype_name(dtype) << "/"
             << shape.tag << " event " << i;
+      }
+    }
+  }
+}
+
+// Pruned-scan anchor: with every cluster probed, the clustered pruned scan
+// must reproduce the exact full-catalog top-k BIT-IDENTICALLY — per
+// technique, per dtype, per kernel family, per shard count. The exact leg
+// (nprobe=0) of each shape is the reference; the full-probe leg (nprobe ==
+// num_clusters) rides the same serving path through PrunedCatalogScorer and
+// must not perturb a single id. Any divergence means the index permutation
+// dropped/duplicated an item or the pruned per-column replay broke the
+// dot-product bit-identity contract.
+TEST_P(DifferentialTest, PrunedFullProbeMatchesExactScanEverywhere) {
+  const TechniqueKind kind = GetParam();
+  constexpr Index kClusters = 5;
+  std::vector<SessionEvent> events;
+  Rng rng(90210);
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      events.push_back(
+          {s, static_cast<std::int32_t>(1 + rng.uniform_index(kVocab - 1))});
+    }
+  }
+  const Index k = 6;
+  struct ServerShape {
+    const char* tag;
+    bool scalar;
+    int threads;
+    int shards;
+  };
+  // Save/restore MEMCOM_DISABLE_SIMD: the sanitizer CI legs pre-set it.
+  const char* saved = std::getenv("MEMCOM_DISABLE_SIMD");
+  for (const DType dtype : {DType::kF32, DType::kI8, DType::kI4G}) {
+    const std::string path =
+        export_model(kind, dtype, /*version=*/1, /*emit_plan=*/false,
+                     /*emit_index=*/true, kClusters);
+    const MmapModel model(path);
+    {
+      // The v4 section must actually adopt for every technique x dtype —
+      // otherwise the pruned legs below silently fall back to the exact
+      // scan and this test proves nothing.
+      const CompiledModel compiled(model);
+      ASSERT_TRUE(compiled.has_catalog_index())
+          << technique_name(kind) << "/" << dtype_name(dtype) << ": "
+          << compiled.index_fallback_reason();
+      ASSERT_EQ(compiled.catalog_index().clusters, kClusters);
+    }
+    std::vector<std::vector<Index>> reference;
+    for (const ServerShape shape :
+         {ServerShape{"scalar/1shard", true, 1, 1},
+          ServerShape{"dispatched/1shard", false, 1, 1},
+          ServerShape{"scalar/3shard", true, 3, 3},
+          ServerShape{"dispatched/3shard", false, 3, 3}}) {
+      for (const Index nprobe : {Index{0}, kClusters}) {
+        if (shape.scalar) {
+          ::setenv("MEMCOM_DISABLE_SIMD", "1", 1);
+        }
+        std::vector<std::vector<Index>> topk;
+        ServingReport report;
+        {
+          AsyncServerConfig config;
+          config.threads = shape.threads;
+          config.shards = shape.shards;
+          config.max_batch = 4;
+          config.max_delay_us = 100.0;
+          config.session_capacity = 64;  // ample: zero evictions
+          config.session_history = 16;
+          config.nprobe = nprobe;
+          AsyncServer server(model, tflite_profile(), config);
+          report = server.serve_sessions(events, k, &topk);
+          EXPECT_EQ(report.shed, 0u) << shape.tag;
+        }
+        if (shape.scalar) {
+          if (saved == nullptr) {
+            ::unsetenv("MEMCOM_DISABLE_SIMD");
+          } else {
+            ::setenv("MEMCOM_DISABLE_SIMD", saved, 1);
+          }
+        }
+        const std::string tag = std::string(technique_name(kind)) + "/" +
+                                dtype_name(dtype) + "/" + shape.tag +
+                                "/nprobe" + std::to_string(nprobe);
+        if (nprobe > 0) {
+          // Full probe still walks the clustered path: every catalog row
+          // is scanned, so the pruned fraction must be exactly zero.
+          EXPECT_EQ(report.scanned_rows, report.catalog_rows) << tag;
+          EXPECT_EQ(report.pruned_fraction, 0.0) << tag;
+        }
+        if (reference.empty()) {
+          reference = std::move(topk);
+          for (const auto& ids : reference) {
+            EXPECT_EQ(ids.size(), static_cast<std::size_t>(k));
+          }
+          continue;
+        }
+        ASSERT_EQ(topk.size(), reference.size()) << tag;
+        for (std::size_t i = 0; i < topk.size(); ++i) {
+          EXPECT_EQ(topk[i], reference[i]) << tag << " event " << i;
+        }
       }
     }
   }

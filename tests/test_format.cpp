@@ -241,6 +241,75 @@ TEST_F(FormatTest, PlanSectionPastEofToleratedAtOpen) {
   EXPECT_TRUE(model.load_tensor("out.bias").equals(Tensor::full({2}, 0.0f)));
 }
 
+// --- v4 catalog-index section (container-level; index semantics live in
+// test_catalog_index.cpp) -------------------------------------------------
+
+TEST_F(FormatTest, EmitCatalogIndexBumpsFormatToV4) {
+  const std::string path = temp_path();
+  ModelWriter writer(path);
+  add_plannable_model(writer);
+  writer.set_emit_catalog_index();
+  const std::uint64_t written = writer.finish();
+  {
+    std::ifstream in(path, std::ios::binary);
+    read_u32(in);  // magic
+    EXPECT_EQ(read_u32(in), 4u);
+  }
+  const MmapModel model(path);
+  EXPECT_EQ(model.format_version(), 4u);
+  ASSERT_TRUE(model.has_index_section());
+  EXPECT_GT(model.index_size(), 0u);
+  EXPECT_EQ(model.index_offset() % 64, 0u);
+  EXPECT_EQ(model.index_offset() + model.index_size(), written);
+  EXPECT_NE(model.index_data(), nullptr);
+  // Index without plan: the v4 header carries zeroed plan locators and the
+  // loader reports the plan absent, not corrupt.
+  EXPECT_FALSE(model.has_plan_section());
+  EXPECT_TRUE(model.plan_bounds_error().empty());
+  // The tensors read back exactly as in a section-less file.
+  EXPECT_TRUE(model.load_tensor("emb.table").equals(
+      Tensor::full({16, 4}, 0.5f)));
+}
+
+TEST_F(FormatTest, PlanAndIndexSectionsCoexistInOneV4File) {
+  const std::string path = temp_path();
+  ModelWriter writer(path);
+  add_plannable_model(writer);
+  writer.set_emit_plan();
+  writer.set_emit_catalog_index();
+  const std::uint64_t written = writer.finish();
+  const MmapModel model(path);
+  EXPECT_EQ(model.format_version(), 4u);
+  ASSERT_TRUE(model.has_plan_section());
+  ASSERT_TRUE(model.has_index_section());
+  EXPECT_NE(model.plan_data(), nullptr);
+  EXPECT_NE(model.index_data(), nullptr);
+  // Layout: plan first, index aligned after it, index closes the file.
+  EXPECT_GE(model.index_offset(), model.plan_offset() + model.plan_size());
+  EXPECT_EQ(model.index_offset() % 64, 0u);
+  EXPECT_EQ(model.index_offset() + model.index_size(), written);
+}
+
+TEST_F(FormatTest, IndexSectionPastEofToleratedAtOpen) {
+  // Same lenient contract as the plan: a v4 header whose index section
+  // reaches past EOF must not fail the open — the tensors are intact and
+  // session ranking falls back to the exact full scan.
+  const std::string path = temp_path();
+  {
+    ModelWriter writer(path);
+    add_plannable_model(writer);
+    writer.set_emit_catalog_index();
+    writer.finish();
+  }
+  const std::uint64_t index_offset = MmapModel(path).index_offset();
+  std::filesystem::resize_file(path, index_offset + 8);
+  const MmapModel model(path);
+  EXPECT_TRUE(model.has_index_section());
+  EXPECT_EQ(model.index_data(), nullptr);
+  EXPECT_FALSE(model.index_bounds_error().empty());
+  EXPECT_TRUE(model.load_tensor("out.bias").equals(Tensor::full({2}, 0.0f)));
+}
+
 TEST_F(FormatTest, DirectoryEntriesKeepFileOrderForStableIndices) {
   // Plan handles serialize directory positions: entry_at/entry_index must
   // reflect WRITE order (file order), not the map's sorted order.

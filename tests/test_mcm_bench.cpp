@@ -176,6 +176,77 @@ TEST_F(McmBenchTest, SessionModeReportsTopKTable) {
   EXPECT_NE(result.output.find("evicted"), std::string::npos);
 }
 
+TEST_F(McmBenchTest, PrunedSessionModeReportsScanAndRecallColumns) {
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, 300, 16, 32};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = 24;
+  config.seed = 13;
+  RecModel model(config);
+  model.export_mcm(path_);
+
+  // Index built in process over the exported catalog (--clusters), then a
+  // pruned drain plus the exact recall-reference replay.
+  const ToolResult result = run_tool(
+      "\"" + path_ +
+      "\" --runs 10 --threads 2 --requests 16 --repeat 2 --session --topk 5 "
+      "--nprobe 2 --clusters 4");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("catalog index: built in-process (4 clusters)"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("nprobe"), std::string::npos);
+  EXPECT_NE(result.output.find("scan MB"), std::string::npos);
+  EXPECT_NE(result.output.find("pruned%"), std::string::npos);
+  EXPECT_NE(result.output.find("recall@k"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, PrunedSessionModeAdoptsFileIndex) {
+  ModelConfig config;
+  config.embedding = {TechniqueKind::kMemcom, 300, 16, 32};
+  config.arch = ModelArch::kClassification;
+  config.output_vocab = 24;
+  config.seed = 13;
+  RecModel model(config);
+  model.export_mcm(path_, DType::kI8, "bench", 1, /*group_size=*/0,
+                   /*emit_plan=*/false, /*emit_index=*/true,
+                   /*index_clusters=*/4);
+
+  const ToolResult result = run_tool(
+      "\"" + path_ +
+      "\" --runs 10 --threads 2 --requests 16 --repeat 2 --session --topk 5 "
+      "--nprobe 2");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("catalog index: file-adopted (4 clusters)"),
+            std::string::npos);
+}
+
+TEST_F(McmBenchTest, NprobeWithoutSessionFailsCleanly) {
+  const ToolResult result = run_tool("model.mcm --nprobe 2");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--session"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, NonPositiveNprobeFailsCleanly) {
+  const ToolResult result = run_tool("model.mcm --session --topk 5 --nprobe 0");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--nprobe"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, ClustersWithoutNprobeFailsCleanly) {
+  const ToolResult result =
+      run_tool("model.mcm --session --topk 5 --clusters 4");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--nprobe"), std::string::npos);
+}
+
+TEST_F(McmBenchTest, NprobeExceedingClustersFailsCleanly) {
+  const ToolResult result =
+      run_tool("model.mcm --session --topk 5 --nprobe 8 --clusters 4");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--nprobe must not exceed --clusters"),
+            std::string::npos);
+}
+
 TEST_F(McmBenchTest, TopkWithoutSessionFailsCleanly) {
   const ToolResult result = run_tool("model.mcm --topk 5");
   EXPECT_EQ(result.exit_code, 2);

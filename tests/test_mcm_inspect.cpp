@@ -246,6 +246,66 @@ TEST_F(McmInspectTest, ReportsStalePlanWithReason) {
             std::string::npos);
 }
 
+TEST_F(McmInspectTest, ReportsValidCatalogIndexVerdict) {
+  ModelWriter writer(path_);
+  add_plannable_model(writer);
+  writer.set_emit_catalog_index(true, /*clusters=*/2);
+  writer.finish();
+
+  const ToolResult result = run_tool("\"" + path_ + "\"");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("sections (format v4):"), std::string::npos);
+  const MmapModel model(path_);
+  EXPECT_NE(result.output.find("catalog index: " +
+                               std::to_string(model.index_size()) + " bytes"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("catalog index: present (valid"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("2 centroids over 2 items"), std::string::npos);
+  EXPECT_NE(result.output.find("cluster size min/median/max"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("pruned top-k available"), std::string::npos);
+}
+
+TEST_F(McmInspectTest, ReportsAbsentCatalogIndexForIndexlessFile) {
+  ModelWriter writer(path_);
+  add_plannable_model(writer);
+  writer.finish();
+
+  const ToolResult result = run_tool("\"" + path_ + "\"");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("catalog index: 0 bytes"), std::string::npos);
+  EXPECT_NE(result.output.find("catalog index: absent (session ranking "
+                               "scans the full catalog)"),
+            std::string::npos);
+}
+
+TEST_F(McmInspectTest, ReportsStaleCatalogIndexWithReason) {
+  {
+    ModelWriter writer(path_);
+    add_plannable_model(writer);
+    writer.set_emit_catalog_index(true, /*clusters=*/2);
+    writer.finish();
+  }
+  // Flip one byte mid-section (payload region, past the header prefix): the
+  // verdict names the defect and the tool keeps printing the full report.
+  const MmapModel model(path_);
+  const std::uint64_t flip_at = model.index_offset() + model.index_size() / 2;
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(flip_at));
+  char byte = 0;
+  f.get(byte);
+  f.seekp(static_cast<std::streamoff>(flip_at));
+  f.put(static_cast<char>(byte ^ 0x01));
+  f.close();
+
+  const ToolResult result = run_tool("\"" + path_ + "\"");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("catalog index: stale"), std::string::npos);
+  EXPECT_NE(result.output.find("falls back to the exact full scan"),
+            std::string::npos);
+}
+
 TEST_F(McmInspectTest, MissingArgumentFailsWithUsage) {
   const ToolResult result = run_tool("");
   EXPECT_EQ(result.exit_code, 2);

@@ -6,7 +6,7 @@
 //               [--async] [--max-batch 8] [--max-delay-us 200]
 //               [--queue-cap 256] [--cache-kb 0] [--arrival-qps 0]
 //               [--shards 1] [--deadline-us 0] [--shed]
-//               [--session] [--topk K]
+//               [--session] [--topk K] [--nprobe N] [--clusters N]
 //   ./mcm_bench model.mcm --cold-start N
 //   ./mcm_bench --models a.mcm,b.mcm [--swap-after N] [serving flags above]
 //
@@ -33,7 +33,12 @@
 // --session drives the session-based next-item workload instead of replayed
 // histories: events touch Zipf-less round-robin sessions through
 // submit_next_item, each response carrying the top --topk item ids ranked
-// over the full output catalog (single-model mode only).
+// over the full output catalog (single-model mode only). --nprobe N turns
+// the ranking into the clustered PRUNED scan (N probed clusters per
+// request) through the model's catalog index — the file's v4 section when
+// it carries one, or an index built in process when --clusters N is given
+// — and adds scanned-bytes / pruned-fraction / recall@k columns (recall
+// measured against an exact-scan replay of the same events).
 //
 // --cold-start N replaces the benchmark with the fleet boot path: N times,
 // load the file from scratch through to the first inference and report the
@@ -54,6 +59,7 @@
 #include "core/flags.h"
 #include "core/rng.h"
 #include "core/table.h"
+#include "ondevice/catalog_index.h"
 #include "ondevice/clock.h"
 #include "ondevice/plan.h"
 #include "ondevice/registry.h"
@@ -103,7 +109,8 @@ int main(int argc, char** argv) {
                  "[--profile coreml|tflite] [--async] [--max-batch N] "
                  "[--max-delay-us U] [--queue-cap N] [--cache-kb K] "
                  "[--arrival-qps Q] [--shards N] [--deadline-us D] "
-                 "[--shed] [--session] [--topk K] [--cold-start N]\n"
+                 "[--shed] [--session] [--topk K] [--nprobe N] "
+                 "[--clusters N] [--cold-start N]\n"
                  "       mcm_bench --models a.mcm,b.mcm [--swap-after N] "
                  "[serving flags]\n";
     return 2;
@@ -161,6 +168,36 @@ int main(int argc, char** argv) {
   if (flags.has("topk") && !session) {
     std::cerr << "mcm_bench: --topk only ranks the --session workload\n";
     return 2;
+  }
+  const Index nprobe = flags.get_int("nprobe", 0);
+  const Index clusters = flags.get_int("clusters", 0);
+  if (flags.has("nprobe") && !session) {
+    std::cerr << "mcm_bench: --nprobe only prunes the --session workload\n";
+    return 2;
+  }
+  if (flags.has("nprobe") && nprobe < 1) {
+    std::cerr << "mcm_bench: --nprobe must be positive\n";
+    return 2;
+  }
+  if (flags.has("clusters")) {
+    if (!session) {
+      std::cerr << "mcm_bench: --clusters only applies to the --session "
+                   "workload\n";
+      return 2;
+    }
+    if (clusters < 1) {
+      std::cerr << "mcm_bench: --clusters must be positive\n";
+      return 2;
+    }
+    if (!flags.has("nprobe")) {
+      std::cerr << "mcm_bench: --clusters needs --nprobe (an index without "
+                   "a probe count never prunes)\n";
+      return 2;
+    }
+    if (nprobe > clusters) {
+      std::cerr << "mcm_bench: --nprobe must not exceed --clusters\n";
+      return 2;
+    }
   }
   if (session && !models_flag.empty()) {
     std::cerr << "mcm_bench: --session drives the single-model mode, not "
@@ -523,12 +560,37 @@ int main(int argc, char** argv) {
     config.shed = shed;
     config.queue_capacity = static_cast<std::size_t>(queue_cap);
     config.cache_budget_bytes = static_cast<std::size_t>(cache_kb) * 1024;
+    config.nprobe = nprobe;
     // Half as many session slots as distinct sessions: the tool always
     // demonstrates LRU eviction under churn, not just the hot path.
     const Index distinct_sessions =
         std::max<Index>(4, static_cast<Index>(request_count) / 2);
     config.session_capacity = std::max<Index>(shards, distinct_sessions / 2);
-    AsyncServer server(model, profile, config);
+
+    // One shared plan behind a private registry so the pruned leg and the
+    // exact recall-reference leg below serve the SAME CompiledModel.
+    auto compiled =
+        std::make_shared<CompiledModel>(model, PlanPolicy::kAdoptIfPresent);
+    std::string index_note;
+    if (clusters > 0) {
+      CatalogIndexConfig index_config;
+      index_config.clusters = clusters;
+      compiled->attach_catalog_index(
+          build_catalog_index_for_model(model, index_config));
+      index_note =
+          "built in-process (" + std::to_string(clusters) + " clusters)";
+    } else if (compiled->has_catalog_index()) {
+      index_note = "file-adopted (" +
+                   std::to_string(compiled->catalog_index().clusters) +
+                   " clusters)";
+    } else {
+      index_note =
+          "none - exact scan (" + compiled->index_fallback_reason() + ")";
+    }
+    ModelRegistry session_registry;
+    session_registry.publish(AsyncServer::kDefaultModelId, compiled);
+    AsyncServer server(session_registry, AsyncServer::kDefaultModelId,
+                       profile, config);
 
     // request_count * repeat events round-robin over the session pool, each
     // touching a fresh random item.
@@ -548,15 +610,61 @@ int main(int argc, char** argv) {
     }
 
     server.serve_sessions(events, top_k);  // warm-up
-    const ServingReport report = server.serve_sessions(events, top_k);
-    TextTable table({"threads", "shards", "top-k", "events", "qps", "p50 ms",
-                     "p95 ms", "active", "evicted", "shed%", "miss%"});
+    std::vector<std::vector<Index>> pruned_topk;
+    const ServingReport report =
+        server.serve_sessions(events, top_k, &pruned_topk);
+
+    // Recall@k against an exact replay: a second server over the SAME plan
+    // runs the identical event stream with pruning off. Session routing and
+    // eviction are deterministic per event order, so row i of both drains
+    // ranked the same history — the only difference is the scan.
+    std::string recall_cell = "exact";
+    if (nprobe > 0) {
+      AsyncServerConfig exact_config = config;
+      exact_config.nprobe = 0;
+      AsyncServer exact_server(session_registry,
+                               AsyncServer::kDefaultModelId, profile,
+                               exact_config);
+      exact_server.serve_sessions(events, top_k);  // mirror the warm-up
+      std::vector<std::vector<Index>> exact_topk;
+      exact_server.serve_sessions(events, top_k, &exact_topk);
+      double overlap_sum = 0.0;
+      std::size_t counted = 0;
+      for (std::size_t i = 0;
+           i < exact_topk.size() && i < pruned_topk.size(); ++i) {
+        if (exact_topk[i].empty()) {
+          continue;  // shed
+        }
+        std::vector<Index> exact_ids = exact_topk[i];
+        std::sort(exact_ids.begin(), exact_ids.end());
+        std::size_t hit = 0;
+        for (const Index id : pruned_topk[i]) {
+          hit += std::binary_search(exact_ids.begin(), exact_ids.end(), id)
+                     ? 1u
+                     : 0u;
+        }
+        overlap_sum +=
+            static_cast<double>(hit) / static_cast<double>(exact_ids.size());
+        ++counted;
+      }
+      recall_cell = format_float(
+          counted > 0 ? overlap_sum / static_cast<double>(counted) : 1.0, 4);
+    }
+
+    TextTable table({"threads", "shards", "top-k", "nprobe", "events", "qps",
+                     "p50 ms", "p95 ms", "scan MB", "pruned%",
+                     "recall@k", "active", "evicted", "shed%", "miss%"});
     table.add_row(
         {std::to_string(report.threads), std::to_string(report.shards),
-         std::to_string(top_k), std::to_string(report.session_requests),
-         format_float(report.qps, 0),
+         std::to_string(top_k),
+         nprobe > 0 ? std::to_string(nprobe) : "exact",
+         std::to_string(report.session_requests), format_float(report.qps, 0),
          format_float(report.session_latency.p50_ms, 4),
          format_float(report.session_latency.p95_ms, 4),
+         format_float(static_cast<double>(report.scanned_bytes) /
+                          (1024.0 * 1024.0),
+                      1),
+         format_float(report.pruned_fraction * 100.0, 1), recall_cell,
          std::to_string(report.active_sessions),
          std::to_string(report.session_evictions),
          format_float(report.shed_rate * 100.0, 1),
@@ -564,7 +672,8 @@ int main(int argc, char** argv) {
     std::cout << "\nsession next-item serving (" << distinct_sessions
               << " sessions, capacity " << config.session_capacity
               << ", history " << config.session_history
-              << ", full-catalog top-" << top_k << "):\n"
+              << ", full-catalog top-" << top_k << ", catalog index: "
+              << index_note << "):\n"
               << table.to_string();
   }
   return 0;

@@ -1,15 +1,18 @@
 // mcm_inspect — print the contents of an exported .mcm on-device model:
 // metadata, tensor directory (name / dtype / shape / quantization scale /
 // blob offset / size), per-section byte accounting, the v3 compiled-plan
-// verdict (present / absent / stale-with-reason), and summary statistics
-// per tensor.
+// verdict (present / absent / stale-with-reason), the v4 catalog-index
+// verdict (format version, centroid count, cluster-size spread), and
+// summary statistics per tensor.
 //
 //   ./mcm_inspect model.mcm [--stats]
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "core/flags.h"
 #include "core/table.h"
+#include "ondevice/catalog_index.h"
 #include "ondevice/format.h"
 #include "ondevice/plan.h"
 
@@ -71,9 +74,15 @@ int main(int argc, char** argv) {
   if (model.has_plan_section()) {
     first_blob = std::min(first_blob, model.plan_offset());
   }
-  // Saturate: a stale v3 header may declare a plan size larger than the
-  // file, and the inspector must keep printing, not wrap.
-  const std::uint64_t covered = first_blob + total_bytes + plan_bytes;
+  const std::uint64_t index_bytes =
+      model.has_index_section() ? model.index_size() : 0;
+  if (model.has_index_section()) {
+    first_blob = std::min(first_blob, model.index_offset());
+  }
+  // Saturate: a stale v3/v4 header may declare a section size larger than
+  // the file, and the inspector must keep printing, not wrap.
+  const std::uint64_t covered =
+      first_blob + total_bytes + plan_bytes + index_bytes;
   const std::uint64_t padding =
       covered <= model.file_size() ? model.file_size() - covered : 0;
   std::cout << "\nsections (format v" << model.format_version() << "):\n";
@@ -82,6 +91,7 @@ int main(int argc, char** argv) {
   std::cout << "  tensor payload: " << total_bytes << " bytes (+ " << padding
             << " alignment)\n";
   std::cout << "  compiled plan: " << plan_bytes << " bytes\n";
+  std::cout << "  catalog index: " << index_bytes << " bytes\n";
 
   // Plan verdict: what a loader on this file would do.
   const PlanDecodeResult plan = decode_plan(model);
@@ -96,6 +106,42 @@ int main(int argc, char** argv) {
     case PlanStatus::kStale:
       std::cout << "plan: stale — " << plan.reason
                 << " (loader falls back to a full compile)\n";
+      break;
+  }
+
+  // Catalog-index verdict: whether session ranking on this file can take
+  // the clustered pruned scan, and the cluster-size spread when it can.
+  const CatalogIndexDecodeResult index = decode_catalog_index(model);
+  switch (index.status) {
+    case PlanStatus::kValid: {
+      // Section format word straight off the prefix (magic, format,
+      // endian, flags — decode already validated it).
+      const std::uint32_t section_format =
+          index_bytes >= 16
+              ? *reinterpret_cast<const std::uint32_t*>(model.index_data() + 4)
+              : 0;
+      std::vector<Index> sizes;
+      sizes.reserve(static_cast<std::size_t>(index.index.clusters));
+      for (Index c = 0; c < index.index.clusters; ++c) {
+        sizes.push_back(index.index.cluster_size(c));
+      }
+      std::sort(sizes.begin(), sizes.end());
+      std::cout << "catalog index: present (valid — section format v"
+                << section_format << ", " << index.index.clusters
+                << " centroids over " << index.index.items << " items x "
+                << index.index.dim << " dims, cluster size min/median/max "
+                << sizes.front() << "/" << sizes[sizes.size() / 2] << "/"
+                << sizes.back() << ", " << index_bytes
+                << " section bytes — pruned top-k available)\n";
+      break;
+    }
+    case PlanStatus::kAbsent:
+      std::cout << "catalog index: absent (session ranking scans the full "
+                   "catalog)\n";
+      break;
+    case PlanStatus::kStale:
+      std::cout << "catalog index: stale — " << index.reason
+                << " (loader falls back to the exact full scan)\n";
       break;
   }
 
